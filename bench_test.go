@@ -1,0 +1,327 @@
+// Package repro's root benchmarks regenerate every experiment in
+// DESIGN.md's per-experiment index (E1-E12) plus the ablations (A1-A5).
+// Each bench reports the experiment's headline virtual metrics via
+// b.ReportMetric, so `go test -bench=. -benchmem` prints the rows that
+// EXPERIMENTS.md records. Wall-clock ns/op measures simulator CPU, not
+// the virtual cluster: the virtual metrics are the reproduction targets.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func BenchmarkE1DatalessVsBDAS(b *testing.B) {
+	for _, rows := range []int{20_000, 100_000} {
+		b.Run(sizeName(rows), func(b *testing.B) {
+			var row experiments.E1Row
+			var err error
+			for i := 0; i < b.N; i++ {
+				row, err = experiments.E1DatalessVsBDAS(rows, 16, 300, 200)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(row.SpeedupX, "speedup_x")
+			b.ReportMetric(row.PredictionRate, "pred_rate")
+			b.ReportMetric(float64(row.BDASRowsRead), "bdas_rows")
+			b.ReportMetric(float64(row.SEARowsRead), "sea_rows")
+			b.ReportMetric(row.BDASDollars/maxf(row.SEADollars, 1e-12), "dollar_ratio_x")
+		})
+	}
+}
+
+func BenchmarkE2CountAccuracy(b *testing.B) {
+	for _, training := range []int{150, 300, 600} {
+		b.Run(sizeName(training), func(b *testing.B) {
+			var row experiments.E2Row
+			var err error
+			for i := 0; i < b.N; i++ {
+				row, err = experiments.E2CountAccuracy(20_000, training, 200, 0.05)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(row.SEAMAPE, "sea_mape")
+			b.ReportMetric(row.AQPMAPE, "aqp_mape")
+			b.ReportMetric(row.SEARowsPerQ, "sea_rows/q")
+			b.ReportMetric(row.AQPRowsPerQ, "aqp_rows/q")
+			b.ReportMetric(row.PredictionRate, "pred_rate")
+		})
+	}
+}
+
+func BenchmarkE3AvgRegression(b *testing.B) {
+	var row experiments.E3Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		row, err = experiments.E3AvgRegression(20_000, 300, 150)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(row.AvgMAPE, "avg_mape")
+	b.ReportMetric(row.SlopeMAE, "slope_mae")
+	b.ReportMetric(row.CorrMAE, "corr_mae")
+	b.ReportMetric(row.PredictionRate, "pred_rate")
+}
+
+func BenchmarkE4RankJoin(b *testing.B) {
+	for _, rows := range []int{10_000, 100_000} {
+		for _, k := range []int{1, 10, 100} {
+			b.Run(sizeName(rows)+"/k="+sizeName(k), func(b *testing.B) {
+				var row experiments.E4Row
+				var err error
+				for i := 0; i < b.N; i++ {
+					row, err = experiments.E4RankJoin(rows, k)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(row.SpeedupX, "speedup_x")
+				b.ReportMetric(row.RowRatioX, "row_ratio_x")
+				b.ReportMetric(row.ByteRatioX, "byte_ratio_x")
+			})
+		}
+	}
+}
+
+func BenchmarkE5KNN(b *testing.B) {
+	for _, rows := range []int{10_000, 100_000} {
+		for _, k := range []int{1, 10, 100} {
+			b.Run(sizeName(rows)+"/k="+sizeName(k), func(b *testing.B) {
+				var row experiments.E5Row
+				var err error
+				for i := 0; i < b.N; i++ {
+					row, err = experiments.E5KNN(rows, k, 10)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(row.SpeedupX, "speedup_x")
+				b.ReportMetric(row.RowRatioX, "row_ratio_x")
+			})
+		}
+	}
+}
+
+func BenchmarkE6SubgraphCache(b *testing.B) {
+	for _, repeat := range []float64{0.6, 0.9} {
+		b.Run(pctName(repeat), func(b *testing.B) {
+			var row experiments.E6Row
+			var err error
+			for i := 0; i < b.N; i++ {
+				row, err = experiments.E6SubgraphCache(400, 150, repeat)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(row.SpeedupX, "speedup_x")
+			b.ReportMetric(float64(row.ExactHits), "exact_hits")
+			b.ReportMetric(float64(row.SubHits), "sub_hits")
+		})
+	}
+}
+
+func BenchmarkE7Imputation(b *testing.B) {
+	for _, rows := range []int{5_000, 20_000} {
+		b.Run(sizeName(rows), func(b *testing.B) {
+			var row experiments.E7Row
+			var err error
+			for i := 0; i < b.N; i++ {
+				row, err = experiments.E7Imputation(rows)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(row.SpeedupX, "speedup_x")
+			b.ReportMetric(row.FullRMSE, "full_rmse")
+			b.ReportMetric(row.CentroidRMSE, "centroid_rmse")
+		})
+	}
+}
+
+func BenchmarkE8Optimizer(b *testing.B) {
+	var row experiments.E8Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		row, err = experiments.E8Optimizer(10_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(row.Accuracy, "accuracy")
+	b.ReportMetric(row.LearnedRegret, "learned_regret_s")
+	b.ReportMetric(row.AlwaysMRRegret, "always_mr_regret_s")
+}
+
+func BenchmarkE9Explanations(b *testing.B) {
+	var row experiments.E9Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		row, err = experiments.E9Explanations(20_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(row.MeanR2, "fidelity_r2")
+	b.ReportMetric(row.MeanMAPE, "fidelity_mape")
+	b.ReportMetric(float64(row.QueriesSaved)/maxf(float64(row.QueriesAsked), 1), "saved_frac")
+}
+
+func BenchmarkE10Geo(b *testing.B) {
+	var row experiments.E10Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		row, err = experiments.E10Geo(20_000, 400, 300)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(row.WANSavingsX, "wan_savings_x")
+	b.ReportMetric(row.LocalRate, "local_rate")
+	b.ReportMetric(float64(row.P50.Microseconds()), "p50_us")
+	b.ReportMetric(float64(row.P95.Microseconds()), "p95_us")
+}
+
+func BenchmarkE11Maintenance(b *testing.B) {
+	var row experiments.E11Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		row, err = experiments.E11Maintenance(20_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(row.PreDriftMAPE, "pre_drift_mape")
+	b.ReportMetric(row.RecoveredMAPE, "recovered_mape")
+	b.ReportMetric(float64(row.PostUpdateExact), "post_update_exact")
+	b.ReportMetric(row.RecoveredPredRate, "recovered_pred_rate")
+}
+
+func BenchmarkE12Polystore(b *testing.B) {
+	var row experiments.E12Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		row, err = experiments.E12Polystore(4_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(row.ShipDataBytes), "ship_data_B")
+	b.ReportMetric(float64(row.ShipPairsBytes), "ship_pairs_B")
+	b.ReportMetric(float64(row.ShipModelBytes), "ship_model_B")
+	b.ReportMetric(row.ShipModelErr, "ship_model_abs_err")
+}
+
+func BenchmarkAblationQuanta(b *testing.B) {
+	var rows []experiments.AblationRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.A1Quanta(20_000, []float64{64, 225, 900})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.MAPE, "mape@sd"+sizeName(int(r.Param)))
+	}
+}
+
+func BenchmarkAblationModelFamily(b *testing.B) {
+	var scores map[string]float64
+	var err error
+	for i := 0; i < b.N; i++ {
+		scores, err = experiments.A2ModelFamily(10_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for name, rmse := range scores {
+		b.ReportMetric(rmse, "rmse_"+name)
+	}
+}
+
+func BenchmarkAblationFallback(b *testing.B) {
+	var rows []experiments.AblationRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.A3Fallback(20_000, []float64{0.05, 0.2, 0.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.PredictionRate, "rate@th"+pctName(r.Param))
+	}
+}
+
+func BenchmarkAblationRankJoinBatch(b *testing.B) {
+	var rows []experiments.AblationRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.A4RankJoinBatch(20_000, []int{16, 64, 256})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Extra, "rows@b"+sizeName(int(r.Param)))
+	}
+}
+
+func BenchmarkAblationGeoRouting(b *testing.B) {
+	var out map[string]float64
+	var err error
+	for i := 0; i < b.N; i++ {
+		out, err = experiments.A5GeoRouting(10_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(out["core-only"], "core_only_wan_B")
+	b.ReportMetric(out["peer-first"], "peer_first_wan_B")
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1_000_000 && n%1_000_000 == 0:
+		return itoa(n/1_000_000) + "M"
+	case n >= 1_000 && n%1_000 == 0:
+		return itoa(n/1_000) + "k"
+	default:
+		return itoa(n)
+	}
+}
+
+func pctName(f float64) string { return itoa(int(f*100)) + "pct" }
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,263 @@
+// Command seabench runs the full experiment suite (E1-E12 and ablations
+// A1-A5 from DESIGN.md) at configurable scale and prints one table per
+// experiment — the rows EXPERIMENTS.md records. All metrics are virtual
+// simulator units (see internal/metrics); wall-clock is irrelevant.
+//
+// Usage:
+//
+//	seabench [-scale small|paper] [-only E4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "experiment scale: small | paper")
+	only := flag.String("only", "", "run only the named experiment (e.g. E4)")
+	flag.Parse()
+	if err := run(*scale, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "seabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale, only string) error {
+	big := scale == "paper"
+	pick := func(small, paper int) int {
+		if big {
+			return paper
+		}
+		return small
+	}
+	want := func(name string) bool {
+		return only == "" || strings.EqualFold(only, name)
+	}
+
+	if want("E1") {
+		fmt.Println("== E1: data-less (Fig.2) vs traditional BDAS (Fig.1), COUNT queries ==")
+		fmt.Println("rows        bdas_lat      sea_lat   speedup  pred_rate  bdas_rows    sea_rows   $ratio")
+		for _, rows := range []int{pick(10_000, 20_000), pick(50_000, 100_000), pick(0, 1_000_000)} {
+			if rows == 0 {
+				continue
+			}
+			r, err := experiments.E1DatalessVsBDAS(rows, 16, 300, 200)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-9d %11v %12v %8.0fx %9.2f %11d %11d %7.0fx\n",
+				r.Rows, r.BDASMeanLatency, r.SEAMeanLatency, r.SpeedupX,
+				r.PredictionRate, r.BDASRowsRead, r.SEARowsRead,
+				r.BDASDollars/maxf(r.SEADollars, 1e-12))
+		}
+		fmt.Println()
+	}
+
+	if want("E2") {
+		fmt.Println("== E2: COUNT accuracy & cost — SEA agent vs BlinkDB-style AQP ==")
+		fmt.Println("training  sea_mape  aqp_mape  sea_rows/q  aqp_rows/q  exact_rows/q  pred_rate  sample_KB")
+		for _, tr := range []int{150, 300, 600} {
+			r, err := experiments.E2CountAccuracy(pick(10_000, 20_000), tr, 200, 0.05)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-9d %8.3f %9.3f %11.0f %11.0f %13.0f %10.2f %10d\n",
+				r.Training, r.SEAMAPE, r.AQPMAPE, r.SEARowsPerQ, r.AQPRowsPerQ,
+				r.ExactRowsPerQ, r.PredictionRate, r.AQPSampleBytes/1024)
+		}
+		fmt.Println()
+	}
+
+	if want("E3") {
+		fmt.Println("== E3: data-less AVG / regression-coefficient queries ==")
+		r, err := experiments.E3AvgRegression(pick(10_000, 20_000), 300, 150)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("avg_mape=%.3f  slope_mae=%.3f (true slope 2)  corr_mae=%.3f  pred_rate=%.2f\n\n",
+			r.AvgMAPE, r.SlopeMAE, r.CorrMAE, r.PredictionRate)
+	}
+
+	if want("E4") {
+		fmt.Println("== E4: top-K rank join — MapReduce vs statistical-index threshold (C2) ==")
+		fmt.Println("rows      k    mr_time        th_time     speedup   row_ratio  byte_ratio   $mr/$th")
+		for _, rows := range []int{pick(10_000, 100_000), pick(50_000, 1_000_000)} {
+			for _, k := range []int{1, 10, 100} {
+				r, err := experiments.E4RankJoin(rows, k)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("%-8d %3d %10v %14v %8.0fx %10.1fx %10.0fx %8.0fx\n",
+					r.Rows, r.K, r.MRTime, r.ThresholdTime, r.SpeedupX,
+					r.RowRatioX, r.ByteRatioX, r.MRDollars/maxf(r.THDollars, 1e-12))
+			}
+		}
+		fmt.Println()
+	}
+
+	if want("E5") {
+		fmt.Println("== E5: kNN — full scan vs grid-indexed coordinator-cohort (C3) ==")
+		fmt.Println("rows      k    scan_time     idx_time    speedup   row_ratio")
+		for _, rows := range []int{pick(10_000, 100_000), pick(50_000, 1_000_000)} {
+			for _, k := range []int{1, 10, 100} {
+				r, err := experiments.E5KNN(rows, k, 10)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("%-8d %3d %11v %12v %8.0fx %10.0fx\n",
+					r.Rows, r.K, r.ScanTime, r.IndexedTime, r.SpeedupX, r.RowRatioX)
+			}
+		}
+		fmt.Println()
+	}
+
+	if want("E6") {
+		fmt.Println("== E6: subgraph queries — no cache vs semantic cache (C4) ==")
+		fmt.Println("repeat   nocache_time   cache_time   speedup  exact  sub  super")
+		for _, rep := range []float64{0.6, 0.9} {
+			r, err := experiments.E6SubgraphCache(pick(200, 1000), pick(100, 300), rep)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-7.0f%% %11v %12v %8.1fx %6d %4d %6d\n",
+				rep*100, r.NoCacheTime, r.CacheTime, r.SpeedupX,
+				r.ExactHits, r.SubHits, r.SuperHits)
+		}
+		fmt.Println()
+	}
+
+	if want("E7") {
+		fmt.Println("== E7: missing-value imputation — all-pairs vs centroid-routed (C5) ==")
+		fmt.Println("rows      full_time    centroid_time   speedup   full_rmse  cent_rmse")
+		for _, rows := range []int{pick(5_000, 20_000), pick(10_000, 50_000)} {
+			r, err := experiments.E7Imputation(rows)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-8d %11v %14v %8.0fx %10.2f %10.2f\n",
+				r.Rows, r.FullTime, r.CentroidTime, r.SpeedupX, r.FullRMSE, r.CentroidRMSE)
+		}
+		fmt.Println()
+	}
+
+	if want("E8") {
+		fmt.Println("== E8: learned paradigm selection (C6) ==")
+		r, err := experiments.E8Optimizer(pick(5_000, 20_000))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("accuracy=%.2f  regret: learned=%.4fs always-mr=%.4fs always-cc=%.4fs  best-inference-model=%s\n\n",
+			r.Accuracy, r.LearnedRegret, r.AlwaysMRRegret, r.AlwaysCCRegret, r.BestModelFamily)
+	}
+
+	if want("E9") {
+		fmt.Println("== E9: query-answer explanations (C7) ==")
+		r, err := experiments.E9Explanations(pick(12_000, 20_000))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("explained=%.0f%%  fidelity_r2=%.2f  fidelity_mape=%.3f  queries_saved=%d/%d\n\n",
+			r.ExplainedFrac*100, r.MeanR2, r.MeanMAPE, r.QueriesSaved, r.QueriesAsked)
+	}
+
+	if want("E10") {
+		fmt.Println("== E10: geo-distributed SEA (Fig.3, C8) ==")
+		r, err := experiments.E10Geo(pick(10_000, 20_000), 400, 300)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wan_savings=%.0fx  local_rate=%.2f  p50=%v  p95=%v  (all-to-core p50=%v)  model_ship=%dB\n\n",
+			r.WANSavingsX, r.LocalRate, r.P50, r.P95, r.AllToCore50, r.ModelShipBytes)
+	}
+
+	if want("E11") {
+		fmt.Println("== E11: model maintenance under drift and updates (C9) ==")
+		r, err := experiments.E11Maintenance(pick(10_000, 20_000))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("pre_drift_mape=%.3f  post_drift_mape=%.3f  recovered_mape=%.3f  post_update_exact=%d/20  recovered_pred_rate=%.2f\n\n",
+			r.PreDriftMAPE, r.PostDriftMAPE, r.RecoveredMAPE, r.PostUpdateExact, r.RecoveredPredRate)
+	}
+
+	if want("E12") {
+		fmt.Println("== E12: polystore strategies (C10) ==")
+		r, err := experiments.E12Polystore(pick(2_000, 8_000))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("bytes: ship-data=%d ship-pairs=%d ship-model=%d   abs_err: pairs=%.4f model=%.4f\n\n",
+			r.ShipDataBytes, r.ShipPairsBytes, r.ShipModelBytes, r.ShipPairsErr, r.ShipModelErr)
+	}
+
+	if want("A1") {
+		fmt.Println("== A1: quantisation granularity ablation ==")
+		rows, err := experiments.A1Quanta(pick(10_000, 20_000), []float64{64, 225, 900})
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Printf("spawn_dist=%-6.0f quanta=%-3.0f mape=%.3f pred_rate=%.2f\n",
+				r.Param, r.Extra, r.MAPE, r.PredictionRate)
+		}
+		fmt.Println()
+	}
+
+	if want("A2") {
+		fmt.Println("== A2: per-quantum model family ablation (CV RMSE on count queries) ==")
+		scores, err := experiments.A2ModelFamily(pick(10_000, 20_000))
+		if err != nil {
+			return err
+		}
+		for _, name := range []string{"linear", "quadratic", "knn", "boosted"} {
+			fmt.Printf("%-10s rmse=%.1f\n", name, scores[name])
+		}
+		fmt.Println()
+	}
+
+	if want("A3") {
+		fmt.Println("== A3: fallback threshold ablation ==")
+		rows, err := experiments.A3Fallback(pick(10_000, 20_000), []float64{0.05, 0.1, 0.2, 0.5})
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Printf("threshold=%-5.2f mape=%.3f pred_rate=%.2f\n", r.Param, r.MAPE, r.PredictionRate)
+		}
+		fmt.Println()
+	}
+
+	if want("A4") {
+		fmt.Println("== A4: rank-join batch size ablation ==")
+		rows, err := experiments.A4RankJoinBatch(pick(10_000, 50_000), []int{16, 64, 256})
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Printf("batch=%-4.0f rows_read=%-8.0f time=%.4fs\n", r.Param, r.Extra, r.MAPE)
+		}
+		fmt.Println()
+	}
+
+	if want("A5") {
+		fmt.Println("== A5: geo routing policy ablation (models on one edge only) ==")
+		out, err := experiments.A5GeoRouting(pick(5_000, 10_000))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wan_bytes: core-only=%.0f peer-first=%.0f\n\n", out["core-only"], out["peer-first"])
+	}
+	return nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

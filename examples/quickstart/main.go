@@ -1,0 +1,70 @@
+// Quickstart: build a simulated BDAS, load data, train a SEA agent, and
+// ask data-less COUNT and AVG queries through the public API.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/query"
+	"repro/internal/workload"
+	"repro/sea"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. A system: 8 simulated data-server nodes, a 3-column table.
+	sys, err := sea.NewSystem(sea.SystemConfig{Nodes: 8, Columns: []string{"x", "y", "z"}})
+	if err != nil {
+		return err
+	}
+
+	// 2. Load clustered synthetic data (x, y spatial; z = 2x + 5 + noise).
+	rng := workload.NewRNG(1)
+	rows := workload.GaussianMixture(rng, 10_000, 3, workload.DefaultMixture(3), 0)
+	workload.CorrelatedColumns(rng, rows, 0, 2, 2, 5, 1)
+	if err := sys.Load(rows); err != nil {
+		return err
+	}
+
+	// 3. An agent that trains on the first 300 analyst queries.
+	agent, err := sys.NewAgent(sea.AgentConfig{Dims: 2, TrainingQueries: 300})
+	if err != nil {
+		return err
+	}
+	qs := workload.NewQueryStream(workload.NewRNG(2), workload.DefaultRegions(2), query.Count)
+	qs.RadiusFrac = 0.5 // analysts mix hyper-sphere and hyper-box selections
+	for i := 0; i < 300; i++ {
+		if _, err := agent.Answer(qs.Next()); err != nil {
+			return err
+		}
+	}
+
+	// 4. Data-less analytics: COUNT and AVG with error estimates.
+	sel := sea.Radius([]float64{25, 25}, 6)
+	count, err := agent.Count(sel)
+	if err != nil {
+		return err
+	}
+	avg, err := agent.Average(sel, 2)
+	if err != nil {
+		return err
+	}
+	truth, _, err := sys.ExactCohort(sea.Query{Select: sel, Aggregate: sea.Count})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("COUNT within r=6 of (25,25): %.0f (predicted=%v, est err %.3f; exact %d)\n",
+		count.Value, count.Predicted, count.EstError, int(truth.Value))
+	fmt.Printf("AVG(z) same subspace:        %.2f (predicted=%v)\n", avg.Value, avg.Predicted)
+	st := agent.Stats()
+	fmt.Printf("agent: %d queries, %.0f%% data-less, %d quanta\n",
+		st.Queries, st.PredictionRate()*100, st.Quanta)
+	return nil
+}

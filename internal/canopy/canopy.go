@@ -1,0 +1,217 @@
+// Package canopy implements a Data Canopy-style semantic cache for exact
+// statistics (paper §II, ref [20]): the data is chunked along one sort
+// dimension and per-chunk sufficient statistics (count, sums, sums of
+// squares, co-moments) are cached lazily on first touch. A range query
+// assembles its exact answer from cached interior chunks plus base-data
+// scans of the two partial boundary chunks.
+//
+// The paper's critique — "the storage required ... can grow prohibitively
+// large" and "such efforts typically only benefit previously seen
+// queries" — is measurable here: MemoryBytes() grows with every distinct
+// region touched, and cold ranges pay full scan costs.
+package canopy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+// ErrBadChunk is returned for non-positive chunk sizes.
+var ErrBadChunk = errors.New("canopy: chunk size must be positive")
+
+// chunkStats is the mergeable statistic set cached per (chunk, column
+// pair): enough for count/sum/avg/var/corr/slope.
+type chunkStats struct {
+	n                  int64
+	sumX, sumXX        float64
+	sumY, sumYY, sumXY float64
+	built              bool
+}
+
+// Canopy caches chunk statistics over one table sorted by sortCol.
+type Canopy struct {
+	cl      *cluster.Cluster
+	rows    []storage.Row // sorted by sortCol (materialised sorted view)
+	sortCol int
+	chunk   int
+	// stats[colPair][chunkIdx]
+	stats map[[2]int][]chunkStats
+}
+
+// Build materialises the sorted view (an offline index-build step) and
+// returns an empty canopy; statistics fill in lazily as queries touch
+// chunks.
+func Build(cl *cluster.Cluster, t *storage.Table, sortCol, chunkRows int) (*Canopy, error) {
+	if chunkRows < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrBadChunk, chunkRows)
+	}
+	var rows []storage.Row
+	for p := 0; p < t.Partitions(); p++ {
+		part, _, err := t.ScanPartition(p)
+		if err != nil {
+			return nil, fmt.Errorf("canopy build: %w", err)
+		}
+		rows = append(rows, part...)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		return colVal(rows[i], sortCol) < colVal(rows[j], sortCol)
+	})
+	return &Canopy{
+		cl:      cl,
+		rows:    rows,
+		sortCol: sortCol,
+		chunk:   chunkRows,
+		stats:   make(map[[2]int][]chunkStats),
+	}, nil
+}
+
+func colVal(r storage.Row, col int) float64 {
+	if col < 0 || col >= len(r.Vec) {
+		return 0
+	}
+	return r.Vec[col]
+}
+
+// Chunks returns the number of chunks the table divides into.
+func (c *Canopy) Chunks() int {
+	return (len(c.rows) + c.chunk - 1) / c.chunk
+}
+
+// MemoryBytes returns the cache's current footprint: 56 bytes per built
+// chunk statistic (the growth the paper warns about).
+func (c *Canopy) MemoryBytes() int64 {
+	var built int64
+	for _, arr := range c.stats {
+		for i := range arr {
+			if arr[i].built {
+				built++
+			}
+		}
+	}
+	return built * 56
+}
+
+// Answer computes the exact answer to a 1-D range aggregate over sortCol:
+// q's selection must be a range on the sort column (canopies are
+// per-column structures; multi-dimensional selections belong to the other
+// operators).
+func (c *Canopy) Answer(q query.Query, lo, hi float64) (query.Result, metrics.Cost, error) {
+	if err := q.Validate(); err != nil {
+		return query.Result{}, metrics.Cost{}, err
+	}
+	pair := [2]int{q.Col, q.Col2}
+	arr, ok := c.stats[pair]
+	if !ok {
+		arr = make([]chunkStats, c.Chunks())
+		c.stats[pair] = arr
+	}
+	// Row span [i, j) covered by the range.
+	i := sort.Search(len(c.rows), func(k int) bool {
+		return colVal(c.rows[k], c.sortCol) >= lo
+	})
+	j := sort.Search(len(c.rows), func(k int) bool {
+		return colVal(c.rows[k], c.sortCol) >= hi
+	})
+	var total metrics.Cost
+	var agg chunkStats
+	rowBytes := int64(8)
+	if len(c.rows) > 0 {
+		rowBytes = c.rows[0].Bytes()
+	}
+
+	pos := i
+	for pos < j {
+		chunkIdx := pos / c.chunk
+		chunkStart := chunkIdx * c.chunk
+		chunkEnd := chunkStart + c.chunk
+		if chunkEnd > len(c.rows) {
+			chunkEnd = len(c.rows)
+		}
+		if pos == chunkStart && chunkEnd <= j {
+			// Full interior chunk: use (or lazily build) cached stats.
+			if !arr[chunkIdx].built {
+				st := computeStats(c.rows[chunkStart:chunkEnd], q.Col, q.Col2)
+				st.built = true
+				arr[chunkIdx] = st
+				total = total.Add(c.cl.ScanCost(int64(chunkEnd-chunkStart), rowBytes))
+			}
+			agg = agg.merge(arr[chunkIdx])
+			pos = chunkEnd
+			continue
+		}
+		// Partial boundary chunk: scan base rows.
+		end := chunkEnd
+		if end > j {
+			end = j
+		}
+		st := computeStats(c.rows[pos:end], q.Col, q.Col2)
+		agg = agg.merge(st)
+		total = total.Add(c.cl.ScanCost(int64(end-pos), rowBytes))
+		pos = end
+	}
+	return finish(q, agg), total, nil
+}
+
+func computeStats(rows []storage.Row, col, col2 int) chunkStats {
+	var st chunkStats
+	for _, r := range rows {
+		x := colVal(r, col)
+		y := colVal(r, col2)
+		st.n++
+		st.sumX += x
+		st.sumXX += x * x
+		st.sumY += y
+		st.sumYY += y * y
+		st.sumXY += x * y
+	}
+	return st
+}
+
+func (a chunkStats) merge(b chunkStats) chunkStats {
+	return chunkStats{
+		n:    a.n + b.n,
+		sumX: a.sumX + b.sumX, sumXX: a.sumXX + b.sumXX,
+		sumY: a.sumY + b.sumY, sumYY: a.sumYY + b.sumYY,
+		sumXY: a.sumXY + b.sumXY,
+		built: true,
+	}
+}
+
+func finish(q query.Query, st chunkStats) query.Result {
+	res := query.Result{Support: st.n}
+	if st.n == 0 {
+		return res
+	}
+	nf := float64(st.n)
+	switch q.Aggregate {
+	case query.Count:
+		res.Value = nf
+	case query.Sum:
+		res.Value = st.sumX
+	case query.Avg:
+		res.Value = st.sumX / nf
+	case query.Var:
+		m := st.sumX / nf
+		res.Value = st.sumXX/nf - m*m
+	case query.Corr:
+		num := nf*st.sumXY - st.sumX*st.sumY
+		denX := nf*st.sumXX - st.sumX*st.sumX
+		denY := nf*st.sumYY - st.sumY*st.sumY
+		if denX > 0 && denY > 0 {
+			res.Value = num / (math.Sqrt(denX) * math.Sqrt(denY))
+		}
+	case query.RegSlope:
+		den := nf*st.sumXX - st.sumX*st.sumX
+		if den != 0 {
+			res.Value = (nf*st.sumXY - st.sumX*st.sumY) / den
+		}
+	}
+	return res
+}

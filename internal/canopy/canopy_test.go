@@ -1,0 +1,156 @@
+package canopy
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/query"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+func buildCanopy(t *testing.T, nRows, chunk int) (*Canopy, []storage.Row) {
+	t.Helper()
+	cl := cluster.New(2, cluster.DefaultConfig())
+	tbl, err := storage.NewTable(cl, "t", []string{"x", "y"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := workload.NewRNG(61)
+	rows := workload.Uniform(rng, nRows, 2, []float64{0, 0}, []float64{100, 100}, 0)
+	workload.CorrelatedColumns(rng, rows, 0, 1, 3, -2, 1)
+	if err := tbl.Load(rows); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Build(cl, tbl, 0, chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, rows
+}
+
+func rangeQuery(agg query.Agg, col, col2 int) query.Query {
+	return query.Query{
+		Select:    query.Selection{Los: []float64{0, -1e9}, His: []float64{100, 1e9}},
+		Aggregate: agg, Col: col, Col2: col2,
+	}
+}
+
+func truthInRange(rows []storage.Row, q query.Query, lo, hi float64) query.Result {
+	var matched []storage.Row
+	for _, r := range rows {
+		if r.Vec[0] >= lo && r.Vec[0] < hi {
+			matched = append(matched, r)
+		}
+	}
+	full := query.Selection{Los: []float64{-1e18, -1e18}, His: []float64{1e18, 1e18}}
+	return query.EvalRows(query.Query{Select: full, Aggregate: q.Aggregate, Col: q.Col, Col2: q.Col2}, matched)
+}
+
+func TestBuildValidation(t *testing.T) {
+	cl := cluster.New(1, cluster.DefaultConfig())
+	tbl, _ := storage.NewTable(cl, "t", []string{"x"}, 1)
+	if _, err := Build(cl, tbl, 0, 0); !errors.Is(err, ErrBadChunk) {
+		t.Errorf("chunk 0 err = %v", err)
+	}
+}
+
+func TestExactAnswers(t *testing.T) {
+	c, rows := buildCanopy(t, 5000, 128)
+	tests := []struct {
+		name   string
+		agg    query.Agg
+		col    int
+		col2   int
+		lo, hi float64
+	}{
+		{"count mid", query.Count, 0, 0, 20, 60},
+		{"sum", query.Sum, 1, 0, 10, 90},
+		{"avg", query.Avg, 1, 0, 0, 50},
+		{"var", query.Var, 0, 0, 25, 75},
+		{"corr", query.Corr, 0, 1, 10, 95},
+		{"slope", query.RegSlope, 0, 1, 5, 80},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			q := rangeQuery(tt.agg, tt.col, tt.col2)
+			got, _, err := c.Answer(q, tt.lo, tt.hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := truthInRange(rows, q, tt.lo, tt.hi)
+			if got.Support != want.Support {
+				t.Fatalf("support %d != %d", got.Support, want.Support)
+			}
+			if math.Abs(got.Value-want.Value) > 1e-6*(1+math.Abs(want.Value)) {
+				t.Errorf("value %v != %v", got.Value, want.Value)
+			}
+		})
+	}
+}
+
+func TestRepeatQueriesGetCheaper(t *testing.T) {
+	c, _ := buildCanopy(t, 10000, 128)
+	q := rangeQuery(query.Count, 0, 0)
+	_, cold, err := c.Answer(q, 10, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, warm, err := c.Answer(q, 10, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm: interior chunks cached, only boundary partials scanned.
+	if warm.RowsRead*4 >= cold.RowsRead {
+		t.Errorf("warm read %d rows vs cold %d: cache ineffective", warm.RowsRead, cold.RowsRead)
+	}
+}
+
+func TestMemoryGrowsWithTouchedRegions(t *testing.T) {
+	c, _ := buildCanopy(t, 10000, 64)
+	if c.MemoryBytes() != 0 {
+		t.Fatal("fresh canopy should hold no stats")
+	}
+	q := rangeQuery(query.Count, 0, 0)
+	if _, _, err := c.Answer(q, 0, 50); err != nil {
+		t.Fatal(err)
+	}
+	m1 := c.MemoryBytes()
+	if m1 == 0 {
+		t.Fatal("no memory after first query")
+	}
+	// Different column pair: new statistics, more memory (the paper's
+	// growth complaint).
+	q2 := rangeQuery(query.Avg, 1, 0)
+	if _, _, err := c.Answer(q2, 0, 50); err != nil {
+		t.Fatal(err)
+	}
+	if c.MemoryBytes() <= m1 {
+		t.Errorf("memory did not grow: %d -> %d", m1, c.MemoryBytes())
+	}
+}
+
+func TestEmptyRange(t *testing.T) {
+	c, _ := buildCanopy(t, 1000, 64)
+	q := rangeQuery(query.Count, 0, 0)
+	got, cost, err := c.Answer(q, 200, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Support != 0 || got.Value != 0 {
+		t.Errorf("empty range = %+v", got)
+	}
+	if cost.RowsRead != 0 {
+		t.Errorf("empty range read %d rows", cost.RowsRead)
+	}
+}
+
+func TestChunksCount(t *testing.T) {
+	c, _ := buildCanopy(t, 1000, 128)
+	want := (1000 + 127) / 128
+	if c.Chunks() != want {
+		t.Errorf("Chunks = %d, want %d", c.Chunks(), want)
+	}
+}

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNewAndNodes(t *testing.T) {
+	c := New(4, DefaultConfig())
+	if c.Size() != 4 {
+		t.Fatalf("Size = %d", c.Size())
+	}
+	n, err := c.Node(2)
+	if err != nil || n.ID != 2 || n.Region != 0 {
+		t.Errorf("Node(2) = %+v, %v", n, err)
+	}
+	if _, err := c.Node(9); !errors.Is(err, ErrNoSuchNode) {
+		t.Errorf("Node(9) err = %v, want ErrNoSuchNode", err)
+	}
+}
+
+func TestGeoRegions(t *testing.T) {
+	c := NewGeo([]int{2, 3}, DefaultConfig())
+	if c.Size() != 5 {
+		t.Fatalf("Size = %d", c.Size())
+	}
+	if !c.SameRegion(0, 1) {
+		t.Error("nodes 0,1 should share region 0")
+	}
+	if c.SameRegion(1, 2) {
+		t.Error("nodes 1,2 should be in different regions")
+	}
+	if c.SameRegion(0, 99) {
+		t.Error("out-of-range should not match")
+	}
+}
+
+func TestFailRecover(t *testing.T) {
+	c := New(2, DefaultConfig())
+	if c.Failed(0) {
+		t.Error("fresh node marked failed")
+	}
+	if err := c.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Failed(0) {
+		t.Error("Fail(0) did not stick")
+	}
+	if err := c.Recover(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Failed(0) {
+		t.Error("Recover(0) did not stick")
+	}
+	if err := c.Fail(7); !errors.Is(err, ErrNoSuchNode) {
+		t.Errorf("Fail(7) err = %v", err)
+	}
+	if !c.Failed(-1) {
+		t.Error("out-of-range node should read as failed")
+	}
+}
+
+func TestScanCost(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(1, cfg)
+	cost := c.ScanCost(1000, 40)
+	wantT := 1000 * (cfg.PerRowScan + cfg.PerRowCPU)
+	if cost.Time != wantT || cost.RowsRead != 1000 || cost.BytesRead != 40000 ||
+		cost.NodesTouched != 1 {
+		t.Errorf("ScanCost = %+v", cost)
+	}
+}
+
+func TestTransferCosts(t *testing.T) {
+	cfg := DefaultConfig()
+	c := NewGeo([]int{1, 1}, cfg)
+	lan := c.TransferLAN(125_000_000) // 1 second at 1 Gb/s
+	if lan.Time < time.Second || lan.Time > time.Second+cfg.LANLatency {
+		t.Errorf("LAN transfer time = %v", lan.Time)
+	}
+	if lan.BytesLAN != 125_000_000 || lan.Messages != 1 {
+		t.Errorf("LAN transfer = %+v", lan)
+	}
+	wan := c.TransferWAN(100)
+	if wan.Time < cfg.WANLatency || wan.BytesWAN != 100 {
+		t.Errorf("WAN transfer = %+v", wan)
+	}
+	// Cross-region routing picks WAN.
+	x := c.Transfer(0, 1, 10)
+	if x.BytesWAN != 10 || x.BytesLAN != 0 {
+		t.Errorf("Transfer cross-region = %+v", x)
+	}
+	y := c.Transfer(0, 0, 10)
+	if y.BytesLAN != 10 || y.BytesWAN != 0 {
+		t.Errorf("Transfer same-region = %+v", y)
+	}
+}
+
+func TestLaunchOverheads(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(1, cfg)
+	if got := c.FrameworkLaunch(); got.Time != cfg.FrameworkOverhead || got.NodesTouched != 1 {
+		t.Errorf("FrameworkLaunch = %+v", got)
+	}
+	if got := c.CohortLaunch(); got.Time != cfg.CohortOverhead || got.NodesTouched != 1 {
+		t.Errorf("CohortLaunch = %+v", got)
+	}
+	// The gap between the two is the layered-BDAS overhead the paper
+	// complains about; it must be large.
+	if cfg.FrameworkOverhead < 10*cfg.CohortOverhead {
+		t.Error("framework overhead should dwarf cohort overhead")
+	}
+}

@@ -1,0 +1,590 @@
+// Package core implements the paper's primary contribution: the
+// intelligent agent of Fig. 2 that sits between analysts and the BDAS and
+// realises "data-less big data analytics" (P2, RT1).
+//
+// The agent follows the paper's three-part recipe:
+//
+//   - Query-space quantisation (RT1.1, objective O1): analytical queries
+//     are vectorised (centre + extent) and quantised online with adaptive
+//     vector quantisation, so prototypes track the analysts' current
+//     interest regions and drift with them.
+//
+//   - Answer-space modelling (RT1.2, objective O2): each query quantum
+//     owns a recursive-least-squares model per aggregate kind that maps
+//     query vectors to answers, trained on the (query, answer) pairs the
+//     agent intercepts.
+//
+//   - Prediction with error estimation (RT1.3, objective O3): a new query
+//     is routed to its quantum; if the quantum's model is mature and its
+//     recent error is below threshold the agent answers from the model —
+//     touching zero base data — otherwise it falls back to the exact
+//     engine and folds the fresh pair back into the model.
+//
+// Model maintenance (RT1.4) handles both drift directions: query-interest
+// drift via prototype spawning/purging, and base-data updates via
+// staleness probation (fallbacks are forced until fresh residuals prove
+// the model is accurate again).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/ml"
+	"repro/internal/query"
+)
+
+// ErrNoOracle is returned when the agent needs an exact answer but was
+// built without an oracle.
+var ErrNoOracle = errors.New("core: no oracle configured")
+
+// Oracle answers queries exactly (at full BDAS cost). internal/exec
+// provides implementations over both execution paradigms.
+type Oracle interface {
+	// Answer returns the exact result and the cost of computing it.
+	Answer(q query.Query) (query.Result, metrics.Cost, error)
+	// DataVersion returns the base data's current version counter.
+	DataVersion() int64
+}
+
+// Config tunes the agent. The zero value is unusable; use DefaultConfig.
+type Config struct {
+	// Dims is the data space dimensionality queries select over.
+	Dims int
+	// TrainingQueries is how many initial queries are forwarded to the
+	// oracle as the training set (Fig. 2's "training queries").
+	TrainingQueries int
+	// SpawnDistance is the squared query-space distance beyond which a
+	// new quantum is spawned (interest-region granularity).
+	SpawnDistance float64
+	// MaxQuanta caps the number of query quanta.
+	MaxQuanta int
+	// Forgetting is the per-quantum RLS forgetting factor (1 = none).
+	Forgetting float64
+	// ErrorWindow is the number of recent residuals kept per quantum.
+	ErrorWindow int
+	// FallbackThreshold is the estimated (relative) error above which the
+	// agent declines to predict and asks the oracle instead.
+	FallbackThreshold float64
+	// MinSupport is the observations a quantum needs before predicting.
+	MinSupport int
+	// ProbationSupport is the fresh observations a stale quantum needs
+	// before it may predict again after a data-update notification.
+	ProbationSupport int
+	// PredictCPU is the simulated cost of one model inference.
+	PredictCPU time.Duration
+}
+
+// DefaultConfig returns settings tuned for the experiments' [0,100]^d
+// data spaces.
+func DefaultConfig(dims int) Config {
+	return Config{
+		Dims:              dims,
+		TrainingQueries:   300,
+		SpawnDistance:     225, // prototypes every ~15 units of query space
+		MaxQuanta:         64,
+		Forgetting:        0.995,
+		ErrorWindow:       48,
+		FallbackThreshold: 0.2,
+		MinSupport:        12,
+		ProbationSupport:  4,
+		PredictCPU:        20 * time.Microsecond,
+	}
+}
+
+// modelKey identifies one answer-model family: an aggregate over specific
+// columns (different aggregates live in different answer spaces, RT1.2).
+type modelKey struct {
+	agg       query.Agg
+	col, col2 int
+}
+
+// quantumModel is the per-(quantum, aggregate) learned answer model plus
+// its rolling error estimate.
+type quantumModel struct {
+	rls *ml.RLS
+	// residuals is a ring of recent normalised errors vs exact answers.
+	residuals []float64
+	residPos  int
+	residFull bool
+	n         int64
+	// probation > 0 forces fallbacks until that many fresh exact
+	// observations arrive (data-update staleness, RT1.4(ii)).
+	probation int
+}
+
+// Answer is the agent's reply to one analytical query.
+type Answer struct {
+	// Value is the (predicted or exact) aggregate value.
+	Value float64
+	// Predicted reports whether the answer came from a model (true) or
+	// the exact oracle (false).
+	Predicted bool
+	// EstError is the estimated relative error accompanying a predicted
+	// answer (RT1.3: "accompany predicted answers with error
+	// estimations"); it is 0 for exact answers.
+	EstError float64
+	// Quantum is the query-space quantum the query fell into (-1 during
+	// cold start).
+	Quantum int
+	// Cost is the full cost charged for this answer: base-data work for
+	// exact answers, a model inference for predictions.
+	Cost metrics.Cost
+}
+
+// Stats aggregates the agent's lifetime behaviour.
+type Stats struct {
+	// Queries is the total number answered.
+	Queries int64
+	// Predicted is how many were answered data-lessly.
+	Predicted int64
+	// Exact is how many hit the oracle (training + fallbacks).
+	Exact int64
+	// Quanta is the current quantum count.
+	Quanta int
+	// TotalCost accumulates every answer's cost.
+	TotalCost metrics.Cost
+	// OracleCost accumulates only oracle-path costs.
+	OracleCost metrics.Cost
+}
+
+// PredictionRate returns the fraction of queries answered data-lessly.
+func (s Stats) PredictionRate() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.Predicted) / float64(s.Queries)
+}
+
+// Agent is the SEA intelligent agent. Not safe for concurrent use: the
+// simulation drivers are single-goroutine by design.
+type Agent struct {
+	cfg       Config
+	oracle    Oracle
+	quantizer *ml.OnlineAVQ
+	models    map[modelKey][]*quantumModel // indexed by quantum id
+	stats     Stats
+	dataVer   int64
+	started   bool
+}
+
+// NewAgent builds an agent over the given exact oracle.
+func NewAgent(oracle Oracle, cfg Config) (*Agent, error) {
+	if cfg.Dims < 1 {
+		return nil, fmt.Errorf("core: config needs Dims >= 1, got %d", cfg.Dims)
+	}
+	if cfg.ErrorWindow < 4 {
+		cfg.ErrorWindow = 4
+	}
+	if cfg.FallbackThreshold <= 0 {
+		cfg.FallbackThreshold = 0.15
+	}
+	if cfg.MinSupport < 1 {
+		cfg.MinSupport = 1
+	}
+	a := &Agent{
+		cfg:       cfg,
+		oracle:    oracle,
+		quantizer: ml.NewOnlineAVQ(cfg.SpawnDistance, cfg.MaxQuanta),
+		models:    make(map[modelKey][]*quantumModel),
+	}
+	if oracle != nil {
+		a.dataVer = oracle.DataVersion()
+	}
+	return a, nil
+}
+
+// featureDim is the model input width: the full degree-2 polynomial
+// expansion of the query vector (centre..., extent, shape flag) plus the
+// subspace volume. The quadratic terms matter twice over: for Gaussian-
+// clustered data log-count is exactly quadratic in the query centre, and
+// the shape flag's cross terms let one model serve both range (box) and
+// radius (ball) selections, whose populations differ at equal extent.
+func (a *Agent) featureDim() int { return ml.PolyDim(a.cfg.Dims+2) + 1 }
+
+func (a *Agent) features(q query.Query) []float64 {
+	v := q.Vectorize(a.cfg.Dims) // centre..., extent
+	if q.Select.IsRadius() {
+		v = append(v, 1)
+	} else {
+		v = append(v, 0)
+	}
+	out := ml.PolyFeatures(v)
+	out = append(out, q.Select.Volume())
+	return out
+}
+
+// quantFeatures is the query's position in query space for quantisation:
+// centre + extent only. The richer model features (extent^2, volume)
+// would dominate Euclidean distances and shatter the space into thin
+// quanta, so they are deliberately excluded here.
+func (a *Agent) quantFeatures(q query.Query) []float64 {
+	return q.Vectorize(a.cfg.Dims)
+}
+
+func (a *Agent) key(q query.Query) modelKey {
+	k := modelKey{agg: q.Aggregate}
+	switch q.Aggregate {
+	case query.Count:
+	case query.Sum, query.Avg, query.Var:
+		k.col = q.Col
+	case query.Corr, query.RegSlope:
+		k.col, k.col2 = q.Col, q.Col2
+	}
+	return k
+}
+
+func (a *Agent) model(k modelKey, quantum int) *quantumModel {
+	ms := a.models[k]
+	for len(ms) <= quantum {
+		ms = append(ms, nil)
+	}
+	if ms[quantum] == nil {
+		ms[quantum] = &quantumModel{
+			rls:       ml.NewRLS(a.featureDim(), a.cfg.Forgetting, 1000),
+			residuals: make([]float64, a.cfg.ErrorWindow),
+		}
+	}
+	a.models[k] = ms
+	return ms[quantum]
+}
+
+// normError returns the normalised error used for both the rolling
+// estimate and the fallback decision: relative for unbounded magnitude
+// aggregates, absolute for the bounded dependence statistics.
+func normError(agg query.Agg, pred, truth float64) float64 {
+	switch agg {
+	case query.Corr, query.RegSlope:
+		return math.Abs(pred - truth)
+	default:
+		return math.Abs(pred-truth) / math.Max(1, math.Abs(truth))
+	}
+}
+
+func (m *quantumModel) observeResidual(e float64) {
+	m.residuals[m.residPos] = e
+	m.residPos = (m.residPos + 1) % len(m.residuals)
+	if m.residPos == 0 {
+		m.residFull = true
+	}
+	if m.probation > 0 {
+		m.probation--
+	}
+}
+
+// estError returns the rolling 90th-percentile normalised error.
+func (m *quantumModel) estError() float64 {
+	n := len(m.residuals)
+	if !m.residFull {
+		n = m.residPos
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return ml.Quantile(m.residuals[:n], 0.9)
+}
+
+// trustworthy reports whether the model may answer data-lessly under the
+// configured thresholds.
+func (m *quantumModel) trustworthy(cfg Config) bool {
+	if m == nil || m.n < int64(cfg.MinSupport) || m.probation > 0 {
+		return false
+	}
+	return m.estError() <= cfg.FallbackThreshold
+}
+
+// Answer processes one analytical query through the Fig. 2 pipeline.
+func (a *Agent) Answer(q query.Query) (Answer, error) {
+	if err := q.Validate(); err != nil {
+		return Answer{}, err
+	}
+	a.started = true
+	a.maybeDetectDataChange()
+	feat := a.features(q)
+	qfeat := a.quantFeatures(q)
+	k := a.key(q)
+
+	inTraining := a.stats.Queries < int64(a.cfg.TrainingQueries) && a.oracle != nil
+	var quantum int
+	var outOfCoverage bool
+	if inTraining {
+		quantum = a.quantizer.Observe(qfeat)
+	} else {
+		var d2 float64
+		quantum, d2 = a.quantizer.Assign(qfeat)
+		// A query far from every learned quantum lies outside the agent's
+		// query-space coverage: its nearest model describes a different
+		// interest region and must not answer it (RT1.4(i): coverage is
+		// judged by "distance between a query and the query quanta").
+		outOfCoverage = a.cfg.SpawnDistance > 0 && d2 > a.cfg.SpawnDistance
+	}
+	if quantum < 0 { // empty quantizer (no training phase configured)
+		quantum = a.quantizer.Observe(qfeat)
+	}
+	m := a.model(k, quantum)
+
+	if !inTraining && !outOfCoverage && m.trustworthy(a.cfg) {
+		pred := invTransform(q.Aggregate, m.rls.Predict(feat))
+		pred = clampPrediction(q.Aggregate, pred)
+		ans := Answer{
+			Value:     pred,
+			Predicted: true,
+			EstError:  m.estError(),
+			Quantum:   quantum,
+			Cost:      metrics.Cost{Time: a.cfg.PredictCPU, CPUTime: a.cfg.PredictCPU},
+		}
+		a.stats.Queries++
+		a.stats.Predicted++
+		a.stats.TotalCost = a.stats.TotalCost.Add(ans.Cost)
+		a.stats.Quanta = a.quantizer.Len()
+		return ans, nil
+	}
+
+	// Exact path: ask the oracle, learn from the pair. Fallback queries
+	// keep training the quantiser too, so shifted interest regions grow
+	// their own quanta over time (RT1.4(i) drift adaptation).
+	if a.oracle == nil {
+		return Answer{}, ErrNoOracle
+	}
+	if !inTraining {
+		newQuantum := a.quantizer.Observe(qfeat)
+		if newQuantum != quantum {
+			quantum = newQuantum
+			m = a.model(k, quantum)
+		}
+	}
+	res, cost, err := a.oracle.Answer(q)
+	if err != nil {
+		return Answer{}, fmt.Errorf("core: oracle: %w", err)
+	}
+	pred := invTransform(q.Aggregate, m.rls.Predict(feat))
+	if m.n > 0 {
+		m.observeResidual(normError(q.Aggregate, pred, res.Value))
+	}
+	m.rls.Observe(feat, transformTarget(q.Aggregate, res.Value))
+	m.n++
+
+	ans := Answer{
+		Value:   res.Value,
+		Quantum: quantum,
+		Cost:    cost,
+	}
+	a.stats.Queries++
+	a.stats.Exact++
+	a.stats.TotalCost = a.stats.TotalCost.Add(cost)
+	a.stats.OracleCost = a.stats.OracleCost.Add(cost)
+	a.stats.Quanta = a.quantizer.Len()
+	return ans, nil
+}
+
+// transformTarget maps an exact answer into model space: non-negative,
+// multiplicative aggregates (COUNT, VAR) are modelled in log1p space,
+// where Gaussian-clustered answer surfaces become near-linear in the
+// polynomial query features.
+func transformTarget(agg query.Agg, y float64) float64 {
+	switch agg {
+	case query.Count, query.Var:
+		if y < 0 {
+			y = 0
+		}
+		return math.Log1p(y)
+	default:
+		return y
+	}
+}
+
+// invTransform maps a model-space prediction back to answer space.
+func invTransform(agg query.Agg, v float64) float64 {
+	switch agg {
+	case query.Count, query.Var:
+		// Cap to keep a wild extrapolation from overflowing.
+		if v > 60 {
+			v = 60
+		}
+		return math.Expm1(v)
+	default:
+		return v
+	}
+}
+
+// clampPrediction enforces range invariants the aggregates carry (counts
+// are non-negative; correlations live in [-1, 1]).
+func clampPrediction(agg query.Agg, v float64) float64 {
+	switch agg {
+	case query.Count:
+		if v < 0 {
+			return 0
+		}
+	case query.Var:
+		if v < 0 {
+			return 0
+		}
+	case query.Corr:
+		if v > 1 {
+			return 1
+		}
+		if v < -1 {
+			return -1
+		}
+	}
+	return v
+}
+
+// maybeDetectDataChange compares the oracle's data version against the
+// last seen one and, on change, puts every model on probation. Callers
+// that know the affected subspace should use NotifyDataChange instead for
+// surgical invalidation.
+func (a *Agent) maybeDetectDataChange() {
+	if a.oracle == nil {
+		return
+	}
+	v := a.oracle.DataVersion()
+	if v != a.dataVer && a.dataVer != 0 {
+		a.invalidate(nil)
+	}
+	a.dataVer = v
+}
+
+// NotifyDataChange invalidates models whose quantum prototype falls
+// inside sel (nil = all): they enter probation and must re-earn trust via
+// fresh exact observations (RT1.4(ii)).
+func (a *Agent) NotifyDataChange(sel *query.Selection) {
+	a.invalidate(sel)
+	if a.oracle != nil {
+		a.dataVer = a.oracle.DataVersion()
+	}
+}
+
+func (a *Agent) invalidate(sel *query.Selection) {
+	protos := a.quantizer.Prototypes()
+	for _, ms := range a.models {
+		for qi, m := range ms {
+			if m == nil {
+				continue
+			}
+			if sel != nil && qi < len(protos) {
+				// Prototype layout: centre..., extent — test the centre.
+				centre := protos[qi][:a.cfg.Dims]
+				if !sel.Contains(centre) {
+					continue
+				}
+			}
+			m.probation = a.cfg.ProbationSupport
+			// Reset the error window: old residuals describe dead data.
+			m.residPos = 0
+			m.residFull = false
+		}
+	}
+}
+
+// PurgeStaleQuanta drops quanta that have not won recently (interest
+// drift, RT5.3) along with their models, returning how many were removed.
+func (a *Agent) PurgeStaleQuanta(maxAge int64) int {
+	removed := a.quantizer.PurgeStale(maxAge)
+	if len(removed) == 0 {
+		return 0
+	}
+	isRemoved := make(map[int]bool, len(removed))
+	for _, r := range removed {
+		isRemoved[r] = true
+	}
+	for k, ms := range a.models {
+		var kept []*quantumModel
+		for qi, m := range ms {
+			if !isRemoved[qi] {
+				kept = append(kept, m)
+			}
+		}
+		a.models[k] = kept
+	}
+	return len(removed)
+}
+
+// PredictOnly returns the model prediction for q without touching the
+// oracle, the statistics, or the quantiser — the read-only evaluation
+// hook the explanation engine (RT4) samples when it sweeps a query
+// parameter. ok is false when the responsible quantum is missing or
+// untrusted.
+func (a *Agent) PredictOnly(q query.Query) (value, estErr float64, ok bool) {
+	if q.Validate() != nil {
+		return 0, 0, false
+	}
+	quantum, d2 := a.quantizer.Assign(a.quantFeatures(q))
+	if quantum < 0 {
+		return 0, 0, false
+	}
+	if a.cfg.SpawnDistance > 0 && d2 > a.cfg.SpawnDistance {
+		return 0, 0, false // outside learned query-space coverage
+	}
+	k := a.key(q)
+	ms := a.models[k]
+	if quantum >= len(ms) || ms[quantum] == nil {
+		return 0, 0, false
+	}
+	m := ms[quantum]
+	if !m.trustworthy(a.cfg) {
+		return 0, 0, false
+	}
+	pred := invTransform(q.Aggregate, m.rls.Predict(a.features(q)))
+	return clampPrediction(q.Aggregate, pred), m.estError(), true
+}
+
+// Stats returns a copy of the lifetime counters.
+func (a *Agent) Stats() Stats { return a.stats }
+
+// Quanta returns the current number of query-space quanta.
+func (a *Agent) Quanta() int { return a.quantizer.Len() }
+
+// QuantumCenters returns the prototypes' data-space centres (for
+// visualisation and the geo model-placement logic).
+func (a *Agent) QuantumCenters() [][]float64 {
+	protos := a.quantizer.Prototypes()
+	out := make([][]float64, len(protos))
+	for i, p := range protos {
+		c := make([]float64, a.cfg.Dims)
+		copy(c, p[:a.cfg.Dims])
+		out[i] = c
+	}
+	return out
+}
+
+// Config returns the agent's configuration.
+func (a *Agent) Config() Config { return a.cfg }
+
+// ExportModel returns the learned weights of the (agg, col, col2) model
+// for the given quantum, or nil when absent. Geo deployments ship these
+// weights from core to edge nodes (RT5.2) instead of shipping data.
+func (a *Agent) ExportModel(agg query.Agg, col, col2, quantum int) []float64 {
+	ms := a.models[modelKey{agg: agg, col: col, col2: col2}]
+	if quantum < 0 || quantum >= len(ms) || ms[quantum] == nil {
+		return nil
+	}
+	return ms[quantum].rls.Weights()
+}
+
+// ImportModel installs weights for the (agg, col, col2) model of the
+// given quantum, marking it trained with the supplied support and error
+// estimate. The receiving agent can then predict immediately — this is
+// the model-shipping path of RT1.5 and RT5.2.
+func (a *Agent) ImportModel(agg query.Agg, col, col2, quantum int, weights []float64, support int64, estErr float64) {
+	m := a.model(modelKey{agg: agg, col: col, col2: col2}, quantum)
+	m.rls.SetWeights(weights)
+	m.n = support
+	for i := range m.residuals {
+		m.residuals[i] = estErr
+	}
+	m.residFull = true
+	m.probation = 0
+}
+
+// SeedQuantum inserts a quantum prototype directly (used when importing a
+// remote agent's quantisation). It returns the new quantum's index.
+func (a *Agent) SeedQuantum(center []float64, extent float64) int {
+	feat := make([]float64, a.cfg.Dims+1)
+	copy(feat, center)
+	feat[a.cfg.Dims] = extent
+	return a.quantizer.Observe(feat)
+}

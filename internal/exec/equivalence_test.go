@@ -1,0 +1,76 @@
+package exec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/query"
+)
+
+// TestParadigmEquivalenceProperty is the central correctness property of
+// RT3.2: the two execution paradigms are alternatives in cost only —
+// they must return bit-identical answers for every query and aggregate.
+func TestParadigmEquivalenceProperty(t *testing.T) {
+	ex := buildExec(t, 3000, 4, 8)
+	aggs := []query.Agg{query.Count, query.Sum, query.Avg, query.Var, query.Corr, query.RegSlope}
+	f := func(cx, cy, extRaw float64, aggRaw uint8, radius bool) bool {
+		// Map arbitrary inputs onto the data domain.
+		cx = 10 + math.Abs(math.Mod(cx, 80))
+		cy = 10 + math.Abs(math.Mod(cy, 80))
+		ext := 1 + math.Abs(math.Mod(extRaw, 15))
+		agg := aggs[int(aggRaw)%len(aggs)]
+		var sel query.Selection
+		if radius {
+			sel = query.Selection{Center: []float64{cx, cy}, Radius: ext}
+		} else {
+			sel = query.Selection{
+				Los: []float64{cx - ext, cy - ext},
+				His: []float64{cx + ext, cy + ext},
+			}
+		}
+		q := query.Query{Select: sel, Aggregate: agg, Col: 0, Col2: 1}
+		mr, _, err := ex.ExactMapReduce(q)
+		if err != nil {
+			return false
+		}
+		cc, _, err := ex.ExactCohort(q)
+		if err != nil {
+			return false
+		}
+		return mr.Support == cc.Support && math.Abs(mr.Value-cc.Value) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCohortNeverCostsMoreRows asserts the surgical-access invariant:
+// the cohort path never reads more rows than the MapReduce path.
+func TestCohortNeverCostsMoreRows(t *testing.T) {
+	ex := buildExec(t, 3000, 4, 8)
+	f := func(cx, cy, extRaw float64) bool {
+		cx = 10 + math.Abs(math.Mod(cx, 80))
+		cy = 10 + math.Abs(math.Mod(cy, 80))
+		ext := 1 + math.Abs(math.Mod(extRaw, 15))
+		q := query.Query{
+			Select: query.Selection{
+				Los: []float64{cx - ext, cy - ext},
+				His: []float64{cx + ext, cy + ext},
+			},
+			Aggregate: query.Count,
+		}
+		_, mrCost, err := ex.ExactMapReduce(q)
+		if err != nil {
+			return false
+		}
+		_, ccCost, err := ex.ExactCohort(q)
+		if err != nil {
+			return false
+		}
+		return ccCost.RowsRead <= mrCost.RowsRead && ccCost.Time <= mrCost.Time
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,266 @@
+// Package exec provides exact execution of analytical queries over the
+// simulated BDAS, in both of the paper's paradigms:
+//
+//   - ExactMapReduce is the Fig. 1 path: the query descends through the
+//     stack and a MapReduce-style job touches every node and scans every
+//     row. This is the baseline the SEA agent's data-less path is
+//     measured against (E1), and the "training oracle" that answers the
+//     agent's training queries.
+//
+//   - ExactCohort is the coordinator–cohort path (RT3.2): with a grid
+//     synopsis routing the query, the coordinator engages only partitions
+//     that can intersect the queried subspace.
+//
+// Both return bit-identical answers; they differ only in cost.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/sketch"
+	"repro/internal/storage"
+)
+
+// Executor runs exact analytical queries over one table.
+type Executor struct {
+	eng   *engine.Engine
+	table *storage.Table
+
+	// partBounds[p] = per-dimension [lo,hi] bounding box of partition p,
+	// built at Attach time; lets the cohort path prune partitions.
+	partMins [][]float64
+	partMaxs [][]float64
+	// grid is an optional density synopsis for selectivity estimates.
+	grid *sketch.GridHistogram
+}
+
+// New builds an executor for table t on engine eng, computing partition
+// bounding boxes (an offline, uncharged index-build step).
+func New(eng *engine.Engine, t *storage.Table) (*Executor, error) {
+	ex := &Executor{eng: eng, table: t}
+	if err := ex.rebuildBounds(); err != nil {
+		return nil, err
+	}
+	return ex, nil
+}
+
+func (ex *Executor) rebuildBounds() error {
+	n := ex.table.Partitions()
+	ex.partMins = make([][]float64, n)
+	ex.partMaxs = make([][]float64, n)
+	for p := 0; p < n; p++ {
+		rows, _, err := ex.table.ScanPartition(p)
+		if err != nil {
+			return fmt.Errorf("exec: bounds of partition %d: %w", p, err)
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		d := len(rows[0].Vec)
+		mins := make([]float64, d)
+		maxs := make([]float64, d)
+		copy(mins, rows[0].Vec)
+		copy(maxs, rows[0].Vec)
+		for _, r := range rows[1:] {
+			for j := 0; j < d && j < len(r.Vec); j++ {
+				if r.Vec[j] < mins[j] {
+					mins[j] = r.Vec[j]
+				}
+				if r.Vec[j] > maxs[j] {
+					maxs[j] = r.Vec[j]
+				}
+			}
+		}
+		ex.partMins[p] = mins
+		ex.partMaxs[p] = maxs
+	}
+	return nil
+}
+
+// Table returns the executor's table.
+func (ex *Executor) Table() *storage.Table { return ex.table }
+
+// Engine returns the executor's engine.
+func (ex *Executor) Engine() *engine.Engine { return ex.eng }
+
+// ExactMapReduce answers q with a full MapReduce pass (Fig. 1 baseline).
+func (ex *Executor) ExactMapReduce(q query.Query) (query.Result, metrics.Cost, error) {
+	if err := q.Validate(); err != nil {
+		return query.Result{}, metrics.Cost{}, err
+	}
+	const resultKey = 0
+	mapper := func(row storage.Row, emit func(engine.KV)) {
+		if q.Select.Contains(row.Vec) {
+			emit(engine.KV{Key: resultKey, Value: query.PartialEval(q, []storage.Row{row})})
+		}
+	}
+	reducer := func(_ uint64, values [][]float64) [][]float64 {
+		res := query.MergeEval(q, values)
+		return [][]float64{{res.Value, float64(res.Support)}}
+	}
+	out, cost, err := ex.eng.MapReduce(ex.table, mapper, reducer)
+	if err != nil {
+		return query.Result{}, cost, fmt.Errorf("exact mapreduce: %w", err)
+	}
+	if len(out) == 0 {
+		return query.Result{}, cost, nil
+	}
+	v := out[0].Value
+	return query.Result{Value: v[0], Support: int64(v[1])}, cost, nil
+}
+
+// boxIntersects reports whether partition p's bounding box can intersect
+// the selection.
+func (ex *Executor) boxIntersects(p int, s query.Selection) bool {
+	mins, maxs := ex.partMins[p], ex.partMaxs[p]
+	if mins == nil {
+		return false
+	}
+	if s.IsRadius() {
+		// Distance from centre to box must be <= radius.
+		var d2 float64
+		for j, c := range s.Center {
+			if j >= len(mins) {
+				break
+			}
+			v := c
+			if v < mins[j] {
+				d := mins[j] - v
+				d2 += d * d
+			} else if v > maxs[j] {
+				d := v - maxs[j]
+				d2 += d * d
+			}
+		}
+		return d2 <= s.Radius*s.Radius
+	}
+	for j := range s.Los {
+		if j >= len(mins) {
+			break
+		}
+		if s.His[j] < mins[j] || s.Los[j] > maxs[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// CandidatePartitions returns the partitions whose bounding boxes
+// intersect the selection.
+func (ex *Executor) CandidatePartitions(s query.Selection) []int {
+	var out []int
+	for p := 0; p < ex.table.Partitions(); p++ {
+		if ex.boxIntersects(p, s) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ExactCohort answers q by engaging only candidate partitions through the
+// coordinator–cohort paradigm. With hash partitioning every partition is
+// usually a candidate (data is spread uniformly), so the win comes from
+// skipping job-framework overhead; with range partitioning the pruning is
+// also dramatic — exactly the trade-off the optimizer (RT3) learns.
+func (ex *Executor) ExactCohort(q query.Query) (query.Result, metrics.Cost, error) {
+	if err := q.Validate(); err != nil {
+		return query.Result{}, metrics.Cost{}, err
+	}
+	parts := ex.CandidatePartitions(q.Select)
+	task := func(part []storage.Row) ([][]float64, int64) {
+		return [][]float64{query.PartialEval(q, part)}, int64(len(part))
+	}
+	results, cost, err := ex.eng.CoordinatorGather(ex.table, parts, task)
+	if err != nil {
+		return query.Result{}, cost, fmt.Errorf("exact cohort: %w", err)
+	}
+	var partials [][]float64
+	for _, r := range results {
+		partials = append(partials, r.Results...)
+	}
+	return query.MergeEval(q, partials), cost, nil
+}
+
+// BuildGrid installs a density synopsis with cellsPer cells per dimension
+// over the data's bounding box (an offline step; used for selectivity
+// features by the optimizer).
+func (ex *Executor) BuildGrid(cellsPer int) error {
+	var mins, maxs []float64
+	for p := range ex.partMins {
+		if ex.partMins[p] == nil {
+			continue
+		}
+		if mins == nil {
+			mins = append([]float64(nil), ex.partMins[p]...)
+			maxs = append([]float64(nil), ex.partMaxs[p]...)
+			continue
+		}
+		for j := range mins {
+			if ex.partMins[p][j] < mins[j] {
+				mins[j] = ex.partMins[p][j]
+			}
+			if ex.partMaxs[p][j] > maxs[j] {
+				maxs[j] = ex.partMaxs[p][j]
+			}
+		}
+	}
+	if mins == nil {
+		return fmt.Errorf("exec: build grid: empty table %q", ex.table.Name())
+	}
+	// Nudge max up so the top edge lands inside the last cell.
+	for j := range maxs {
+		maxs[j] += 1e-9
+	}
+	// Cap synopsis dimensionality at 3 to bound memory (selectivity only
+	// needs the leading dimensions).
+	d := len(mins)
+	if d > 3 {
+		d = 3
+	}
+	g, err := sketch.NewGridHistogram(mins[:d], maxs[:d], cellsPer)
+	if err != nil {
+		return fmt.Errorf("exec: build grid: %w", err)
+	}
+	for p := 0; p < ex.table.Partitions(); p++ {
+		rows, _, err := ex.table.ScanPartition(p)
+		if err != nil {
+			return fmt.Errorf("exec: build grid: %w", err)
+		}
+		for _, r := range rows {
+			g.Add(r.Vec[:d])
+		}
+	}
+	ex.grid = g
+	return nil
+}
+
+// EstimateSelectivity returns the estimated fraction of rows inside the
+// selection, from the grid synopsis (0 when no grid is built).
+func (ex *Executor) EstimateSelectivity(s query.Selection) float64 {
+	if ex.grid == nil || ex.table.Rows() == 0 {
+		return 0
+	}
+	d := 3
+	if s.Dims() < d {
+		d = s.Dims()
+	}
+	var los, his []float64
+	if s.IsRadius() {
+		for j := 0; j < d; j++ {
+			los = append(los, s.Center[j]-s.Radius)
+			his = append(his, s.Center[j]+s.Radius)
+		}
+	} else {
+		los = append(los, s.Los[:d]...)
+		his = append(his, s.His[:d]...)
+	}
+	est := ex.grid.EstimateRange(los, his)
+	return est / float64(ex.table.Rows())
+}
+
+// RefreshBounds recomputes partition bounding boxes after data updates
+// (call after storage mutations so cohort pruning stays correct).
+func (ex *Executor) RefreshBounds() error { return ex.rebuildBounds() }

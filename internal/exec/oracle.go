@@ -1,0 +1,39 @@
+package exec
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/query"
+)
+
+// MapReduceOracle adapts an Executor to the SEA agent's Oracle interface
+// using the Fig. 1 full-stack path: this is the configuration the paper's
+// E1 contrast assumes (training queries pay the traditional price).
+type MapReduceOracle struct {
+	// Ex is the wrapped executor.
+	Ex *Executor
+}
+
+// Answer runs q as a full MapReduce job.
+func (o MapReduceOracle) Answer(q query.Query) (query.Result, metrics.Cost, error) {
+	return o.Ex.ExactMapReduce(q)
+}
+
+// DataVersion returns the table's version counter.
+func (o MapReduceOracle) DataVersion() int64 { return o.Ex.Table().Version() }
+
+// CohortOracle adapts an Executor to the Oracle interface using the
+// coordinator–cohort path — the big-data-less exact engine (P3). Pairing
+// the agent with this oracle models a deployment where even fallbacks are
+// surgical.
+type CohortOracle struct {
+	// Ex is the wrapped executor.
+	Ex *Executor
+}
+
+// Answer runs q through the coordinator–cohort engine.
+func (o CohortOracle) Answer(q query.Query) (query.Result, metrics.Cost, error) {
+	return o.Ex.ExactCohort(q)
+}
+
+// DataVersion returns the table's version counter.
+func (o CohortOracle) DataVersion() int64 { return o.Ex.Table().Version() }

@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// The experiment functions are exercised at small scale here; the root
+// benchmarks run them at paper scale. These tests assert the *shape* of
+// each result — who wins, in the right direction — which is the
+// reproduction criterion DESIGN.md sets.
+
+func TestE1Shape(t *testing.T) {
+	row, err := E1DatalessVsBDAS(5_000, 8, 200, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.SpeedupX < 10 {
+		t.Errorf("E1 speedup = %vx, want >= 10x", row.SpeedupX)
+	}
+	if row.PredictionRate <= 0 {
+		t.Error("E1 prediction rate is zero")
+	}
+	if row.SEARowsRead >= row.BDASRowsRead {
+		t.Error("E1: SEA read as many rows as BDAS")
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	row, err := E2CountAccuracy(6_000, 250, 80, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At smoke scale a handful of full-scan fallbacks dominate SEA's
+	// per-query rows, so the SEA-vs-AQP rows contrast is asserted at
+	// paper scale by the benchmark; here assert the scale-independent
+	// shape: both approximate engines beat exact, and SEA predicts.
+	if row.SEARowsPerQ >= row.ExactRowsPerQ {
+		t.Errorf("E2: SEA rows/q %v >= exact %v", row.SEARowsPerQ, row.ExactRowsPerQ)
+	}
+	if row.AQPRowsPerQ >= row.ExactRowsPerQ {
+		t.Errorf("E2: AQP rows/q %v >= exact %v", row.AQPRowsPerQ, row.ExactRowsPerQ)
+	}
+	if row.PredictionRate < 0.5 {
+		t.Errorf("E2: prediction rate %v too low", row.PredictionRate)
+	}
+	if row.SEAMAPE > 0.5 {
+		t.Errorf("E2: SEA MAPE %v absurd", row.SEAMAPE)
+	}
+	if row.AQPSampleBytes <= 0 {
+		t.Error("E2: sample bytes not reported")
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	row, err := E3AvgRegression(6_000, 250, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.AvgMAPE > 0.3 {
+		t.Errorf("E3: AVG MAPE %v too high", row.AvgMAPE)
+	}
+	if row.SlopeMAE > 1 {
+		t.Errorf("E3: slope MAE %v too high (true slope 2)", row.SlopeMAE)
+	}
+	if row.CorrMAE > 0.5 {
+		t.Errorf("E3: corr MAE %v too high", row.CorrMAE)
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	row, err := E4RankJoin(5_000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.SpeedupX < 10 {
+		t.Errorf("E4 speedup = %vx, want >= 10x", row.SpeedupX)
+	}
+	if row.ByteRatioX < 10 {
+		t.Errorf("E4 byte ratio = %vx, want >= 10x", row.ByteRatioX)
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	row, err := E5KNN(5_000, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.SpeedupX < 10 {
+		t.Errorf("E5 speedup = %vx, want >= 10x", row.SpeedupX)
+	}
+	if row.RowRatioX < 10 {
+		t.Errorf("E5 row ratio = %vx", row.RowRatioX)
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	row, err := E6SubgraphCache(100, 60, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.SpeedupX <= 1 {
+		t.Errorf("E6 speedup = %vx, want > 1x", row.SpeedupX)
+	}
+	if row.ExactHits == 0 {
+		t.Error("E6: repeat-heavy stream produced no exact hits")
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	row, err := E7Imputation(2_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.SpeedupX <= 1 {
+		t.Errorf("E7 speedup = %vx", row.SpeedupX)
+	}
+	if row.CentroidRMSE > row.FullRMSE*2 {
+		t.Errorf("E7: centroid RMSE %v ≫ full %v", row.CentroidRMSE, row.FullRMSE)
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	row, err := E8Optimizer(4_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Accuracy < 0.7 {
+		t.Errorf("E8 accuracy = %v", row.Accuracy)
+	}
+	if row.LearnedRegret > row.AlwaysMRRegret {
+		t.Errorf("E8: learned regret %v worse than always-mapreduce %v",
+			row.LearnedRegret, row.AlwaysMRRegret)
+	}
+	if row.BestModelFamily == "" {
+		t.Error("E8: no inference model selected")
+	}
+}
+
+func TestE9Shape(t *testing.T) {
+	row, err := E9Explanations(12_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.ExplainedFrac == 0 {
+		t.Fatal("E9: nothing explained")
+	}
+	if row.MeanR2 < 0.4 {
+		t.Errorf("E9 fidelity R2 = %v", row.MeanR2)
+	}
+	if row.QueriesSaved == 0 {
+		t.Error("E9: no queries saved")
+	}
+}
+
+func TestE10Shape(t *testing.T) {
+	row, err := E10Geo(6_000, 350, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.LocalRate < 0.3 {
+		t.Errorf("E10 local rate = %v", row.LocalRate)
+	}
+	if row.WANSavingsX <= 1 {
+		t.Errorf("E10 WAN savings = %vx", row.WANSavingsX)
+	}
+	if row.P50 >= row.AllToCore50 {
+		t.Errorf("E10 p50 %v not below all-to-core %v", row.P50, row.AllToCore50)
+	}
+}
+
+func TestE11Shape(t *testing.T) {
+	row, err := E11Maintenance(6_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.RecoveredMAPE > row.PreDriftMAPE*3+0.2 {
+		t.Errorf("E11: recovered MAPE %v never returned near pre-drift %v",
+			row.RecoveredMAPE, row.PreDriftMAPE)
+	}
+	if row.PostUpdateExact == 0 {
+		t.Error("E11: data update forced no exact answers")
+	}
+	if row.RecoveredPredRate == 0 {
+		t.Error("E11: agent never recovered prediction after update")
+	}
+}
+
+func TestE12Shape(t *testing.T) {
+	row, err := E12Polystore(2_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(row.ShipModelBytes < row.ShipPairsBytes && row.ShipPairsBytes < row.ShipDataBytes) {
+		t.Errorf("E12 byte ordering wrong: %+v", row)
+	}
+	if row.ShipModelErr > 0.3 {
+		t.Errorf("E12 model error %v too high", row.ShipModelErr)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	a1, err := A1Quanta(5_000, []float64{64, 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1) != 2 {
+		t.Fatalf("A1 rows = %d", len(a1))
+	}
+	a2, err := A2ModelFamily(5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a2) < 3 {
+		t.Fatalf("A2 scored only %d families", len(a2))
+	}
+	for name, rmse := range a2 {
+		if rmse < 0 {
+			t.Errorf("A2 family %q has negative RMSE", name)
+		}
+	}
+	a3, err := A3Fallback(5_000, []float64{0.05, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Looser threshold must predict at least as often.
+	if a3[1].PredictionRate < a3[0].PredictionRate {
+		t.Errorf("A3: rate at 0.5 (%v) < rate at 0.05 (%v)",
+			a3[1].PredictionRate, a3[0].PredictionRate)
+	}
+	a4, err := A4RankJoinBatch(5_000, []int{16, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bigger batches read at least as many rows per query.
+	if a4[1].Extra < a4[0].Extra {
+		t.Errorf("A4: rows at batch 128 (%v) < batch 16 (%v)", a4[1].Extra, a4[0].Extra)
+	}
+	a5, err := A5GeoRouting(5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a5) != 2 {
+		t.Fatalf("A5 policies = %d", len(a5))
+	}
+}

@@ -1,0 +1,248 @@
+// Package explain implements the query-answer explanations of RT4.2 (and
+// ref [24] "Explaining analytical queries"): instead of returning a
+// single scalar, the system hands the analyst a compact model of how the
+// answer depends on the query's parameters.
+//
+// An Explanation is a piecewise-linear function answer = f(extent) (the
+// form the paper names explicitly: "a (piecewise) linear regression model
+// showing how count ... depends on the size of the subspace"), plus a
+// per-dimension sensitivity vector at the queried point. Explanations are
+// derived entirely from the SEA agent's learned models — zero base-data
+// accesses — so they inherit P2's scalability.
+//
+// The package quantifies the paper's claimed payoff (G2: analysts "gain
+// understanding without issuing an inordinate number of queries") via
+// QueriesSaved: how many distinct what-if variants of the query the
+// explanation answers within tolerance.
+package explain
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ml"
+	"repro/internal/query"
+)
+
+// ErrUntrusted is returned when the agent has no trustworthy model for
+// the queried region, so no explanation can be derived data-lessly.
+var ErrUntrusted = errors.New("explain: no trustworthy model for this query region")
+
+// Explanation is the rich answer companion of RT4.2.
+type Explanation struct {
+	// Query is the explained query.
+	Query query.Query
+	// Value is the (predicted) answer at the queried parameters.
+	Value float64
+	// EstError is the model's estimated error at the queried point.
+	EstError float64
+	// ExtentCurve is the piecewise-linear model answer = f(extent):
+	// parallel slices of breakpoints (interior, ascending) and per-piece
+	// slope/intercept.
+	Breakpoints []float64
+	Slopes      []float64
+	Intercepts  []float64
+	// ExtentRange is the [lo, hi] extent range the curve covers.
+	ExtentRange [2]float64
+	// Sensitivity[i] is d(answer)/d(centre_i) at the queried point — how
+	// the answer moves if the analyst slides the subspace along dim i.
+	Sensitivity []float64
+}
+
+// EvalExtent evaluates the explanation's curve at the given extent.
+func (e *Explanation) EvalExtent(extent float64) float64 {
+	if len(e.Slopes) == 0 {
+		return e.Value
+	}
+	i := 0
+	for i < len(e.Breakpoints) && extent >= e.Breakpoints[i] {
+		i++
+	}
+	if i >= len(e.Slopes) {
+		i = len(e.Slopes) - 1
+	}
+	return e.Slopes[i]*extent + e.Intercepts[i]
+}
+
+// Engine derives explanations from a SEA agent.
+type Engine struct {
+	agent *core.Agent
+	// Samples is the number of extent samples the curve is fit on
+	// (default 24).
+	Samples int
+	// Segments caps the piecewise-linear pieces (default 3).
+	Segments int
+}
+
+// New builds an explanation engine over agent.
+func New(agent *core.Agent) *Engine {
+	return &Engine{agent: agent, Samples: 24, Segments: 3}
+}
+
+// Explain derives the explanation for q, sweeping extent over
+// [0.7x, 1.4x] the queried extent — the locally-valid neighbourhood of
+// the per-quantum model (wider sweeps would extrapolate outside the
+// extents the training queries covered).
+func (e *Engine) Explain(q query.Query) (*Explanation, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	value, estErr, ok := e.agent.PredictOnly(q)
+	if !ok {
+		return nil, fmt.Errorf("%w", ErrUntrusted)
+	}
+	base := q.Select.Extent()
+	lo, hi := base*0.7, base*1.4
+	samples := e.Samples
+	if samples < 8 {
+		samples = 8
+	}
+	var xs, ys []float64
+	for i := 0; i < samples; i++ {
+		ext := lo + (hi-lo)*float64(i)/float64(samples-1)
+		qq := withExtent(q, ext)
+		v, _, ok := e.agent.PredictOnly(qq)
+		if !ok {
+			continue
+		}
+		xs = append(xs, ext)
+		ys = append(ys, v)
+	}
+	if len(xs) < 4 {
+		return nil, fmt.Errorf("%w: curve sampling failed", ErrUntrusted)
+	}
+	segs := e.Segments
+	if segs < 1 {
+		segs = 3
+	}
+	sr := ml.SegmentedRegression{Segments: segs, MinPoints: 4}
+	if err := sr.Fit(xs, ys); err != nil {
+		return nil, fmt.Errorf("explain: curve fit: %w", err)
+	}
+	slopes, intercepts := sr.Pieces()
+
+	// Sensitivities by central finite differences on the centre.
+	center := q.Select.Center1()
+	h := base * 0.1
+	if h == 0 {
+		h = 0.5
+	}
+	sens := make([]float64, len(center))
+	for j := range center {
+		plus, _, ok1 := e.agent.PredictOnly(withCenterShift(q, j, h))
+		minus, _, ok2 := e.agent.PredictOnly(withCenterShift(q, j, -h))
+		if ok1 && ok2 {
+			sens[j] = (plus - minus) / (2 * h)
+		}
+	}
+
+	return &Explanation{
+		Query:       q,
+		Value:       value,
+		EstError:    estErr,
+		Breakpoints: sr.Breakpoints(),
+		Slopes:      slopes,
+		Intercepts:  intercepts,
+		ExtentRange: [2]float64{lo, hi},
+		Sensitivity: sens,
+	}, nil
+}
+
+// withExtent returns q resized to the given extent, preserving its
+// centre and selection form.
+func withExtent(q query.Query, extent float64) query.Query {
+	out := q
+	if q.Select.IsRadius() {
+		out.Select = query.Selection{
+			Center: append([]float64(nil), q.Select.Center...),
+			Radius: extent,
+		}
+		return out
+	}
+	c := q.Select.Center1()
+	los := make([]float64, len(c))
+	his := make([]float64, len(c))
+	for i := range c {
+		los[i] = c[i] - extent
+		his[i] = c[i] + extent
+	}
+	out.Select = query.Selection{Los: los, His: his}
+	return out
+}
+
+// withCenterShift returns q with its centre moved by delta along dim j.
+func withCenterShift(q query.Query, j int, delta float64) query.Query {
+	out := q
+	if q.Select.IsRadius() {
+		c := append([]float64(nil), q.Select.Center...)
+		if j < len(c) {
+			c[j] += delta
+		}
+		out.Select = query.Selection{Center: c, Radius: q.Select.Radius}
+		return out
+	}
+	los := append([]float64(nil), q.Select.Los...)
+	his := append([]float64(nil), q.Select.His...)
+	if j < len(los) {
+		los[j] += delta
+		his[j] += delta
+	}
+	out.Select = query.Selection{Los: los, His: his}
+	return out
+}
+
+// Fidelity measures how well an explanation tracks exact answers: it
+// evaluates the curve at n extents, obtains exact answers from the
+// oracle, and returns (R2, MAPE) — the E9 metrics.
+func Fidelity(ex *Explanation, oracle core.Oracle, n int) (r2, mape float64, err error) {
+	if n < 2 {
+		n = 8
+	}
+	lo, hi := ex.ExtentRange[0], ex.ExtentRange[1]
+	var pred, truth []float64
+	for i := 0; i < n; i++ {
+		ext := lo + (hi-lo)*float64(i)/float64(n-1)
+		q := withExtent(ex.Query, ext)
+		res, _, aerr := oracle.Answer(q)
+		if aerr != nil {
+			return 0, 0, fmt.Errorf("explain fidelity: %w", aerr)
+		}
+		pred = append(pred, ex.EvalExtent(ext))
+		truth = append(truth, res.Value)
+	}
+	return ml.R2(pred, truth), ml.MAPE(pred, truth), nil
+}
+
+// QueriesSaved counts how many of n what-if extent variants the
+// explanation answers within relative tolerance tol — each one is a
+// query the analyst did not have to issue (G2's indirect scalability
+// win).
+func QueriesSaved(ex *Explanation, oracle core.Oracle, n int, tol float64) (int, error) {
+	if n < 1 {
+		n = 10
+	}
+	lo, hi := ex.ExtentRange[0], ex.ExtentRange[1]
+	saved := 0
+	for i := 0; i < n; i++ {
+		ext := lo + (hi-lo)*float64(i)/float64(n-1)
+		q := withExtent(ex.Query, ext)
+		res, _, err := oracle.Answer(q)
+		if err != nil {
+			return saved, fmt.Errorf("explain queries-saved: %w", err)
+		}
+		got := ex.EvalExtent(ext)
+		denom := res.Value
+		if denom < 1 && denom > -1 {
+			denom = 1
+		}
+		rel := (got - res.Value) / denom
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel <= tol {
+			saved++
+		}
+	}
+	return saved, nil
+}

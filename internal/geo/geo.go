@@ -1,0 +1,321 @@
+// Package geo implements RT5: global-scale geo-distributed SEA (paper
+// Fig. 3). Core nodes (data centres) store the base data and can answer
+// exactly or train models; edge nodes hold only models and answer
+// approximately, falling back across the WAN only when their local
+// error estimate is too high.
+//
+// The package realises the theme's research tasks:
+//
+//   - Network architecture (RT5.1): one core executor per deployment plus
+//     any number of edge agents per region; edge↔core and edge↔edge
+//     traffic is charged WAN costs.
+//   - Distributed model building (RT5.2): training queries from all edges
+//     flow to the core, which trains one central agent on the union —
+//     converging faster than any single edge could — and then ships the
+//     per-quantum model weights (not data!) back to the edges.
+//   - Model maintenance (RT5.3): interest-shift detection and purging are
+//     inherited from core.Agent; NotifyDataChange propagates to edges.
+//   - Query routing (RT5.4): Local / PeerFirst / CoreOnly policies.
+//   - Error maintenance (RT5.5): every shipped model carries its error
+//     estimate; edges refuse to answer above threshold.
+package geo
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/metrics"
+	"repro/internal/query"
+)
+
+// ErrNoEdges is returned when a deployment is built without edges.
+var ErrNoEdges = errors.New("geo: deployment needs at least one edge")
+
+// RoutingPolicy selects where an edge sends a query its local models
+// cannot answer (RT5.4).
+type RoutingPolicy int
+
+// Routing policies.
+const (
+	// CoreOnly falls back straight to the core's exact engine.
+	CoreOnly RoutingPolicy = iota + 1
+	// PeerFirst asks sibling edges for a model answer before the core.
+	PeerFirst
+)
+
+// Config tunes a deployment.
+type Config struct {
+	// EdgesPerRegion is the number of edge agents in each region.
+	EdgesPerRegion int
+	// Regions is the number of geo regions.
+	Regions int
+	// Agent is the per-edge agent configuration.
+	Agent core.Config
+	// Policy is the fallback routing policy.
+	Policy RoutingPolicy
+	// WAN is the cost model for inter-region links.
+	WAN cluster.Config
+}
+
+// DefaultConfig returns a 3-region, 2-edges-per-region deployment.
+func DefaultConfig(dims int) Config {
+	agentCfg := core.DefaultConfig(dims)
+	agentCfg.TrainingQueries = 0 // edges never train against the oracle directly
+	return Config{
+		EdgesPerRegion: 2,
+		Regions:        3,
+		Agent:          agentCfg,
+		Policy:         CoreOnly,
+		WAN:            cluster.DefaultConfig(),
+	}
+}
+
+// wanOracle wraps the core executor, charging WAN round trips for remote
+// exact answers.
+type wanOracle struct {
+	ex  *exec.Executor
+	cfg cluster.Config
+}
+
+// Answer runs the query at the core and ships the answer back over WAN.
+func (o wanOracle) Answer(q query.Query) (query.Result, metrics.Cost, error) {
+	res, cost, err := o.ex.ExactCohort(q)
+	if err != nil {
+		return res, cost, err
+	}
+	// Request (64B) out + answer (32B) back, each paying WAN latency.
+	wan := wanTransfer(o.cfg, 64).Add(wanTransfer(o.cfg, 32))
+	return res, cost.Add(wan), nil
+}
+
+// DataVersion passes through to the core table.
+func (o wanOracle) DataVersion() int64 { return o.ex.Table().Version() }
+
+func wanTransfer(cfg cluster.Config, bytes int64) metrics.Cost {
+	t := cfg.WANLatency
+	if cfg.WANBytesPerSec > 0 {
+		t += time.Duration(float64(bytes) / cfg.WANBytesPerSec * float64(time.Second))
+	}
+	return metrics.Cost{Time: t, BytesWAN: bytes, Messages: 1}
+}
+
+// Edge is one edge agent.
+type Edge struct {
+	// Agent holds the edge's local models.
+	Agent *core.Agent
+	// Region is the edge's geo region.
+	Region int
+
+	dep *Deployment
+	// Local statistics.
+	localAnswers, peerAnswers, coreAnswers int64
+}
+
+// Deployment is one Fig. 3 system: a core plus edges.
+type Deployment struct {
+	cfg Config
+	// CoreAgent is the centrally-trained agent (RT5.2).
+	CoreAgent *core.Agent
+	// CoreEx is the core's exact executor.
+	CoreEx *exec.Executor
+	// Edges are the edge agents, grouped region-major.
+	Edges []*Edge
+
+	// WANBytes accumulates all inter-region traffic.
+	wan metrics.Counter
+}
+
+// Deploy builds a deployment over the given core executor.
+func Deploy(coreEx *exec.Executor, cfg Config) (*Deployment, error) {
+	if cfg.EdgesPerRegion < 1 || cfg.Regions < 1 {
+		return nil, ErrNoEdges
+	}
+	coreAgentCfg := cfg.Agent
+	coreAgentCfg.TrainingQueries = 1 << 30 // core always trains on what it sees
+	coreAgent, err := core.NewAgent(exec.CohortOracle{Ex: coreEx}, coreAgentCfg)
+	if err != nil {
+		return nil, fmt.Errorf("geo deploy: %w", err)
+	}
+	d := &Deployment{cfg: cfg, CoreAgent: coreAgent, CoreEx: coreEx}
+	for r := 0; r < cfg.Regions; r++ {
+		for e := 0; e < cfg.EdgesPerRegion; e++ {
+			agent, err := core.NewAgent(wanOracle{ex: coreEx, cfg: cfg.WAN}, cfg.Agent)
+			if err != nil {
+				return nil, fmt.Errorf("geo deploy: %w", err)
+			}
+			d.Edges = append(d.Edges, &Edge{Agent: agent, Region: r, dep: d})
+		}
+	}
+	return d, nil
+}
+
+// TrainAtCore forwards training queries (as if originating at the given
+// edges round-robin) to the core, charging WAN for each, and trains the
+// central agent — distributed model building (RT5.2).
+func (d *Deployment) TrainAtCore(queries []query.Query) (metrics.Cost, error) {
+	var total metrics.Cost
+	for i, q := range queries {
+		// The edge->core forward + answer return.
+		wan := wanTransfer(d.cfg.WAN, 64).Add(wanTransfer(d.cfg.WAN, 32))
+		d.wan.Observe(wan)
+		total = total.Add(wan)
+		ans, err := d.CoreAgent.Answer(q)
+		if err != nil {
+			return total, fmt.Errorf("geo train query %d: %w", i, err)
+		}
+		total = total.Add(ans.Cost)
+	}
+	return total, nil
+}
+
+// ShipModels exports every trained quantum model from the core agent to
+// every edge, charging WAN bytes for the weights — "the models
+// themselves are migrated" (RT1.5(ii), RT5.2). It returns the bytes
+// shipped.
+func (d *Deployment) ShipModels(aggs []query.Agg, col, col2 int) (int64, error) {
+	centers := d.CoreAgent.QuantumCenters()
+	var shipped int64
+	for _, edge := range d.Edges {
+		for qi, center := range centers {
+			for _, agg := range aggs {
+				w := d.CoreAgent.ExportModel(agg, col, col2, qi)
+				if w == nil {
+					continue
+				}
+				nq := edge.Agent.SeedQuantum(center, 6)
+				// Shipped models carry the core's error estimate so the
+				// edge knows what to expect (RT5.5). We ship a
+				// conservative estimate derived from the core config.
+				edge.Agent.ImportModel(agg, col, col2, nq, w, 64, d.cfg.Agent.FallbackThreshold/2)
+				bytes := int64(8 * (len(w) + len(center) + 2))
+				shipped += bytes
+				d.wan.Observe(wanTransfer(d.cfg.WAN, bytes))
+			}
+		}
+	}
+	return shipped, nil
+}
+
+// Answer processes q at the given edge index, applying the routing
+// policy. The returned answer's cost includes all WAN legs.
+func (d *Deployment) Answer(edgeIdx int, q query.Query) (core.Answer, error) {
+	if edgeIdx < 0 || edgeIdx >= len(d.Edges) {
+		return core.Answer{}, fmt.Errorf("geo: no edge %d", edgeIdx)
+	}
+	edge := d.Edges[edgeIdx]
+	// Local model attempt.
+	if v, estErr, ok := edge.Agent.PredictOnly(q); ok {
+		edge.localAnswers++
+		return core.Answer{
+			Value:     v,
+			Predicted: true,
+			EstError:  estErr,
+			Cost:      metrics.Cost{Time: d.cfg.Agent.PredictCPU, CPUTime: d.cfg.Agent.PredictCPU},
+		}, nil
+	}
+	// Peer attempt (RT5.4): one WAN hop to each sibling until a model
+	// answers.
+	if d.cfg.Policy == PeerFirst {
+		for _, peer := range d.Edges {
+			if peer == edge {
+				continue
+			}
+			probe := wanTransfer(d.cfg.WAN, 64)
+			d.wan.Observe(probe)
+			if v, estErr, ok := peer.Agent.PredictOnly(q); ok {
+				ret := wanTransfer(d.cfg.WAN, 32)
+				d.wan.Observe(ret)
+				edge.peerAnswers++
+				return core.Answer{
+					Value:     v,
+					Predicted: true,
+					EstError:  estErr,
+					Cost:      probe.Add(ret),
+				}, nil
+			}
+		}
+	}
+	// Core exact fallback; the edge's own agent learns from the pair.
+	ans, err := edge.Agent.Answer(q)
+	if err != nil {
+		return core.Answer{}, fmt.Errorf("geo: core fallback: %w", err)
+	}
+	edge.coreAnswers++
+	d.wan.Observe(metrics.Cost{BytesWAN: ans.Cost.BytesWAN, Messages: 2})
+	return ans, nil
+}
+
+// WANBytes returns the total inter-region bytes moved so far.
+func (d *Deployment) WANBytes() int64 { return d.wan.Total().BytesWAN }
+
+// EdgeStats summarises one edge's routing outcomes.
+type EdgeStats struct {
+	// Region is the edge's region.
+	Region int
+	// Local/Peer/Core count answers by source.
+	Local, Peer, Core int64
+}
+
+// Stats returns per-edge routing statistics.
+func (d *Deployment) Stats() []EdgeStats {
+	out := make([]EdgeStats, len(d.Edges))
+	for i, e := range d.Edges {
+		out[i] = EdgeStats{Region: e.Region, Local: e.localAnswers, Peer: e.peerAnswers, Core: e.coreAnswers}
+	}
+	return out
+}
+
+// LocalRate returns the deployment-wide fraction of queries answered
+// without any WAN fallback.
+func (d *Deployment) LocalRate() float64 {
+	var local, total int64
+	for _, e := range d.Edges {
+		local += e.localAnswers
+		total += e.localAnswers + e.peerAnswers + e.coreAnswers
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(local) / float64(total)
+}
+
+// NotifyDataChange propagates a base-data invalidation to the core agent
+// and every edge (RT5.3's model-consistency maintenance).
+func (d *Deployment) NotifyDataChange(sel *query.Selection) {
+	d.CoreAgent.NotifyDataChange(sel)
+	for _, e := range d.Edges {
+		e.Agent.NotifyDataChange(sel)
+	}
+}
+
+// Latencies runs the given queries round-robin over edges and returns
+// the sorted per-query virtual latencies (for percentile reporting) and
+// the total cost.
+func (d *Deployment) Latencies(queries []query.Query) ([]time.Duration, metrics.Cost, error) {
+	var lats []time.Duration
+	var total metrics.Cost
+	for i, q := range queries {
+		ans, err := d.Answer(i%len(d.Edges), q)
+		if err != nil {
+			return nil, total, err
+		}
+		lats = append(lats, ans.Cost.Time)
+		total = total.Add(ans.Cost)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return lats, total, nil
+}
+
+// Percentile returns the p-th percentile (0..1) of sorted latencies.
+func Percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

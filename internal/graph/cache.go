@@ -1,0 +1,176 @@
+package graph
+
+import (
+	"container/list"
+	"sort"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Cache is the subgraph-query semantic cache of refs [34][35]: it stores
+// past (pattern, answer-set) pairs and exploits containment algebra to
+// shrink — or eliminate — the candidate set of a new query.
+//
+//   - Exact hit: a cached pattern isomorphic to the query answers it
+//     outright.
+//   - Subgraph hits: cached p ⊆ query q implies answers(q) ⊆ answers(p);
+//     intersecting all such answer sets yields the candidate set.
+//   - Supergraph hits: cached p ⊇ q implies answers(p) ⊆ answers(q);
+//     those ids are accepted without testing.
+//
+// Eviction is LRU by pattern. Cache probing itself costs isomorphism
+// steps (charged), so the cache only probes entries whose cheap
+// signature bounds are compatible.
+type Cache struct {
+	store    *Store
+	capacity int
+	entries  map[string]*list.Element // signature -> element
+	order    *list.List               // LRU: front = most recent
+
+	// Hits/Misses/SubHits/SuperHits count query outcomes.
+	Hits, Misses, SubHits, SuperHits int64
+}
+
+type cacheEntry struct {
+	sig     string
+	pattern *Graph
+	answers []int
+}
+
+// NewCache creates a cache of the given entry capacity over store.
+func NewCache(store *Store, capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		store:    store,
+		capacity: capacity,
+		entries:  make(map[string]*list.Element, capacity),
+		order:    list.New(),
+	}
+}
+
+// Len returns the number of cached patterns.
+func (c *Cache) Len() int { return c.order.Len() }
+
+// Query answers the subgraph query through the cache.
+func (c *Cache) Query(pattern *Graph) ([]int, metrics.Cost) {
+	var total metrics.Cost
+	var probeSteps int
+
+	// Exact hit: same signature, verified isomorphic.
+	sig := pattern.Signature()
+	if el, ok := c.entries[sig]; ok {
+		e := el.Value.(*cacheEntry)
+		iso, st := Isomorphic(pattern, e.pattern)
+		probeSteps += st
+		if iso {
+			c.order.MoveToFront(el)
+			c.Hits++
+			cpu := time.Duration(probeSteps) * c.store.StepCost
+			total = total.Add(metrics.Cost{Time: cpu, CPUTime: cpu})
+			total.RowsReturned = int64(len(e.answers))
+			return append([]int(nil), e.answers...), total
+		}
+	}
+
+	// Containment probes over all entries (bounded by capacity).
+	candidates := allIDs(c.store.Len())
+	accepted := map[int]bool{}
+	var subHit, superHit bool
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		// p ⊆ q candidates-narrowing probe: only possible when the entry
+		// is no larger than the query.
+		if e.pattern.N() <= pattern.N() && e.pattern.M() <= pattern.M() {
+			ok, st := SubgraphOf(e.pattern, pattern)
+			probeSteps += st
+			if ok {
+				candidates = intersect(candidates, e.answers)
+				subHit = true
+			}
+		} else if e.pattern.N() >= pattern.N() && e.pattern.M() >= pattern.M() {
+			// p ⊇ q guarantee probe.
+			ok, st := SubgraphOf(pattern, e.pattern)
+			probeSteps += st
+			if ok {
+				for _, id := range e.answers {
+					accepted[id] = true
+				}
+				superHit = true
+			}
+		}
+	}
+	if subHit {
+		c.SubHits++
+	}
+	if superHit {
+		c.SuperHits++
+	}
+	if !subHit && !superHit {
+		c.Misses++
+	}
+
+	// Remove guaranteed ids from the to-test set.
+	toTest := candidates[:0:0]
+	for _, id := range candidates {
+		if !accepted[id] {
+			toTest = append(toTest, id)
+		}
+	}
+	answers, cost := c.store.matchCandidates(pattern, toTest)
+	for id := range accepted {
+		answers = append(answers, id)
+	}
+	sort.Ints(answers)
+	cpu := time.Duration(probeSteps) * c.store.StepCost
+	total = total.Add(metrics.Cost{Time: cpu, CPUTime: cpu}).Add(cost)
+	total.RowsReturned = int64(len(answers))
+
+	c.insert(sig, pattern, answers)
+	return answers, total
+}
+
+func (c *Cache) insert(sig string, pattern *Graph, answers []int) {
+	if el, ok := c.entries[sig]; ok {
+		// Same signature (rare collision): refresh the entry.
+		el.Value = &cacheEntry{sig: sig, pattern: pattern, answers: answers}
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		delete(c.entries, e.sig)
+		c.order.Remove(back)
+	}
+	el := c.order.PushFront(&cacheEntry{sig: sig, pattern: pattern, answers: answers})
+	c.entries[sig] = el
+}
+
+func allIDs(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// intersect returns the sorted intersection of sorted a with set b.
+func intersect(a, b []int) []int {
+	inB := make(map[int]bool, len(b))
+	for _, id := range b {
+		inB[id] = true
+	}
+	out := a[:0:0]
+	for _, id := range a {
+		if inB[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

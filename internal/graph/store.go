@@ -1,0 +1,147 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+)
+
+// Store is a simulated graph database: a set of graphs spread over the
+// cluster's nodes, accessed with the usual cost accounting. The
+// per-graph isomorphism test is charged CPU time per backtracking step;
+// fetching a graph from the back-end charges its bytes.
+type Store struct {
+	cl     *cluster.Cluster
+	graphs []*Graph
+	// StepCost is the CPU charge per backtracking step.
+	StepCost time.Duration
+}
+
+// NewStore builds a store over cl holding the given graphs.
+func NewStore(cl *cluster.Cluster, graphs []*Graph) *Store {
+	return &Store{cl: cl, graphs: graphs, StepCost: 100 * time.Nanosecond}
+}
+
+// Len returns the number of stored graphs.
+func (s *Store) Len() int { return len(s.graphs) }
+
+// Graph returns stored graph i (nil when out of range).
+func (s *Store) Graph(i int) *Graph {
+	if i < 0 || i >= len(s.graphs) {
+		return nil
+	}
+	return s.graphs[i]
+}
+
+// MatchAll answers the subgraph query without a cache: fetch and test
+// every stored graph.
+func (s *Store) MatchAll(pattern *Graph) ([]int, metrics.Cost) {
+	ids := make([]int, len(s.graphs))
+	for i := range ids {
+		ids[i] = i
+	}
+	return s.matchCandidates(pattern, ids)
+}
+
+// matchCandidates tests the pattern against the given graph ids, charging
+// fetch and match costs.
+func (s *Store) matchCandidates(pattern *Graph, ids []int) ([]int, metrics.Cost) {
+	var out []int
+	var total metrics.Cost
+	var fetchBytes int64
+	var steps int
+	nodes := make(map[int]bool)
+	for _, id := range ids {
+		g := s.Graph(id)
+		if g == nil {
+			continue
+		}
+		// Graph id lives on node id mod clusterSize.
+		nodes[id%s.cl.Size()] = true
+		fetchBytes += g.Bytes()
+		ok, st := SubgraphOf(pattern, g)
+		steps += st
+		if ok {
+			out = append(out, id)
+		}
+	}
+	total = total.Add(s.cl.TransferLAN(fetchBytes))
+	cpu := time.Duration(steps) * s.StepCost
+	total = total.Add(metrics.Cost{Time: cpu, CPUTime: cpu})
+	total.NodesTouched = len(nodes)
+	total.RowsRead = int64(len(ids))
+	total.RowsReturned = int64(len(out))
+	sort.Ints(out)
+	return out, total
+}
+
+// RandomGraph generates a connected random graph with n vertices, edge
+// probability p between any further pair, and labels drawn from
+// [0, labelCount).
+func RandomGraph(rng *rand.Rand, n int, p float64, labelCount int) (*Graph, error) {
+	if n < 1 || labelCount < 1 {
+		return nil, fmt.Errorf("%w: n=%d labels=%d", ErrBadGraph, n, labelCount)
+	}
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = rng.Intn(labelCount)
+	}
+	var edges [][2]int
+	// Spanning chain guarantees connectivity.
+	for v := 1; v < n; v++ {
+		u := rng.Intn(v)
+		edges = append(edges, [2]int{u, v})
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	}
+	return NewGraph(labels, edges)
+}
+
+// SamplePattern extracts a connected induced sub-pattern with k vertices
+// from g — query workloads built this way are guaranteed non-empty.
+func SamplePattern(rng *rand.Rand, g *Graph, k int) (*Graph, error) {
+	if k < 1 || k > g.N() {
+		return nil, fmt.Errorf("%w: pattern size %d of %d", ErrBadGraph, k, g.N())
+	}
+	start := rng.Intn(g.N())
+	chosen := []int{start}
+	inChosen := map[int]bool{start: true}
+	frontier := append([]int(nil), g.Adj[start]...)
+	for len(chosen) < k && len(frontier) > 0 {
+		i := rng.Intn(len(frontier))
+		v := frontier[i]
+		frontier = append(frontier[:i], frontier[i+1:]...)
+		if inChosen[v] {
+			continue
+		}
+		inChosen[v] = true
+		chosen = append(chosen, v)
+		frontier = append(frontier, g.Adj[v]...)
+	}
+	// Build induced subgraph on chosen vertices.
+	remap := make(map[int]int, len(chosen))
+	labels := make([]int, len(chosen))
+	for i, v := range chosen {
+		remap[v] = i
+		labels[i] = g.Labels[v]
+	}
+	var edges [][2]int
+	for i, v := range chosen {
+		for _, w := range g.Adj[v] {
+			j, ok := remap[w]
+			if ok && j > i {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	return NewGraph(labels, edges)
+}

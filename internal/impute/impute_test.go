@@ -1,0 +1,129 @@
+package impute
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// buildData returns ground-truth rows and a masked copy.
+func buildData(t *testing.T, n int, frac float64) (truth, masked []storage.Row) {
+	t.Helper()
+	rng := workload.NewRNG(71)
+	truth = workload.GaussianMixture(rng, n, 4, workload.DefaultMixture(4), 0)
+	masked = make([]storage.Row, n)
+	for i, r := range truth {
+		masked[i] = storage.Row{Key: r.Key, Vec: append([]float64(nil), r.Vec...)}
+	}
+	workload.MissingMask(rng, masked, frac)
+	return truth, masked
+}
+
+func TestFullScanFillsAllCells(t *testing.T) {
+	truth, masked := buildData(t, 500, 0.05)
+	im := New(cluster.New(4, cluster.DefaultConfig()))
+	res, cost, err := im.FullScan(masked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantCells int
+	for _, r := range masked {
+		for _, v := range r.Vec {
+			if math.IsNaN(v) {
+				wantCells++
+			}
+		}
+	}
+	if res.CellsFilled != wantCells {
+		t.Errorf("filled %d cells, want %d", res.CellsFilled, wantCells)
+	}
+	for _, filled := range res.Filled {
+		for _, v := range filled.Vec {
+			if math.IsNaN(v) {
+				t.Fatal("NaN survived imputation")
+			}
+		}
+	}
+	if cost.RowsRead == 0 {
+		t.Error("full scan charged no rows")
+	}
+	_ = truth
+}
+
+func TestCentroidMatchesFullScanQuality(t *testing.T) {
+	truth, masked := buildData(t, 2000, 0.04)
+	im := New(cluster.New(4, cluster.DefaultConfig()))
+
+	full, fullCost, err := im.FullScan(masked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cent, centCost, err := im.Centroid(masked, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmseFull := RMSE(truth, masked, full)
+	rmseCent := RMSE(truth, masked, cent)
+	// Within-blob dimensions are independent with std 8, so the best any
+	// imputer can do is ~8*sqrt(1+1/k) ≈ 9; the cross-blob spread a
+	// global-mean imputer pays is ~25+. Full scan must sit near the
+	// former, far under the latter.
+	if rmseFull > 12 {
+		t.Errorf("full-scan RMSE %v too high", rmseFull)
+	}
+	if rmseCent > rmseFull*1.6+1 {
+		t.Errorf("centroid RMSE %v ≫ full %v", rmseCent, rmseFull)
+	}
+	// The scalable path must be drastically cheaper.
+	if centCost.RowsRead*4 >= fullCost.RowsRead {
+		t.Errorf("centroid read %d rows vs full %d", centCost.RowsRead, fullCost.RowsRead)
+	}
+	if centCost.Time >= fullCost.Time {
+		t.Errorf("centroid time %v >= full %v", centCost.Time, fullCost.Time)
+	}
+}
+
+func TestNoCompleteRows(t *testing.T) {
+	im := New(cluster.New(1, cluster.DefaultConfig()))
+	rows := []storage.Row{{Key: 1, Vec: []float64{math.NaN(), 1}}}
+	if _, _, err := im.FullScan(rows); !errors.Is(err, ErrNoCompleteRows) {
+		t.Errorf("FullScan err = %v", err)
+	}
+	if _, _, err := im.Centroid(rows, 1); !errors.Is(err, ErrNoCompleteRows) {
+		t.Errorf("Centroid err = %v", err)
+	}
+}
+
+func TestNoMissingValuesIsNoop(t *testing.T) {
+	truth, _ := buildData(t, 100, 0)
+	im := New(cluster.New(2, cluster.DefaultConfig()))
+	res, _, err := im.FullScan(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Filled) != 0 || res.CellsFilled != 0 {
+		t.Errorf("no-op imputation filled %d rows", len(res.Filled))
+	}
+}
+
+func TestObsDistance(t *testing.T) {
+	a := []float64{1, math.NaN(), 3}
+	b := []float64{1, 5, 3}
+	if d := obsDistance(a, b); d != 0 {
+		t.Errorf("distance over observed dims = %v, want 0", d)
+	}
+	allNaN := []float64{math.NaN()}
+	if d := obsDistance(allNaN, []float64{1}); !math.IsInf(d, 1) {
+		t.Errorf("all-NaN distance = %v, want +Inf", d)
+	}
+}
+
+func TestRMSEEmpty(t *testing.T) {
+	if got := RMSE(nil, nil, Result{}); got != 0 {
+		t.Errorf("empty RMSE = %v", got)
+	}
+}

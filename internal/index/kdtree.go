@@ -1,0 +1,401 @@
+// Package index provides the access structures of RT2: a k-d tree and a
+// uniform grid for multi-dimensional point data (kNN and range
+// selections), and a rank index (per-partition score histograms over
+// sorted runs) for top-K rank-join (ref [30]).
+//
+// These are coordinator-side structures: they summarise where data lives
+// so that the coordinator–cohort engine can engage only the partitions
+// and row prefixes that matter ("surgically accessing the smallest data
+// subset", P3/G4). Building them is an offline step, like building any
+// database index.
+package index
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned when an index is built over no points.
+var ErrEmpty = errors.New("index: empty input")
+
+// Point is one indexed point: a location plus the partition that stores
+// the underlying row and the row's key.
+type Point struct {
+	// Vec is the point's location.
+	Vec []float64
+	// Partition is the storage partition holding the row.
+	Partition int
+	// Key is the underlying row key.
+	Key uint64
+}
+
+// KDTree is a static k-d tree over points, supporting kNN and range
+// queries. Build once, query many times; not safe for concurrent writes
+// (there are none) but safe for concurrent reads.
+type KDTree struct {
+	pts  []Point
+	idx  []int // pts indices arranged as an implicit tree
+	dims int
+}
+
+// NewKDTree builds a balanced k-d tree by recursive median splits.
+func NewKDTree(pts []Point) (*KDTree, error) {
+	if len(pts) == 0 {
+		return nil, ErrEmpty
+	}
+	t := &KDTree{pts: pts, dims: len(pts[0].Vec)}
+	t.idx = make([]int, len(pts))
+	for i := range t.idx {
+		t.idx[i] = i
+	}
+	t.build(0, len(t.idx), 0)
+	return t, nil
+}
+
+func (t *KDTree) build(lo, hi, depth int) {
+	if hi-lo <= 1 {
+		return
+	}
+	axis := depth % t.dims
+	mid := (lo + hi) / 2
+	t.nthElement(lo, hi, mid, axis)
+	t.build(lo, mid, depth+1)
+	t.build(mid+1, hi, depth+1)
+}
+
+// nthElement partially sorts idx[lo:hi] so idx[n] holds the n-th element
+// by the axis coordinate (quickselect).
+func (t *KDTree) nthElement(lo, hi, n, axis int) {
+	for hi-lo > 1 {
+		pivot := t.pts[t.idx[(lo+hi)/2]].Vec[axis]
+		i, j := lo, hi-1
+		for i <= j {
+			for t.pts[t.idx[i]].Vec[axis] < pivot {
+				i++
+			}
+			for t.pts[t.idx[j]].Vec[axis] > pivot {
+				j--
+			}
+			if i <= j {
+				t.idx[i], t.idx[j] = t.idx[j], t.idx[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case n <= j:
+			hi = j + 1
+		case n >= i:
+			lo = i
+		default:
+			return
+		}
+	}
+}
+
+// Neighbor is one kNN result.
+type Neighbor struct {
+	// Point is the matched point.
+	Point Point
+	// Dist2 is the squared distance to the query.
+	Dist2 float64
+}
+
+// maxHeap over Dist2 keeps the current k best.
+type neighborHeap []Neighbor
+
+func (h neighborHeap) Len() int            { return len(h) }
+func (h neighborHeap) Less(i, j int) bool  { return h[i].Dist2 > h[j].Dist2 }
+func (h neighborHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *neighborHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *neighborHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	out := old[n-1]
+	*h = old[:n-1]
+	return out
+}
+
+// KNN returns the k nearest points to q in ascending distance order, and
+// the number of tree nodes visited (the index's "work" metric).
+func (t *KDTree) KNN(q []float64, k int) ([]Neighbor, int) {
+	if k < 1 {
+		return nil, 0
+	}
+	h := make(neighborHeap, 0, k+1)
+	visited := 0
+	t.knnSearch(0, len(t.idx), 0, q, k, &h, &visited)
+	out := make([]Neighbor, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(Neighbor)
+	}
+	return out, visited
+}
+
+func (t *KDTree) knnSearch(lo, hi, depth int, q []float64, k int, h *neighborHeap, visited *int) {
+	if lo >= hi {
+		return
+	}
+	mid := (lo + hi) / 2
+	p := t.pts[t.idx[mid]]
+	*visited++
+	d2 := sqDist(p.Vec, q)
+	if h.Len() < k {
+		heap.Push(h, Neighbor{Point: p, Dist2: d2})
+	} else if d2 < (*h)[0].Dist2 {
+		heap.Pop(h)
+		heap.Push(h, Neighbor{Point: p, Dist2: d2})
+	}
+	if hi-lo == 1 {
+		return
+	}
+	axis := depth % t.dims
+	var qa float64
+	if axis < len(q) {
+		qa = q[axis]
+	}
+	diff := qa - p.Vec[axis]
+	near, farLo, farHi := 0, 0, 0
+	if diff <= 0 {
+		near, farLo, farHi = -1, mid+1, hi
+	} else {
+		near, farLo, farHi = 1, lo, mid
+	}
+	if near < 0 {
+		t.knnSearch(lo, mid, depth+1, q, k, h, visited)
+	} else {
+		t.knnSearch(mid+1, hi, depth+1, q, k, h, visited)
+	}
+	// Visit the far side only if the splitting plane is closer than the
+	// current k-th best.
+	if h.Len() < k || diff*diff < (*h)[0].Dist2 {
+		t.knnSearch(farLo, farHi, depth+1, q, k, h, visited)
+	}
+}
+
+// Range returns all points inside the axis-aligned box [los, his], plus
+// nodes visited.
+func (t *KDTree) Range(los, his []float64) ([]Point, int) {
+	var out []Point
+	visited := 0
+	t.rangeSearch(0, len(t.idx), 0, los, his, &out, &visited)
+	return out, visited
+}
+
+func (t *KDTree) rangeSearch(lo, hi, depth int, los, his []float64, out *[]Point, visited *int) {
+	if lo >= hi {
+		return
+	}
+	mid := (lo + hi) / 2
+	p := t.pts[t.idx[mid]]
+	*visited++
+	inside := true
+	for j := 0; j < t.dims && j < len(los); j++ {
+		if p.Vec[j] < los[j] || p.Vec[j] > his[j] {
+			inside = false
+			break
+		}
+	}
+	if inside {
+		*out = append(*out, p)
+	}
+	if hi-lo == 1 {
+		return
+	}
+	axis := depth % t.dims
+	v := p.Vec[axis]
+	var qlo, qhi float64 = math.Inf(-1), math.Inf(1)
+	if axis < len(los) {
+		qlo = los[axis]
+	}
+	if axis < len(his) {
+		qhi = his[axis]
+	}
+	if qlo <= v {
+		t.rangeSearch(lo, mid, depth+1, los, his, out, visited)
+	}
+	if qhi >= v {
+		t.rangeSearch(mid+1, hi, depth+1, los, his, out, visited)
+	}
+}
+
+// Len returns the number of indexed points.
+func (t *KDTree) Len() int { return len(t.pts) }
+
+// Dims returns the indexed dimensionality.
+func (t *KDTree) Dims() int { return t.dims }
+
+func sqDist(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// GridIndex is a uniform grid over a bounding box mapping cells to the
+// points inside them — the coarse routing structure for expanding-ring
+// kNN (ref [33] style): start from the query's cell, grow outward ring by
+// ring until k candidates are guaranteed.
+type GridIndex struct {
+	mins, maxs []float64
+	cellsPer   int
+	cells      map[int][]Point
+	dims       int
+	n          int
+}
+
+// NewGridIndex builds a grid with cellsPer cells per dimension.
+func NewGridIndex(pts []Point, cellsPer int) (*GridIndex, error) {
+	if len(pts) == 0 {
+		return nil, ErrEmpty
+	}
+	if cellsPer < 1 {
+		cellsPer = 1
+	}
+	dims := len(pts[0].Vec)
+	mins := append([]float64(nil), pts[0].Vec...)
+	maxs := append([]float64(nil), pts[0].Vec...)
+	for _, p := range pts[1:] {
+		for j := 0; j < dims && j < len(p.Vec); j++ {
+			if p.Vec[j] < mins[j] {
+				mins[j] = p.Vec[j]
+			}
+			if p.Vec[j] > maxs[j] {
+				maxs[j] = p.Vec[j]
+			}
+		}
+	}
+	for j := range maxs {
+		maxs[j] += 1e-9
+	}
+	g := &GridIndex{
+		mins: mins, maxs: maxs,
+		cellsPer: cellsPer,
+		cells:    make(map[int][]Point),
+		dims:     dims,
+		n:        len(pts),
+	}
+	for _, p := range pts {
+		id := g.cellID(g.coords(p.Vec))
+		g.cells[id] = append(g.cells[id], p)
+	}
+	return g, nil
+}
+
+func (g *GridIndex) coords(v []float64) []int {
+	c := make([]int, g.dims)
+	for j := 0; j < g.dims; j++ {
+		span := g.maxs[j] - g.mins[j]
+		if span <= 0 {
+			continue
+		}
+		var x float64
+		if j < len(v) {
+			x = v[j]
+		}
+		ci := int(float64(g.cellsPer) * (x - g.mins[j]) / span)
+		if ci < 0 {
+			ci = 0
+		}
+		if ci >= g.cellsPer {
+			ci = g.cellsPer - 1
+		}
+		c[j] = ci
+	}
+	return c
+}
+
+func (g *GridIndex) cellID(c []int) int {
+	id := 0
+	for _, ci := range c {
+		id = id*g.cellsPer + ci
+	}
+	return id
+}
+
+// CellWidth returns the grid cell width along dimension j.
+func (g *GridIndex) CellWidth(j int) float64 {
+	return (g.maxs[j] - g.mins[j]) / float64(g.cellsPer)
+}
+
+// RingCandidates returns the points in the ring of cells at Chebyshev
+// distance ring from q's cell (ring 0 = the home cell itself).
+func (g *GridIndex) RingCandidates(q []float64, ring int) []Point {
+	home := g.coords(q)
+	var out []Point
+	g.walkRing(home, ring, func(cell []int) {
+		out = append(out, g.cells[g.cellID(cell)]...)
+	})
+	return out
+}
+
+// walkRing enumerates cells at Chebyshev distance exactly ring from home.
+func (g *GridIndex) walkRing(home []int, ring int, visit func([]int)) {
+	cur := make([]int, g.dims)
+	var rec func(dim int, onShell bool)
+	rec = func(dim int, onShell bool) {
+		if dim == g.dims {
+			if onShell || ring == 0 {
+				visit(cur)
+			}
+			return
+		}
+		lo := home[dim] - ring
+		hi := home[dim] + ring
+		for c := lo; c <= hi; c++ {
+			if c < 0 || c >= g.cellsPer {
+				continue
+			}
+			cur[dim] = c
+			shell := onShell || c == lo || c == hi
+			if ring == 0 {
+				shell = true
+			}
+			rec(dim+1, shell)
+		}
+	}
+	rec(0, false)
+}
+
+// MaxRing returns the largest useful ring radius for this grid.
+func (g *GridIndex) MaxRing() int { return g.cellsPer }
+
+// Len returns the number of indexed points.
+func (g *GridIndex) Len() int { return g.n }
+
+// PartitionsInBox returns the distinct storage partitions of points whose
+// cells intersect the box — the routing set for cohort range queries.
+func (g *GridIndex) PartitionsInBox(los, his []float64) []int {
+	loC := g.coords(los)
+	hiC := g.coords(his)
+	seen := make(map[int]bool)
+	cur := make([]int, g.dims)
+	var rec func(dim int)
+	rec = func(dim int) {
+		if dim == g.dims {
+			for _, p := range g.cells[g.cellID(cur)] {
+				seen[p.Partition] = true
+			}
+			return
+		}
+		for c := loC[dim]; c <= hiC[dim]; c++ {
+			cur[dim] = c
+			rec(dim + 1)
+		}
+	}
+	rec(0)
+	out := make([]int, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,82 @@
+package knn
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// bruteReverseKNN computes the reference RkNN set: rows whose k-th
+// nearest row (self included, matching the operator's convention) is no
+// closer than q.
+func bruteReverseKNN(rows []storage.Row, q []float64, k int) map[uint64]bool {
+	dist := func(a, b []float64) float64 {
+		dx := a[0] - b[0]
+		dy := a[1] - b[1]
+		return math.Sqrt(dx*dx + dy*dy)
+	}
+	out := make(map[uint64]bool)
+	for _, c := range rows {
+		dq := dist(c.Vec, q)
+		ds := make([]float64, 0, len(rows))
+		for _, r := range rows {
+			ds = append(ds, dist(c.Vec, r.Vec))
+		}
+		sort.Float64s(ds)
+		kth := ds[len(ds)-1]
+		if k <= len(ds) {
+			kth = ds[k-1]
+		}
+		if dq <= kth {
+			out[c.Key] = true
+		}
+	}
+	return out
+}
+
+func TestReverseKNNMatchesBruteForce(t *testing.T) {
+	op, rows := buildOp(t, 400)
+	for _, k := range []int{2, 5} {
+		q := []float64{25, 25}
+		got, cost, err := op.ReverseKNN(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteReverseKNN(rows, q, k)
+		// Every returned row must truly be a reverse neighbour.
+		for _, r := range got {
+			if !want[r.Row.Key] {
+				t.Errorf("k=%d: row %d is not a reverse neighbour", k, r.Row.Key)
+			}
+		}
+		// The filter-refine scheme must find the close-in reverse
+		// neighbours (those within the first rings).
+		if len(want) > 0 && len(got) == 0 {
+			t.Errorf("k=%d: found none of %d reverse neighbours", k, len(want))
+		}
+		if cost.RowsRead == 0 && len(got) > 0 {
+			t.Error("RkNN charged no row reads")
+		}
+	}
+}
+
+func TestReverseKNNBadK(t *testing.T) {
+	op, _ := buildOp(t, 50)
+	if _, _, err := op.ReverseKNN([]float64{0, 0}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestReverseKNNEmptyRegion(t *testing.T) {
+	op, _ := buildOp(t, 400)
+	// A query far from all data: no row has it among its k nearest.
+	got, _, err := op.ReverseKNN([]float64{-500, -500}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("far query returned %d reverse neighbours", len(got))
+	}
+}

@@ -1,0 +1,152 @@
+// Package metrics provides the cost-accounting substrate for the SEA
+// simulator: a virtual clock, resource counters (rows read, bytes moved,
+// nodes touched), and a money-cost model.
+//
+// The paper's argument (ICDCS'18, §II.A) is entirely about costs: how many
+// data-server nodes a query touches, how many bytes cross the network, how
+// much work each BDAS layer adds. Every simulated component in this
+// repository charges its work to a Cost value so that experiments can
+// report the same three desiderata the paper names: scalability,
+// efficiency, and money cost.
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// Cost is the fully-itemised cost of executing one analytics task on the
+// simulated infrastructure. Costs are value types: combine them with Add
+// (sequential composition) or Merge (parallel composition, where virtual
+// time is the max of the branches).
+type Cost struct {
+	// Time is virtual elapsed time: the critical-path latency of the task.
+	Time time.Duration
+	// CPUTime is total CPU work summed over all nodes (not critical path).
+	CPUTime time.Duration
+	// RowsRead is the number of base-data rows read from storage.
+	RowsRead int64
+	// RowsReturned is the number of rows in the result (or shuffled out).
+	RowsReturned int64
+	// BytesRead is bytes read from local storage media.
+	BytesRead int64
+	// BytesLAN is bytes moved across the intra-datacentre network.
+	BytesLAN int64
+	// BytesWAN is bytes moved across inter-datacentre (geo) links.
+	BytesWAN int64
+	// Messages is the number of network messages exchanged.
+	Messages int64
+	// NodesTouched is the number of distinct data-server nodes that did work.
+	NodesTouched int
+}
+
+// Add returns the sequential composition of c followed by d: times add,
+// counters add.
+func (c Cost) Add(d Cost) Cost {
+	return Cost{
+		Time:         c.Time + d.Time,
+		CPUTime:      c.CPUTime + d.CPUTime,
+		RowsRead:     c.RowsRead + d.RowsRead,
+		RowsReturned: c.RowsReturned + d.RowsReturned,
+		BytesRead:    c.BytesRead + d.BytesRead,
+		BytesLAN:     c.BytesLAN + d.BytesLAN,
+		BytesWAN:     c.BytesWAN + d.BytesWAN,
+		Messages:     c.Messages + d.Messages,
+		NodesTouched: c.NodesTouched + d.NodesTouched,
+	}
+}
+
+// Merge returns the parallel composition of c and d: virtual time is the
+// maximum of the two branches, all other counters add.
+func (c Cost) Merge(d Cost) Cost {
+	t := c.Time
+	if d.Time > t {
+		t = d.Time
+	}
+	out := c.Add(d)
+	out.Time = t
+	return out
+}
+
+// IsZero reports whether no work has been charged to c.
+func (c Cost) IsZero() bool {
+	return c == Cost{}
+}
+
+// String renders the cost compactly for logs and demo binaries.
+func (c Cost) String() string {
+	return fmt.Sprintf(
+		"time=%v cpu=%v rows=%d bytes(read=%d lan=%d wan=%d) msgs=%d nodes=%d",
+		c.Time, c.CPUTime, c.RowsRead, c.BytesRead, c.BytesLAN, c.BytesWAN,
+		c.Messages, c.NodesTouched,
+	)
+}
+
+// PriceModel converts resource usage into money, mirroring the paper's
+// "money costs" metric (§IV P4, RT3). Prices are per-unit; the defaults in
+// DefaultPrices approximate public-cloud list prices circa the paper.
+type PriceModel struct {
+	// PerNodeSecond is the price of one node busy for one second.
+	PerNodeSecond float64
+	// PerLANGB is the price of one GiB moved within a datacentre.
+	PerLANGB float64
+	// PerWANGB is the price of one GiB moved between datacentres.
+	PerWANGB float64
+	// PerMillionRows is the price of scanning one million rows.
+	PerMillionRows float64
+}
+
+// DefaultPrices returns a price model loosely shaped like 2018-era cloud
+// pricing: WAN egress is ~10x LAN, and node time dominates small queries.
+func DefaultPrices() PriceModel {
+	return PriceModel{
+		PerNodeSecond:  0.0001,
+		PerLANGB:       0.01,
+		PerWANGB:       0.09,
+		PerMillionRows: 0.0005,
+	}
+}
+
+// Dollars prices a cost under the model.
+func (p PriceModel) Dollars(c Cost) float64 {
+	const gib = 1 << 30
+	d := p.PerNodeSecond * c.CPUTime.Seconds()
+	d += p.PerLANGB * float64(c.BytesLAN) / gib
+	d += p.PerWANGB * float64(c.BytesWAN) / gib
+	d += p.PerMillionRows * float64(c.RowsRead) / 1e6
+	return d
+}
+
+// Counter accumulates costs across many tasks, tracking totals and a count
+// so experiments can report means. Counter is not safe for concurrent use;
+// simulation drivers are single-goroutine by design (determinism).
+type Counter struct {
+	total Cost
+	n     int64
+}
+
+// Observe adds one task's cost to the counter.
+func (a *Counter) Observe(c Cost) {
+	a.total = a.total.Add(c)
+	a.n++
+}
+
+// Total returns the accumulated cost.
+func (a *Counter) Total() Cost { return a.total }
+
+// Count returns how many tasks were observed.
+func (a *Counter) Count() int64 { return a.n }
+
+// MeanTime returns the average virtual latency per observed task.
+func (a *Counter) MeanTime() time.Duration {
+	if a.n == 0 {
+		return 0
+	}
+	return a.total.Time / time.Duration(a.n)
+}
+
+// Reset clears the counter.
+func (a *Counter) Reset() {
+	a.total = Cost{}
+	a.n = 0
+}

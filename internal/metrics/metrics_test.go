@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCostAdd(t *testing.T) {
+	a := Cost{Time: time.Second, RowsRead: 10, BytesLAN: 100, NodesTouched: 2}
+	b := Cost{Time: 2 * time.Second, RowsRead: 5, BytesWAN: 7, NodesTouched: 1}
+	got := a.Add(b)
+	if got.Time != 3*time.Second || got.RowsRead != 15 || got.BytesLAN != 100 ||
+		got.BytesWAN != 7 || got.NodesTouched != 3 {
+		t.Errorf("Add = %+v", got)
+	}
+}
+
+func TestCostMergeTakesMaxTime(t *testing.T) {
+	a := Cost{Time: time.Second, Messages: 1}
+	b := Cost{Time: 3 * time.Second, Messages: 2}
+	got := a.Merge(b)
+	if got.Time != 3*time.Second {
+		t.Errorf("Merge time = %v, want 3s", got.Time)
+	}
+	if got.Messages != 3 {
+		t.Errorf("Merge messages = %d, want 3", got.Messages)
+	}
+}
+
+func TestCostIsZeroAndString(t *testing.T) {
+	var c Cost
+	if !c.IsZero() {
+		t.Error("zero cost should be zero")
+	}
+	c.RowsRead = 1
+	if c.IsZero() {
+		t.Error("non-zero cost reported zero")
+	}
+	if c.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestPriceModel(t *testing.T) {
+	p := DefaultPrices()
+	c := Cost{
+		CPUTime:  time.Hour,
+		BytesLAN: 1 << 30,
+		BytesWAN: 1 << 30,
+		RowsRead: 1e6,
+	}
+	d := p.Dollars(c)
+	want := 0.0001*3600 + 0.01 + 0.09 + 0.0005
+	if diff := d - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("Dollars = %v, want %v", d, want)
+	}
+	if p.Dollars(Cost{}) != 0 {
+		t.Error("zero cost should be free")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var a Counter
+	a.Observe(Cost{Time: time.Second})
+	a.Observe(Cost{Time: 3 * time.Second})
+	if a.Count() != 2 {
+		t.Errorf("Count = %d", a.Count())
+	}
+	if a.MeanTime() != 2*time.Second {
+		t.Errorf("MeanTime = %v", a.MeanTime())
+	}
+	a.Reset()
+	if a.Count() != 0 || !a.Total().IsZero() {
+		t.Error("Reset did not clear")
+	}
+	if a.MeanTime() != 0 {
+		t.Error("MeanTime on empty should be 0")
+	}
+}
+
+// Property: Add is commutative and Merge time is max.
+func TestCostAlgebraProperties(t *testing.T) {
+	f := func(t1, t2 uint32, r1, r2 uint16) bool {
+		a := Cost{Time: time.Duration(t1), RowsRead: int64(r1)}
+		b := Cost{Time: time.Duration(t2), RowsRead: int64(r2)}
+		ab, ba := a.Add(b), b.Add(a)
+		m := a.Merge(b)
+		maxT := a.Time
+		if b.Time > maxT {
+			maxT = b.Time
+		}
+		return ab == ba && m.Time == maxT && m.RowsRead == ab.RowsRead
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,284 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KMeans clusters points into K groups with Lloyd's algorithm and
+// k-means++ seeding. It is the batch query-space quantiser of RT1.1: SEA
+// partitions the stream of analyst queries into "query quanta", each of
+// which gets its own answer model.
+type KMeans struct {
+	// K is the number of clusters.
+	K int
+	// MaxIter bounds Lloyd iterations (default 50).
+	MaxIter int
+
+	centroids [][]float64
+	sizes     []int
+}
+
+// Fit clusters xs. rng drives the k-means++ seeding; deterministic for a
+// fixed seed.
+func (km *KMeans) Fit(xs [][]float64, rng *rand.Rand) error {
+	if len(xs) == 0 {
+		return fmt.Errorf("kmeans fit: %w", ErrNoData)
+	}
+	k := km.K
+	if k < 1 {
+		k = 1
+	}
+	if k > len(xs) {
+		k = len(xs)
+	}
+	maxIter := km.MaxIter
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	d := len(xs[0])
+	centroids := kmeansPlusPlusSeed(xs, k, rng)
+	assign := make([]int, len(xs))
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, x := range xs {
+			best, _ := NearestCentroid(centroids, x)
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids.
+		counts := make([]int, k)
+		for c := range centroids {
+			for j := range centroids[c] {
+				centroids[c][j] = 0
+			}
+		}
+		for i, x := range xs {
+			c := assign[i]
+			counts[c]++
+			AXPY(1, x, centroids[c])
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				copy(centroids[c], xs[rng.Intn(len(xs))])
+				continue
+			}
+			Scale(1/float64(counts[c]), centroids[c])
+		}
+		km.sizes = counts
+	}
+	if km.sizes == nil {
+		km.sizes = make([]int, k)
+		for _, a := range assign {
+			km.sizes[a]++
+		}
+	}
+	_ = d
+	km.centroids = centroids
+	return nil
+}
+
+// Centroids returns copies of the fitted centroids.
+func (km *KMeans) Centroids() [][]float64 {
+	out := make([][]float64, len(km.centroids))
+	for i, c := range km.centroids {
+		out[i] = CopyVec(c)
+	}
+	return out
+}
+
+// Sizes returns the final cluster populations.
+func (km *KMeans) Sizes() []int {
+	out := make([]int, len(km.sizes))
+	copy(out, km.sizes)
+	return out
+}
+
+// Assign returns the index of the centroid nearest to x.
+func (km *KMeans) Assign(x []float64) int {
+	i, _ := NearestCentroid(km.centroids, x)
+	return i
+}
+
+// Distortion returns the mean squared distance of xs to their assigned
+// centroids — the quantisation-quality score used by maintenance logic.
+func (km *KMeans) Distortion(xs [][]float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		_, d2 := NearestCentroid(km.centroids, x)
+		s += d2
+	}
+	return s / float64(len(xs))
+}
+
+// NearestCentroid returns the index of and squared distance to the
+// centroid nearest to x. An empty centroid set returns (-1, +Inf).
+func NearestCentroid(centroids [][]float64, x []float64) (int, float64) {
+	best := -1
+	bestD := math.Inf(1)
+	for i, c := range centroids {
+		d := SquaredDistance(c, x)
+		if d < bestD {
+			bestD = d
+			best = i
+		}
+	}
+	return best, bestD
+}
+
+func kmeansPlusPlusSeed(xs [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	centroids = append(centroids, CopyVec(xs[rng.Intn(len(xs))]))
+	dist := make([]float64, len(xs))
+	for len(centroids) < k {
+		var total float64
+		for i, x := range xs {
+			_, d2 := NearestCentroid(centroids, x)
+			dist[i] = d2
+			total += d2
+		}
+		if total == 0 {
+			// All points coincide with centroids; duplicate one.
+			centroids = append(centroids, CopyVec(xs[rng.Intn(len(xs))]))
+			continue
+		}
+		target := rng.Float64() * total
+		var cum float64
+		pick := len(xs) - 1
+		for i, d2 := range dist {
+			cum += d2
+			if cum >= target {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, CopyVec(xs[pick]))
+	}
+	return centroids
+}
+
+// OnlineAVQ is an online adaptive vector quantiser: competitive learning
+// with a decaying per-prototype learning rate and growth. This is the
+// streaming counterpart of KMeans used by the live SEA agent (RT1.1
+// "learn the structure of the query space ... as interests shift with
+// time"): prototypes migrate toward the current query mass, new
+// prototypes are spawned when a query is far from all existing ones, and
+// stale prototypes can be purged.
+type OnlineAVQ struct {
+	// SpawnDistance is the squared distance beyond which a new prototype
+	// is created instead of moving the winner (0 disables growth).
+	SpawnDistance float64
+	// MaxPrototypes caps growth (default 64).
+	MaxPrototypes int
+	// LearningRate0 is the initial per-prototype step (default 0.5).
+	LearningRate0 float64
+
+	protos [][]float64
+	counts []int64
+	age    []int64 // observations since last win, for purging
+	clock  int64
+}
+
+// NewOnlineAVQ constructs a quantiser. spawnDist is a squared distance.
+func NewOnlineAVQ(spawnDist float64, maxProtos int) *OnlineAVQ {
+	if maxProtos <= 0 {
+		maxProtos = 64
+	}
+	return &OnlineAVQ{
+		SpawnDistance: spawnDist,
+		MaxPrototypes: maxProtos,
+		LearningRate0: 0.5,
+	}
+}
+
+// Observe folds x into the quantiser and returns the index of the winning
+// (or newly spawned) prototype.
+func (q *OnlineAVQ) Observe(x []float64) int {
+	q.clock++
+	if len(q.protos) == 0 {
+		q.protos = append(q.protos, CopyVec(x))
+		q.counts = append(q.counts, 1)
+		q.age = append(q.age, 0)
+		return 0
+	}
+	win, d2 := NearestCentroid(q.protos, x)
+	if q.SpawnDistance > 0 && d2 > q.SpawnDistance && len(q.protos) < q.MaxPrototypes {
+		q.protos = append(q.protos, CopyVec(x))
+		q.counts = append(q.counts, 1)
+		q.age = append(q.age, 0)
+		return len(q.protos) - 1
+	}
+	q.counts[win]++
+	q.age[win] = 0
+	for i := range q.age {
+		if i != win {
+			q.age[i]++
+		}
+	}
+	// Harmonic-decay step keeps prototypes at the running mean of their
+	// wins while staying responsive to drift.
+	lr := q.LearningRate0 / (1 + float64(q.counts[win])*q.LearningRate0)
+	p := q.protos[win]
+	for j := 0; j < len(p) && j < len(x); j++ {
+		p[j] += lr * (x[j] - p[j])
+	}
+	return win
+}
+
+// Assign returns the nearest prototype's index and squared distance
+// without updating state.
+func (q *OnlineAVQ) Assign(x []float64) (int, float64) {
+	return NearestCentroid(q.protos, x)
+}
+
+// Prototypes returns copies of the current prototypes.
+func (q *OnlineAVQ) Prototypes() [][]float64 {
+	out := make([][]float64, len(q.protos))
+	for i, p := range q.protos {
+		out[i] = CopyVec(p)
+	}
+	return out
+}
+
+// Len returns the number of prototypes.
+func (q *OnlineAVQ) Len() int { return len(q.protos) }
+
+// Count returns the win count of prototype i.
+func (q *OnlineAVQ) Count(i int) int64 {
+	if i < 0 || i >= len(q.counts) {
+		return 0
+	}
+	return q.counts[i]
+}
+
+// PurgeStale removes prototypes that have not won in the last maxAge
+// observations and returns the indices (into the pre-purge ordering) that
+// were removed; the SEA agent discards the matching answer models
+// ("purging older models", RT5.3). The relative order of survivors is
+// preserved.
+func (q *OnlineAVQ) PurgeStale(maxAge int64) []int {
+	var removed []int
+	var protos [][]float64
+	var counts, ages []int64
+	for i := range q.protos {
+		if q.age[i] > maxAge && len(q.protos)-len(removed) > 1 {
+			removed = append(removed, i)
+			continue
+		}
+		protos = append(protos, q.protos[i])
+		counts = append(counts, q.counts[i])
+		ages = append(ages, q.age[i])
+	}
+	q.protos, q.counts, q.age = protos, counts, ages
+	return removed
+}

@@ -1,0 +1,271 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinearRegression is an ordinary/ridge least-squares model with an
+// intercept: y ≈ w·x + b. Fit solves the normal equations with a Cholesky
+// factorisation; Ridge > 0 adds Tikhonov regularisation (the intercept is
+// not regularised). After Fit, the model is safe for concurrent Predict.
+type LinearRegression struct {
+	// Ridge is the L2 regularisation strength applied at Fit time.
+	Ridge float64
+
+	weights   []float64
+	intercept float64
+	fitted    bool
+}
+
+// Fit estimates weights from design matrix xs (n samples, d features each)
+// and targets ys. It returns ErrNoData for empty input and ErrSingular
+// when the (regularised) normal equations cannot be solved.
+func (lr *LinearRegression) Fit(xs [][]float64, ys []float64) error {
+	n := len(xs)
+	if n == 0 || len(ys) < n {
+		return fmt.Errorf("linear regression fit: %w", ErrNoData)
+	}
+	d := len(xs[0])
+	// Augment with intercept column: solve for [w; b].
+	k := d + 1
+	ata := NewMatrix(k, k)
+	atb := make([]float64, k)
+	xi := make([]float64, k)
+	for i := 0; i < n; i++ {
+		copy(xi, xs[i])
+		xi[d] = 1
+		for r := 0; r < k; r++ {
+			atb[r] += xi[r] * ys[i]
+			row := ata.Row(r)
+			for c := r; c < k; c++ {
+				row[c] += xi[r] * xi[c]
+			}
+		}
+	}
+	// Mirror the upper triangle and add the ridge term (not on intercept).
+	for r := 0; r < k; r++ {
+		for c := 0; c < r; c++ {
+			ata.Set(r, c, ata.At(c, r))
+		}
+	}
+	for r := 0; r < d; r++ {
+		ata.Set(r, r, ata.At(r, r)+lr.Ridge)
+	}
+	// Tiny jitter keeps near-singular designs solvable (constant features).
+	for r := 0; r < k; r++ {
+		ata.Set(r, r, ata.At(r, r)+1e-9)
+	}
+	sol, err := CholeskySolve(ata, atb)
+	if err != nil {
+		return fmt.Errorf("linear regression fit: %w", err)
+	}
+	lr.weights = sol[:d]
+	lr.intercept = sol[d]
+	lr.fitted = true
+	return nil
+}
+
+// Predict returns w·x + b. Unfitted models predict 0.
+func (lr *LinearRegression) Predict(x []float64) float64 {
+	if !lr.fitted {
+		return 0
+	}
+	return Dot(lr.weights, x) + lr.intercept
+}
+
+// Weights returns a copy of the fitted coefficient vector.
+func (lr *LinearRegression) Weights() []float64 { return CopyVec(lr.weights) }
+
+// Intercept returns the fitted intercept.
+func (lr *LinearRegression) Intercept() float64 { return lr.intercept }
+
+// Fitted reports whether Fit has succeeded.
+func (lr *LinearRegression) Fitted() bool { return lr.fitted }
+
+// RLS is a recursive-least-squares online linear model with an intercept
+// and exponential forgetting. It is the workhorse of the SEA agent's
+// per-quantum answer models (RT1.3): each (query, answer) pair observed in
+// the training stream refines the model in O(d²) without re-solving.
+//
+// The forgetting factor lambda in (0, 1] discounts old observations, which
+// is what lets models track base-data updates and drifting interests
+// (RT1.4): lambda = 1 is ordinary RLS; 0.98 forgets with ~50-sample
+// half-life.
+type RLS struct {
+	dim     int
+	lambda  float64
+	weights []float64 // last entry is the intercept
+	p       *Matrix   // inverse covariance estimate
+	n       int64
+}
+
+// NewRLS creates an RLS model for dim input features with forgetting
+// factor lambda (clamped into (0,1]). delta sets the initial inverse
+// covariance scale: large delta (e.g. 1000) means weak priors.
+func NewRLS(dim int, lambda, delta float64) *RLS {
+	if lambda <= 0 || lambda > 1 {
+		lambda = 1
+	}
+	if delta <= 0 {
+		delta = 1000
+	}
+	k := dim + 1
+	p := NewMatrix(k, k)
+	for i := 0; i < k; i++ {
+		p.Set(i, i, delta)
+	}
+	return &RLS{
+		dim:     dim,
+		lambda:  lambda,
+		weights: make([]float64, k),
+		p:       p,
+	}
+}
+
+// Observe folds one (x, y) pair into the model and returns the a-priori
+// prediction error (the innovation), which callers use for drift
+// detection.
+func (r *RLS) Observe(x []float64, y float64) float64 {
+	k := r.dim + 1
+	xi := make([]float64, k)
+	copy(xi, x)
+	xi[r.dim] = 1
+
+	// px = P x
+	px := make([]float64, k)
+	for i := 0; i < k; i++ {
+		px[i] = Dot(r.p.Row(i), xi)
+	}
+	denom := r.lambda + Dot(xi, px)
+	gain := make([]float64, k)
+	for i := 0; i < k; i++ {
+		gain[i] = px[i] / denom
+	}
+	innovation := y - Dot(r.weights, xi)
+	AXPY(innovation, gain, r.weights)
+	// P = (P - gain * px^T) / lambda
+	for i := 0; i < k; i++ {
+		row := r.p.Row(i)
+		gi := gain[i]
+		for j := 0; j < k; j++ {
+			row[j] = (row[j] - gi*px[j]) / r.lambda
+		}
+	}
+	r.n++
+	return innovation
+}
+
+// Predict returns the current estimate w·x + b.
+func (r *RLS) Predict(x []float64) float64 {
+	s := r.weights[r.dim] // intercept
+	d := r.dim
+	if len(x) < d {
+		d = len(x)
+	}
+	for i := 0; i < d; i++ {
+		s += r.weights[i] * x[i]
+	}
+	return s
+}
+
+// Count returns the number of observations folded in so far.
+func (r *RLS) Count() int64 { return r.n }
+
+// Weights returns a copy of [w..., intercept].
+func (r *RLS) Weights() []float64 { return CopyVec(r.weights) }
+
+// SetWeights overwrites the coefficient vector (used when a core node
+// ships a trained model to an edge agent, RT5.2). The slice must have
+// dim+1 entries; extra entries are ignored and missing ones keep their
+// old values.
+func (r *RLS) SetWeights(w []float64) {
+	n := len(w)
+	if n > len(r.weights) {
+		n = len(r.weights)
+	}
+	copy(r.weights[:n], w[:n])
+}
+
+// Dim returns the model's input dimensionality (excluding intercept).
+func (r *RLS) Dim() int { return r.dim }
+
+// PolyFeatures expands x into degree-2 polynomial features: the original
+// coordinates, all squares, and all pairwise products. SEA's answer models
+// use this to capture the quadratic growth of COUNT with subspace volume.
+func PolyFeatures(x []float64) []float64 {
+	d := len(x)
+	out := make([]float64, 0, d+d*(d+1)/2)
+	out = append(out, x...)
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			out = append(out, x[i]*x[j])
+		}
+	}
+	return out
+}
+
+// PolyDim returns len(PolyFeatures(x)) for an input of dimension d.
+func PolyDim(d int) int { return d + d*(d+1)/2 }
+
+// StandardScaler centres and scales features to zero mean and unit
+// variance, the usual preconditioning before distance-based models.
+type StandardScaler struct {
+	mean, std []float64
+	fitted    bool
+}
+
+// Fit computes per-dimension means and standard deviations.
+func (s *StandardScaler) Fit(xs [][]float64) error {
+	if len(xs) == 0 {
+		return fmt.Errorf("scaler fit: %w", ErrNoData)
+	}
+	d := len(xs[0])
+	s.mean = make([]float64, d)
+	s.std = make([]float64, d)
+	for _, x := range xs {
+		for j := 0; j < d && j < len(x); j++ {
+			s.mean[j] += x[j]
+		}
+	}
+	n := float64(len(xs))
+	for j := range s.mean {
+		s.mean[j] /= n
+	}
+	for _, x := range xs {
+		for j := 0; j < d && j < len(x); j++ {
+			dd := x[j] - s.mean[j]
+			s.std[j] += dd * dd
+		}
+	}
+	for j := range s.std {
+		s.std[j] = math.Sqrt(s.std[j] / n)
+		if s.std[j] < 1e-12 {
+			s.std[j] = 1
+		}
+	}
+	s.fitted = true
+	return nil
+}
+
+// Transform returns a scaled copy of x.
+func (s *StandardScaler) Transform(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	if !s.fitted {
+		return out
+	}
+	for j := 0; j < len(out) && j < len(s.mean); j++ {
+		out[j] = (out[j] - s.mean[j]) / s.std[j]
+	}
+	return out
+}
+
+// TransformAll maps Transform over a dataset.
+func (s *StandardScaler) TransformAll(xs [][]float64) [][]float64 {
+	out := make([][]float64, len(xs))
+	for i, x := range xs {
+		out[i] = s.Transform(x)
+	}
+	return out
+}

@@ -1,0 +1,459 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDotAndDistance(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []float64
+		dot  float64
+		d2   float64
+	}{
+		{"orthogonal", []float64{1, 0}, []float64{0, 1}, 0, 2},
+		{"parallel", []float64{1, 2}, []float64{2, 4}, 10, 5},
+		{"empty", nil, nil, 0, 0},
+		{"mismatched uses prefix", []float64{1, 2, 3}, []float64{1}, 1, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Dot(tt.a, tt.b); got != tt.dot {
+				t.Errorf("Dot = %v, want %v", got, tt.dot)
+			}
+			if got := SquaredDistance(tt.a, tt.b); got != tt.d2 {
+				t.Errorf("SquaredDistance = %v, want %v", got, tt.d2)
+			}
+		})
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	// A = [[4,2],[2,3]], b = [10, 8] -> x = [1.75, 1.5]
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 3)
+	x, err := CholeskySolve(a, []float64{10, 8})
+	if err != nil {
+		t.Fatalf("CholeskySolve: %v", err)
+	}
+	if math.Abs(x[0]-1.75) > 1e-9 || math.Abs(x[1]-1.5) > 1e-9 {
+		t.Errorf("x = %v, want [1.75 1.5]", x)
+	}
+}
+
+func TestCholeskySolveSingular(t *testing.T) {
+	a := NewMatrix(2, 2) // all zeros: singular
+	if _, err := CholeskySolve(a, []float64{1, 1}); err == nil {
+		t.Fatal("expected ErrSingular for zero matrix")
+	}
+}
+
+func TestLinearRegressionRecoversPlane(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 200; i++ {
+		x := []float64{rng.Float64() * 10, rng.Float64() * 10}
+		xs = append(xs, x)
+		ys = append(ys, 3*x[0]-2*x[1]+7)
+	}
+	var lr LinearRegression
+	if err := lr.Fit(xs, ys); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	w := lr.Weights()
+	if math.Abs(w[0]-3) > 1e-6 || math.Abs(w[1]+2) > 1e-6 {
+		t.Errorf("weights = %v, want [3 -2]", w)
+	}
+	if math.Abs(lr.Intercept()-7) > 1e-5 {
+		t.Errorf("intercept = %v, want 7", lr.Intercept())
+	}
+	if got := lr.Predict([]float64{1, 1}); math.Abs(got-8) > 1e-5 {
+		t.Errorf("Predict = %v, want 8", got)
+	}
+}
+
+func TestLinearRegressionNoData(t *testing.T) {
+	var lr LinearRegression
+	if err := lr.Fit(nil, nil); err == nil {
+		t.Fatal("expected error on empty fit")
+	}
+	if got := lr.Predict([]float64{1}); got != 0 {
+		t.Errorf("unfitted Predict = %v, want 0", got)
+	}
+}
+
+func TestRLSConvergesToPlane(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r := NewRLS(2, 1.0, 1000)
+	for i := 0; i < 500; i++ {
+		x := []float64{rng.Float64() * 4, rng.Float64() * 4}
+		y := 5*x[0] + 1*x[1] - 3
+		r.Observe(x, y)
+	}
+	if got := r.Predict([]float64{2, 2}); math.Abs(got-9) > 1e-3 {
+		t.Errorf("Predict = %v, want 9", got)
+	}
+	w := r.Weights()
+	if math.Abs(w[0]-5) > 1e-2 || math.Abs(w[1]-1) > 1e-2 {
+		t.Errorf("weights = %v, want [5 1 -3]", w)
+	}
+}
+
+func TestRLSForgettingTracksDrift(t *testing.T) {
+	r := NewRLS(1, 0.9, 1000)
+	// First regime: y = x.
+	for i := 0; i < 200; i++ {
+		x := float64(i%10) + 1
+		r.Observe([]float64{x}, x)
+	}
+	// Second regime: y = 10x. With forgetting, the model should follow.
+	for i := 0; i < 200; i++ {
+		x := float64(i%10) + 1
+		r.Observe([]float64{x}, 10*x)
+	}
+	got := r.Predict([]float64{5})
+	if math.Abs(got-50) > 1 {
+		t.Errorf("after drift Predict(5) = %v, want ~50", got)
+	}
+}
+
+func TestRLSSetWeights(t *testing.T) {
+	r := NewRLS(2, 1, 100)
+	r.SetWeights([]float64{1, 2, 3})
+	if got := r.Predict([]float64{1, 1}); got != 6 {
+		t.Errorf("Predict = %v, want 6", got)
+	}
+}
+
+func TestKMeansSeparatesClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var xs [][]float64
+	centers := [][]float64{{0, 0}, {10, 10}, {-10, 10}}
+	for i := 0; i < 300; i++ {
+		c := centers[i%3]
+		xs = append(xs, []float64{
+			c[0] + rng.NormFloat64()*0.5,
+			c[1] + rng.NormFloat64()*0.5,
+		})
+	}
+	km := KMeans{K: 3}
+	if err := km.Fit(xs, rng); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if km.Distortion(xs) > 2 {
+		t.Errorf("distortion %v too high; centroids %v", km.Distortion(xs), km.Centroids())
+	}
+	// Every true centre should have a centroid within distance 1.
+	for _, c := range centers {
+		_, d2 := NearestCentroid(km.Centroids(), c)
+		if d2 > 1 {
+			t.Errorf("no centroid near %v (d2=%v)", c, d2)
+		}
+	}
+}
+
+func TestKMeansKLargerThanData(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := [][]float64{{1}, {2}}
+	km := KMeans{K: 10}
+	if err := km.Fit(xs, rng); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if len(km.Centroids()) > 2 {
+		t.Errorf("centroids = %d, want <= 2", len(km.Centroids()))
+	}
+}
+
+func TestOnlineAVQSpawnsAndPurges(t *testing.T) {
+	q := NewOnlineAVQ(4, 10)
+	for i := 0; i < 50; i++ {
+		q.Observe([]float64{0, 0})
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+	q.Observe([]float64{100, 100}) // far away -> spawn
+	if q.Len() != 2 {
+		t.Fatalf("after far point Len = %d, want 2", q.Len())
+	}
+	// Keep hitting the first prototype; the second goes stale.
+	for i := 0; i < 100; i++ {
+		q.Observe([]float64{0, 0})
+	}
+	removed := q.PurgeStale(50)
+	if len(removed) != 1 || q.Len() != 1 {
+		t.Errorf("PurgeStale removed %v, Len=%d; want 1 removal", removed, q.Len())
+	}
+}
+
+func TestOnlineAVQTracksMean(t *testing.T) {
+	q := NewOnlineAVQ(0, 1) // no spawning: single prototype
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		q.Observe([]float64{3 + rng.NormFloat64()*0.1, -2 + rng.NormFloat64()*0.1})
+	}
+	p := q.Prototypes()[0]
+	if math.Abs(p[0]-3) > 0.1 || math.Abs(p[1]+2) > 0.1 {
+		t.Errorf("prototype = %v, want ~[3 -2]", p)
+	}
+}
+
+func TestKNNRegressor(t *testing.T) {
+	xs := [][]float64{{0}, {1}, {2}, {10}, {11}, {12}}
+	ys := []float64{0, 0, 0, 100, 100, 100}
+	k := KNNRegressor{K: 3}
+	if err := k.Fit(xs, ys); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if got := k.Predict([]float64{1}); got != 0 {
+		t.Errorf("Predict(1) = %v, want 0", got)
+	}
+	if got := k.Predict([]float64{11}); got != 100 {
+		t.Errorf("Predict(11) = %v, want 100", got)
+	}
+}
+
+func TestKNNRegressorWeighted(t *testing.T) {
+	xs := [][]float64{{0}, {10}}
+	ys := []float64{0, 100}
+	k := KNNRegressor{K: 2, Weighted: true}
+	if err := k.Fit(xs, ys); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	// Close to x=0 the weighted estimate should be near 0, not 50.
+	if got := k.Predict([]float64{0.1}); got > 10 {
+		t.Errorf("weighted Predict(0.1) = %v, want near 0", got)
+	}
+}
+
+func TestKNNClassifier(t *testing.T) {
+	xs := [][]float64{{0, 0}, {0, 1}, {1, 0}, {5, 5}, {5, 6}, {6, 5}}
+	labels := []int{0, 0, 0, 1, 1, 1}
+	c := KNNClassifier{K: 3}
+	if err := c.Fit(xs, labels); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if got := c.Predict([]float64{0.2, 0.2}); got != 0 {
+		t.Errorf("Predict = %d, want 0", got)
+	}
+	if got := c.Predict([]float64{5.5, 5.5}); got != 1 {
+		t.Errorf("Predict = %d, want 1", got)
+	}
+}
+
+func TestRegressionTreeFitsStep(t *testing.T) {
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 100; i++ {
+		x := float64(i)
+		xs = append(xs, []float64{x})
+		if x < 50 {
+			ys = append(ys, 1)
+		} else {
+			ys = append(ys, 9)
+		}
+	}
+	tr := RegressionTree{MaxDepth: 2}
+	if err := tr.Fit(xs, ys); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if got := tr.Predict([]float64{10}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Predict(10) = %v, want 1", got)
+	}
+	if got := tr.Predict([]float64{90}); math.Abs(got-9) > 1e-9 {
+		t.Errorf("Predict(90) = %v, want 9", got)
+	}
+	if tr.Depth() < 1 {
+		t.Errorf("Depth = %d, want >= 1", tr.Depth())
+	}
+}
+
+func TestGradientBoostingBeatsMeanOnNonlinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 300; i++ {
+		x := rng.Float64() * 6
+		xs = append(xs, []float64{x})
+		ys = append(ys, math.Sin(x)*5)
+	}
+	gb := GradientBoosting{Rounds: 80, LearningRate: 0.2, MaxDepth: 2}
+	if err := gb.Fit(xs, ys); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	var pred, truth []float64
+	for i := 0; i < 100; i++ {
+		x := float64(i) * 0.06
+		pred = append(pred, gb.Predict([]float64{x}))
+		truth = append(truth, math.Sin(x)*5)
+	}
+	if r2 := R2(pred, truth); r2 < 0.8 {
+		t.Errorf("R2 = %v, want >= 0.8 (stages=%d)", r2, gb.Stages())
+	}
+}
+
+func TestSegmentedRegressionFindsBreak(t *testing.T) {
+	var xs, ys []float64
+	for i := 0; i < 100; i++ {
+		x := float64(i) / 10
+		xs = append(xs, x)
+		if x < 5 {
+			ys = append(ys, 2*x)
+		} else {
+			ys = append(ys, 10-3*(x-5))
+		}
+	}
+	sr := SegmentedRegression{Segments: 2, MinPoints: 5}
+	if err := sr.Fit(xs, ys); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	brs := sr.Breakpoints()
+	if len(brs) != 1 || math.Abs(brs[0]-5) > 0.5 {
+		t.Errorf("breakpoints = %v, want [~5]", brs)
+	}
+	if got := sr.Predict(2); math.Abs(got-4) > 0.2 {
+		t.Errorf("Predict(2) = %v, want ~4", got)
+	}
+	if got := sr.Predict(8); math.Abs(got-1) > 0.3 {
+		t.Errorf("Predict(8) = %v, want ~1", got)
+	}
+}
+
+func TestEvalMetrics(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	truth := []float64{1, 2, 5}
+	if got := MAE(pred, truth); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("MAE = %v", got)
+	}
+	if got := RMSE(pred, truth); math.Abs(got-math.Sqrt(4.0/3)) > 1e-12 {
+		t.Errorf("RMSE = %v", got)
+	}
+	if got := MAPE(pred, truth); math.Abs(got-(2.0/5)/3) > 1e-12 {
+		t.Errorf("MAPE = %v", got)
+	}
+	if got := R2(truth, truth); got != 1 {
+		t.Errorf("R2(perfect) = %v, want 1", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Errorf("median = %v", got)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+}
+
+func TestSelectModelPrefersLinearOnLinearData(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 120; i++ {
+		x := []float64{rng.Float64() * 10}
+		xs = append(xs, x)
+		ys = append(ys, 4*x[0]+1)
+	}
+	factories := map[string]func() Regressor{
+		"linear": func() Regressor { return &LinearRegression{} },
+		"knn":    func() Regressor { return &KNNRegressor{K: 5} },
+	}
+	best, scores, err := SelectModel(factories, xs, ys, 5, rng)
+	if err != nil {
+		t.Fatalf("SelectModel: %v", err)
+	}
+	if best != "linear" {
+		t.Errorf("best = %q (scores %v), want linear", best, scores)
+	}
+}
+
+func TestStandardScaler(t *testing.T) {
+	xs := [][]float64{{0, 100}, {10, 200}}
+	var s StandardScaler
+	if err := s.Fit(xs); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	out := s.Transform([]float64{5, 150})
+	if math.Abs(out[0]) > 1e-12 || math.Abs(out[1]) > 1e-12 {
+		t.Errorf("Transform(centre) = %v, want zeros", out)
+	}
+}
+
+// Property: correlation is symmetric and bounded in [-1, 1].
+func TestCorrelationProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(50)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		c1 := Correlation(x, y)
+		c2 := Correlation(y, x)
+		return math.Abs(c1-c2) < 1e-12 && c1 >= -1-1e-12 && c1 <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Cost of perfectly correlated series is 1.
+func TestCorrelationPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{2, 4, 6, 8}
+	if got := Correlation(x, y); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Correlation = %v, want 1", got)
+	}
+}
+
+// Property: RLS prediction after n observations of an exact linear
+// function matches the function on the observed points.
+func TestRLSExactRecoveryProperty(t *testing.T) {
+	f := func(a, b int8) bool {
+		w0 := float64(a) / 8
+		w1 := float64(b) / 8
+		r := NewRLS(1, 1, 1e6)
+		rng := rand.New(rand.NewSource(int64(a)*256 + int64(b)))
+		for i := 0; i < 200; i++ {
+			x := rng.Float64() * 10
+			r.Observe([]float64{x}, w0*x+w1)
+		}
+		got := r.Predict([]float64{5})
+		return math.Abs(got-(w0*5+w1)) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolyFeatures(t *testing.T) {
+	got := PolyFeatures([]float64{2, 3})
+	want := []float64{2, 3, 4, 6, 9}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("PolyFeatures[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if PolyDim(2) != 5 {
+		t.Errorf("PolyDim(2) = %d, want 5", PolyDim(2))
+	}
+}

@@ -1,0 +1,406 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RegressionTree is a CART regression tree with axis-aligned splits,
+// variance-reduction split selection, and depth/leaf-size stopping rules.
+// It serves the optimizer (RT3): learned cost models that decide between
+// execution alternatives are trees or boosted stumps over workload
+// features.
+type RegressionTree struct {
+	// MaxDepth bounds tree depth (default 4).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 2).
+	MinLeaf int
+
+	root *treeNode
+}
+
+type treeNode struct {
+	feature   int
+	threshold float64
+	value     float64
+	left      *treeNode
+	right     *treeNode
+}
+
+func (n *treeNode) isLeaf() bool { return n.left == nil }
+
+// Fit grows the tree on xs/ys.
+func (t *RegressionTree) Fit(xs [][]float64, ys []float64) error {
+	if len(xs) == 0 || len(ys) < len(xs) {
+		return fmt.Errorf("regression tree fit: %w", ErrNoData)
+	}
+	maxDepth := t.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 4
+	}
+	minLeaf := t.MinLeaf
+	if minLeaf <= 0 {
+		minLeaf = 2
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = growTree(xs, ys, idx, maxDepth, minLeaf)
+	return nil
+}
+
+// Predict routes x to a leaf and returns its mean target. Unfitted trees
+// return 0.
+func (t *RegressionTree) Predict(x []float64) float64 {
+	n := t.root
+	if n == nil {
+		return 0
+	}
+	for !n.isLeaf() {
+		if feat(x, n.feature) <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Depth returns the fitted tree's depth (0 for a stump/leaf-only tree).
+func (t *RegressionTree) Depth() int { return nodeDepth(t.root) }
+
+func nodeDepth(n *treeNode) int {
+	if n == nil || n.isLeaf() {
+		return 0
+	}
+	l, r := nodeDepth(n.left), nodeDepth(n.right)
+	if r > l {
+		l = r
+	}
+	return 1 + l
+}
+
+func feat(x []float64, j int) float64 {
+	if j < len(x) {
+		return x[j]
+	}
+	return 0
+}
+
+func growTree(xs [][]float64, ys []float64, idx []int, depth, minLeaf int) *treeNode {
+	node := &treeNode{value: meanAt(ys, idx)}
+	if depth == 0 || len(idx) < 2*minLeaf {
+		return node
+	}
+	bestFeat, bestThr, bestGain := -1, 0.0, 0.0
+	baseSSE := sseAt(ys, idx, node.value)
+	d := len(xs[idx[0]])
+	order := make([]int, len(idx))
+	for j := 0; j < d; j++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool {
+			return feat(xs[order[a]], j) < feat(xs[order[b]], j)
+		})
+		// Prefix sums over the sorted order allow O(n) split scanning.
+		var sumL, sumSqL float64
+		var sumR, sumSqR float64
+		for _, i := range order {
+			sumR += ys[i]
+			sumSqR += ys[i] * ys[i]
+		}
+		nL := 0
+		nR := len(order)
+		for s := 0; s < len(order)-1; s++ {
+			i := order[s]
+			sumL += ys[i]
+			sumSqL += ys[i] * ys[i]
+			sumR -= ys[i]
+			sumSqR -= ys[i] * ys[i]
+			nL++
+			nR--
+			v := feat(xs[i], j)
+			next := feat(xs[order[s+1]], j)
+			if v == next || nL < minLeaf || nR < minLeaf {
+				continue
+			}
+			sse := (sumSqL - sumL*sumL/float64(nL)) +
+				(sumSqR - sumR*sumR/float64(nR))
+			gain := baseSSE - sse
+			if gain > bestGain {
+				bestGain = gain
+				bestFeat = j
+				bestThr = (v + next) / 2
+			}
+		}
+	}
+	if bestFeat < 0 || bestGain <= 1e-12 {
+		return node
+	}
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if feat(xs[i], bestFeat) <= bestThr {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) == 0 || len(rightIdx) == 0 {
+		return node
+	}
+	node.feature = bestFeat
+	node.threshold = bestThr
+	node.left = growTree(xs, ys, leftIdx, depth-1, minLeaf)
+	node.right = growTree(xs, ys, rightIdx, depth-1, minLeaf)
+	return node
+}
+
+func meanAt(ys []float64, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	var s float64
+	for _, i := range idx {
+		s += ys[i]
+	}
+	return s / float64(len(idx))
+}
+
+func sseAt(ys []float64, idx []int, mean float64) float64 {
+	var s float64
+	for _, i := range idx {
+		d := ys[i] - mean
+		s += d * d
+	}
+	return s
+}
+
+// GradientBoosting is a gradient-boosted ensemble of shallow regression
+// trees fit to least-squares residuals — the "boosting-based ensemble
+// models" the paper cites ([41] Friedman, [42] XGBoost) as candidate
+// inference models (RT3.3).
+type GradientBoosting struct {
+	// Rounds is the number of boosting stages (default 50).
+	Rounds int
+	// LearningRate shrinks each stage (default 0.1).
+	LearningRate float64
+	// MaxDepth is the per-tree depth (default 2).
+	MaxDepth int
+	// MinLeaf is per-tree minimum leaf size (default 2).
+	MinLeaf int
+
+	base  float64
+	trees []*RegressionTree
+}
+
+// Fit trains the ensemble.
+func (g *GradientBoosting) Fit(xs [][]float64, ys []float64) error {
+	if len(xs) == 0 || len(ys) < len(xs) {
+		return fmt.Errorf("gradient boosting fit: %w", ErrNoData)
+	}
+	rounds := g.Rounds
+	if rounds <= 0 {
+		rounds = 50
+	}
+	lr := g.LearningRate
+	if lr <= 0 {
+		lr = 0.1
+	}
+	depth := g.MaxDepth
+	if depth <= 0 {
+		depth = 2
+	}
+	g.base = Mean(ys[:len(xs)])
+	g.trees = g.trees[:0]
+	resid := make([]float64, len(xs))
+	pred := make([]float64, len(xs))
+	for i := range pred {
+		pred[i] = g.base
+	}
+	for r := 0; r < rounds; r++ {
+		for i := range resid {
+			resid[i] = ys[i] - pred[i]
+		}
+		t := &RegressionTree{MaxDepth: depth, MinLeaf: g.MinLeaf}
+		if err := t.Fit(xs, resid); err != nil {
+			return err
+		}
+		g.trees = append(g.trees, t)
+		var improved bool
+		for i, x := range xs {
+			delta := lr * t.Predict(x)
+			pred[i] += delta
+			if delta != 0 {
+				improved = true
+			}
+		}
+		if !improved {
+			break // residuals exhausted; further rounds are no-ops
+		}
+	}
+	return nil
+}
+
+// Predict sums the shrunken stage predictions.
+func (g *GradientBoosting) Predict(x []float64) float64 {
+	lr := g.LearningRate
+	if lr <= 0 {
+		lr = 0.1
+	}
+	s := g.base
+	for _, t := range g.trees {
+		s += lr * t.Predict(x)
+	}
+	return s
+}
+
+// Stages returns the number of trees actually fit.
+func (g *GradientBoosting) Stages() int { return len(g.trees) }
+
+// SegmentedRegression fits a piecewise-linear model of a scalar function
+// y = f(x) with at most Segments pieces, choosing breakpoints by greedy
+// recursive splitting on SSE reduction. The paper proposes exactly this
+// form for query-answer explanations (RT4.2: "a (piecewise) linear
+// regression model showing how count ... depends on the size of the
+// subspace") and cites fast segmented regression [23].
+type SegmentedRegression struct {
+	// Segments caps the number of linear pieces (default 4).
+	Segments int
+	// MinPoints is the minimum samples per piece (default 4).
+	MinPoints int
+
+	breaks []float64 // ascending interior breakpoints
+	pieces []linearPiece
+}
+
+type linearPiece struct{ slope, intercept float64 }
+
+// Fit fits the piecewise model to scalar samples (xs[i], ys[i]).
+func (sr *SegmentedRegression) Fit(xs, ys []float64) error {
+	n := len(xs)
+	if n == 0 || len(ys) < n {
+		return fmt.Errorf("segmented regression fit: %w", ErrNoData)
+	}
+	segs := sr.Segments
+	if segs <= 0 {
+		segs = 4
+	}
+	minPts := sr.MinPoints
+	if minPts <= 0 {
+		minPts = 4
+	}
+	// Sort by x.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return xs[order[a]] < xs[order[b]] })
+	sx := make([]float64, n)
+	sy := make([]float64, n)
+	for i, o := range order {
+		sx[i] = xs[o]
+		sy[i] = ys[o]
+	}
+	// Greedy splitting: repeatedly split the segment whose best split
+	// yields the largest SSE reduction.
+	type span struct{ lo, hi int } // [lo, hi)
+	spans := []span{{0, n}}
+	for len(spans) < segs {
+		bestSpan, bestCut := -1, -1
+		bestGain := 1e-12
+		for si, sp := range spans {
+			if sp.hi-sp.lo < 2*minPts {
+				continue
+			}
+			base := lineSSE(sx, sy, sp.lo, sp.hi)
+			for cut := sp.lo + minPts; cut <= sp.hi-minPts; cut++ {
+				if sx[cut] == sx[cut-1] {
+					continue
+				}
+				g := base - lineSSE(sx, sy, sp.lo, cut) - lineSSE(sx, sy, cut, sp.hi)
+				if g > bestGain {
+					bestGain = g
+					bestSpan = si
+					bestCut = cut
+				}
+			}
+		}
+		if bestSpan < 0 {
+			break
+		}
+		sp := spans[bestSpan]
+		spans = append(spans[:bestSpan], append([]span{
+			{sp.lo, bestCut}, {bestCut, sp.hi},
+		}, spans[bestSpan+1:]...)...)
+	}
+	sort.Slice(spans, func(a, b int) bool { return spans[a].lo < spans[b].lo })
+	sr.breaks = sr.breaks[:0]
+	sr.pieces = sr.pieces[:0]
+	for i, sp := range spans {
+		slope, intercept := fitLine(sx, sy, sp.lo, sp.hi)
+		sr.pieces = append(sr.pieces, linearPiece{slope, intercept})
+		if i > 0 {
+			sr.breaks = append(sr.breaks, sx[sp.lo])
+		}
+	}
+	return nil
+}
+
+// Predict evaluates the piecewise model at x.
+func (sr *SegmentedRegression) Predict(x float64) float64 {
+	if len(sr.pieces) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(sr.breaks, x)
+	if i >= len(sr.pieces) {
+		i = len(sr.pieces) - 1
+	}
+	p := sr.pieces[i]
+	return p.slope*x + p.intercept
+}
+
+// Breakpoints returns a copy of the interior breakpoints (ascending).
+func (sr *SegmentedRegression) Breakpoints() []float64 {
+	return CopyVec(sr.breaks)
+}
+
+// Pieces returns the (slope, intercept) pairs of each piece in order.
+func (sr *SegmentedRegression) Pieces() (slopes, intercepts []float64) {
+	for _, p := range sr.pieces {
+		slopes = append(slopes, p.slope)
+		intercepts = append(intercepts, p.intercept)
+	}
+	return slopes, intercepts
+}
+
+func fitLine(xs, ys []float64, lo, hi int) (slope, intercept float64) {
+	n := float64(hi - lo)
+	if n == 0 {
+		return 0, 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := lo; i < hi; i++ {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if math.Abs(den) < 1e-12 {
+		return 0, sy / n
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept
+}
+
+func lineSSE(xs, ys []float64, lo, hi int) float64 {
+	slope, intercept := fitLine(xs, ys, lo, hi)
+	var s float64
+	for i := lo; i < hi; i++ {
+		d := ys[i] - (slope*xs[i] + intercept)
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,306 @@
+package sketch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Histogram1D is an equi-width histogram over a fixed [min, max) range.
+// Per-partition score histograms of this kind are the "statistical index
+// structures" the rank-join operator uses to bound how deep it must read
+// into each node's sorted run (ref [30]).
+type Histogram1D struct {
+	min, max float64
+	counts   []int64
+	total    int64
+}
+
+// NewHistogram1D builds an equi-width histogram with the given bucket
+// count over [min, max).
+func NewHistogram1D(min, max float64, buckets int) (*Histogram1D, error) {
+	if buckets < 1 || max <= min {
+		return nil, fmt.Errorf("%w: histogram [%g,%g) x%d", ErrBadParam, min, max, buckets)
+	}
+	return &Histogram1D{min: min, max: max, counts: make([]int64, buckets)}, nil
+}
+
+// Add records value v (values outside the range clamp to the edge
+// buckets).
+func (h *Histogram1D) Add(v float64) {
+	h.counts[h.bucket(v)]++
+	h.total++
+}
+
+func (h *Histogram1D) bucket(v float64) int {
+	if v < h.min {
+		return 0
+	}
+	b := int(float64(len(h.counts)) * (v - h.min) / (h.max - h.min))
+	if b >= len(h.counts) {
+		b = len(h.counts) - 1
+	}
+	return b
+}
+
+// Total returns the number of recorded values.
+func (h *Histogram1D) Total() int64 { return h.total }
+
+// CountAbove estimates how many recorded values are >= v, assuming
+// uniform spread within v's bucket. It never underestimates by more than
+// one bucket's population, which is the property the rank-join threshold
+// algorithm relies on.
+func (h *Histogram1D) CountAbove(v float64) int64 {
+	b := h.bucket(v)
+	var c int64
+	for i := b + 1; i < len(h.counts); i++ {
+		c += h.counts[i]
+	}
+	// Fraction of bucket b above v.
+	w := (h.max - h.min) / float64(len(h.counts))
+	lo := h.min + float64(b)*w
+	frac := 1 - (v-lo)/w
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	c += int64(frac * float64(h.counts[b]))
+	return c
+}
+
+// CountRange estimates how many recorded values fall in [lo, hi).
+func (h *Histogram1D) CountRange(lo, hi float64) int64 {
+	if hi <= lo {
+		return 0
+	}
+	return h.CountAbove(lo) - h.CountAbove(hi)
+}
+
+// QuantileAt returns an estimate of the q-th quantile (0..1) from the
+// histogram.
+func (h *Histogram1D) QuantileAt(q float64) float64 {
+	if h.total == 0 {
+		return h.min
+	}
+	target := q * float64(h.total)
+	var cum float64
+	w := (h.max - h.min) / float64(len(h.counts))
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if next >= target {
+			var frac float64
+			if c > 0 {
+				frac = (target - cum) / float64(c)
+			}
+			return h.min + (float64(i)+frac)*w
+		}
+		cum = next
+	}
+	return h.max
+}
+
+// EquiDepthHistogram holds bucket boundaries such that each bucket covers
+// roughly the same number of values. Built offline from a sorted sample.
+type EquiDepthHistogram struct {
+	bounds []float64 // len = buckets+1
+	depth  float64   // values per bucket
+	total  int64
+}
+
+// NewEquiDepth builds an equi-depth histogram with the given number of
+// buckets from the supplied values (copied and sorted internally).
+func NewEquiDepth(values []float64, buckets int) (*EquiDepthHistogram, error) {
+	if buckets < 1 || len(values) == 0 {
+		return nil, fmt.Errorf("%w: equi-depth x%d on %d values", ErrBadParam, buckets, len(values))
+	}
+	s := make([]float64, len(values))
+	copy(s, values)
+	sort.Float64s(s)
+	if buckets > len(s) {
+		buckets = len(s)
+	}
+	bounds := make([]float64, buckets+1)
+	for i := 0; i <= buckets; i++ {
+		idx := i * (len(s) - 1) / buckets
+		bounds[i] = s[idx]
+	}
+	return &EquiDepthHistogram{
+		bounds: bounds,
+		depth:  float64(len(s)) / float64(buckets),
+		total:  int64(len(s)),
+	}, nil
+}
+
+// CountRange estimates how many values fall in [lo, hi).
+func (h *EquiDepthHistogram) CountRange(lo, hi float64) int64 {
+	if hi <= lo || h.total == 0 {
+		return 0
+	}
+	return int64(h.cumBelow(hi) - h.cumBelow(lo))
+}
+
+func (h *EquiDepthHistogram) cumBelow(v float64) float64 {
+	n := len(h.bounds) - 1
+	if v <= h.bounds[0] {
+		return 0
+	}
+	if v >= h.bounds[n] {
+		return float64(h.total)
+	}
+	// Find bucket containing v.
+	i := sort.SearchFloat64s(h.bounds, v) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	lo, hi := h.bounds[i], h.bounds[i+1]
+	frac := 0.5
+	if hi > lo {
+		frac = (v - lo) / (hi - lo)
+	}
+	return float64(i)*h.depth + frac*h.depth
+}
+
+// Bounds returns a copy of the bucket boundaries.
+func (h *EquiDepthHistogram) Bounds() []float64 {
+	out := make([]float64, len(h.bounds))
+	copy(out, h.bounds)
+	return out
+}
+
+// GridHistogram is a d-dimensional equi-width grid over a bounding box,
+// counting points per cell. It doubles as a density synopsis for
+// selectivity estimation (optimizer features) and as the coarse routing
+// structure for multi-dimensional range counts.
+type GridHistogram struct {
+	mins, maxs []float64
+	cellsPer   int
+	counts     []int64
+	total      int64
+}
+
+// NewGridHistogram builds a grid with cellsPer cells along each of the
+// len(mins) dimensions. Memory is cellsPer^d counters, so keep d small.
+func NewGridHistogram(mins, maxs []float64, cellsPer int) (*GridHistogram, error) {
+	if len(mins) == 0 || len(mins) != len(maxs) || cellsPer < 1 {
+		return nil, fmt.Errorf("%w: grid histogram", ErrBadParam)
+	}
+	size := 1
+	for range mins {
+		size *= cellsPer
+		if size > 1<<24 {
+			return nil, fmt.Errorf("%w: grid too large", ErrBadParam)
+		}
+	}
+	return &GridHistogram{
+		mins:     append([]float64(nil), mins...),
+		maxs:     append([]float64(nil), maxs...),
+		cellsPer: cellsPer,
+		counts:   make([]int64, size),
+	}, nil
+}
+
+// Add records point p.
+func (g *GridHistogram) Add(p []float64) {
+	g.counts[g.cellIndex(p)]++
+	g.total++
+}
+
+func (g *GridHistogram) cellIndex(p []float64) int {
+	idx := 0
+	for d := range g.mins {
+		c := g.coord(p[d], d)
+		idx = idx*g.cellsPer + c
+	}
+	return idx
+}
+
+func (g *GridHistogram) coord(v float64, d int) int {
+	span := g.maxs[d] - g.mins[d]
+	if span <= 0 {
+		return 0
+	}
+	c := int(float64(g.cellsPer) * (v - g.mins[d]) / span)
+	if c < 0 {
+		c = 0
+	}
+	if c >= g.cellsPer {
+		c = g.cellsPer - 1
+	}
+	return c
+}
+
+// Total returns the number of recorded points.
+func (g *GridHistogram) Total() int64 { return g.total }
+
+// EstimateRange estimates the number of points inside the axis-aligned
+// box [los, his], pro-rating partially covered boundary cells by overlap
+// volume. Dimensions beyond len(los)/len(his) are treated as fully
+// covered (the box does not constrain them).
+func (g *GridHistogram) EstimateRange(los, his []float64) float64 {
+	d := len(g.mins)
+	loC := make([]int, d)
+	hiC := make([]int, d)
+	for i := 0; i < d; i++ {
+		if i >= len(los) || i >= len(his) {
+			loC[i] = 0
+			hiC[i] = g.cellsPer - 1
+			continue
+		}
+		loC[i] = g.coord(los[i], i)
+		hiC[i] = g.coord(his[i], i)
+	}
+	var est float64
+	cur := make([]int, d)
+	copy(cur, loC)
+	for {
+		// Fraction of cell cur covered by the box, per dimension.
+		frac := 1.0
+		idx := 0
+		for i := 0; i < d; i++ {
+			if i >= len(los) || i >= len(his) {
+				idx = idx*g.cellsPer + cur[i]
+				continue // unconstrained dimension: full cell
+			}
+			w := (g.maxs[i] - g.mins[i]) / float64(g.cellsPer)
+			cellLo := g.mins[i] + float64(cur[i])*w
+			cellHi := cellLo + w
+			lo := los[i]
+			if cellLo > lo {
+				lo = cellLo
+			}
+			hi := his[i]
+			if cellHi < hi {
+				hi = cellHi
+			}
+			if hi <= lo {
+				frac = 0
+				break
+			}
+			frac *= (hi - lo) / w
+			idx = idx*g.cellsPer + cur[i]
+		}
+		if frac > 0 {
+			est += frac * float64(g.counts[idx])
+		}
+		// Advance the odometer.
+		i := d - 1
+		for ; i >= 0; i-- {
+			cur[i]++
+			if cur[i] <= hiC[i] {
+				break
+			}
+			cur[i] = loC[i]
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return est
+}
+
+// Bytes returns the grid's memory footprint.
+func (g *GridHistogram) Bytes() int64 { return int64(len(g.counts)) * 8 }

@@ -1,0 +1,217 @@
+// Package sketch provides the data synopses that approximate-query-
+// processing engines rely on (paper §II, refs [15][16]): count-min
+// sketches, bloom filters, hyperloglog distinct counters, reservoir and
+// stratified samplers, and one- and multi-dimensional histograms.
+//
+// These power the internal/aqp BlinkDB-style baseline and the statistical
+// indexes of RT2; SEA's own agent deliberately does NOT use them (its
+// models are trained on query/answer pairs, never on base data), which is
+// the paradigm contrast the experiments quantify.
+package sketch
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrBadParam is returned for out-of-range constructor parameters.
+var ErrBadParam = errors.New("sketch: bad parameter")
+
+// hash64 is a splitmix64-style finalizer over key perturbed by seed; it
+// has full avalanche, which matters for the near-sequential keys typical
+// of simulated datasets.
+func hash64(key uint64, seed uint64) uint64 {
+	x := key + (seed+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// CountMin is a count-min sketch over uint64 keys (ref [16]).
+type CountMin struct {
+	width, depth int
+	counts       [][]uint64
+}
+
+// NewCountMin builds a sketch with the given width (counters per row) and
+// depth (independent hash rows). Estimation error is ~2N/width with
+// probability 1-(1/2)^depth.
+func NewCountMin(width, depth int) (*CountMin, error) {
+	if width < 1 || depth < 1 {
+		return nil, ErrBadParam
+	}
+	counts := make([][]uint64, depth)
+	for i := range counts {
+		counts[i] = make([]uint64, width)
+	}
+	return &CountMin{width: width, depth: depth, counts: counts}, nil
+}
+
+// Add increments key's count by delta.
+func (c *CountMin) Add(key uint64, delta uint64) {
+	for d := 0; d < c.depth; d++ {
+		idx := hash64(key, uint64(d)) % uint64(c.width)
+		c.counts[d][idx] += delta
+	}
+}
+
+// Estimate returns the (over-)estimate of key's count.
+func (c *CountMin) Estimate(key uint64) uint64 {
+	var est uint64 = math.MaxUint64
+	for d := 0; d < c.depth; d++ {
+		idx := hash64(key, uint64(d)) % uint64(c.width)
+		if v := c.counts[d][idx]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// Bytes returns the memory footprint of the counter array, for the
+// storage-cost comparisons of E2.
+func (c *CountMin) Bytes() int64 {
+	return int64(c.width) * int64(c.depth) * 8
+}
+
+// Bloom is a bloom filter over uint64 keys, used by the rank-join
+// operator to prune probes that cannot match (semi-join filtering).
+type Bloom struct {
+	bits  []uint64
+	m     uint64 // number of bits
+	k     int    // hash count
+	added int64
+}
+
+// NewBloom sizes a filter for n expected keys at false-positive rate fp.
+func NewBloom(n int, fp float64) (*Bloom, error) {
+	if n < 1 || fp <= 0 || fp >= 1 {
+		return nil, ErrBadParam
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(fp) / (math.Ln2 * math.Ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	return &Bloom{bits: make([]uint64, (m+63)/64), m: m, k: k}, nil
+}
+
+// Add inserts key.
+func (b *Bloom) Add(key uint64) {
+	for i := 0; i < b.k; i++ {
+		bit := hash64(key, uint64(i)) % b.m
+		b.bits[bit/64] |= 1 << (bit % 64)
+	}
+	b.added++
+}
+
+// MayContain reports whether key might have been added (no false
+// negatives).
+func (b *Bloom) MayContain(key uint64) bool {
+	for i := 0; i < b.k; i++ {
+		bit := hash64(key, uint64(i)) % b.m
+		if b.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Bytes returns the filter's memory footprint.
+func (b *Bloom) Bytes() int64 { return int64(len(b.bits)) * 8 }
+
+// HyperLogLog estimates the number of distinct uint64 keys observed.
+type HyperLogLog struct {
+	p         uint8 // precision: m = 2^p registers
+	registers []uint8
+}
+
+// NewHyperLogLog creates an estimator with 2^p registers, 4 <= p <= 16.
+func NewHyperLogLog(p uint8) (*HyperLogLog, error) {
+	if p < 4 || p > 16 {
+		return nil, ErrBadParam
+	}
+	return &HyperLogLog{p: p, registers: make([]uint8, 1<<p)}, nil
+}
+
+// Add observes key.
+func (h *HyperLogLog) Add(key uint64) {
+	x := hash64(key, 0xd6e8feb86659fd93)
+	idx := x >> (64 - h.p)
+	rest := x<<h.p | 1<<(h.p-1) // ensure non-zero
+	rank := uint8(1)
+	for rest&0x8000000000000000 == 0 {
+		rank++
+		rest <<= 1
+	}
+	if rank > h.registers[idx] {
+		h.registers[idx] = rank
+	}
+}
+
+// Estimate returns the cardinality estimate with the standard bias
+// corrections for small and large ranges.
+func (h *HyperLogLog) Estimate() float64 {
+	m := float64(len(h.registers))
+	var sum float64
+	zeros := 0
+	for _, r := range h.registers {
+		sum += math.Pow(2, -float64(r))
+		if r == 0 {
+			zeros++
+		}
+	}
+	alpha := 0.7213 / (1 + 1.079/m)
+	est := alpha * m * m / sum
+	if est <= 2.5*m && zeros > 0 {
+		// Linear counting for the small range.
+		est = m * math.Log(m/float64(zeros))
+	}
+	return est
+}
+
+// Reservoir keeps a uniform sample of up to k items from a stream using
+// Vitter's algorithm R. The caller supplies random draws so the package
+// stays deterministic under seeded simulation RNGs.
+type Reservoir struct {
+	k     int
+	seen  int64
+	items []float64
+}
+
+// NewReservoir creates a reservoir of capacity k.
+func NewReservoir(k int) (*Reservoir, error) {
+	if k < 1 {
+		return nil, ErrBadParam
+	}
+	return &Reservoir{k: k, items: make([]float64, 0, k)}, nil
+}
+
+// Offer streams value v; u must be a uniform draw in [0,1) from the
+// caller's RNG.
+func (r *Reservoir) Offer(v float64, u float64) {
+	r.seen++
+	if len(r.items) < r.k {
+		r.items = append(r.items, v)
+		return
+	}
+	j := int64(u * float64(r.seen))
+	if j < int64(r.k) {
+		r.items[j] = v
+	}
+}
+
+// Items returns a copy of the current sample.
+func (r *Reservoir) Items() []float64 {
+	out := make([]float64, len(r.items))
+	copy(out, r.items)
+	return out
+}
+
+// Seen returns the number of offered items.
+func (r *Reservoir) Seen() int64 { return r.seen }

@@ -1,0 +1,233 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountMinNeverUnderestimates(t *testing.T) {
+	cm, err := NewCountMin(256, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		k := uint64(rng.Intn(300))
+		cm.Add(k, 1)
+		truth[k]++
+	}
+	for k, want := range truth {
+		if got := cm.Estimate(k); got < want {
+			t.Fatalf("Estimate(%d) = %d underestimates truth %d", k, got, want)
+		}
+	}
+	if cm.Bytes() != 256*4*8 {
+		t.Errorf("Bytes = %d", cm.Bytes())
+	}
+}
+
+func TestCountMinBadParams(t *testing.T) {
+	if _, err := NewCountMin(0, 1); err == nil {
+		t.Error("want error for zero width")
+	}
+	if _, err := NewCountMin(1, 0); err == nil {
+		t.Error("want error for zero depth")
+	}
+}
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	b, err := NewBloom(1000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 1000; k++ {
+		b.Add(k * 7919)
+	}
+	for k := uint64(0); k < 1000; k++ {
+		if !b.MayContain(k * 7919) {
+			t.Fatalf("false negative for %d", k*7919)
+		}
+	}
+	// False-positive rate should be near the target.
+	fp := 0
+	for k := uint64(0); k < 10000; k++ {
+		if b.MayContain(1e12 + k) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / 10000; rate > 0.05 {
+		t.Errorf("false positive rate %v too high", rate)
+	}
+}
+
+func TestHyperLogLogAccuracy(t *testing.T) {
+	h, err := NewHyperLogLog(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		h.Add(uint64(i) * 2654435761)
+	}
+	est := h.Estimate()
+	if math.Abs(est-n)/n > 0.05 {
+		t.Errorf("Estimate = %v, want within 5%% of %d", est, n)
+	}
+}
+
+func TestHyperLogLogSmallRange(t *testing.T) {
+	h, _ := NewHyperLogLog(10)
+	for i := 0; i < 10; i++ {
+		h.Add(uint64(i))
+	}
+	est := h.Estimate()
+	if est < 5 || est > 20 {
+		t.Errorf("small-range Estimate = %v, want ~10", est)
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r, err := NewReservoir(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		r.Offer(float64(i), rng.Float64())
+	}
+	items := r.Items()
+	if len(items) != 100 {
+		t.Fatalf("sample size = %d, want 100", len(items))
+	}
+	// Mean of a uniform sample of 0..9999 should be near 5000.
+	var s float64
+	for _, v := range items {
+		s += v
+	}
+	mean := s / 100
+	if mean < 3800 || mean > 6200 {
+		t.Errorf("sample mean = %v, want near 5000", mean)
+	}
+	if r.Seen() != 10000 {
+		t.Errorf("Seen = %d", r.Seen())
+	}
+}
+
+func TestHistogram1DCounts(t *testing.T) {
+	h, err := NewHistogram1D(0, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.Total() != 100 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if got := h.CountAbove(50); got < 45 || got > 55 {
+		t.Errorf("CountAbove(50) = %d, want ~50", got)
+	}
+	if got := h.CountRange(20, 30); got < 8 || got > 12 {
+		t.Errorf("CountRange(20,30) = %d, want ~10", got)
+	}
+	if got := h.QuantileAt(0.5); got < 45 || got > 55 {
+		t.Errorf("QuantileAt(0.5) = %v, want ~50", got)
+	}
+}
+
+func TestHistogram1DClamping(t *testing.T) {
+	h, _ := NewHistogram1D(0, 10, 5)
+	h.Add(-100)
+	h.Add(100)
+	if h.Total() != 2 {
+		t.Errorf("Total = %d, want 2 (clamped)", h.Total())
+	}
+}
+
+func TestEquiDepth(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	h, err := NewEquiDepth(vals, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.CountRange(0, 500); math.Abs(float64(got)-500) > 25 {
+		t.Errorf("CountRange(0,500) = %d, want ~500", got)
+	}
+	if got := h.CountRange(900, 1000); math.Abs(float64(got)-100) > 25 {
+		t.Errorf("CountRange(900,1000) = %d, want ~100", got)
+	}
+	if got := h.CountRange(5, 5); got != 0 {
+		t.Errorf("empty range = %d", got)
+	}
+}
+
+func TestGridHistogramEstimate(t *testing.T) {
+	g, err := NewGridHistogram([]float64{0, 0}, []float64{10, 10}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	const n = 20000
+	for i := 0; i < n; i++ {
+		g.Add([]float64{rng.Float64() * 10, rng.Float64() * 10})
+	}
+	// Quarter box should hold ~n/4.
+	est := g.EstimateRange([]float64{0, 0}, []float64{5, 5})
+	if math.Abs(est-n/4)/(n/4) > 0.1 {
+		t.Errorf("EstimateRange = %v, want ~%d", est, n/4)
+	}
+	// Full box returns everything.
+	full := g.EstimateRange([]float64{0, 0}, []float64{10, 10})
+	if math.Abs(full-n) > n*0.01 {
+		t.Errorf("full-range estimate = %v, want %d", full, n)
+	}
+}
+
+func TestGridHistogramTooLarge(t *testing.T) {
+	mins := make([]float64, 10)
+	maxs := make([]float64, 10)
+	for i := range maxs {
+		maxs[i] = 1
+	}
+	if _, err := NewGridHistogram(mins, maxs, 32); err == nil {
+		t.Error("want error for oversized grid")
+	}
+}
+
+// Property: CountAbove is monotonically non-increasing in v.
+func TestHistogramMonotoneProperty(t *testing.T) {
+	h, _ := NewHistogram1D(0, 1, 32)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		h.Add(rng.Float64())
+	}
+	f := func(a, b float64) bool {
+		a = math.Abs(math.Mod(a, 1))
+		b = math.Abs(math.Mod(b, 1))
+		if a > b {
+			a, b = b, a
+		}
+		return h.CountAbove(a) >= h.CountAbove(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: bloom filter never forgets an added key.
+func TestBloomProperty(t *testing.T) {
+	b, _ := NewBloom(500, 0.02)
+	f := func(key uint64) bool {
+		b.Add(key)
+		return b.MayContain(key)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

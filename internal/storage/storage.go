@@ -1,0 +1,330 @@
+// Package storage simulates the distributed storage back-end of a BDAS
+// (paper §I: "a distributed file system, distributed SQL or NoSQL modern
+// databases, or often a combination"): tables of numeric rows hash- or
+// range-partitioned across the cluster's data nodes, with replication,
+// cost-accounted scans and point reads, and a version counter that model
+// maintenance (RT1.4) subscribes to.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+)
+
+// ErrNoSuchPartition is returned for out-of-range partition indices.
+var ErrNoSuchPartition = errors.New("storage: no such partition")
+
+// ErrSchemaMismatch is returned when a row's width disagrees with the
+// table schema.
+var ErrSchemaMismatch = errors.New("storage: schema mismatch")
+
+// ErrAllReplicasDown is returned when a partition's primary and replica
+// nodes have both failed.
+var ErrAllReplicasDown = errors.New("storage: all replicas down")
+
+// Row is one stored record: a key plus a numeric attribute vector.
+type Row struct {
+	// Key is the record identifier (join key for rank-join workloads).
+	Key uint64
+	// Vec holds the attribute values, one per schema column.
+	Vec []float64
+}
+
+// Bytes returns the serialised size of the row under the simulator's
+// fixed-width encoding (8 bytes per field plus the key).
+func (r Row) Bytes() int64 { return 8 + 8*int64(len(r.Vec)) }
+
+// Partitioning selects how rows map to partitions.
+type Partitioning int
+
+// Partitioning schemes.
+const (
+	// HashPartition assigns rows by hash of key (NoSQL-store default).
+	HashPartition Partitioning = iota + 1
+	// RangePartition assigns rows by ranges of Vec[0] (sorted stores).
+	RangePartition
+)
+
+// Table is a partitioned, replicated table. Partition i's primary lives
+// on node i mod N; its replica on node (i+1) mod N. Tables are built by
+// bulk load and support in-place updates (for maintenance experiments)
+// but not re-partitioning.
+type Table struct {
+	name    string
+	columns []string
+	parts   [][]Row
+	scheme  Partitioning
+	cl      *cluster.Cluster
+	version int64
+
+	// Range partitioning metadata: partition i covers
+	// [bounds[i], bounds[i+1]) of Vec[0].
+	bounds []float64
+
+	rows int64
+}
+
+// Option configures table construction.
+type Option func(*Table)
+
+// WithRangePartitioning switches the table to range partitioning on
+// Vec[0] with the given ascending boundary values (len = partitions-1).
+func WithRangePartitioning(bounds []float64) Option {
+	return func(t *Table) {
+		t.scheme = RangePartition
+		t.bounds = append([]float64(nil), bounds...)
+	}
+}
+
+// NewTable creates an empty table named name with the given columns,
+// spread over nParts partitions on cl.
+func NewTable(cl *cluster.Cluster, name string, columns []string, nParts int, opts ...Option) (*Table, error) {
+	if nParts < 1 {
+		return nil, fmt.Errorf("storage: table %q needs >= 1 partition", name)
+	}
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("storage: table %q needs >= 1 column", name)
+	}
+	t := &Table{
+		name:    name,
+		columns: append([]string(nil), columns...),
+		parts:   make([][]Row, nParts),
+		scheme:  HashPartition,
+		cl:      cl,
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	if t.scheme == RangePartition && len(t.bounds) != nParts-1 {
+		return nil, fmt.Errorf("storage: table %q: range partitioning needs %d bounds, got %d",
+			name, nParts-1, len(t.bounds))
+	}
+	return t, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Columns returns a copy of the column names.
+func (t *Table) Columns() []string { return append([]string(nil), t.columns...) }
+
+// Partitions returns the partition count.
+func (t *Table) Partitions() int { return len(t.parts) }
+
+// Rows returns the total row count.
+func (t *Table) Rows() int64 { return t.rows }
+
+// Version returns the table's data version; every mutating operation
+// increments it. SEA agents compare versions to detect base-data updates
+// (RT1.4 model maintenance).
+func (t *Table) Version() int64 { return t.version }
+
+// RowBytes returns the per-row serialised size.
+func (t *Table) RowBytes() int64 { return 8 + 8*int64(len(t.columns)) }
+
+// PartitionFor returns the partition index that key/vec map to.
+func (t *Table) PartitionFor(key uint64, vec []float64) int {
+	if t.scheme == RangePartition && len(vec) > 0 {
+		v := vec[0]
+		for i, b := range t.bounds {
+			if v < b {
+				return i
+			}
+		}
+		return len(t.parts) - 1
+	}
+	// splitmix-style key mix keeps hash partitioning uniform even for
+	// sequential keys.
+	x := key
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	return int(x % uint64(len(t.parts)))
+}
+
+// primaryNode returns the node hosting partition p's primary copy.
+func (t *Table) primaryNode(p int) int { return p % t.cl.Size() }
+
+// replicaNode returns the node hosting partition p's replica.
+func (t *Table) replicaNode(p int) int { return (p + 1) % t.cl.Size() }
+
+// Load bulk-inserts rows (no cost accounting: load is out-of-band, like
+// an ETL job preceding the experiments).
+func (t *Table) Load(rows []Row) error {
+	for _, r := range rows {
+		if len(r.Vec) != len(t.columns) {
+			return fmt.Errorf("%w: row width %d, table %q width %d",
+				ErrSchemaMismatch, len(r.Vec), t.name, len(t.columns))
+		}
+		p := t.PartitionFor(r.Key, r.Vec)
+		t.parts[p] = append(t.parts[p], r)
+	}
+	t.rows += int64(len(rows))
+	t.version++
+	return nil
+}
+
+// readableNode picks the primary if healthy, else the replica, else
+// fails.
+func (t *Table) readableNode(p int) (int, error) {
+	if n := t.primaryNode(p); !t.cl.Failed(n) {
+		return n, nil
+	}
+	if n := t.replicaNode(p); !t.cl.Failed(n) {
+		return n, nil
+	}
+	return 0, fmt.Errorf("%w: partition %d of %q", ErrAllReplicasDown, p, t.name)
+}
+
+// ScanPartition returns partition p's rows and the cost of scanning them
+// on the hosting node. The returned slice aliases table storage and must
+// not be mutated.
+func (t *Table) ScanPartition(p int) ([]Row, metrics.Cost, error) {
+	if p < 0 || p >= len(t.parts) {
+		return nil, metrics.Cost{}, fmt.Errorf("%w: %d of %d", ErrNoSuchPartition, p, len(t.parts))
+	}
+	if _, err := t.readableNode(p); err != nil {
+		return nil, metrics.Cost{}, err
+	}
+	rows := t.parts[p]
+	cost := t.cl.ScanCost(int64(len(rows)), t.RowBytes())
+	return rows, cost, nil
+}
+
+// ScanPartitionPrefix reads only the first n rows of partition p — the
+// "surgical access" primitive (P3): an index tells the caller how deep to
+// read into a sorted run, and only that prefix is charged.
+func (t *Table) ScanPartitionPrefix(p, n int) ([]Row, metrics.Cost, error) {
+	rows, _, err := t.ScanPartition(p)
+	if err != nil {
+		return nil, metrics.Cost{}, err
+	}
+	if n > len(rows) {
+		n = len(rows)
+	}
+	if n < 0 {
+		n = 0
+	}
+	cost := t.cl.ScanCost(int64(n), t.RowBytes())
+	return rows[:n], cost, nil
+}
+
+// ScanPartitionRange reads rows [from, to) of partition p, charging only
+// that segment — the incremental pull primitive of threshold-algorithm
+// operators, which deepen their read of a sorted run round by round.
+func (t *Table) ScanPartitionRange(p, from, to int) ([]Row, metrics.Cost, error) {
+	rows, _, err := t.ScanPartition(p)
+	if err != nil {
+		return nil, metrics.Cost{}, err
+	}
+	if from < 0 {
+		from = 0
+	}
+	if to > len(rows) {
+		to = len(rows)
+	}
+	if from >= to {
+		return nil, metrics.Cost{}, nil
+	}
+	cost := t.cl.ScanCost(int64(to-from), t.RowBytes())
+	return rows[from:to], cost, nil
+}
+
+// HostNode returns the node that a read of partition p would hit now
+// (primary, or replica after failover).
+func (t *Table) HostNode(p int) (int, error) {
+	if p < 0 || p >= len(t.parts) {
+		return 0, fmt.Errorf("%w: %d", ErrNoSuchPartition, p)
+	}
+	return t.readableNode(p)
+}
+
+// Get performs a point lookup by key: it routes to the key's partition
+// and charges a hash-probe (single-row) read rather than a scan.
+func (t *Table) Get(key uint64) (Row, bool, metrics.Cost, error) {
+	p := t.PartitionFor(key, nil)
+	if t.scheme == RangePartition {
+		// Range-partitioned tables cannot route point lookups by key;
+		// fall back to scanning all partitions' keys (charged as scans).
+		var total metrics.Cost
+		for pi := range t.parts {
+			rows, c, err := t.ScanPartition(pi)
+			total = total.Merge(c)
+			if err != nil {
+				return Row{}, false, total, err
+			}
+			for _, r := range rows {
+				if r.Key == key {
+					return r, true, total, nil
+				}
+			}
+		}
+		return Row{}, false, total, nil
+	}
+	if _, err := t.readableNode(p); err != nil {
+		return Row{}, false, metrics.Cost{}, err
+	}
+	// Hash-indexed probe: O(1) storage touch, one row read.
+	cost := t.cl.ScanCost(1, t.RowBytes())
+	for _, r := range t.parts[p] {
+		if r.Key == key {
+			return r, true, cost, nil
+		}
+	}
+	return Row{}, false, cost, nil
+}
+
+// Append inserts one row online (charged as one write on the primary and
+// one LAN replication transfer) and bumps the version.
+func (t *Table) Append(r Row) (metrics.Cost, error) {
+	if len(r.Vec) != len(t.columns) {
+		return metrics.Cost{}, fmt.Errorf("%w: row width %d, table %q width %d",
+			ErrSchemaMismatch, len(r.Vec), t.name, len(t.columns))
+	}
+	p := t.PartitionFor(r.Key, r.Vec)
+	t.parts[p] = append(t.parts[p], r)
+	t.rows++
+	t.version++
+	cost := t.cl.ScanCost(1, t.RowBytes()).Add(t.cl.TransferLAN(r.Bytes()))
+	return cost, nil
+}
+
+// UpdateWhere applies fn to every row satisfying pred, in place, and
+// returns how many rows changed. The cost is a full scan of all
+// partitions (updates are rare maintenance events in the experiments).
+func (t *Table) UpdateWhere(pred func(Row) bool, fn func(*Row)) (int64, metrics.Cost, error) {
+	var changed int64
+	var total metrics.Cost
+	for p := range t.parts {
+		rows, c, err := t.ScanPartition(p)
+		total = total.Merge(c)
+		if err != nil {
+			return changed, total, err
+		}
+		for i := range rows {
+			if pred(rows[i]) {
+				fn(&t.parts[p][i])
+				changed++
+			}
+		}
+	}
+	if changed > 0 {
+		t.version++
+	}
+	return changed, total, nil
+}
+
+// SortPartitions orders every partition by less. Rank-aware indexes
+// (ref [30]) require score-sorted runs; the sort itself is an offline
+// index-build step and is not cost-charged.
+func (t *Table) SortPartitions(less func(a, b Row) bool) {
+	for p := range t.parts {
+		rows := t.parts[p]
+		sort.Slice(rows, func(i, j int) bool { return less(rows[i], rows[j]) })
+	}
+	t.version++
+}

@@ -1,0 +1,200 @@
+package sea_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/workload"
+	"repro/sea"
+)
+
+func loadedSystem(t *testing.T, nRows int) *sea.System {
+	t.Helper()
+	sys, err := sea.NewSystem(sea.SystemConfig{
+		Nodes:   4,
+		Columns: []string{"x", "y", "z"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := workload.NewRNG(121)
+	rows := workload.GaussianMixture(rng, nRows, 3, workload.DefaultMixture(3), 0)
+	workload.CorrelatedColumns(rng, rows, 0, 2, 2, 5, 1)
+	if err := sys.Load(rows); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := sea.NewSystem(sea.SystemConfig{}); err == nil {
+		t.Error("missing columns accepted")
+	}
+	sys, err := sea.NewSystem(sea.SystemConfig{Columns: []string{"x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.NewAgent(sea.AgentConfig{Dims: 1}); !errors.Is(err, sea.ErrNotLoaded) {
+		t.Errorf("agent before load: err = %v", err)
+	}
+	if _, _, err := sys.ExactCohort(sea.Query{}); !errors.Is(err, sea.ErrNotLoaded) {
+		t.Errorf("query before load: err = %v", err)
+	}
+}
+
+func TestSelectionConstructors(t *testing.T) {
+	r := sea.Range([]float64{0, 0}, []float64{1, 1})
+	if r.IsRadius() || r.Dims() != 2 {
+		t.Error("Range constructor wrong")
+	}
+	s := sea.Radius([]float64{1, 2}, 3)
+	if !s.IsRadius() || s.Radius != 3 {
+		t.Error("Radius constructor wrong")
+	}
+	// Constructors copy their inputs.
+	base := []float64{0, 0}
+	r2 := sea.Range(base, []float64{1, 1})
+	base[0] = 99
+	if r2.Los[0] != 0 {
+		t.Error("Range aliases caller slice")
+	}
+}
+
+func TestEndToEndAgentFlow(t *testing.T) {
+	sys := loadedSystem(t, 8000)
+	agent, err := sys.NewAgent(sea.AgentConfig{
+		Dims: 2, TrainingQueries: 250, UseMapReduceOracle: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := workload.NewQueryStream(workload.NewRNG(122), workload.DefaultRegions(2), query.Count)
+	for i := 0; i < 250; i++ {
+		if _, err := agent.Answer(qs.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var predicted int
+	for i := 0; i < 100; i++ {
+		ans, err := agent.Answer(qs.Next())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ans.Predicted {
+			predicted++
+		}
+	}
+	if predicted == 0 {
+		t.Fatal("agent never predicted through public API")
+	}
+	st := agent.Stats()
+	if st.PredictionRate() == 0 {
+		t.Error("stats show no predictions")
+	}
+}
+
+func TestConvenienceAggregates(t *testing.T) {
+	sys := loadedSystem(t, 4000)
+	agent, err := sys.NewAgent(sea.AgentConfig{Dims: 2, TrainingQueries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := sea.Range([]float64{15, 15}, []float64{35, 35})
+	truthCount, _, err := sys.ExactCohort(sea.Query{Select: sel, Aggregate: sea.Count})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := agent.Count(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With TrainingQueries=1, the second query may or may not predict;
+	// either way an exact pass must agree with the executor.
+	if !ans.Predicted && math.Abs(ans.Value-truthCount.Value) > 1e-9 {
+		t.Errorf("Count = %v, truth %v", ans.Value, truthCount.Value)
+	}
+	if _, err := agent.Average(sel, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.Sum(sel, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.Correlation(sel, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.Slope(sel, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplainThroughFacade(t *testing.T) {
+	sys := loadedSystem(t, 8000)
+	agent, err := sys.NewAgent(sea.AgentConfig{Dims: 2, TrainingQueries: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := workload.NewQueryStream(workload.NewRNG(123), workload.DefaultRegions(2), query.Count)
+	for i := 0; i < 400; i++ {
+		if _, err := agent.Answer(qs.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var explained bool
+	for i := 0; i < 100 && !explained; i++ {
+		q := qs.Next()
+		ex, err := agent.Explain(q)
+		if err != nil {
+			continue
+		}
+		explained = true
+		if len(ex.Slopes) == 0 {
+			t.Error("explanation has no curve")
+		}
+	}
+	if !explained {
+		t.Error("no query could be explained")
+	}
+}
+
+func TestSubspacesWhere(t *testing.T) {
+	sys := loadedSystem(t, 8000)
+	agent, err := sys.NewAgent(sea.AgentConfig{Dims: 2, TrainingQueries: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := workload.NewQueryStream(workload.NewRNG(124), workload.DefaultRegions(2), query.Count)
+	for i := 0; i < 400; i++ {
+		if _, err := agent.Answer(qs.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Higher-level interrogation: dense subspaces (count > 100) near the
+	// trained interest regions.
+	found := agent.SubspacesWhere(
+		sea.Query{Aggregate: sea.Count},
+		15, 85, 5, 6,
+		func(v float64) bool { return v > 100 },
+	)
+	if len(found) == 0 {
+		t.Error("no dense subspaces found; interrogation broken")
+	}
+	// Every reported subspace must really be dense (verified exactly).
+	for _, sel := range found[:min(3, len(found))] {
+		res, _, err := sys.ExactCohort(sea.Query{Select: sel, Aggregate: sea.Count})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value < 40 {
+			t.Errorf("subspace %v reported dense but holds %v", sel.Center, res.Value)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
