@@ -1,5 +1,5 @@
 // Package repro's root benchmarks regenerate every experiment in
-// DESIGN.md's per-experiment index (E1-E12) plus the ablations (A1-A5).
+// DESIGN.md's per-experiment index (E1-E13) plus the ablations (A1-A5).
 // Each bench reports the experiment's headline virtual metrics via
 // b.ReportMetric, so `go test -bench=. -benchmem` prints the rows that
 // EXPERIMENTS.md records. Wall-clock ns/op measures simulator CPU, not
@@ -213,6 +213,26 @@ func BenchmarkE12Polystore(b *testing.B) {
 	b.ReportMetric(float64(row.ShipPairsBytes), "ship_pairs_B")
 	b.ReportMetric(float64(row.ShipModelBytes), "ship_model_B")
 	b.ReportMetric(row.ShipModelErr, "ship_model_abs_err")
+}
+
+func BenchmarkE13ConcurrentServe(b *testing.B) {
+	for _, workers := range []int{4, 16} {
+		b.Run(sizeName(workers)+"w", func(b *testing.B) {
+			var row experiments.E13Row
+			var err error
+			for i := 0; i < b.N; i++ {
+				row, err = experiments.E13ConcurrentServe(20_000, workers, 250, 300)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(row.QPS, "qps")
+			b.ReportMetric(float64(row.P50.Microseconds()), "p50_us")
+			b.ReportMetric(float64(row.P99.Microseconds()), "p99_us")
+			b.ReportMetric(row.PredictionRate, "pred_rate")
+			b.ReportMetric(row.FallbackRate, "fallback_rate")
+		})
+	}
 }
 
 func BenchmarkAblationQuanta(b *testing.B) {

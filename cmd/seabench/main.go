@@ -1,7 +1,9 @@
-// Command seabench runs the full experiment suite (E1-E12 and ablations
+// Command seabench runs the full experiment suite (E1-E13 and ablations
 // A1-A5 from DESIGN.md) at configurable scale and prints one table per
-// experiment — the rows EXPERIMENTS.md records. All metrics are virtual
-// simulator units (see internal/metrics); wall-clock is irrelevant.
+// experiment — the rows EXPERIMENTS.md records. Metrics are virtual
+// simulator units (see internal/metrics), except E13 (concurrent
+// serving) which measures the real serving layer in wall-clock units
+// and prints JSON rows.
 //
 // Usage:
 //
@@ -9,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -193,6 +196,22 @@ func run(scale, only string) error {
 		}
 		fmt.Printf("bytes: ship-data=%d ship-pairs=%d ship-model=%d   abs_err: pairs=%.4f model=%.4f\n\n",
 			r.ShipDataBytes, r.ShipPairsBytes, r.ShipModelBytes, r.ShipPairsErr, r.ShipModelErr)
+	}
+
+	if want("E13") {
+		fmt.Println("== E13: concurrent serving throughput (N workers x M queries, wall clock) ==")
+		for _, workers := range []int{pick(4, 16), pick(16, 64)} {
+			r, err := experiments.E13ConcurrentServe(pick(10_000, 20_000), workers, pick(250, 1000), 300)
+			if err != nil {
+				return err
+			}
+			js, err := json.Marshal(r)
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(js))
+		}
+		fmt.Println()
 	}
 
 	if want("A1") {

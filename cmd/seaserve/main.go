@@ -1,0 +1,115 @@
+// Command seaserve runs the concurrent SEA serving layer: it loads a
+// synthetic clustered table into the simulated BDAS, trains one or more
+// SEA agents on a mixed analyst query stream, and serves the agent API
+// over HTTP/JSON (internal/serve).
+//
+// Usage:
+//
+//	seaserve [-addr :8080] [-rows 20000] [-nodes 8] [-training 300]
+//	         [-agents 1] [-workers 8] [-queue 256] [-tenant-inflight 64]
+//
+// Endpoints:
+//
+//	POST /v1/query    {"agg":"count","los":[20,20],"his":[30,30]}
+//	POST /v1/explain  same body; piecewise-linear answer explanation
+//	GET  /v1/stats    agent + serving counters (QPS, p50/p99, fallbacks)
+//	GET  /healthz     liveness
+//
+// Example:
+//
+//	curl -s localhost:8080/v1/query -d '{"agg":"avg","col":2,"los":[20,20],"his":[30,30]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/query"
+	"repro/internal/workload"
+	"repro/sea"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	rows := flag.Int("rows", 20_000, "synthetic rows to load")
+	nodes := flag.Int("nodes", 8, "simulated cluster size")
+	training := flag.Int("training", 300, "training queries per agent")
+	agents := flag.Int("agents", 1, "agent pool size (affinity-sharded)")
+	workers := flag.Int("workers", 8, "serving worker goroutines")
+	queue := flag.Int("queue", 256, "pending-query queue depth")
+	tenantInflight := flag.Int("tenant-inflight", 64, "max in-flight queries per tenant")
+	seed := flag.Int64("seed", 1, "data/workload RNG seed")
+	flag.Parse()
+
+	if err := run(*addr, *rows, *nodes, *training, *agents, *workers, *queue, *tenantInflight, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "seaserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, rows, nodes, training, agents, workers, queue, tenantInflight int, seed int64) error {
+	sys, err := sea.NewSystem(sea.SystemConfig{Nodes: nodes, Columns: []string{"x", "y", "z"}})
+	if err != nil {
+		return err
+	}
+	rng := workload.NewRNG(seed)
+	data := workload.GaussianMixture(rng, rows, 3, workload.DefaultMixture(3), 0)
+	workload.CorrelatedColumns(rng, data, 0, 2, 2, 5, 1)
+	if err := sys.Load(data); err != nil {
+		return err
+	}
+	log.Printf("loaded %d rows over %d nodes", sys.Rows(), nodes)
+
+	if agents < 1 {
+		agents = 1
+	}
+	pool := make([]*sea.Agent, agents)
+	for i := range pool {
+		ag, err := sys.NewAgent(sea.AgentConfig{Dims: 2, TrainingQueries: training, UseMapReduceOracle: true})
+		if err != nil {
+			return err
+		}
+		if err := pretrain(ag, training, seed+int64(i)); err != nil {
+			return err
+		}
+		st := ag.Stats()
+		log.Printf("agent %d trained: %d queries, %d quanta", i, st.Queries, st.Quanta)
+		pool[i] = ag
+	}
+
+	srv, err := sea.NewServer(pool, sea.ServeOptions{
+		Workers:        workers,
+		QueueDepth:     queue,
+		TenantInflight: tenantInflight,
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("serving on %s (%d agents, %d workers, queue %d, tenant-inflight %d)",
+		addr, agents, workers, queue, tenantInflight)
+	return srv.ListenAndServe(addr)
+}
+
+// pretrain feeds the agent a mixed analyst stream (count, avg, corr over
+// the standard interest regions) so every aggregate family has warm
+// models before traffic arrives.
+func pretrain(ag *sea.Agent, training int, seed int64) error {
+	streams := []*workload.QueryStream{
+		workload.NewQueryStream(workload.NewRNG(seed), workload.DefaultRegions(2), query.Count),
+		workload.NewQueryStream(workload.NewRNG(seed+100), workload.DefaultRegions(2), query.Avg),
+		workload.NewQueryStream(workload.NewRNG(seed+200), workload.DefaultRegions(2), query.Corr),
+	}
+	streams[1].Col = 2
+	streams[2].Col, streams[2].Col2 = 0, 2
+	// Train past the configured training prefix so post-training
+	// fallbacks have matured the per-quantum error estimates too.
+	n := training + training/2
+	for i := 0; i < n; i++ {
+		if _, err := ag.Answer(streams[i%len(streams)].Next()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

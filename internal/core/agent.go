@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/metrics"
@@ -159,16 +160,29 @@ func (s Stats) PredictionRate() float64 {
 	return float64(s.Predicted) / float64(s.Queries)
 }
 
-// Agent is the SEA intelligent agent. Not safe for concurrent use: the
-// simulation drivers are single-goroutine by design.
+// Agent is the SEA intelligent agent. It is safe for concurrent use: the
+// model-prediction path (the common case once trained) runs under a
+// shared read lock so many goroutines predict in parallel, while
+// oracle fallbacks, training and maintenance serialise under the write
+// lock. The exact oracle is therefore only ever called by one goroutine
+// at a time, so oracle implementations need not be thread-safe — but
+// Oracle.DataVersion must tolerate concurrent read-only calls.
 type Agent struct {
+	// mu orders structural access: prediction paths hold it for reading,
+	// anything that trains, spawns quanta or invalidates models holds it
+	// for writing.
+	mu        sync.RWMutex
 	cfg       Config
 	oracle    Oracle
 	quantizer *ml.OnlineAVQ
 	models    map[modelKey][]*quantumModel // indexed by quantum id
-	stats     Stats
-	dataVer   int64
-	started   bool
+
+	// statsMu guards stats separately so concurrent read-path predictions
+	// (which only touch counters) don't contend on mu for writing.
+	statsMu sync.Mutex
+	stats   Stats
+
+	dataVer int64
 }
 
 // NewAgent builds an agent over the given exact oracle.
@@ -297,17 +311,91 @@ func (m *quantumModel) trustworthy(cfg Config) bool {
 }
 
 // Answer processes one analytical query through the Fig. 2 pipeline.
+// The model-prediction path runs under a shared read lock (many callers
+// in parallel); training, fallbacks and maintenance serialise.
 func (a *Agent) Answer(q query.Query) (Answer, error) {
 	if err := q.Validate(); err != nil {
 		return Answer{}, err
 	}
-	a.started = true
+	if ans, ok := a.TryPredict(q); ok {
+		return ans, nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.answerSlow(q)
+}
+
+// TryPredict attempts the read-mostly fast path: answer q from a learned
+// model without touching the oracle or mutating any model state (only
+// the stats counters advance). ok is false when the agent would need the
+// slow path — still in training, data version changed, out of coverage,
+// or the responsible model is not trustworthy. Callers that need an
+// answer either way should use Answer; serving layers use TryPredict
+// directly to decide whether an expensive fallback is about to happen
+// (and e.g. deduplicate identical in-flight fallbacks).
+func (a *Agent) TryPredict(q query.Query) (Answer, bool) {
+	if q.Validate() != nil {
+		return Answer{}, false
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.oracle != nil {
+		if a.oracle.DataVersion() != a.dataVer {
+			return Answer{}, false // base data changed: slow path invalidates
+		}
+		a.statsMu.Lock()
+		inTraining := a.stats.Queries < int64(a.cfg.TrainingQueries)
+		a.statsMu.Unlock()
+		if inTraining {
+			return Answer{}, false
+		}
+	}
+	quantum, d2 := a.quantizer.Assign(a.quantFeatures(q))
+	if quantum < 0 {
+		return Answer{}, false
+	}
+	if a.cfg.SpawnDistance > 0 && d2 > a.cfg.SpawnDistance {
+		return Answer{}, false // outside learned query-space coverage
+	}
+	ms := a.models[a.key(q)]
+	if quantum >= len(ms) || ms[quantum] == nil {
+		return Answer{}, false
+	}
+	m := ms[quantum]
+	if !m.trustworthy(a.cfg) {
+		return Answer{}, false
+	}
+	pred := invTransform(q.Aggregate, m.rls.Predict(a.features(q)))
+	pred = clampPrediction(q.Aggregate, pred)
+	ans := Answer{
+		Value:     pred,
+		Predicted: true,
+		EstError:  m.estError(),
+		Quantum:   quantum,
+		Cost:      metrics.Cost{Time: a.cfg.PredictCPU, CPUTime: a.cfg.PredictCPU},
+	}
+	a.statsMu.Lock()
+	a.stats.Queries++
+	a.stats.Predicted++
+	a.stats.TotalCost = a.stats.TotalCost.Add(ans.Cost)
+	a.stats.Quanta = a.quantizer.Len()
+	a.statsMu.Unlock()
+	return ans, true
+}
+
+// answerSlow is the full Fig. 2 pipeline under the write lock. It
+// re-runs the prediction checks (conditions may have shifted between a
+// failed TryPredict and lock acquisition) and otherwise takes the exact
+// path: oracle, then fold the fresh (query, answer) pair into the model.
+func (a *Agent) answerSlow(q query.Query) (Answer, error) {
 	a.maybeDetectDataChange()
 	feat := a.features(q)
 	qfeat := a.quantFeatures(q)
 	k := a.key(q)
 
+	a.statsMu.Lock()
 	inTraining := a.stats.Queries < int64(a.cfg.TrainingQueries) && a.oracle != nil
+	a.statsMu.Unlock()
 	var quantum int
 	var outOfCoverage bool
 	if inTraining {
@@ -336,10 +424,12 @@ func (a *Agent) Answer(q query.Query) (Answer, error) {
 			Quantum:   quantum,
 			Cost:      metrics.Cost{Time: a.cfg.PredictCPU, CPUTime: a.cfg.PredictCPU},
 		}
+		a.statsMu.Lock()
 		a.stats.Queries++
 		a.stats.Predicted++
 		a.stats.TotalCost = a.stats.TotalCost.Add(ans.Cost)
 		a.stats.Quanta = a.quantizer.Len()
+		a.statsMu.Unlock()
 		return ans, nil
 	}
 
@@ -372,11 +462,13 @@ func (a *Agent) Answer(q query.Query) (Answer, error) {
 		Quantum: quantum,
 		Cost:    cost,
 	}
+	a.statsMu.Lock()
 	a.stats.Queries++
 	a.stats.Exact++
 	a.stats.TotalCost = a.stats.TotalCost.Add(cost)
 	a.stats.OracleCost = a.stats.OracleCost.Add(cost)
 	a.stats.Quanta = a.quantizer.Len()
+	a.statsMu.Unlock()
 	return ans, nil
 }
 
@@ -452,6 +544,8 @@ func (a *Agent) maybeDetectDataChange() {
 // inside sel (nil = all): they enter probation and must re-earn trust via
 // fresh exact observations (RT1.4(ii)).
 func (a *Agent) NotifyDataChange(sel *query.Selection) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.invalidate(sel)
 	if a.oracle != nil {
 		a.dataVer = a.oracle.DataVersion()
@@ -483,6 +577,8 @@ func (a *Agent) invalidate(sel *query.Selection) {
 // PurgeStaleQuanta drops quanta that have not won recently (interest
 // drift, RT5.3) along with their models, returning how many were removed.
 func (a *Agent) PurgeStaleQuanta(maxAge int64) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	removed := a.quantizer.PurgeStale(maxAge)
 	if len(removed) == 0 {
 		return 0
@@ -512,6 +608,8 @@ func (a *Agent) PredictOnly(q query.Query) (value, estErr float64, ok bool) {
 	if q.Validate() != nil {
 		return 0, 0, false
 	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	quantum, d2 := a.quantizer.Assign(a.quantFeatures(q))
 	if quantum < 0 {
 		return 0, 0, false
@@ -533,14 +631,24 @@ func (a *Agent) PredictOnly(q query.Query) (value, estErr float64, ok bool) {
 }
 
 // Stats returns a copy of the lifetime counters.
-func (a *Agent) Stats() Stats { return a.stats }
+func (a *Agent) Stats() Stats {
+	a.statsMu.Lock()
+	defer a.statsMu.Unlock()
+	return a.stats
+}
 
 // Quanta returns the current number of query-space quanta.
-func (a *Agent) Quanta() int { return a.quantizer.Len() }
+func (a *Agent) Quanta() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.quantizer.Len()
+}
 
 // QuantumCenters returns the prototypes' data-space centres (for
 // visualisation and the geo model-placement logic).
 func (a *Agent) QuantumCenters() [][]float64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	protos := a.quantizer.Prototypes()
 	out := make([][]float64, len(protos))
 	for i, p := range protos {
@@ -558,6 +666,8 @@ func (a *Agent) Config() Config { return a.cfg }
 // for the given quantum, or nil when absent. Geo deployments ship these
 // weights from core to edge nodes (RT5.2) instead of shipping data.
 func (a *Agent) ExportModel(agg query.Agg, col, col2, quantum int) []float64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	ms := a.models[modelKey{agg: agg, col: col, col2: col2}]
 	if quantum < 0 || quantum >= len(ms) || ms[quantum] == nil {
 		return nil
@@ -570,6 +680,8 @@ func (a *Agent) ExportModel(agg query.Agg, col, col2, quantum int) []float64 {
 // estimate. The receiving agent can then predict immediately — this is
 // the model-shipping path of RT1.5 and RT5.2.
 func (a *Agent) ImportModel(agg query.Agg, col, col2, quantum int, weights []float64, support int64, estErr float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	m := a.model(modelKey{agg: agg, col: col, col2: col2}, quantum)
 	m.rls.SetWeights(weights)
 	m.n = support
@@ -583,6 +695,8 @@ func (a *Agent) ImportModel(agg query.Agg, col, col2, quantum int, weights []flo
 // SeedQuantum inserts a quantum prototype directly (used when importing a
 // remote agent's quantisation). It returns the new quantum's index.
 func (a *Agent) SeedQuantum(center []float64, extent float64) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	feat := make([]float64, a.cfg.Dims+1)
 	copy(feat, center)
 	feat[a.cfg.Dims] = extent

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/query"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// E13Row is one row of the concurrent serving-throughput scenario: N
+// client workers hammer one shared trained agent through the serving
+// layer (internal/serve) with M queries each. Latencies here are real
+// wall-clock measurements of the serving process (not virtual cluster
+// time): the scenario measures the serving layer itself.
+type E13Row struct {
+	Rows           int           `json:"rows"`
+	Workers        int           `json:"workers"`
+	Queries        int           `json:"queries"`
+	QPS            float64       `json:"qps"`
+	P50            time.Duration `json:"p50_ns"`
+	P99            time.Duration `json:"p99_ns"`
+	PredictionRate float64       `json:"pred_rate"`
+	FallbackRate   float64       `json:"fallback_rate"`
+	Deduped        int64         `json:"deduped"`
+	Rejected       int64         `json:"rejected"`
+	Errors         int           `json:"errors"`
+}
+
+// E13ConcurrentServe trains one agent on `training` count queries, then
+// drives `workers` concurrent clients of `perWorker` queries each
+// through a serve.Scheduler sized to the same worker count. It reports
+// the serving layer's own instrumentation: QPS, p50/p99 wall latency,
+// prediction/fallback rates and single-flight dedup hits.
+func E13ConcurrentServe(nRows, workers, perWorker, training int) (E13Row, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	env, err := NewEnv(nRows, 16, 1)
+	if err != nil {
+		return E13Row{}, err
+	}
+	cfg := core.DefaultConfig(2)
+	cfg.TrainingQueries = training
+	agent, err := core.NewAgent(exec.MapReduceOracle{Ex: env.Executor}, cfg)
+	if err != nil {
+		return E13Row{}, err
+	}
+	qs := stream(2, query.Count)
+	for i := 0; i < training+training/2; i++ {
+		if _, err := agent.Answer(qs.Next()); err != nil {
+			return E13Row{}, err
+		}
+	}
+
+	pool, err := serve.NewPool([]*core.Agent{agent}, nil)
+	if err != nil {
+		return E13Row{}, err
+	}
+	sched := serve.NewScheduler(pool, serve.SchedulerConfig{
+		Workers:        workers,
+		QueueDepth:     4 * workers,
+		TenantInflight: -1, // throughput scenario: no tenant shedding
+	})
+	defer sched.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]int, workers)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			// Per-client streams over the shared interest regions: heavy
+			// overlap between clients, like real dashboard traffic.
+			cs := workload.NewQueryStream(workload.NewRNG(100+int64(w)), workload.DefaultRegions(2), query.Count)
+			for i := 0; i < perWorker; i++ {
+				if _, err := sched.Answer(fmt.Sprintf("client-%d", w), cs.Next()); err != nil {
+					errs[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	snap := pool.Recorder().Snapshot()
+	row := E13Row{
+		Rows:         nRows,
+		Workers:      workers,
+		Queries:      int(snap.Queries),
+		QPS:          snap.QPS,
+		P50:          snap.P50,
+		P99:          snap.P99,
+		FallbackRate: snap.FallbackRate,
+		Deduped:      snap.Deduped,
+		Rejected:     snap.Rejected,
+	}
+	if snap.Queries > 0 {
+		row.PredictionRate = float64(snap.Predicted) / float64(snap.Queries)
+	}
+	for _, e := range errs {
+		row.Errors += e
+	}
+	return row, nil
+}

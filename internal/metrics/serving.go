@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// ServeSnapshot is a point-in-time view of serving-layer health: the
+// throughput/latency/fallback numbers the serving subsystem exposes over
+// its stats endpoint. Unlike Cost (virtual simulator units), these are
+// wall-clock measurements of the real process.
+type ServeSnapshot struct {
+	// Queries is the number of answered queries
+	// (predicted + fallbacks + deduped).
+	Queries int64 `json:"queries"`
+	// Predicted is how many were answered from learned models.
+	Predicted int64 `json:"predicted"`
+	// Fallbacks is how many executed the expensive exact-oracle path
+	// themselves (one per actual oracle run).
+	Fallbacks int64 `json:"fallbacks"`
+	// Deduped is how many were answered by sharing another identical
+	// in-flight fallback's result (single-flight hits): they count
+	// toward Queries but not Fallbacks, so FallbackRate tracks real
+	// oracle executions.
+	Deduped int64 `json:"deduped"`
+	// Rejected is how many submissions admission control turned away.
+	Rejected int64 `json:"rejected"`
+	// Errors is how many queries failed.
+	Errors int64 `json:"errors"`
+	// QPS is Queries divided by the uptime.
+	QPS float64 `json:"qps"`
+	// FallbackRate is Fallbacks / Queries.
+	FallbackRate float64 `json:"fallback_rate"`
+	// P50/P90/P99/Max are latency percentiles over the recent window.
+	P50 time.Duration `json:"p50_ns"`
+	P90 time.Duration `json:"p90_ns"`
+	P99 time.Duration `json:"p99_ns"`
+	Max time.Duration `json:"max_ns"`
+	// Uptime is how long the recorder has been running.
+	Uptime time.Duration `json:"uptime_ns"`
+}
+
+// ServeRecorder accumulates serving-layer measurements. It is safe for
+// concurrent use: every worker in the serving pool observes into one
+// shared recorder. Latencies are kept in a fixed-size ring (the recent
+// window), counters are lifetime totals.
+type ServeRecorder struct {
+	mu        sync.Mutex
+	start     time.Time
+	lats      []time.Duration
+	pos       int
+	full      bool
+	queries   int64
+	predicted int64
+	fallbacks int64
+	deduped   int64
+	rejected  int64
+	errors    int64
+}
+
+// NewServeRecorder builds a recorder keeping the last window latency
+// samples (default 4096 when window <= 0).
+func NewServeRecorder(window int) *ServeRecorder {
+	if window <= 0 {
+		window = 4096
+	}
+	return &ServeRecorder{start: time.Now(), lats: make([]time.Duration, window)}
+}
+
+// Observe records one answered query: its wall latency and which path
+// served it.
+func (r *ServeRecorder) Observe(lat time.Duration, predicted bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.observeLocked(lat)
+	if predicted {
+		r.predicted++
+	} else {
+		r.fallbacks++
+	}
+}
+
+// Dedup records a query answered by sharing an identical in-flight
+// fallback's result: it counts toward Queries and the latency window
+// but not Fallbacks — only the one shared oracle execution does.
+func (r *ServeRecorder) Dedup(lat time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.observeLocked(lat)
+	r.deduped++
+}
+
+func (r *ServeRecorder) observeLocked(lat time.Duration) {
+	r.lats[r.pos] = lat
+	r.pos = (r.pos + 1) % len(r.lats)
+	if r.pos == 0 {
+		r.full = true
+	}
+	r.queries++
+}
+
+// Reject records an admission-control rejection.
+func (r *ServeRecorder) Reject() {
+	r.mu.Lock()
+	r.rejected++
+	r.mu.Unlock()
+}
+
+// Error records a failed query.
+func (r *ServeRecorder) Error() {
+	r.mu.Lock()
+	r.errors++
+	r.mu.Unlock()
+}
+
+// Snapshot computes the current view: lifetime counters plus latency
+// percentiles over the recent window.
+func (r *ServeRecorder) Snapshot() ServeSnapshot {
+	r.mu.Lock()
+	n := r.pos
+	if r.full {
+		n = len(r.lats)
+	}
+	window := make([]time.Duration, n)
+	copy(window, r.lats[:n])
+	s := ServeSnapshot{
+		Queries:   r.queries,
+		Predicted: r.predicted,
+		Fallbacks: r.fallbacks,
+		Deduped:   r.deduped,
+		Rejected:  r.rejected,
+		Errors:    r.errors,
+		Uptime:    time.Since(r.start),
+	}
+	r.mu.Unlock()
+
+	if s.Uptime > 0 {
+		s.QPS = float64(s.Queries) / s.Uptime.Seconds()
+	}
+	if s.Queries > 0 {
+		s.FallbackRate = float64(s.Fallbacks) / float64(s.Queries)
+	}
+	if len(window) > 0 {
+		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+		s.P50 = percentileDur(window, 0.50)
+		s.P90 = percentileDur(window, 0.90)
+		s.P99 = percentileDur(window, 0.99)
+		s.Max = window[len(window)-1]
+	}
+	return s
+}
+
+// percentileDur returns the p-th percentile of a sorted sample.
+func percentileDur(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestServeRecorderCountersAndPercentiles(t *testing.T) {
+	r := NewServeRecorder(128)
+	for i := 1; i <= 100; i++ {
+		r.Observe(time.Duration(i)*time.Millisecond, i%10 != 0)
+	}
+	r.Reject()
+	r.Dedup(2 * time.Millisecond)
+	r.Error()
+
+	s := r.Snapshot()
+	// A deduped answer counts as a query but not as a fallback: only
+	// the one shared oracle execution does.
+	if s.Queries != 101 || s.Predicted != 90 || s.Fallbacks != 10 {
+		t.Errorf("counters: %+v", s)
+	}
+	if s.Rejected != 1 || s.Deduped != 1 || s.Errors != 1 {
+		t.Errorf("event counters: %+v", s)
+	}
+	if want := 10.0 / 101.0; s.FallbackRate != want {
+		t.Errorf("fallback rate = %v, want %v", s.FallbackRate, want)
+	}
+	// 100 samples of 1..100ms: p50 ~ 50ms, p99 ~ 99-100ms, max 100ms.
+	if s.P50 < 45*time.Millisecond || s.P50 > 55*time.Millisecond {
+		t.Errorf("p50 = %v", s.P50)
+	}
+	if s.P99 < 95*time.Millisecond || s.P99 > 100*time.Millisecond {
+		t.Errorf("p99 = %v", s.P99)
+	}
+	if s.Max != 100*time.Millisecond {
+		t.Errorf("max = %v", s.Max)
+	}
+	if s.QPS <= 0 {
+		t.Errorf("qps = %v", s.QPS)
+	}
+}
+
+func TestServeRecorderWindowWraps(t *testing.T) {
+	r := NewServeRecorder(8)
+	// 20 observations through an 8-slot ring: only the last 8 remain in
+	// the percentile window, but lifetime counters keep everything.
+	for i := 1; i <= 20; i++ {
+		r.Observe(time.Duration(i)*time.Second, true)
+	}
+	s := r.Snapshot()
+	if s.Queries != 20 {
+		t.Errorf("queries = %d, want 20", s.Queries)
+	}
+	if s.Max != 20*time.Second {
+		t.Errorf("max = %v, want 20s", s.Max)
+	}
+	if s.P50 < 13*time.Second {
+		t.Errorf("p50 = %v, want within the recent window (13..20s)", s.P50)
+	}
+}
+
+func TestServeRecorderConcurrent(t *testing.T) {
+	r := NewServeRecorder(0)
+	var wg sync.WaitGroup
+	const workers, each = 16, 200
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Observe(time.Microsecond, i%2 == 0)
+				if i%50 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s := r.Snapshot(); s.Queries != workers*each {
+		t.Errorf("queries = %d, want %d", s.Queries, workers*each)
+	}
+}

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// Admission-control errors. Callers (and the HTTP layer) treat these as
+// retryable overload, not query failures.
+var (
+	// ErrQueueFull is returned when the shared queue is at capacity.
+	ErrQueueFull = errors.New("serve: queue full")
+	// ErrTenantThrottled is returned when one tenant already has its
+	// maximum number of queries in flight.
+	ErrTenantThrottled = errors.New("serve: tenant throttled")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("serve: scheduler closed")
+)
+
+// SchedulerConfig sizes the scheduler. Zero values take defaults.
+type SchedulerConfig struct {
+	// Workers is the number of worker goroutines draining the queue
+	// (default 8).
+	Workers int
+	// QueueDepth bounds the shared pending-job queue (default 256).
+	QueueDepth int
+	// TenantInflight caps one tenant's queued+running queries; further
+	// submissions are rejected with ErrTenantThrottled (default 64,
+	// negative = unlimited).
+	TenantInflight int
+}
+
+func (c SchedulerConfig) withDefaults() SchedulerConfig {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.TenantInflight == 0 {
+		c.TenantInflight = 64
+	}
+	return c
+}
+
+type job struct {
+	run  func() (any, error)
+	done chan jobResult
+}
+
+type jobResult struct {
+	v   any
+	err error
+}
+
+// Scheduler runs queries through a Pool under bounded concurrency: a
+// fixed worker pool drains a bounded queue, and per-tenant admission
+// control keeps any one tenant from occupying the whole system.
+// Overload fails fast so callers can shed or retry elsewhere.
+type Scheduler struct {
+	pool *Pool
+	cfg  SchedulerConfig
+	jobs chan *job
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	tenant map[string]int
+	closed bool
+}
+
+// NewScheduler builds and starts a scheduler over pool.
+func NewScheduler(pool *Pool, cfg SchedulerConfig) *Scheduler {
+	cfg = cfg.withDefaults()
+	s := &Scheduler{
+		pool:   pool,
+		cfg:    cfg,
+		jobs:   make(chan *job, cfg.QueueDepth),
+		tenant: make(map[string]int),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		v, err := j.run()
+		j.done <- jobResult{v: v, err: err}
+	}
+}
+
+// Answer submits q on behalf of tenant and waits for the result.
+// It returns ErrTenantThrottled or ErrQueueFull immediately under
+// overload.
+func (s *Scheduler) Answer(tenant string, q query.Query) (core.Answer, error) {
+	v, err := s.Do(tenant, func() (any, error) { return s.pool.Answer(q) })
+	if err != nil {
+		return core.Answer{}, err
+	}
+	return v.(core.Answer), nil
+}
+
+// Do runs fn on the worker pool under the same admission control as
+// Answer: the tenant's in-flight cap and the bounded queue apply, and
+// rejections are recorded. The serving front-end routes every
+// non-trivial operation (queries, explanations) through here so no
+// endpoint can bypass overload protection.
+func (s *Scheduler) Do(tenant string, fn func() (any, error)) (any, error) {
+	j := &job{run: fn, done: make(chan jobResult, 1)}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if s.cfg.TenantInflight > 0 && s.tenant[tenant] >= s.cfg.TenantInflight {
+		s.mu.Unlock()
+		s.pool.rec.Reject()
+		return nil, ErrTenantThrottled
+	}
+	// The non-blocking enqueue happens under mu so Close cannot close
+	// the channel between the closed check and the send.
+	select {
+	case s.jobs <- j:
+	default:
+		s.mu.Unlock()
+		s.pool.rec.Reject()
+		return nil, ErrQueueFull
+	}
+	s.tenant[tenant]++
+	s.mu.Unlock()
+
+	r := <-j.done
+
+	s.mu.Lock()
+	if s.tenant[tenant]--; s.tenant[tenant] <= 0 {
+		delete(s.tenant, tenant)
+	}
+	s.mu.Unlock()
+	return r.v, r.err
+}
+
+// TenantInflight reports tenant's current queued+running count.
+func (s *Scheduler) TenantInflight(tenant string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tenant[tenant]
+}
+
+// Pool returns the underlying agent pool.
+func (s *Scheduler) Pool() *Pool { return s.pool }
+
+// Close drains the queue and stops the workers. In-flight queries
+// complete; subsequent Answer calls return ErrClosed.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.jobs)
+	s.mu.Unlock()
+	s.wg.Wait()
+}

@@ -1,0 +1,174 @@
+// Package serve is the concurrent query-serving layer: it multiplexes
+// many clients over a pool of SEA agents (internal/core) so the
+// reproduction can serve analyst traffic instead of single-goroutine
+// simulations.
+//
+// The layer has three pieces, stacked:
+//
+//   - Pool fans queries out over one or more thread-safe agents with
+//     affinity routing (identical queries always hit the same agent) and
+//     single-flight deduplication: when several clients ask the same
+//     question and the answer needs the expensive exact-oracle fallback,
+//     only one fallback runs and everyone shares its result. Cheap
+//     model predictions bypass the dedup entirely via core.Agent's
+//     read-mostly TryPredict fast path.
+//
+//   - Scheduler bounds concurrency: a fixed worker pool drains a bounded
+//     queue, and per-tenant admission control caps how much of the
+//     system one tenant can occupy. Overload is rejected immediately
+//     (ErrQueueFull, ErrTenantThrottled) instead of queueing without
+//     bound.
+//
+//   - Server exposes the agent API (count/sum/avg/var/corr/slope,
+//     explanations, stats) over HTTP/JSON; cmd/seaserve is the binary.
+//
+// Throughput and latency are instrumented through
+// metrics.ServeRecorder: QPS, p50/p90/p99 latency, fallback and
+// rejection rates, all surfaced on the stats endpoint.
+package serve
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/query"
+)
+
+// ErrNoAgents is returned when a Pool is built without agents.
+var ErrNoAgents = errors.New("serve: pool needs at least one agent")
+
+// Key canonicalises a query for routing and single-flight
+// deduplication: two queries with the same key are the same question.
+func Key(q query.Query) string {
+	var b strings.Builder
+	b.Grow(64)
+	b.WriteString(q.Aggregate.String())
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(q.Col))
+	b.WriteByte(',')
+	b.WriteString(strconv.Itoa(q.Col2))
+	b.WriteByte('|')
+	writeFloats := func(vs []float64) {
+		for _, v := range vs {
+			b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			b.WriteByte(',')
+		}
+	}
+	if q.Select.IsRadius() {
+		b.WriteByte('r')
+		writeFloats(q.Select.Center)
+		b.WriteString(strconv.FormatFloat(q.Select.Radius, 'g', -1, 64))
+	} else {
+		b.WriteByte('b')
+		writeFloats(q.Select.Los)
+		b.WriteByte(';')
+		writeFloats(q.Select.His)
+	}
+	return b.String()
+}
+
+// Pool answers queries over a set of thread-safe agents. Routing is by
+// query-key hash, so identical queries always land on the same agent:
+// that keeps each agent's learned state consistent for its slice of the
+// query space and makes single-flight dedup exact.
+type Pool struct {
+	agents []*core.Agent
+	sf     group
+	rec    *metrics.ServeRecorder
+}
+
+// NewPool builds a pool over the given agents, instrumented through rec
+// (which may be shared with a Scheduler/Server; nil allocates one).
+func NewPool(agents []*core.Agent, rec *metrics.ServeRecorder) (*Pool, error) {
+	if len(agents) == 0 {
+		return nil, ErrNoAgents
+	}
+	if rec == nil {
+		rec = metrics.NewServeRecorder(0)
+	}
+	return &Pool{agents: agents, rec: rec}, nil
+}
+
+// Recorder returns the pool's serving-metrics recorder.
+func (p *Pool) Recorder() *metrics.ServeRecorder { return p.rec }
+
+// Agents returns the pooled agents (for stats aggregation).
+func (p *Pool) Agents() []*core.Agent { return p.agents }
+
+// route picks the agent responsible for key.
+func (p *Pool) route(key string) *core.Agent {
+	if len(p.agents) == 1 {
+		return p.agents[0]
+	}
+	return p.agents[fnv32(key)%uint32(len(p.agents))]
+}
+
+// Answer serves one query: the model fast path when possible, otherwise
+// a single-flight deduplicated oracle fallback.
+func (p *Pool) Answer(q query.Query) (core.Answer, error) {
+	start := time.Now()
+	key := Key(q)
+	ag := p.route(key)
+	// An identical fallback already in flight? Park behind it without
+	// touching the agent at all — its write lock is held for the
+	// duration of the oracle call, so probing the agent here would
+	// serialise behind the expensive path instead of sharing it.
+	if c := p.sf.join(key); c != nil {
+		c.wg.Wait()
+		if c.err != nil {
+			p.rec.Error()
+			return core.Answer{}, c.err
+		}
+		p.rec.Dedup(time.Since(start))
+		return c.ans, nil
+	}
+	if ans, ok := ag.TryPredict(q); ok {
+		p.rec.Observe(time.Since(start), true)
+		return ans, nil
+	}
+	// Expensive path: identical in-flight fallbacks collapse to one
+	// oracle execution whose result every waiter shares.
+	ans, shared, err := p.sf.do(key, func() (core.Answer, error) {
+		return ag.Answer(q)
+	})
+	if err != nil {
+		p.rec.Error()
+		return core.Answer{}, err
+	}
+	if shared {
+		p.rec.Dedup(time.Since(start))
+	} else {
+		p.rec.Observe(time.Since(start), ans.Predicted)
+	}
+	return ans, nil
+}
+
+// Stats sums the lifetime counters across the pooled agents.
+func (p *Pool) Stats() core.Stats {
+	var out core.Stats
+	for _, ag := range p.agents {
+		s := ag.Stats()
+		out.Queries += s.Queries
+		out.Predicted += s.Predicted
+		out.Exact += s.Exact
+		out.Quanta += s.Quanta
+		out.TotalCost = out.TotalCost.Add(s.TotalCost)
+		out.OracleCost = out.OracleCost.Add(s.OracleCost)
+	}
+	return out
+}
+
+// fnv32 is the 32-bit FNV-1a hash (inline to avoid an import for four
+// lines).
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

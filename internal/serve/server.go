@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/explain"
+	"repro/internal/metrics"
+	"repro/internal/query"
+)
+
+// QueryRequest is the wire form of one analytical query. Exactly one
+// selection form is used: los/his (hyper-rectangle) or center/radius
+// (hyper-sphere).
+type QueryRequest struct {
+	// Tenant identifies the client for admission control; the X-Tenant
+	// header takes precedence. Empty means the shared default tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Agg is one of count, sum, avg, var, corr, slope.
+	Agg string `json:"agg"`
+	// Los/His bound a hyper-rectangle selection.
+	Los []float64 `json:"los,omitempty"`
+	His []float64 `json:"his,omitempty"`
+	// Center/Radius define a hyper-sphere selection.
+	Center []float64 `json:"center,omitempty"`
+	Radius float64   `json:"radius,omitempty"`
+	// Col is the aggregate's primary column, Col2 the second column for
+	// corr/slope.
+	Col  int `json:"col,omitempty"`
+	Col2 int `json:"col2,omitempty"`
+}
+
+// CostJSON summarises the virtual cost charged for an answer.
+type CostJSON struct {
+	TimeNS   int64 `json:"time_ns"`
+	CPUNS    int64 `json:"cpu_ns"`
+	RowsRead int64 `json:"rows_read"`
+	BytesLAN int64 `json:"bytes_lan"`
+	Nodes    int   `json:"nodes_touched"`
+}
+
+func costJSON(c metrics.Cost) CostJSON {
+	return CostJSON{
+		TimeNS:   c.Time.Nanoseconds(),
+		CPUNS:    c.CPUTime.Nanoseconds(),
+		RowsRead: c.RowsRead,
+		BytesLAN: c.BytesLAN,
+		Nodes:    c.NodesTouched,
+	}
+}
+
+// QueryResponse is the wire form of an answer.
+type QueryResponse struct {
+	Value     float64  `json:"value"`
+	Predicted bool     `json:"predicted"`
+	EstError  float64  `json:"est_error"`
+	Quantum   int      `json:"quantum"`
+	Cost      CostJSON `json:"cost"`
+}
+
+// StatsResponse combines agent lifetime counters with serving-layer
+// health.
+type StatsResponse struct {
+	Agent   core.Stats            `json:"agent"`
+	Serving metrics.ServeSnapshot `json:"serving"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ParseAgg maps a wire aggregate name to the query model's kind.
+func ParseAgg(s string) (query.Agg, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "count":
+		return query.Count, nil
+	case "sum":
+		return query.Sum, nil
+	case "avg", "mean", "average":
+		return query.Avg, nil
+	case "var", "variance":
+		return query.Var, nil
+	case "corr", "correlation":
+		return query.Corr, nil
+	case "slope", "regslope":
+		return query.RegSlope, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown agg %q", query.ErrBadQuery, s)
+	}
+}
+
+// Query converts the request to the internal query model.
+func (r QueryRequest) Query() (query.Query, error) {
+	agg, err := ParseAgg(r.Agg)
+	if err != nil {
+		return query.Query{}, err
+	}
+	q := query.Query{Aggregate: agg, Col: r.Col, Col2: r.Col2}
+	if r.Radius > 0 {
+		q.Select = query.Selection{Center: r.Center, Radius: r.Radius}
+	} else {
+		q.Select = query.Selection{Los: r.Los, His: r.His}
+	}
+	if err := q.Validate(); err != nil {
+		return query.Query{}, err
+	}
+	return q, nil
+}
+
+// Server is the HTTP/JSON front-end over a Scheduler. Routes:
+//
+//	POST /v1/query    {tenant?, agg, los/his | center/radius, col?, col2?}
+//	POST /v1/explain  same body; piecewise-linear answer explanation
+//	GET  /v1/stats    agent + serving counters
+//	GET  /healthz     liveness
+//
+// Overload maps to 429, malformed queries to 400, oracle failures
+// to 502.
+type Server struct {
+	sched   *Scheduler
+	explain *explain.Engine
+	mux     *http.ServeMux
+}
+
+// NewServer builds the front-end. exp may be nil to disable /v1/explain.
+func NewServer(sched *Scheduler, exp *explain.Engine) *Server {
+	s := &Server{sched: sched, explain: exp, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/explain", s.handleExplain)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Scheduler returns the underlying scheduler (for shutdown and stats).
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, query.ErrBadQuery):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTenantThrottled):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, explain.ErrUntrusted):
+		code = http.StatusUnprocessableEntity
+	case errors.Is(err, core.ErrNoOracle):
+		code = http.StatusBadGateway
+	}
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+// decode parses the request body into a query plus tenant id.
+func decode(r *http.Request) (query.Query, string, error) {
+	var req QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return query.Query{}, "", fmt.Errorf("%w: %v", query.ErrBadQuery, err)
+	}
+	q, err := req.Query()
+	if err != nil {
+		return query.Query{}, "", err
+	}
+	tenant := req.Tenant
+	if h := r.Header.Get("X-Tenant"); h != "" {
+		tenant = h
+	}
+	return q, tenant, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q, tenant, err := decode(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	ans, err := s.sched.Answer(tenant, q)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Value:     ans.Value,
+		Predicted: ans.Predicted,
+		EstError:  ans.EstError,
+		Quantum:   ans.Quantum,
+		Cost:      costJSON(ans.Cost),
+	})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if s.explain == nil {
+		writeJSON(w, http.StatusNotImplemented, errorResponse{Error: "explanations disabled"})
+		return
+	}
+	q, tenant, err := decode(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// Explanations run ~dozens of model probes, so they go through the
+	// same admission control and worker pool as queries — no endpoint
+	// bypasses overload protection. A successful explanation is pure
+	// model work and is recorded as a predicted observation.
+	v, err := s.sched.Do(tenant, func() (any, error) {
+		start := time.Now()
+		ex, err := s.explain.Explain(q)
+		if err != nil {
+			s.sched.pool.rec.Error()
+			return nil, err
+		}
+		s.sched.pool.rec.Observe(time.Since(start), true)
+		return ex, nil
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Agent:   s.sched.pool.Stats(),
+		Serving: s.sched.pool.rec.Snapshot(),
+	})
+}
+
+// ListenAndServe runs the front-end on addr until the listener fails.
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return srv.ListenAndServe()
+}

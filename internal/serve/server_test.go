@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+func reqFromQuery(t *testing.T, q query.Query, tenant string) []byte {
+	t.Helper()
+	var agg string
+	switch q.Aggregate {
+	case query.Count:
+		agg = "count"
+	case query.Sum:
+		agg = "sum"
+	case query.Avg:
+		agg = "avg"
+	case query.Var:
+		agg = "var"
+	case query.Corr:
+		agg = "corr"
+	case query.RegSlope:
+		agg = "slope"
+	default:
+		t.Fatalf("unmapped aggregate %v", q.Aggregate)
+	}
+	req := QueryRequest{
+		Tenant: tenant,
+		Agg:    agg,
+		Col:    q.Col,
+		Col2:   q.Col2,
+	}
+	if q.Select.IsRadius() {
+		req.Center, req.Radius = q.Select.Center, q.Select.Radius
+	} else {
+		req.Los, req.His = q.Select.Los, q.Select.His
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func postQuery(t *testing.T, url string, body []byte) (QueryResponse, int) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out QueryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out, resp.StatusCode
+}
+
+// TestServerEndToEndMatchesSingleThreaded is the acceptance check: the
+// HTTP serving path must return bit-identical results to driving an
+// identically-built agent directly on one goroutine.
+func TestServerEndToEndMatchesSingleThreaded(t *testing.T) {
+	// Two agents built and trained from identical seeds are identical.
+	served, _ := newTrainedAgent(t, 4_000, 200, 21, 22)
+	direct, _ := newTrainedAgent(t, 4_000, 200, 21, 22)
+
+	pool, err := NewPool([]*core.Agent{served}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewScheduler(pool, SchedulerConfig{Workers: 4})
+	defer sched.Close()
+	ts := httptest.NewServer(NewServer(sched, nil))
+	defer ts.Close()
+
+	qs := workload.NewQueryStream(workload.NewRNG(77), workload.DefaultRegions(2), query.Count)
+	for i := 0; i < 150; i++ {
+		q := qs.Next()
+		got, code := postQuery(t, ts.URL, reqFromQuery(t, q, "e2e"))
+		if code != http.StatusOK {
+			t.Fatalf("query %d: HTTP %d", i, code)
+		}
+		want, err := direct.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Value != want.Value || got.Predicted != want.Predicted ||
+			got.EstError != want.EstError || got.Quantum != want.Quantum {
+			t.Fatalf("query %d diverged:\n  http   = %+v\n  direct = %+v", i, got, want)
+		}
+	}
+	if pool.Stats().Queries != direct.Stats().Queries {
+		t.Errorf("served agent answered %d queries, direct %d",
+			pool.Stats().Queries, direct.Stats().Queries)
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	agent, _ := newTrainedAgent(t, 4_000, 200, 21, 22)
+	pool, err := NewPool([]*core.Agent{agent}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewScheduler(pool, SchedulerConfig{Workers: 8, QueueDepth: 256, TenantInflight: -1})
+	defer sched.Close()
+	ts := httptest.NewServer(NewServer(sched, nil))
+	defer ts.Close()
+
+	const clients = 32
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			cs := workload.NewQueryStream(workload.NewRNG(700+int64(c)), workload.DefaultRegions(2), query.Count)
+			for i := 0; i < 10; i++ {
+				_, code := postQuery(t, ts.URL, reqFromQuery(t, cs.Next(), "load"))
+				if code != http.StatusOK {
+					t.Errorf("client %d: HTTP %d", c, code)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Stats endpoint reflects the load.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Serving.Queries != clients*10 {
+		t.Errorf("stats served %d queries, want %d", stats.Serving.Queries, clients*10)
+	}
+	if stats.Serving.QPS <= 0 || stats.Serving.P50 <= 0 {
+		t.Errorf("missing throughput metrics: %+v", stats.Serving)
+	}
+}
+
+func TestServerErrorMapping(t *testing.T) {
+	agent, _ := newTrainedAgent(t, 2_000, 100, 21, 22)
+	pool, err := NewPool([]*core.Agent{agent}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewScheduler(pool, SchedulerConfig{Workers: 2})
+	defer sched.Close()
+	ts := httptest.NewServer(NewServer(sched, nil))
+	defer ts.Close()
+
+	for name, body := range map[string]string{
+		"bad json":     `{"agg":`,
+		"unknown agg":  `{"agg":"median","los":[0,0],"his":[1,1]}`,
+		"lo above hi":  `{"agg":"count","los":[2,2],"his":[1,1]}`,
+		"no selection": `{"agg":"count"}`,
+	} {
+		_, code := postQuery(t, ts.URL, []byte(body))
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400", name, code)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: HTTP %d", resp.StatusCode)
+	}
+
+	// Explanations are disabled when no engine is wired.
+	resp2, err := http.Post(ts.URL+"/v1/explain", "application/json",
+		bytes.NewReader([]byte(`{"agg":"count","los":[0,0],"his":[1,1]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotImplemented {
+		t.Errorf("explain without engine: HTTP %d, want 501", resp2.StatusCode)
+	}
+}

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// group is a minimal single-flight: concurrent do calls with the same
+// key run fn once and share its result. (Modelled on
+// golang.org/x/sync/singleflight, inlined so the build stays
+// dependency-free.) join lets callers test for an active flight without
+// starting one — the Pool uses it to park behind an in-progress oracle
+// fallback before touching the agent's locks at all.
+type group struct {
+	mu sync.Mutex
+	m  map[string]*call
+}
+
+type call struct {
+	wg     sync.WaitGroup
+	ans    core.Answer
+	err    error
+	joined int // waiters sharing this flight (guarded by group.mu)
+}
+
+// join returns the active flight for key, registering the caller as a
+// waiter, or nil when no flight is in progress. The caller must
+// c.wg.Wait() before reading ans/err.
+func (g *group) join(key string) *call {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c := g.m[key]
+	if c != nil {
+		c.joined++
+	}
+	return c
+}
+
+// waiting reports how many callers are parked on key's active flight.
+func (g *group) waiting(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c := g.m[key]; c != nil {
+		return c.joined
+	}
+	return 0
+}
+
+// do runs fn once per key at a time; duplicate concurrent callers share
+// the leader's result and report shared=true.
+func (g *group) do(key string, fn func() (core.Answer, error)) (ans core.Answer, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*call)
+	}
+	if c, ok := g.m[key]; ok {
+		c.joined++
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.ans, true, c.err
+	}
+	c := new(call)
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.ans, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.ans, false, c.err
+}

@@ -1,0 +1,41 @@
+package sea
+
+import "testing"
+
+// TestGridSteps pins the integer-indexed grid enumeration used by
+// SubspacesWhere: float step accumulation (v += step) drifts and can
+// skip the final grid point; index arithmetic must not.
+func TestGridSteps(t *testing.T) {
+	cases := []struct {
+		lo, hi, step float64
+		want         int // last index, i.e. points-1
+	}{
+		{0, 1, 0.1, 10},       // 0.1 is inexact: the classic drift case
+		{0, 0.3, 0.1, 3},      // 0.1+0.1+0.1 > 0.3 in float64
+		{20, 80, 7.5, 8},      // exact multiple
+		{20, 80, 15, 4},       // exact multiple, integral step
+		{0, 1, 0.3, 3},        // non-multiple: last point 0.9 <= 1
+		{5, 5, 1, 0},          // degenerate range: just lo
+		{1, 0, 1, -1},         // inverted range: empty grid
+		{0, 1, 0, 0},          // zero step: degenerate single point
+		{0, 10, 1e-1 * 7, 14}, // 0.7 steps: 14*0.7 = 9.8 <= 10
+	}
+	for _, c := range cases {
+		if got := gridSteps(c.lo, c.hi, c.step); got != c.want {
+			t.Errorf("gridSteps(%v, %v, %v) = %d, want %d", c.lo, c.hi, c.step, got, c.want)
+		}
+	}
+}
+
+// TestGridStepsCoversEndpoint sweeps many fractional steps and checks
+// the enumerated grid always includes a point within half a step of hi
+// when (hi-lo) is an integral multiple of step.
+func TestGridStepsCoversEndpoint(t *testing.T) {
+	for n := 1; n <= 200; n++ {
+		lo, hi := 0.0, 3.0
+		step := (hi - lo) / float64(n)
+		if got := gridSteps(lo, hi, step); got != n {
+			t.Errorf("n=%d: gridSteps = %d, want %d (endpoint skipped)", n, got, n)
+		}
+	}
+}

@@ -25,6 +25,7 @@ package sea
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -272,6 +273,9 @@ func (a *Agent) SubspacesWhere(q Query, lo, hi, step, extent float64, pred func(
 	dims := a.inner.Config().Dims
 	var out []Selection
 	center := make([]float64, dims)
+	// Integer-indexed stepping: accumulating v += step drifts in
+	// floating point and can skip the final grid point (hi itself).
+	last := gridSteps(lo, hi, step)
 	var rec func(d int)
 	rec = func(d int) {
 		if d == dims {
@@ -283,11 +287,27 @@ func (a *Agent) SubspacesWhere(q Query, lo, hi, step, extent float64, pred func(
 			}
 			return
 		}
-		for v := lo; v <= hi; v += step {
-			center[d] = v
+		for i := 0; i <= last; i++ {
+			center[d] = lo + float64(i)*step
 			rec(d + 1)
 		}
 	}
 	rec(0)
 	return out
+}
+
+// gridSteps returns the last index i such that lo + i*step <= hi (with a
+// relative tolerance so hi itself is always included when (hi-lo) is an
+// integral multiple of step), or -1 for an empty range (hi < lo): the
+// grid then has no points at all. A non-positive step degenerates to the
+// single point lo.
+func gridSteps(lo, hi, step float64) int {
+	if hi < lo {
+		return -1
+	}
+	if step <= 0 {
+		return 0
+	}
+	span := (hi - lo) / step
+	return int(math.Floor(span + 1e-9*math.Max(1, span)))
 }
