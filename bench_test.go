@@ -1,5 +1,5 @@
 // Package repro's root benchmarks regenerate every experiment in
-// DESIGN.md's per-experiment index (E1-E13) plus the ablations (A1-A5).
+// DESIGN.md's per-experiment index (E1-E14) plus the ablations (A1-A5).
 // Each bench reports the experiment's headline virtual metrics via
 // b.ReportMetric, so `go test -bench=. -benchmem` prints the rows that
 // EXPERIMENTS.md records. Wall-clock ns/op measures simulator CPU, not
@@ -231,6 +231,26 @@ func BenchmarkE13ConcurrentServe(b *testing.B) {
 			b.ReportMetric(float64(row.P99.Microseconds()), "p99_us")
 			b.ReportMetric(row.PredictionRate, "pred_rate")
 			b.ReportMetric(row.FallbackRate, "fallback_rate")
+		})
+	}
+}
+
+func BenchmarkE14DistServe(b *testing.B) {
+	for _, nodes := range []int{1, 2, 3} {
+		b.Run(sizeName(nodes)+"n", func(b *testing.B) {
+			var row experiments.E14Row
+			var err error
+			for i := 0; i < b.N; i++ {
+				row, err = experiments.E14DistServe(20_000, nodes, 24, 100, 300, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(row.QPS, "qps")
+			b.ReportMetric(float64(row.P50.Microseconds()), "p50_us")
+			b.ReportMetric(float64(row.P99.Microseconds()), "p99_us")
+			b.ReportMetric(row.PredictionRate, "pred_rate")
+			b.ReportMetric(float64(row.CrossShardP50.Microseconds()), "cross_shard_p50_us")
 		})
 	}
 }

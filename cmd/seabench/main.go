@@ -1,13 +1,20 @@
-// Command seabench runs the full experiment suite (E1-E13 and ablations
+// Command seabench runs the full experiment suite (E1-E14 and ablations
 // A1-A5 from DESIGN.md) at configurable scale and prints one table per
 // experiment — the rows EXPERIMENTS.md records. Metrics are virtual
 // simulator units (see internal/metrics), except E13 (concurrent
-// serving) which measures the real serving layer in wall-clock units
-// and prints JSON rows.
+// serving) and E14 (distributed cluster) which measure the real serving
+// layer in wall-clock units.
+//
+// With -json every experiment emits machine-readable rows instead of
+// tables, one JSON object per line:
+//
+//	{"experiment":"E4","row":{...}}
+//
+// so BENCH tracking can diff runs without parsing tables.
 //
 // Usage:
 //
-//	seabench [-scale small|paper] [-only E4]
+//	seabench [-scale small|paper] [-only E4] [-json]
 package main
 
 import (
@@ -23,14 +30,42 @@ import (
 func main() {
 	scale := flag.String("scale", "small", "experiment scale: small | paper")
 	only := flag.String("only", "", "run only the named experiment (e.g. E4)")
+	jsonOut := flag.Bool("json", false, "emit one JSON row per line instead of tables")
 	flag.Parse()
-	if err := run(*scale, *only); err != nil {
+	if err := run(*scale, *only, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "seabench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scale, only string) error {
+// emitter routes experiment rows either to human tables (the caller
+// prints) or to machine-readable JSON lines. Encode failures are kept
+// (first one wins) so a truncated -json stream fails the run instead of
+// exiting 0.
+type emitter struct {
+	json bool
+	enc  *json.Encoder
+	err  error
+}
+
+// emit writes rows as JSON lines and reports true when it did (JSON
+// mode); table mode returns false so the caller prints instead.
+func (e *emitter) emit(name string, rows ...any) bool {
+	if !e.json {
+		return false
+	}
+	for _, r := range rows {
+		if err := e.enc.Encode(struct {
+			Experiment string `json:"experiment"`
+			Row        any    `json:"row"`
+		}{name, r}); err != nil && e.err == nil {
+			e.err = fmt.Errorf("emit %s: %w", name, err)
+		}
+	}
+	return true
+}
+
+func run(scale, only string, jsonOut bool) error {
 	big := scale == "paper"
 	pick := func(small, paper int) int {
 		if big {
@@ -41,237 +76,347 @@ func run(scale, only string) error {
 	want := func(name string) bool {
 		return only == "" || strings.EqualFold(only, name)
 	}
+	em := &emitter{json: jsonOut, enc: json.NewEncoder(os.Stdout)}
 
 	if want("E1") {
-		fmt.Println("== E1: data-less (Fig.2) vs traditional BDAS (Fig.1), COUNT queries ==")
-		fmt.Println("rows        bdas_lat      sea_lat   speedup  pred_rate  bdas_rows    sea_rows   $ratio")
-		for _, rows := range []int{pick(10_000, 20_000), pick(50_000, 100_000), pick(0, 1_000_000)} {
-			if rows == 0 {
+		var rows []experiments.E1Row
+		for _, n := range []int{pick(10_000, 20_000), pick(50_000, 100_000), pick(0, 1_000_000)} {
+			if n == 0 {
 				continue
 			}
-			r, err := experiments.E1DatalessVsBDAS(rows, 16, 300, 200)
+			r, err := experiments.E1DatalessVsBDAS(n, 16, 300, 200)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%-9d %11v %12v %8.0fx %9.2f %11d %11d %7.0fx\n",
-				r.Rows, r.BDASMeanLatency, r.SEAMeanLatency, r.SpeedupX,
-				r.PredictionRate, r.BDASRowsRead, r.SEARowsRead,
-				r.BDASDollars/maxf(r.SEADollars, 1e-12))
+			rows = append(rows, r)
 		}
-		fmt.Println()
+		if !em.emit("E1", anySlice(rows)...) {
+			fmt.Println("== E1: data-less (Fig.2) vs traditional BDAS (Fig.1), COUNT queries ==")
+			fmt.Println("rows        bdas_lat      sea_lat   speedup  pred_rate  bdas_rows    sea_rows   $ratio")
+			for _, r := range rows {
+				fmt.Printf("%-9d %11v %12v %8.0fx %9.2f %11d %11d %7.0fx\n",
+					r.Rows, r.BDASMeanLatency, r.SEAMeanLatency, r.SpeedupX,
+					r.PredictionRate, r.BDASRowsRead, r.SEARowsRead,
+					r.BDASDollars/maxf(r.SEADollars, 1e-12))
+			}
+			fmt.Println()
+		}
 	}
 
 	if want("E2") {
-		fmt.Println("== E2: COUNT accuracy & cost — SEA agent vs BlinkDB-style AQP ==")
-		fmt.Println("training  sea_mape  aqp_mape  sea_rows/q  aqp_rows/q  exact_rows/q  pred_rate  sample_KB")
+		var rows []experiments.E2Row
 		for _, tr := range []int{150, 300, 600} {
 			r, err := experiments.E2CountAccuracy(pick(10_000, 20_000), tr, 200, 0.05)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%-9d %8.3f %9.3f %11.0f %11.0f %13.0f %10.2f %10d\n",
-				r.Training, r.SEAMAPE, r.AQPMAPE, r.SEARowsPerQ, r.AQPRowsPerQ,
-				r.ExactRowsPerQ, r.PredictionRate, r.AQPSampleBytes/1024)
+			rows = append(rows, r)
 		}
-		fmt.Println()
+		if !em.emit("E2", anySlice(rows)...) {
+			fmt.Println("== E2: COUNT accuracy & cost — SEA agent vs BlinkDB-style AQP ==")
+			fmt.Println("training  sea_mape  aqp_mape  sea_rows/q  aqp_rows/q  exact_rows/q  pred_rate  sample_KB")
+			for _, r := range rows {
+				fmt.Printf("%-9d %8.3f %9.3f %11.0f %11.0f %13.0f %10.2f %10d\n",
+					r.Training, r.SEAMAPE, r.AQPMAPE, r.SEARowsPerQ, r.AQPRowsPerQ,
+					r.ExactRowsPerQ, r.PredictionRate, r.AQPSampleBytes/1024)
+			}
+			fmt.Println()
+		}
 	}
 
 	if want("E3") {
-		fmt.Println("== E3: data-less AVG / regression-coefficient queries ==")
 		r, err := experiments.E3AvgRegression(pick(10_000, 20_000), 300, 150)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("avg_mape=%.3f  slope_mae=%.3f (true slope 2)  corr_mae=%.3f  pred_rate=%.2f\n\n",
-			r.AvgMAPE, r.SlopeMAE, r.CorrMAE, r.PredictionRate)
+		if !em.emit("E3", r) {
+			fmt.Println("== E3: data-less AVG / regression-coefficient queries ==")
+			fmt.Printf("avg_mape=%.3f  slope_mae=%.3f (true slope 2)  corr_mae=%.3f  pred_rate=%.2f\n\n",
+				r.AvgMAPE, r.SlopeMAE, r.CorrMAE, r.PredictionRate)
+		}
 	}
 
 	if want("E4") {
-		fmt.Println("== E4: top-K rank join — MapReduce vs statistical-index threshold (C2) ==")
-		fmt.Println("rows      k    mr_time        th_time     speedup   row_ratio  byte_ratio   $mr/$th")
-		for _, rows := range []int{pick(10_000, 100_000), pick(50_000, 1_000_000)} {
+		var rows []experiments.E4Row
+		for _, n := range []int{pick(10_000, 100_000), pick(50_000, 1_000_000)} {
 			for _, k := range []int{1, 10, 100} {
-				r, err := experiments.E4RankJoin(rows, k)
+				r, err := experiments.E4RankJoin(n, k)
 				if err != nil {
 					return err
 				}
+				rows = append(rows, r)
+			}
+		}
+		if !em.emit("E4", anySlice(rows)...) {
+			fmt.Println("== E4: top-K rank join — MapReduce vs statistical-index threshold (C2) ==")
+			fmt.Println("rows      k    mr_time        th_time     speedup   row_ratio  byte_ratio   $mr/$th")
+			for _, r := range rows {
 				fmt.Printf("%-8d %3d %10v %14v %8.0fx %10.1fx %10.0fx %8.0fx\n",
 					r.Rows, r.K, r.MRTime, r.ThresholdTime, r.SpeedupX,
 					r.RowRatioX, r.ByteRatioX, r.MRDollars/maxf(r.THDollars, 1e-12))
 			}
+			fmt.Println()
 		}
-		fmt.Println()
 	}
 
 	if want("E5") {
-		fmt.Println("== E5: kNN — full scan vs grid-indexed coordinator-cohort (C3) ==")
-		fmt.Println("rows      k    scan_time     idx_time    speedup   row_ratio")
-		for _, rows := range []int{pick(10_000, 100_000), pick(50_000, 1_000_000)} {
+		var rows []experiments.E5Row
+		for _, n := range []int{pick(10_000, 100_000), pick(50_000, 1_000_000)} {
 			for _, k := range []int{1, 10, 100} {
-				r, err := experiments.E5KNN(rows, k, 10)
+				r, err := experiments.E5KNN(n, k, 10)
 				if err != nil {
 					return err
 				}
+				rows = append(rows, r)
+			}
+		}
+		if !em.emit("E5", anySlice(rows)...) {
+			fmt.Println("== E5: kNN — full scan vs grid-indexed coordinator-cohort (C3) ==")
+			fmt.Println("rows      k    scan_time     idx_time    speedup   row_ratio")
+			for _, r := range rows {
 				fmt.Printf("%-8d %3d %11v %12v %8.0fx %10.0fx\n",
 					r.Rows, r.K, r.ScanTime, r.IndexedTime, r.SpeedupX, r.RowRatioX)
 			}
+			fmt.Println()
 		}
-		fmt.Println()
 	}
 
 	if want("E6") {
-		fmt.Println("== E6: subgraph queries — no cache vs semantic cache (C4) ==")
-		fmt.Println("repeat   nocache_time   cache_time   speedup  exact  sub  super")
-		for _, rep := range []float64{0.6, 0.9} {
+		reps := []float64{0.6, 0.9}
+		var rows []experiments.E6Row
+		// E6Row does not carry the repeat fraction, so the JSON rows wrap
+		// it in explicitly — machine-readable rows must be attributable
+		// to their parameters.
+		type e6JSON struct {
+			RepeatRate float64 `json:"repeat_rate"`
+			experiments.E6Row
+		}
+		var jrows []any
+		for _, rep := range reps {
 			r, err := experiments.E6SubgraphCache(pick(200, 1000), pick(100, 300), rep)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%-7.0f%% %11v %12v %8.1fx %6d %4d %6d\n",
-				rep*100, r.NoCacheTime, r.CacheTime, r.SpeedupX,
-				r.ExactHits, r.SubHits, r.SuperHits)
+			rows = append(rows, r)
+			jrows = append(jrows, e6JSON{RepeatRate: rep, E6Row: r})
 		}
-		fmt.Println()
+		if !em.emit("E6", jrows...) {
+			fmt.Println("== E6: subgraph queries — no cache vs semantic cache (C4) ==")
+			fmt.Println("repeat   nocache_time   cache_time   speedup  exact  sub  super")
+			for i, r := range rows {
+				fmt.Printf("%-7.0f%% %11v %12v %8.1fx %6d %4d %6d\n",
+					reps[i]*100, r.NoCacheTime, r.CacheTime, r.SpeedupX,
+					r.ExactHits, r.SubHits, r.SuperHits)
+			}
+			fmt.Println()
+		}
 	}
 
 	if want("E7") {
-		fmt.Println("== E7: missing-value imputation — all-pairs vs centroid-routed (C5) ==")
-		fmt.Println("rows      full_time    centroid_time   speedup   full_rmse  cent_rmse")
-		for _, rows := range []int{pick(5_000, 20_000), pick(10_000, 50_000)} {
-			r, err := experiments.E7Imputation(rows)
+		var rows []experiments.E7Row
+		for _, n := range []int{pick(5_000, 20_000), pick(10_000, 50_000)} {
+			r, err := experiments.E7Imputation(n)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%-8d %11v %14v %8.0fx %10.2f %10.2f\n",
-				r.Rows, r.FullTime, r.CentroidTime, r.SpeedupX, r.FullRMSE, r.CentroidRMSE)
+			rows = append(rows, r)
 		}
-		fmt.Println()
+		if !em.emit("E7", anySlice(rows)...) {
+			fmt.Println("== E7: missing-value imputation — all-pairs vs centroid-routed (C5) ==")
+			fmt.Println("rows      full_time    centroid_time   speedup   full_rmse  cent_rmse")
+			for _, r := range rows {
+				fmt.Printf("%-8d %11v %14v %8.0fx %10.2f %10.2f\n",
+					r.Rows, r.FullTime, r.CentroidTime, r.SpeedupX, r.FullRMSE, r.CentroidRMSE)
+			}
+			fmt.Println()
+		}
 	}
 
 	if want("E8") {
-		fmt.Println("== E8: learned paradigm selection (C6) ==")
 		r, err := experiments.E8Optimizer(pick(5_000, 20_000))
 		if err != nil {
 			return err
 		}
-		fmt.Printf("accuracy=%.2f  regret: learned=%.4fs always-mr=%.4fs always-cc=%.4fs  best-inference-model=%s\n\n",
-			r.Accuracy, r.LearnedRegret, r.AlwaysMRRegret, r.AlwaysCCRegret, r.BestModelFamily)
+		if !em.emit("E8", r) {
+			fmt.Println("== E8: learned paradigm selection (C6) ==")
+			fmt.Printf("accuracy=%.2f  regret: learned=%.4fs always-mr=%.4fs always-cc=%.4fs  best-inference-model=%s\n\n",
+				r.Accuracy, r.LearnedRegret, r.AlwaysMRRegret, r.AlwaysCCRegret, r.BestModelFamily)
+		}
 	}
 
 	if want("E9") {
-		fmt.Println("== E9: query-answer explanations (C7) ==")
 		r, err := experiments.E9Explanations(pick(12_000, 20_000))
 		if err != nil {
 			return err
 		}
-		fmt.Printf("explained=%.0f%%  fidelity_r2=%.2f  fidelity_mape=%.3f  queries_saved=%d/%d\n\n",
-			r.ExplainedFrac*100, r.MeanR2, r.MeanMAPE, r.QueriesSaved, r.QueriesAsked)
+		if !em.emit("E9", r) {
+			fmt.Println("== E9: query-answer explanations (C7) ==")
+			fmt.Printf("explained=%.0f%%  fidelity_r2=%.2f  fidelity_mape=%.3f  queries_saved=%d/%d\n\n",
+				r.ExplainedFrac*100, r.MeanR2, r.MeanMAPE, r.QueriesSaved, r.QueriesAsked)
+		}
 	}
 
 	if want("E10") {
-		fmt.Println("== E10: geo-distributed SEA (Fig.3, C8) ==")
 		r, err := experiments.E10Geo(pick(10_000, 20_000), 400, 300)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("wan_savings=%.0fx  local_rate=%.2f  p50=%v  p95=%v  (all-to-core p50=%v)  model_ship=%dB\n\n",
-			r.WANSavingsX, r.LocalRate, r.P50, r.P95, r.AllToCore50, r.ModelShipBytes)
+		if !em.emit("E10", r) {
+			fmt.Println("== E10: geo-distributed SEA (Fig.3, C8) ==")
+			fmt.Printf("wan_savings=%.0fx  local_rate=%.2f  p50=%v  p95=%v  (all-to-core p50=%v)  model_ship=%dB\n\n",
+				r.WANSavingsX, r.LocalRate, r.P50, r.P95, r.AllToCore50, r.ModelShipBytes)
+		}
 	}
 
 	if want("E11") {
-		fmt.Println("== E11: model maintenance under drift and updates (C9) ==")
 		r, err := experiments.E11Maintenance(pick(10_000, 20_000))
 		if err != nil {
 			return err
 		}
-		fmt.Printf("pre_drift_mape=%.3f  post_drift_mape=%.3f  recovered_mape=%.3f  post_update_exact=%d/20  recovered_pred_rate=%.2f\n\n",
-			r.PreDriftMAPE, r.PostDriftMAPE, r.RecoveredMAPE, r.PostUpdateExact, r.RecoveredPredRate)
+		if !em.emit("E11", r) {
+			fmt.Println("== E11: model maintenance under drift and updates (C9) ==")
+			fmt.Printf("pre_drift_mape=%.3f  post_drift_mape=%.3f  recovered_mape=%.3f  post_update_exact=%d/20  recovered_pred_rate=%.2f\n\n",
+				r.PreDriftMAPE, r.PostDriftMAPE, r.RecoveredMAPE, r.PostUpdateExact, r.RecoveredPredRate)
+		}
 	}
 
 	if want("E12") {
-		fmt.Println("== E12: polystore strategies (C10) ==")
 		r, err := experiments.E12Polystore(pick(2_000, 8_000))
 		if err != nil {
 			return err
 		}
-		fmt.Printf("bytes: ship-data=%d ship-pairs=%d ship-model=%d   abs_err: pairs=%.4f model=%.4f\n\n",
-			r.ShipDataBytes, r.ShipPairsBytes, r.ShipModelBytes, r.ShipPairsErr, r.ShipModelErr)
+		if !em.emit("E12", r) {
+			fmt.Println("== E12: polystore strategies (C10) ==")
+			fmt.Printf("bytes: ship-data=%d ship-pairs=%d ship-model=%d   abs_err: pairs=%.4f model=%.4f\n\n",
+				r.ShipDataBytes, r.ShipPairsBytes, r.ShipModelBytes, r.ShipPairsErr, r.ShipModelErr)
+		}
 	}
 
 	if want("E13") {
-		fmt.Println("== E13: concurrent serving throughput (N workers x M queries, wall clock) ==")
+		var rows []experiments.E13Row
 		for _, workers := range []int{pick(4, 16), pick(16, 64)} {
 			r, err := experiments.E13ConcurrentServe(pick(10_000, 20_000), workers, pick(250, 1000), 300)
 			if err != nil {
 				return err
 			}
-			js, err := json.Marshal(r)
+			rows = append(rows, r)
+		}
+		if !em.emit("E13", anySlice(rows)...) {
+			fmt.Println("== E13: concurrent serving throughput (N workers x M queries, wall clock) ==")
+			for _, r := range rows {
+				js, err := json.Marshal(r)
+				if err != nil {
+					return err
+				}
+				fmt.Println(string(js))
+			}
+			fmt.Println()
+		}
+	}
+
+	if want("E14") {
+		var rows []experiments.E14Row
+		for _, nodes := range []int{1, 2, 3} {
+			// The 3-node row also runs the kill-one-node failover phase.
+			// Client concurrency (24) exceeds the biggest cluster's total
+			// worker slots (3 nodes x 4) so every size runs saturated.
+			r, err := experiments.E14DistServe(pick(10_000, 20_000), nodes,
+				pick(24, 48), pick(100, 300), 300, nodes == 3)
 			if err != nil {
 				return err
 			}
-			fmt.Println(string(js))
+			rows = append(rows, r)
 		}
-		fmt.Println()
+		if !em.emit("E14", anySlice(rows)...) {
+			fmt.Println("== E14: distributed serving cluster (scale-out QPS, cross-shard latency, failover) ==")
+			for _, r := range rows {
+				js, err := json.Marshal(r)
+				if err != nil {
+					return err
+				}
+				fmt.Println(string(js))
+			}
+			fmt.Println()
+		}
 	}
 
 	if want("A1") {
-		fmt.Println("== A1: quantisation granularity ablation ==")
 		rows, err := experiments.A1Quanta(pick(10_000, 20_000), []float64{64, 225, 900})
 		if err != nil {
 			return err
 		}
-		for _, r := range rows {
-			fmt.Printf("spawn_dist=%-6.0f quanta=%-3.0f mape=%.3f pred_rate=%.2f\n",
-				r.Param, r.Extra, r.MAPE, r.PredictionRate)
+		if !em.emit("A1", anySlice(rows)...) {
+			fmt.Println("== A1: quantisation granularity ablation ==")
+			for _, r := range rows {
+				fmt.Printf("spawn_dist=%-6.0f quanta=%-3.0f mape=%.3f pred_rate=%.2f\n",
+					r.Param, r.Extra, r.MAPE, r.PredictionRate)
+			}
+			fmt.Println()
 		}
-		fmt.Println()
 	}
 
 	if want("A2") {
-		fmt.Println("== A2: per-quantum model family ablation (CV RMSE on count queries) ==")
 		scores, err := experiments.A2ModelFamily(pick(10_000, 20_000))
 		if err != nil {
 			return err
 		}
-		for _, name := range []string{"linear", "quadratic", "knn", "boosted"} {
-			fmt.Printf("%-10s rmse=%.1f\n", name, scores[name])
+		if !em.emit("A2", scores) {
+			fmt.Println("== A2: per-quantum model family ablation (CV RMSE on count queries) ==")
+			for _, name := range []string{"linear", "quadratic", "knn", "boosted"} {
+				fmt.Printf("%-10s rmse=%.1f\n", name, scores[name])
+			}
+			fmt.Println()
 		}
-		fmt.Println()
 	}
 
 	if want("A3") {
-		fmt.Println("== A3: fallback threshold ablation ==")
 		rows, err := experiments.A3Fallback(pick(10_000, 20_000), []float64{0.05, 0.1, 0.2, 0.5})
 		if err != nil {
 			return err
 		}
-		for _, r := range rows {
-			fmt.Printf("threshold=%-5.2f mape=%.3f pred_rate=%.2f\n", r.Param, r.MAPE, r.PredictionRate)
+		if !em.emit("A3", anySlice(rows)...) {
+			fmt.Println("== A3: fallback threshold ablation ==")
+			for _, r := range rows {
+				fmt.Printf("threshold=%-5.2f mape=%.3f pred_rate=%.2f\n", r.Param, r.MAPE, r.PredictionRate)
+			}
+			fmt.Println()
 		}
-		fmt.Println()
 	}
 
 	if want("A4") {
-		fmt.Println("== A4: rank-join batch size ablation ==")
 		rows, err := experiments.A4RankJoinBatch(pick(10_000, 50_000), []int{16, 64, 256})
 		if err != nil {
 			return err
 		}
-		for _, r := range rows {
-			fmt.Printf("batch=%-4.0f rows_read=%-8.0f time=%.4fs\n", r.Param, r.Extra, r.MAPE)
+		if !em.emit("A4", anySlice(rows)...) {
+			fmt.Println("== A4: rank-join batch size ablation ==")
+			for _, r := range rows {
+				fmt.Printf("batch=%-4.0f rows_read=%-8.0f time=%.4fs\n", r.Param, r.Extra, r.MAPE)
+			}
+			fmt.Println()
 		}
-		fmt.Println()
 	}
 
 	if want("A5") {
-		fmt.Println("== A5: geo routing policy ablation (models on one edge only) ==")
 		out, err := experiments.A5GeoRouting(pick(5_000, 10_000))
 		if err != nil {
 			return err
 		}
-		fmt.Printf("wan_bytes: core-only=%.0f peer-first=%.0f\n\n", out["core-only"], out["peer-first"])
+		if !em.emit("A5", out) {
+			fmt.Println("== A5: geo routing policy ablation (models on one edge only) ==")
+			fmt.Printf("wan_bytes: core-only=%.0f peer-first=%.0f\n\n", out["core-only"], out["peer-first"])
+		}
 	}
-	return nil
+	return em.err
+}
+
+// anySlice widens a typed row slice for emitter.emit's variadic any.
+func anySlice[T any](rows []T) []any {
+	out := make([]any, len(rows))
+	for i, r := range rows {
+		out[i] = r
+	}
+	return out
 }
 
 func maxf(a, b float64) float64 {

@@ -1,32 +1,55 @@
-// Command seaserve runs the concurrent SEA serving layer: it loads a
-// synthetic clustered table into the simulated BDAS, trains one or more
-// SEA agents on a mixed analyst query stream, and serves the agent API
-// over HTTP/JSON (internal/serve).
+// Command seaserve runs the SEA serving layer: it loads a synthetic
+// clustered table, trains one or more SEA agents on a mixed analyst
+// query stream, and serves the agent API over HTTP/JSON.
 //
-// Usage:
+// Single-node mode (the default) serves internal/serve:
 //
 //	seaserve [-addr :8080] [-rows 20000] [-nodes 8] [-training 300]
 //	         [-agents 1] [-workers 8] [-queue 256] [-tenant-inflight 64]
 //
-// Endpoints:
+// Cluster mode joins a distributed serving cluster (internal/dist): a
+// consistent-hash ring shards the query space across the members with
+// R-way replication, exact answers scatter-gather across the data
+// partitions, and replicas warm up by model-snapshot shipping. Every
+// member runs the same command with its own -node-id:
+//
+//	seaserve -addr :8080 -node-id n0 -replicas 2 \
+//	         -peers n0=http://host0:8080,n1=http://host1:8080,n2=http://host2:8080
+//	seaserve -addr :8080 -node-id n1 -peers ... &   # on host1
+//	seaserve -addr :8080 -node-id n2 -peers ... \
+//	         -warm-from http://host0:8080           # ship n0's models in
+//
+// Every member loads the same deterministic synthetic dataset (same
+// -rows/-seed) and keeps only the partitions the ring assigns it.
+//
+// Endpoints (both modes):
 //
 //	POST /v1/query    {"agg":"count","los":[20,20],"his":[30,30]}
-//	POST /v1/explain  same body; piecewise-linear answer explanation
-//	GET  /v1/stats    agent + serving counters (QPS, p50/p99, fallbacks)
-//	GET  /healthz     liveness
+//	GET  /healthz     liveness (also used by failover probing)
 //
-// Example:
+// Single-node adds POST /v1/explain and GET /v1/stats; cluster mode adds
+// POST /v1/partial, GET /v1/snapshot and GET /v1/cluster.
 //
-//	curl -s localhost:8080/v1/query -d '{"agg":"avg","col":2,"los":[20,20],"his":[30,30]}'
+// The process traps SIGINT/SIGTERM and shuts down gracefully: the
+// listener stops accepting, in-flight queries drain (up to -drain), and
+// the scheduler's workers exit cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
+	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/query"
+	"repro/internal/serve"
 	"repro/internal/workload"
 	"repro/sea"
 )
@@ -34,30 +57,43 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	rows := flag.Int("rows", 20_000, "synthetic rows to load")
-	nodes := flag.Int("nodes", 8, "simulated cluster size")
+	nodes := flag.Int("nodes", 8, "simulated cluster size (single-node mode)")
 	training := flag.Int("training", 300, "training queries per agent")
 	agents := flag.Int("agents", 1, "agent pool size (affinity-sharded)")
 	workers := flag.Int("workers", 8, "serving worker goroutines")
 	queue := flag.Int("queue", 256, "pending-query queue depth")
 	tenantInflight := flag.Int("tenant-inflight", 64, "max in-flight queries per tenant")
-	seed := flag.Int64("seed", 1, "data/workload RNG seed")
+	seed := flag.Int64("seed", 1, "data/workload RNG seed (must match across members)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+	nodeID := flag.String("node-id", "", "cluster member id (enables cluster mode)")
+	peers := flag.String("peers", "", "cluster members as id=url,id=url,... (cluster mode)")
+	replicas := flag.Int("replicas", dist.DefaultReplicas, "replication factor (cluster mode)")
+	warmFrom := flag.String("warm-from", "", "peer URL to import agent snapshots from at start (cluster mode)")
 	flag.Parse()
 
-	if err := run(*addr, *rows, *nodes, *training, *agents, *workers, *queue, *tenantInflight, *seed); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var err error
+	if *nodeID != "" {
+		err = runCluster(ctx, *addr, *nodeID, *peers, *replicas, *warmFrom,
+			*rows, *training, *agents, *workers, *queue, *tenantInflight, *seed, *drain)
+	} else {
+		err = runSingle(ctx, *addr, *rows, *nodes, *training, *agents, *workers,
+			*queue, *tenantInflight, *seed, *drain)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "seaserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, rows, nodes, training, agents, workers, queue, tenantInflight int, seed int64) error {
+func runSingle(ctx context.Context, addr string, rows, nodes, training, agents, workers, queue, tenantInflight int, seed int64, drain time.Duration) error {
 	sys, err := sea.NewSystem(sea.SystemConfig{Nodes: nodes, Columns: []string{"x", "y", "z"}})
 	if err != nil {
 		return err
 	}
-	rng := workload.NewRNG(seed)
-	data := workload.GaussianMixture(rng, rows, 3, workload.DefaultMixture(3), 0)
-	workload.CorrelatedColumns(rng, data, 0, 2, 2, 5, 1)
-	if err := sys.Load(data); err != nil {
+	if err := sys.Load(workload.StandardRows(rows, seed)); err != nil {
 		return err
 	}
 	log.Printf("loaded %d rows over %d nodes", sys.Rows(), nodes)
@@ -89,7 +125,65 @@ func run(addr string, rows, nodes, training, agents, workers, queue, tenantInfli
 	}
 	log.Printf("serving on %s (%d agents, %d workers, queue %d, tenant-inflight %d)",
 		addr, agents, workers, queue, tenantInflight)
-	return srv.ListenAndServe(addr)
+	return srv.Run(ctx, addr, drain)
+}
+
+func runCluster(ctx context.Context, addr, nodeID, peerList string, replicas int, warmFrom string, rows, training, agents, workers, queue, tenantInflight int, seed int64, drain time.Duration) error {
+	peers, err := parsePeers(peerList)
+	if err != nil {
+		return err
+	}
+	agentCfg := core.DefaultConfig(2)
+	agentCfg.TrainingQueries = training
+	node, err := dist.NewNode(dist.Config{
+		ID:             nodeID,
+		Peers:          peers,
+		Replicas:       replicas,
+		Agents:         agents,
+		Agent:          agentCfg,
+		Workers:        workers,
+		QueueDepth:     queue,
+		TenantInflight: tenantInflight,
+	})
+	if err != nil {
+		return err
+	}
+	node.Load(workload.StandardRows(rows, seed))
+	st := node.Status()
+	log.Printf("cluster member %s: %d/%d partitions, %d rows held, %d members, replicas=%d",
+		nodeID, len(st.PartitionsHeld), st.PartitionsTotal, st.RowsHeld, len(st.Members), st.Replicas)
+	if warmFrom != "" {
+		shipped, err := node.WarmFrom(warmFrom)
+		if err != nil {
+			log.Printf("warm-up from %s failed (serving cold): %v", warmFrom, err)
+		} else {
+			log.Printf("warmed up from %s: %d snapshot bytes", warmFrom, shipped)
+		}
+	}
+
+	log.Printf("cluster member %s serving on %s", nodeID, addr)
+	context.AfterFunc(ctx, func() { log.Printf("shutting down (draining up to %v)", drain) })
+	return serve.RunHTTP(ctx, addr, node.Handler(), drain, node.Close)
+}
+
+// parsePeers parses "n0=http://a:8080,n1=http://b:8080".
+func parsePeers(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(kv, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=url)", kv)
+		}
+		out[id] = url
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster mode needs -peers id=url,...")
+	}
+	return out, nil
 }
 
 // pretrain feeds the agent a mixed analyst stream (count, avg, corr over

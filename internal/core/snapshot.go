@@ -1,0 +1,184 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/ml"
+	"repro/internal/query"
+)
+
+// SnapshotVersion is the current agent-snapshot format version. Restore
+// rejects snapshots whose version differs: a node running newer code must
+// not silently mis-read an old snapshot (or vice versa).
+const SnapshotVersion = 1
+
+// ErrSnapshotVersion is returned when a snapshot's format version does
+// not match SnapshotVersion.
+var ErrSnapshotVersion = errors.New("core: snapshot version mismatch")
+
+// ModelSnapshot is one per-(quantum, aggregate) answer model: the RLS
+// state plus the rolling error estimate and maintenance counters.
+type ModelSnapshot struct {
+	Agg       query.Agg   `json:"agg"`
+	Col       int         `json:"col"`
+	Col2      int         `json:"col2"`
+	Quantum   int         `json:"quantum"`
+	RLS       ml.RLSState `json:"rls"`
+	Residuals []float64   `json:"residuals"`
+	ResidPos  int         `json:"resid_pos"`
+	ResidFull bool        `json:"resid_full"`
+	N         int64       `json:"n"`
+	Probation int         `json:"probation"`
+}
+
+// AgentSnapshot is the complete serialisable state of a trained agent:
+// configuration, query-space quantiser, every per-quantum answer model,
+// lifetime counters and the data version the models were trained
+// against. It is the real-system analogue of internal/polystore's
+// ship-model strategy: a recovering or newly joined cluster replica
+// imports a peer's snapshot and predicts immediately instead of paying
+// for its own training queries (RT1.5, RT5.2).
+//
+// An agent restored from its snapshot produces bit-identical predictions
+// to the donor on the same query stream: the quantiser assignment, the
+// model weights, the rolling error estimates and the training-phase
+// counter are all preserved exactly.
+type AgentSnapshot struct {
+	Version     int             `json:"version"`
+	Config      Config          `json:"config"`
+	Quantizer   ml.AVQState     `json:"quantizer"`
+	Models      []ModelSnapshot `json:"models"`
+	Stats       Stats           `json:"stats"`
+	DataVersion int64           `json:"data_version"`
+}
+
+// Snapshot exports the agent's full learned state. It is safe to call
+// concurrently with serving; the snapshot is a consistent point-in-time
+// view taken under the agent's read lock.
+func (a *Agent) Snapshot() *AgentSnapshot {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	s := &AgentSnapshot{
+		Version:     SnapshotVersion,
+		Config:      a.cfg,
+		Quantizer:   a.quantizer.State(),
+		DataVersion: a.dataVer,
+	}
+	for k, ms := range a.models {
+		for qi, m := range ms {
+			if m == nil {
+				continue
+			}
+			res := make([]float64, len(m.residuals))
+			copy(res, m.residuals)
+			s.Models = append(s.Models, ModelSnapshot{
+				Agg:       k.agg,
+				Col:       k.col,
+				Col2:      k.col2,
+				Quantum:   qi,
+				RLS:       m.rls.State(),
+				Residuals: res,
+				ResidPos:  m.residPos,
+				ResidFull: m.residFull,
+				N:         m.n,
+				Probation: m.probation,
+			})
+		}
+	}
+	// Map iteration order is random: sort so equal agents produce equal
+	// snapshots (and snapshot bytes are stable across runs).
+	sort.Slice(s.Models, func(i, j int) bool {
+		x, y := s.Models[i], s.Models[j]
+		if x.Agg != y.Agg {
+			return x.Agg < y.Agg
+		}
+		if x.Col != y.Col {
+			return x.Col < y.Col
+		}
+		if x.Col2 != y.Col2 {
+			return x.Col2 < y.Col2
+		}
+		return x.Quantum < y.Quantum
+	})
+	a.statsMu.Lock()
+	s.Stats = a.stats
+	a.statsMu.Unlock()
+	return s
+}
+
+// Restore replaces the agent's learned state with the snapshot's. The
+// agent keeps its own oracle; everything else — quantiser, models, error
+// windows, lifetime counters, data version — becomes the donor's, so the
+// restored agent predicts (and keeps training) exactly like the donor
+// would. Restore fails without touching the agent on a version mismatch
+// or a malformed snapshot.
+func (a *Agent) Restore(s *AgentSnapshot) error {
+	if s == nil {
+		return fmt.Errorf("core: nil snapshot")
+	}
+	if s.Version != SnapshotVersion {
+		return fmt.Errorf("%w: got %d, want %d", ErrSnapshotVersion, s.Version, SnapshotVersion)
+	}
+	if s.Config.Dims < 1 {
+		return fmt.Errorf("core: snapshot config needs Dims >= 1, got %d", s.Config.Dims)
+	}
+	quant, err := ml.NewOnlineAVQFromState(s.Quantizer)
+	if err != nil {
+		return fmt.Errorf("core: snapshot quantizer: %w", err)
+	}
+	models := make(map[modelKey][]*quantumModel)
+	for _, msnap := range s.Models {
+		if msnap.Quantum < 0 {
+			return fmt.Errorf("core: snapshot model with quantum %d", msnap.Quantum)
+		}
+		rls, err := ml.NewRLSFromState(msnap.RLS)
+		if err != nil {
+			return fmt.Errorf("core: snapshot model %v/%d: %w", msnap.Agg, msnap.Quantum, err)
+		}
+		res := make([]float64, len(msnap.Residuals))
+		copy(res, msnap.Residuals)
+		m := &quantumModel{
+			rls:       rls,
+			residuals: res,
+			residPos:  msnap.ResidPos,
+			residFull: msnap.ResidFull,
+			n:         msnap.N,
+			probation: msnap.Probation,
+		}
+		k := modelKey{agg: msnap.Agg, col: msnap.Col, col2: msnap.Col2}
+		ms := models[k]
+		for len(ms) <= msnap.Quantum {
+			ms = append(ms, nil)
+		}
+		ms[msnap.Quantum] = m
+		models[k] = ms
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.cfg = s.Config
+	a.quantizer = quant
+	a.models = models
+	a.dataVer = s.DataVersion
+	a.statsMu.Lock()
+	a.stats = s.Stats
+	a.statsMu.Unlock()
+	return nil
+}
+
+// NewAgentFromSnapshot builds an agent over oracle and restores the
+// snapshot into it — the receiving half of model shipping.
+func NewAgentFromSnapshot(oracle Oracle, s *AgentSnapshot) (*Agent, error) {
+	if s == nil {
+		return nil, fmt.Errorf("core: nil snapshot")
+	}
+	a, err := NewAgent(oracle, s.Config)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.Restore(s); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

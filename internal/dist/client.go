@@ -1,0 +1,184 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/serve"
+)
+
+// Client is a ring-aware cluster client: it routes each query to the
+// key's ring owners (so it lands on the node whose agents learned that
+// query region) and fails over to the next replica — and then to any
+// other member — when a node is unreachable. One node dying mid-stream
+// is therefore invisible to callers: the request is retried elsewhere,
+// not surfaced as an error.
+type Client struct {
+	ring     *Ring
+	urls     map[string]string
+	replicas int
+	hc       *http.Client
+	health   *health
+	// Tenant is sent with every query for the nodes' admission control
+	// (empty = shared default tenant).
+	Tenant string
+}
+
+// NewClient builds a client over the cluster members (id -> base URL).
+// replicas and timeout <= 0 take the defaults; the vnode count must
+// match the cluster's (use NewClientVNodes otherwise).
+func NewClient(members map[string]string, replicas int, timeout time.Duration) *Client {
+	return NewClientVNodes(members, replicas, timeout, 0)
+}
+
+// NewClientVNodes is NewClient with an explicit ring vnode count.
+func NewClientVNodes(members map[string]string, replicas int, timeout time.Duration, vnodes int) *Client {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	ids := make([]string, 0, len(members))
+	urls := make(map[string]string, len(members))
+	for id, url := range members {
+		ids = append(ids, id)
+		urls[id] = url
+	}
+	return &Client{
+		ring:     NewRing(vnodes, ids...),
+		urls:     urls,
+		replicas: replicas,
+		hc:       newHTTPClient(timeout),
+		health:   newHealth(DefaultCooldown, timeout),
+	}
+}
+
+// Answer routes q to its ring owners and returns the cluster's answer.
+func (c *Client) Answer(q query.Query) (core.Answer, error) {
+	resp, err := c.answer(q)
+	if err != nil {
+		return core.Answer{}, err
+	}
+	return resp.Answer(), nil
+}
+
+// AnswerNode additionally reports which member produced the answer.
+func (c *Client) AnswerNode(q query.Query) (core.Answer, string, error) {
+	resp, err := c.answer(q)
+	if err != nil {
+		return core.Answer{}, "", err
+	}
+	return resp.Answer(), resp.Node, nil
+}
+
+func (c *Client) answer(q query.Query) (QueryResponse, error) {
+	if err := q.Validate(); err != nil {
+		return QueryResponse{}, err
+	}
+	body, err := json.Marshal(queryToWire(q, c.Tenant))
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	key := serve.Key(q)
+	var lastErr error
+	for _, id := range c.candidates(key) {
+		url := c.urls[id]
+		if !c.health.available(url) {
+			continue
+		}
+		resp, err := c.hc.Post(url+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			c.health.markDownOn(url, err)
+			continue
+		}
+		out, retryable, err := decodeAnswer(resp)
+		if err == nil {
+			return out, nil
+		}
+		// The node responded, so it is alive — retry elsewhere for
+		// retryable failures but do not quarantine it.
+		lastErr = err
+		if !retryable {
+			return QueryResponse{}, err
+		}
+	}
+	return QueryResponse{}, errAllReplicas("query "+key, lastErr)
+}
+
+// candidates lists the key's ring owners first, then every other member:
+// owners for model locality, the rest as degraded-mode fallbacks (any
+// node can answer by scatter-gathering).
+func (c *Client) candidates(key string) []string {
+	owners := c.ring.Owners(key, c.replicas)
+	isOwner := make(map[string]bool, len(owners))
+	for _, o := range owners {
+		isOwner[o] = true
+	}
+	out := owners
+	for _, id := range c.ring.Nodes() {
+		if !isOwner[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// decodeAnswer parses one node response. retryable reports whether the
+// failure is worth trying on another replica (overload and server-side
+// failures are; malformed-query rejections are not).
+func decodeAnswer(resp *http.Response) (QueryResponse, bool, error) {
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		var out QueryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return QueryResponse{}, true, err
+		}
+		return out, false, nil
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&e)
+	err := fmt.Errorf("dist: HTTP %d: %s", resp.StatusCode, e.Error)
+	retryable := resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
+	return QueryResponse{}, retryable, err
+}
+
+// Status fetches a member's cluster view (GET /v1/cluster), trying every
+// member until one responds.
+func (c *Client) Status() (ClusterStatus, error) {
+	var lastErr error
+	for _, id := range c.ring.Nodes() {
+		url := c.urls[id]
+		if !c.health.available(url) {
+			continue
+		}
+		resp, err := c.hc.Get(url + "/v1/cluster")
+		if err != nil {
+			lastErr = err
+			c.health.markDownOn(url, err)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			lastErr = fmt.Errorf("dist: cluster status from %s: HTTP %d", url, resp.StatusCode)
+			continue
+		}
+		var st ClusterStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return st, nil
+	}
+	return ClusterStatus{}, errAllReplicas("cluster status", lastErr)
+}

@@ -1,0 +1,247 @@
+// Package dist is the distributed serving cluster: a process-level,
+// HTTP/JSON node-to-node scale-out of the concurrent serving layer
+// (internal/serve). It turns the repo from "a concurrent server" into
+// "a cluster" (Fig. 3: SEA agents at core and edge nodes):
+//
+//   - A consistent-hash Ring partitions both the query space (by the
+//     canonical query key from serve.Key) and the data partitions
+//     ("part:<i>" keys) across N nodes with R-way replication.
+//
+//   - Each Node holds the data partitions the ring assigns it and runs
+//     its own agent pool (serve.Pool + serve.Scheduler) over them, so
+//     model predictions are node-local and the serving capacity scales
+//     with the node count.
+//
+//   - Queries that need the exact path span shards: the owning node
+//     scatter-gathers per-partition aggregate states from the partition
+//     holders and merges them with the distributable kernels in
+//     internal/query (COUNT/SUM merge exactly; AVG/VAR/CORR merge from
+//     per-shard moments).
+//
+//   - Replica failover: clients and forwarding nodes try a key's ring
+//     owners in order, skipping nodes that recently failed (recovery is
+//     probed through /healthz); the scatter path does the same per data
+//     partition, so one dead node is masked by its replicas with no
+//     client-visible errors.
+//
+//   - Model shipping: a new or recovering replica warms up by importing
+//     a peer's agent snapshot (core.AgentSnapshot over GET /v1/snapshot)
+//     instead of re-paying its training queries — the real-system
+//     analogue of internal/polystore's ship-model strategy.
+//
+// Node-to-node API (all JSON):
+//
+//	POST /v1/query     client-facing query; non-owners forward to owners
+//	POST /v1/partial   per-partition aggregate state for scatter-gather
+//	GET  /v1/snapshot  agent snapshots for model shipping
+//	GET  /v1/cluster   membership, partitions held, serving health
+//	GET  /healthz      liveness (failover probing)
+//
+// cmd/seaserve exposes a node via -node-id/-peers/-replicas; E14
+// (internal/experiments) measures scale-out QPS, cross-shard latency and
+// failover recovery on an in-process LocalCluster.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/serve"
+)
+
+// Defaults for Config's zero values.
+const (
+	DefaultReplicas = 2
+	DefaultTimeout  = 2 * time.Second
+	DefaultCooldown = 2 * time.Second
+)
+
+// ErrAllReplicasFailed is returned when every ring owner of a key (or
+// every holder of a data partition) is unreachable.
+var ErrAllReplicasFailed = errors.New("dist: all replicas failed")
+
+// Config describes one cluster node.
+type Config struct {
+	// ID is this node's unique member id (e.g. "n0").
+	ID string
+	// Peers maps every member id (including this node's) to its base
+	// URL, e.g. "n1" -> "http://10.0.0.2:8080". All members must share
+	// the same map so their rings agree.
+	Peers map[string]string
+	// Replicas is the R-way replication factor for both query ownership
+	// and data partitions (default DefaultReplicas, clamped to the
+	// member count).
+	Replicas int
+	// Partitions is the data-partition count (default 2x members).
+	Partitions int
+	// VNodes is the ring's virtual-node count per member (default
+	// DefaultVNodes).
+	VNodes int
+	// Agents is the node's agent-pool size (default 1).
+	Agents int
+	// Agent configures each agent (zero value takes core.DefaultConfig
+	// for 2 dims).
+	Agent core.Config
+	// Workers/QueueDepth/TenantInflight size the node's scheduler (zero
+	// values take serve's defaults; TenantInflight < 0 disables).
+	Workers        int
+	QueueDepth     int
+	TenantInflight int
+	// ServiceDelay, when positive, is paced for real inside a scheduler
+	// worker for every locally-answered query: it models the per-node
+	// service time (storage, NIC) a real deployment pays but an
+	// in-process simulation cannot charge to host CPU. It bounds one
+	// node's throughput at Workers/ServiceDelay, which is what makes
+	// scale-out measurable on small hosts (E14). Zero disables pacing.
+	ServiceDelay time.Duration
+	// Timeout bounds each node-to-node HTTP call (default
+	// DefaultTimeout).
+	Timeout time.Duration
+	// Cooldown is how long a peer stays suspected-down after a failed
+	// call before /healthz probing may reinstate it (default
+	// DefaultCooldown).
+	Cooldown time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = DefaultReplicas
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 2 * len(c.Peers)
+		if c.Partitions == 0 {
+			c.Partitions = 2
+		}
+	}
+	if c.Agents <= 0 {
+		c.Agents = 1
+	}
+	if c.Agent.Dims < 1 {
+		c.Agent = core.DefaultConfig(2)
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = DefaultTimeout
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = DefaultCooldown
+	}
+	return c
+}
+
+// newHTTPClient builds the node-to-node/client HTTP client: generous
+// per-host connection pooling (the default of 2 idle conns per host
+// forces a TCP handshake on most requests under concurrent serving).
+func newHTTPClient(timeout time.Duration) *http.Client {
+	return &http.Client{
+		Timeout: timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+}
+
+// partKey is the ring key for data partition p.
+func partKey(p int) string { return "part:" + strconv.Itoa(p) }
+
+// queryToWire converts an internal query to the serving wire form
+// (the inverse of serve.QueryRequest.Query).
+func queryToWire(q query.Query, tenant string) serve.QueryRequest {
+	req := serve.QueryRequest{
+		Tenant: tenant,
+		Agg:    q.Aggregate.String(), // ParseAgg lowercases, so String() round-trips
+		Col:    q.Col,
+		Col2:   q.Col2,
+	}
+	if q.Select.IsRadius() {
+		req.Center, req.Radius = q.Select.Center, q.Select.Radius
+	} else {
+		req.Los, req.His = q.Select.Los, q.Select.His
+	}
+	return req
+}
+
+// costFromJSON rebuilds the virtual cost from its wire form.
+func costFromJSON(c serve.CostJSON) metrics.Cost {
+	return metrics.Cost{
+		Time:         time.Duration(c.TimeNS),
+		CPUTime:      time.Duration(c.CPUNS),
+		RowsRead:     c.RowsRead,
+		BytesLAN:     c.BytesLAN,
+		NodesTouched: c.Nodes,
+	}
+}
+
+// QueryResponse is the cluster's answer wire form: the serving layer's
+// response plus which node answered it.
+type QueryResponse struct {
+	serve.QueryResponse
+	// Node is the member that produced the answer.
+	Node string `json:"node"`
+}
+
+// Answer converts the wire response to the agent's answer type.
+func (r QueryResponse) Answer() core.Answer {
+	return core.Answer{
+		Value:     r.Value,
+		Predicted: r.Predicted,
+		EstError:  r.EstError,
+		Quantum:   r.Quantum,
+		Cost:      costFromJSON(r.Cost),
+	}
+}
+
+// PartialRequest asks a node for its local aggregate state of one data
+// partition.
+type PartialRequest struct {
+	Part  int                `json:"part"`
+	Query serve.QueryRequest `json:"query"`
+}
+
+// PartialResponse carries one partition's mergeable aggregate state (see
+// query.PartialEval).
+type PartialResponse struct {
+	Partial []float64 `json:"partial"`
+	// Rows is how many base rows the partition scan touched.
+	Rows int64 `json:"rows"`
+}
+
+// SnapshotResponse ships a node's agent states for replica warm-up.
+type SnapshotResponse struct {
+	Node   string                `json:"node"`
+	Agents []*core.AgentSnapshot `json:"agents"`
+}
+
+// MemberStatus is one member's view in ClusterStatus.
+type MemberStatus struct {
+	ID    string `json:"id"`
+	URL   string `json:"url"`
+	Self  bool   `json:"self"`
+	Alive bool   `json:"alive"`
+}
+
+// ClusterStatus is the GET /v1/cluster body.
+type ClusterStatus struct {
+	Node            string                `json:"node"`
+	Replicas        int                   `json:"replicas"`
+	Members         []MemberStatus        `json:"members"`
+	PartitionsHeld  []int                 `json:"partitions_held"`
+	PartitionsTotal int                   `json:"partitions_total"`
+	RowsHeld        int64                 `json:"rows_held"`
+	Agent           core.Stats            `json:"agent"`
+	Serving         metrics.ServeSnapshot `json:"serving"`
+}
+
+func errAllReplicas(what string, last error) error {
+	if last == nil {
+		return fmt.Errorf("%w: %s", ErrAllReplicasFailed, what)
+	}
+	return fmt.Errorf("%w: %s: last error: %v", ErrAllReplicasFailed, what, last)
+}

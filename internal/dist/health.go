@@ -1,0 +1,107 @@
+package dist
+
+import (
+	"errors"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// health tracks which peers are suspected down. A failed call marks the
+// peer down for a cooldown; once the cooldown expires the peer is only
+// reinstated after a successful GET /healthz probe — the same endpoint
+// cmd/seaserve exposes for liveness. Both the client-side failover and
+// the node-side scatter/forward paths share this tracker so one dead
+// node costs at most one timeout per cooldown window instead of one per
+// query.
+type health struct {
+	cooldown time.Duration
+	probe    *http.Client
+
+	mu      sync.Mutex
+	down    map[string]time.Time // base URL -> down until
+	probing map[string]bool      // base URL -> a probe is in flight
+}
+
+func newHealth(cooldown time.Duration, probeTimeout time.Duration) *health {
+	if cooldown <= 0 {
+		cooldown = DefaultCooldown
+	}
+	if probeTimeout <= 0 || probeTimeout > cooldown {
+		probeTimeout = cooldown
+	}
+	return &health{
+		cooldown: cooldown,
+		probe:    &http.Client{Timeout: probeTimeout},
+		down:     make(map[string]time.Time),
+		probing:  make(map[string]bool),
+	}
+}
+
+// markDown records a failed call to url.
+func (h *health) markDown(url string) {
+	h.mu.Lock()
+	h.down[url] = time.Now().Add(h.cooldown)
+	h.mu.Unlock()
+}
+
+// errPeerResponded wraps HTTP error-status failures: the peer answered,
+// so it is alive and must not be quarantined.
+var errPeerResponded = errors.New("dist: peer responded with an error status")
+
+// suspectOn reports whether a call error indicates a dead peer
+// (connection-level failure) rather than a merely slow one (timeout) or
+// an alive one returning an error status. Slow must not mean dead: an
+// expensive query timing out on every replica in turn would otherwise
+// quarantine the whole cluster, failing even cheap node-local
+// predictions until the cooldown expires.
+func suspectOn(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return false
+	}
+	return !errors.Is(err, errPeerResponded)
+}
+
+// markDownOn suspects url only for dead-peer errors (see suspectOn).
+func (h *health) markDownOn(url string, err error) {
+	if suspectOn(err) {
+		h.markDown(url)
+	}
+}
+
+// available reports whether url should be tried: healthy peers always,
+// suspected peers only after the cooldown has expired AND a /healthz
+// probe succeeds. At most one probe per peer is in flight: concurrent
+// callers skip the peer instead of each paying the probe timeout when
+// it is still dead.
+func (h *health) available(url string) bool {
+	h.mu.Lock()
+	until, suspected := h.down[url]
+	if !suspected {
+		h.mu.Unlock()
+		return true
+	}
+	if time.Now().Before(until) || h.probing[url] {
+		h.mu.Unlock()
+		return false
+	}
+	h.probing[url] = true
+	h.mu.Unlock()
+
+	ok := false
+	if resp, err := h.probe.Get(url + "/healthz"); err == nil {
+		resp.Body.Close()
+		ok = resp.StatusCode == http.StatusOK
+	}
+	h.mu.Lock()
+	delete(h.probing, url)
+	if ok {
+		delete(h.down, url)
+	} else {
+		h.down[url] = time.Now().Add(h.cooldown)
+	}
+	h.mu.Unlock()
+	return ok
+}

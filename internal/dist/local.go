@@ -1,0 +1,196 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// LocalCluster runs N cluster nodes in one process, each with its own
+// loopback HTTP server — real node-to-node HTTP/JSON, no simulation.
+// Tests, E14 and examples/distcluster use it to stand up a cluster in
+// milliseconds; Kill and Revive exercise failover and snapshot warm-up.
+type LocalCluster struct {
+	base Config
+	rows []storage.Row
+
+	mu      sync.Mutex
+	nodes   map[string]*Node
+	urls    map[string]string
+	servers map[string]*http.Server
+	addrs   map[string]string
+	ids     []string
+}
+
+// StartLocal boots n nodes named "n0".."n<k-1>" on loopback listeners,
+// loads rows into each (every node keeps only the partitions the ring
+// assigns it), and starts their HTTP servers. base supplies the shared
+// cluster settings; its ID/Peers are filled per node.
+func StartLocal(n int, base Config, rows []storage.Row) (*LocalCluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dist: local cluster needs >= 1 node, got %d", n)
+	}
+	lc := &LocalCluster{
+		base:    base,
+		rows:    rows,
+		nodes:   make(map[string]*Node),
+		urls:    make(map[string]string),
+		servers: make(map[string]*http.Server),
+		addrs:   make(map[string]string),
+	}
+	listeners := make(map[string]net.Listener)
+	for i := 0; i < n; i++ {
+		id := "n" + strconv.Itoa(i)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			lc.Close()
+			return nil, fmt.Errorf("dist: local cluster: %w", err)
+		}
+		lc.ids = append(lc.ids, id)
+		listeners[id] = l
+		lc.addrs[id] = l.Addr().String()
+		lc.urls[id] = "http://" + l.Addr().String()
+	}
+	for i, id := range lc.ids {
+		if err := lc.startNode(id, listeners[id]); err != nil {
+			// Close the listeners no server took ownership of (this
+			// node's and the not-yet-started ones), then the started
+			// members.
+			for _, rest := range lc.ids[i:] {
+				_ = listeners[rest].Close()
+			}
+			lc.Close()
+			return nil, err
+		}
+	}
+	return lc, nil
+}
+
+// startNode builds, loads and serves one member on l. Caller holds no
+// lock during construction-time calls; concurrent map writes are
+// guarded.
+func (lc *LocalCluster) startNode(id string, l net.Listener) error {
+	cfg := lc.base
+	cfg.ID = id
+	cfg.Peers = lc.Members()
+	node, err := NewNode(cfg)
+	if err != nil {
+		return err
+	}
+	node.Load(lc.rows)
+	srv := &http.Server{Handler: node.Handler()}
+	lc.mu.Lock()
+	lc.nodes[id] = node
+	lc.servers[id] = srv
+	lc.mu.Unlock()
+	go func() { _ = srv.Serve(l) }()
+	return nil
+}
+
+// Members returns the id -> base URL map (every node, dead or alive).
+func (lc *LocalCluster) Members() map[string]string {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	out := make(map[string]string, len(lc.urls))
+	for id, u := range lc.urls {
+		out[id] = u
+	}
+	return out
+}
+
+// IDs returns the member ids in boot order.
+func (lc *LocalCluster) IDs() []string {
+	out := make([]string, len(lc.ids))
+	copy(out, lc.ids)
+	return out
+}
+
+// Node returns a member by id (nil after Kill).
+func (lc *LocalCluster) Node(id string) *Node {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return lc.nodes[id]
+}
+
+// URL returns a member's base URL.
+func (lc *LocalCluster) URL(id string) string {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return lc.urls[id]
+}
+
+// Client builds a ring-aware client over the cluster.
+func (lc *LocalCluster) Client() *Client {
+	cfg := lc.base.withDefaults()
+	return NewClientVNodes(lc.Members(), cfg.Replicas, cfg.Timeout, cfg.VNodes)
+}
+
+// Kill abruptly stops a member: its HTTP server closes immediately,
+// dropping in-flight connections — the crash the failover paths must
+// mask. The member's address stays reserved so Revive can bring it back.
+func (lc *LocalCluster) Kill(id string) {
+	lc.mu.Lock()
+	srv := lc.servers[id]
+	node := lc.nodes[id]
+	delete(lc.servers, id)
+	delete(lc.nodes, id)
+	lc.mu.Unlock()
+	if srv != nil {
+		_ = srv.Close()
+	}
+	if node != nil {
+		node.Close()
+	}
+}
+
+// Revive restarts a killed member on its original address with a fresh
+// (empty-headed) node, reloads its data partitions, and — when warmFrom
+// is a live member id — imports that member's agent snapshots so the
+// replica predicts immediately. It returns the shipped snapshot bytes.
+func (lc *LocalCluster) Revive(id, warmFrom string) (int64, error) {
+	lc.mu.Lock()
+	addr, ok := lc.addrs[id]
+	_, alive := lc.servers[id]
+	donor := lc.urls[warmFrom]
+	lc.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("dist: unknown member %q", id)
+	}
+	if alive {
+		return 0, fmt.Errorf("dist: member %q is still running", id)
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return 0, fmt.Errorf("dist: revive %s: %w", id, err)
+	}
+	if err := lc.startNode(id, l); err != nil {
+		return 0, err
+	}
+	if warmFrom == "" {
+		return 0, nil
+	}
+	if donor == "" {
+		return 0, fmt.Errorf("dist: unknown warm-up donor %q", warmFrom)
+	}
+	return lc.Node(id).WarmFrom(donor)
+}
+
+// Close stops every member and drains their schedulers.
+func (lc *LocalCluster) Close() {
+	lc.mu.Lock()
+	servers := lc.servers
+	nodes := lc.nodes
+	lc.servers = make(map[string]*http.Server)
+	lc.nodes = make(map[string]*Node)
+	lc.mu.Unlock()
+	for _, srv := range servers {
+		_ = srv.Close()
+	}
+	for _, n := range nodes {
+		n.Close()
+	}
+}

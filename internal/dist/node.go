@@ -1,0 +1,373 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/serve"
+	"repro/internal/storage"
+)
+
+// forwardHeader marks a node-to-node forwarded query so ring
+// disagreements can never bounce a request between nodes: a forwarded
+// query is always answered locally.
+const forwardHeader = "X-Sea-Forwarded"
+
+// Node is one cluster member: the data partitions the ring assigns it,
+// an agent pool over them (predictions are node-local; exact fallbacks
+// scatter-gather across the partition holders), and the node-to-node
+// HTTP API. Construct with NewNode, Load the data, then serve Handler().
+type Node struct {
+	cfg    Config
+	id     string
+	ring   *Ring
+	health *health
+	hc     *http.Client
+	mux    *http.ServeMux
+
+	pool  *serve.Pool
+	sched *serve.Scheduler
+
+	// parts is fixed after Load (read-only during serving).
+	mu       sync.RWMutex
+	parts    map[int][]storage.Row
+	rowsHeld int64
+}
+
+// NewNode builds a node from cfg. The node holds no data until Load.
+func NewNode(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("dist: config needs a node ID")
+	}
+	if _, ok := cfg.Peers[cfg.ID]; !ok && len(cfg.Peers) > 0 {
+		return nil, fmt.Errorf("dist: node %q missing from its own peer map", cfg.ID)
+	}
+	ids := make([]string, 0, len(cfg.Peers))
+	for id := range cfg.Peers {
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		ids = []string{cfg.ID}
+	}
+	n := &Node{
+		cfg:    cfg,
+		id:     cfg.ID,
+		ring:   NewRing(cfg.VNodes, ids...),
+		health: newHealth(cfg.Cooldown, cfg.Timeout),
+		hc:     newHTTPClient(cfg.Timeout),
+		parts:  make(map[int][]storage.Row),
+	}
+	agents := make([]*core.Agent, cfg.Agents)
+	for i := range agents {
+		ag, err := core.NewAgent(scatterOracle{n: n}, cfg.Agent)
+		if err != nil {
+			return nil, fmt.Errorf("dist: %w", err)
+		}
+		agents[i] = ag
+	}
+	pool, err := serve.NewPool(agents, nil)
+	if err != nil {
+		return nil, fmt.Errorf("dist: %w", err)
+	}
+	n.pool = pool
+	n.sched = serve.NewScheduler(pool, serve.SchedulerConfig{
+		Workers:        cfg.Workers,
+		QueueDepth:     cfg.QueueDepth,
+		TenantInflight: cfg.TenantInflight,
+	})
+	n.mux = http.NewServeMux()
+	n.mux.HandleFunc("POST /v1/query", n.handleQuery)
+	n.mux.HandleFunc("POST /v1/partial", n.handlePartial)
+	n.mux.HandleFunc("GET /v1/snapshot", n.handleSnapshot)
+	n.mux.HandleFunc("GET /v1/cluster", n.handleCluster)
+	n.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	return n, nil
+}
+
+// ID returns the node's member id.
+func (n *Node) ID() string { return n.id }
+
+// Ring returns the node's (read-only) placement ring.
+func (n *Node) Ring() *Ring { return n.ring }
+
+// Pool returns the node's agent pool (for stats and warm-up).
+func (n *Node) Pool() *serve.Pool { return n.pool }
+
+// Handler returns the node's HTTP API.
+func (n *Node) Handler() http.Handler { return n.mux }
+
+// Close drains the node's scheduler. In-flight queries complete.
+func (n *Node) Close() { n.sched.Close() }
+
+// Load partitions rows round-robin into cfg.Partitions data partitions
+// and keeps the ones whose ring owners include this node (each partition
+// lives on Replicas members). Call once, before serving traffic: the
+// partition map is read-only afterwards.
+func (n *Node) Load(rows []storage.Row) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.parts = make(map[int][]storage.Row)
+	n.rowsHeld = 0
+	for p := 0; p < n.cfg.Partitions; p++ {
+		owners := n.ring.Owners(partKey(p), n.cfg.Replicas)
+		for _, o := range owners {
+			if o == n.id {
+				n.parts[p] = nil
+				break
+			}
+		}
+	}
+	for i, r := range rows {
+		p := i % n.cfg.Partitions
+		if _, ok := n.parts[p]; ok {
+			n.parts[p] = append(n.parts[p], r)
+			n.rowsHeld++
+		}
+	}
+}
+
+// partition returns partition p's local rows and whether this node holds
+// it.
+func (n *Node) partition(p int) ([]storage.Row, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	rows, ok := n.parts[p]
+	return rows, ok
+}
+
+// Answer serves one query through the node's own pool (local API used by
+// embedding processes; HTTP clients go through /v1/query). With a
+// configured ServiceDelay the query also occupies its scheduler worker
+// for that long, bounding the node's throughput like a real node's
+// storage/NIC service time would.
+func (n *Node) Answer(tenant string, q query.Query) (core.Answer, error) {
+	if n.cfg.ServiceDelay <= 0 {
+		return n.sched.Answer(tenant, q)
+	}
+	v, err := n.sched.Do(tenant, func() (any, error) {
+		time.Sleep(n.cfg.ServiceDelay)
+		return n.pool.Answer(q)
+	})
+	if err != nil {
+		return core.Answer{}, err
+	}
+	return v.(core.Answer), nil
+}
+
+// owners returns the ring owners for q's canonical key.
+func (n *Node) owners(q query.Query) []string {
+	return n.ring.Owners(serve.Key(q), n.cfg.Replicas)
+}
+
+func (n *Node) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req serve.QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		serve.WriteError(w, fmt.Errorf("%w: %v", query.ErrBadQuery, err))
+		return
+	}
+	q, err := req.Query()
+	if err != nil {
+		serve.WriteError(w, err)
+		return
+	}
+	tenant := req.Tenant
+	if h := r.Header.Get("X-Tenant"); h != "" {
+		tenant = h
+	}
+	// Fold the resolved tenant back into the wire form so forwarding
+	// preserves it: the owner's admission control must see the same
+	// tenant the entry node resolved, header or body.
+	req.Tenant = tenant
+
+	owners := n.owners(q)
+	mine := false
+	for _, o := range owners {
+		if o == n.id {
+			mine = true
+			break
+		}
+	}
+	// Forwarded queries are always answered locally (no bouncing); owned
+	// queries too. Everything else is proxied to the key's owners with
+	// failover, and answered locally as the last resort — any node can
+	// scatter-gather, so a fully-degraded ring still serves.
+	if mine || r.Header.Get(forwardHeader) != "" {
+		n.answerLocal(w, tenant, q)
+		return
+	}
+	if n.forward(w, owners, req) {
+		return
+	}
+	n.answerLocal(w, tenant, q)
+}
+
+func (n *Node) answerLocal(w http.ResponseWriter, tenant string, q query.Query) {
+	ans, err := n.Answer(tenant, q)
+	if err != nil {
+		serve.WriteError(w, err)
+		return
+	}
+	serve.WriteJSON(w, http.StatusOK, QueryResponse{
+		QueryResponse: serve.QueryResponse{
+			Value:     ans.Value,
+			Predicted: ans.Predicted,
+			EstError:  ans.EstError,
+			Quantum:   ans.Quantum,
+			Cost:      serve.ToCostJSON(ans.Cost),
+		},
+		Node: n.id,
+	})
+}
+
+// forward proxies req to the key's owners in ring order and relays the
+// first conclusive response. It reports false when every owner was
+// unreachable (the caller then degrades to answering locally).
+func (n *Node) forward(w http.ResponseWriter, owners []string, req serve.QueryRequest) bool {
+	body, err := json.Marshal(req)
+	if err != nil {
+		serve.WriteError(w, err)
+		return true
+	}
+	for _, o := range owners {
+		url, ok := n.cfg.Peers[o]
+		if !ok || o == n.id || !n.health.available(url) {
+			continue
+		}
+		hreq, err := http.NewRequest(http.MethodPost, url+"/v1/query", bytes.NewReader(body))
+		if err != nil {
+			continue
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		hreq.Header.Set(forwardHeader, n.id)
+		resp, err := n.hc.Do(hreq)
+		if err != nil {
+			n.health.markDownOn(url, err)
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			// The owner responded (alive, don't quarantine) but failed;
+			// try the next replica.
+			resp.Body.Close()
+			continue
+		}
+		defer resp.Body.Close()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+		return true
+	}
+	return false
+}
+
+func (n *Node) handlePartial(w http.ResponseWriter, r *http.Request) {
+	var req PartialRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		serve.WriteError(w, fmt.Errorf("%w: %v", query.ErrBadQuery, err))
+		return
+	}
+	q, err := req.Query.Query()
+	if err != nil {
+		serve.WriteError(w, err)
+		return
+	}
+	rows, ok := n.partition(req.Part)
+	if !ok {
+		serve.WriteJSON(w, http.StatusNotFound, map[string]string{
+			"error": fmt.Sprintf("dist: node %s does not hold partition %d", n.id, req.Part),
+		})
+		return
+	}
+	serve.WriteJSON(w, http.StatusOK, PartialResponse{
+		Partial: query.PartialEval(q, rows),
+		Rows:    int64(len(rows)),
+	})
+}
+
+func (n *Node) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	agents := n.pool.Agents()
+	resp := SnapshotResponse{Node: n.id, Agents: make([]*core.AgentSnapshot, len(agents))}
+	for i, ag := range agents {
+		resp.Agents[i] = ag.Snapshot()
+	}
+	serve.WriteJSON(w, http.StatusOK, resp)
+}
+
+func (n *Node) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	serve.WriteJSON(w, http.StatusOK, n.Status())
+}
+
+// Status reports the node's cluster view: membership with liveness,
+// partitions held, and serving health.
+func (n *Node) Status() ClusterStatus {
+	st := ClusterStatus{
+		Node:            n.id,
+		Replicas:        n.cfg.Replicas,
+		PartitionsTotal: n.cfg.Partitions,
+		Agent:           n.pool.Stats(),
+		Serving:         n.pool.Recorder().Snapshot(),
+	}
+	for _, id := range n.ring.Nodes() {
+		url := n.cfg.Peers[id]
+		m := MemberStatus{ID: id, URL: url, Self: id == n.id, Alive: true}
+		if !m.Self {
+			m.Alive = n.health.available(url)
+		}
+		st.Members = append(st.Members, m)
+	}
+	n.mu.RLock()
+	for p := range n.parts {
+		st.PartitionsHeld = append(st.PartitionsHeld, p)
+	}
+	st.RowsHeld = n.rowsHeld
+	n.mu.RUnlock()
+	sort.Ints(st.PartitionsHeld)
+	return st
+}
+
+// WarmFrom imports a peer's agent snapshots (GET /v1/snapshot), the
+// model-shipping warm-up path for new or recovering replicas: the node
+// predicts immediately instead of re-paying its training queries. It
+// returns the shipped snapshot size in bytes.
+func (n *Node) WarmFrom(peerURL string) (int64, error) {
+	resp, err := n.hc.Get(peerURL + "/v1/snapshot")
+	if err != nil {
+		return 0, fmt.Errorf("dist: warm from %s: %w", peerURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("dist: warm from %s: HTTP %d", peerURL, resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return 0, fmt.Errorf("dist: warm from %s: %w", peerURL, err)
+	}
+	var snap SnapshotResponse
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return 0, fmt.Errorf("dist: warm from %s: %w", peerURL, err)
+	}
+	agents := n.pool.Agents()
+	for i, ag := range agents {
+		if i >= len(snap.Agents) || snap.Agents[i] == nil {
+			break
+		}
+		if err := ag.Restore(snap.Agents[i]); err != nil {
+			return int64(len(body)), fmt.Errorf("dist: warm agent %d from %s: %w", i, peerURL, err)
+		}
+	}
+	return int64(len(body)), nil
+}

@@ -1,0 +1,68 @@
+package dist
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+func TestRingOwnersDeterministicAndDistinct(t *testing.T) {
+	r := NewRing(0, "n0", "n1", "n2")
+	for i := 0; i < 50; i++ {
+		key := "key-" + strconv.Itoa(i)
+		owners := r.Owners(key, 2)
+		if len(owners) != 2 {
+			t.Fatalf("key %s: %d owners, want 2", key, len(owners))
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("key %s: duplicate owner %s", key, owners[0])
+		}
+		if got := r.Owners(key, 2); !reflect.DeepEqual(got, owners) {
+			t.Fatalf("key %s: owners not deterministic: %v vs %v", key, got, owners)
+		}
+	}
+	// Replication clamps to the member count.
+	if got := r.Owners("k", 5); len(got) != 3 {
+		t.Errorf("Owners(k, 5) on 3 nodes = %v, want all 3", got)
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	r := NewRing(0, "n0", "n1", "n2", "n3")
+	counts := map[string]int{}
+	for i := 0; i < 4000; i++ {
+		counts[r.Primary("key-"+strconv.Itoa(i))]++
+	}
+	for _, id := range r.Nodes() {
+		if counts[id] < 400 {
+			t.Errorf("node %s owns only %d/4000 keys (skew too high)", id, counts[id])
+		}
+	}
+}
+
+func TestRingRemoveRemapsOnlyLostKeys(t *testing.T) {
+	r := NewRing(0, "n0", "n1", "n2")
+	before := map[string]string{}
+	for i := 0; i < 1000; i++ {
+		k := "key-" + strconv.Itoa(i)
+		before[k] = r.Primary(k)
+	}
+	r.Remove("n1")
+	for k, owner := range before {
+		got := r.Primary(k)
+		if got == "n1" {
+			t.Fatalf("removed node still owns %s", k)
+		}
+		if owner != "n1" && got != owner {
+			t.Errorf("key %s moved from surviving node %s to %s", k, owner, got)
+		}
+	}
+	// All nodes agree: a second ring with the same members is identical.
+	r2 := NewRing(0, "n2", "n0")
+	for i := 0; i < 100; i++ {
+		k := "key-" + strconv.Itoa(i)
+		if r.Primary(k) != r2.Primary(k) {
+			t.Fatalf("rings with equal membership disagree on %s", k)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/query"
+)
+
+// scatterOracle is the exact engine behind each node's agents: a query
+// that needs the exact path is scatter-gathered across the cluster's
+// data partitions and merged with the distributable aggregate kernels
+// in internal/query. The agent serialises oracle calls under its write
+// lock, so the oracle itself needs no extra synchronisation beyond the
+// node's read-only partition map.
+type scatterOracle struct {
+	n *Node
+}
+
+func (o scatterOracle) Answer(q query.Query) (query.Result, metrics.Cost, error) {
+	return o.n.ScatterGather(q)
+}
+
+// DataVersion is constant: cluster data is bulk-loaded before serving
+// (the repo's update experiments run on the single-node path).
+func (o scatterOracle) DataVersion() int64 { return 1 }
+
+type partialResult struct {
+	partial []float64
+	rows    int64
+	remote  bool
+	holder  string
+	err     error
+}
+
+// ScatterGather computes q's exact answer across every data partition:
+// local partitions are evaluated in place, remote ones are fetched from
+// their holders (POST /v1/partial) with replica failover, and the
+// per-partition aggregate states merge exactly (COUNT/SUM) or from
+// per-shard moments (AVG/VAR/CORR) via query.MergeEval.
+func (n *Node) ScatterGather(q query.Query) (query.Result, metrics.Cost, error) {
+	start := time.Now()
+	results := make([]partialResult, n.cfg.Partitions)
+	var wg sync.WaitGroup
+	wg.Add(n.cfg.Partitions)
+	for p := 0; p < n.cfg.Partitions; p++ {
+		go func(p int) {
+			defer wg.Done()
+			results[p] = n.gatherPartition(p, q)
+		}(p)
+	}
+	wg.Wait()
+
+	partials := make([][]float64, 0, len(results))
+	cost := metrics.Cost{}
+	holders := make(map[string]bool)
+	for p, r := range results {
+		if r.err != nil {
+			return query.Result{}, metrics.Cost{}, fmt.Errorf("dist: partition %d: %w", p, r.err)
+		}
+		partials = append(partials, r.partial)
+		cost.RowsRead += r.rows
+		holders[r.holder] = true
+		if r.remote {
+			// One request + one 8-slot aggregate state back.
+			cost.Messages += 2
+			cost.BytesLAN += int64(8*len(r.partial)) + 128
+		}
+	}
+	res := query.MergeEval(q, partials)
+	elapsed := time.Since(start)
+	cost.Time = elapsed
+	cost.CPUTime = elapsed
+	cost.NodesTouched = len(holders)
+	return res, cost, nil
+}
+
+// gatherPartition fetches partition p's aggregate state from its holders
+// in ring order, starting with this node when it is a holder.
+func (n *Node) gatherPartition(p int, q query.Query) partialResult {
+	if rows, ok := n.partition(p); ok {
+		return partialResult{partial: query.PartialEval(q, rows), rows: int64(len(rows)), holder: n.id}
+	}
+	var lastErr error
+	for _, holder := range n.ring.Owners(partKey(p), n.cfg.Replicas) {
+		if holder == n.id {
+			continue
+		}
+		url, ok := n.cfg.Peers[holder]
+		if !ok || !n.health.available(url) {
+			continue
+		}
+		pr, err := n.fetchPartial(url, p, q)
+		if err != nil {
+			lastErr = err
+			n.health.markDownOn(url, err)
+			continue
+		}
+		pr.holder = holder
+		pr.remote = true
+		return pr
+	}
+	return partialResult{err: errAllReplicas(fmt.Sprintf("partition %d", p), lastErr)}
+}
+
+func (n *Node) fetchPartial(url string, p int, q query.Query) (partialResult, error) {
+	body, err := json.Marshal(PartialRequest{Part: p, Query: queryToWire(q, "")})
+	if err != nil {
+		return partialResult{}, err
+	}
+	resp, err := n.hc.Post(url+"/v1/partial", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return partialResult{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return partialResult{}, fmt.Errorf("partial from %s: HTTP %d: %w", url, resp.StatusCode, errPeerResponded)
+	}
+	var pr PartialResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return partialResult{}, err
+	}
+	return partialResult{partial: pr.Partial, rows: pr.Rows}, nil
+}

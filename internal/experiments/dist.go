@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// E14Row is one row of the distributed serving scenario: an in-process
+// cluster of real HTTP/JSON nodes (internal/dist) serves W concurrent
+// ring-aware clients. Latencies are wall-clock measurements of the real
+// cluster, including node-to-node scatter-gather hops.
+type E14Row struct {
+	Nodes    int `json:"nodes"`
+	Replicas int `json:"replicas"`
+	Rows     int `json:"rows"`
+	Workers  int `json:"workers"`
+	Queries  int `json:"queries"`
+	// QPS is aggregate client-side throughput.
+	QPS float64       `json:"qps"`
+	P50 time.Duration `json:"p50_ns"`
+	P99 time.Duration `json:"p99_ns"`
+	// PredictionRate is the fraction answered from node-local models.
+	PredictionRate float64 `json:"pred_rate"`
+	// CrossShardP50/P99 are latency percentiles of the exact
+	// (scatter-gather) queries only — the cross-shard cost.
+	CrossShardP50 time.Duration `json:"cross_shard_p50_ns"`
+	CrossShardP99 time.Duration `json:"cross_shard_p99_ns"`
+	// SnapshotBytes is the size of one shipped agent snapshot (model
+	// shipping warm-up).
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	// FailoverQueries/FailoverErrors describe the kill-one-node phase
+	// (zero when the scenario runs without failover).
+	FailoverQueries int `json:"failover_queries"`
+	FailoverErrors  int `json:"failover_errors"`
+	// RecoveryTime is how long reviving the killed node took, including
+	// re-partitioning and snapshot warm-up.
+	RecoveryTime time.Duration `json:"recovery_ns"`
+}
+
+// E14DistServe stands up an in-process `nodes`-way cluster over the
+// standard clustered dataset, trains one node's agents, warms every
+// other node by model-snapshot shipping, then drives `workers`
+// concurrent clients of `perWorker` queries each. With failover it also
+// kills one node mid-stream (expecting zero client-visible errors) and
+// measures snapshot-shipped recovery.
+func E14DistServe(nRows, nodes, workers, perWorker, training int, failover bool) (E14Row, error) {
+	if nodes < 1 {
+		nodes = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	rows := workload.StandardRows(nRows, 1)
+	agentCfg := core.DefaultConfig(2)
+	agentCfg.TrainingQueries = training
+	// Per-node capacity is fixed (4 workers, 2ms paced service time per
+	// query), so aggregate throughput is bounded by nodes x workers /
+	// service time: the scale-out contrast the scenario measures.
+	// `workers` is the CLIENT concurrency and should exceed the
+	// cluster's total worker slots to saturate it.
+	lc, err := dist.StartLocal(nodes, dist.Config{
+		Agent:          agentCfg,
+		Replicas:       2,
+		Workers:        4,
+		ServiceDelay:   2 * time.Millisecond,
+		TenantInflight: -1, // throughput scenario: no tenant shedding
+	}, rows)
+	if err != nil {
+		return E14Row{}, err
+	}
+	defer lc.Close()
+
+	// Train one node past its prefix (its exact answers scatter-gather
+	// across the live cluster), then ship its models to every peer: the
+	// warm-up path a production replica takes instead of re-training.
+	ids := lc.IDs()
+	trainer := lc.Node(ids[0])
+	qs := stream(2, query.Count)
+	for i := 0; i < training+training/2; i++ {
+		if _, err := trainer.Answer("train", qs.Next()); err != nil {
+			return E14Row{}, err
+		}
+	}
+	row := E14Row{Nodes: nodes, Replicas: 2, Rows: nRows, Workers: workers}
+	for _, id := range ids[1:] {
+		shipped, err := lc.Node(id).WarmFrom(lc.URL(ids[0]))
+		if err != nil {
+			return E14Row{}, err
+		}
+		row.SnapshotBytes = shipped
+	}
+
+	// Measurement phase: W concurrent ring-aware clients with a mixed
+	// workload — mostly dashboard traffic over the trained interest
+	// regions (node-local predictions), plus exploratory queries spread
+	// over the whole space that force the exact scatter-gather path.
+	// The exploratory share is what scale-out helps: each node's exact
+	// fallbacks serialise on its own agent, so sharding the query space
+	// across more nodes runs more of them in parallel.
+	client := lc.Client()
+	type obs struct {
+		lat       time.Duration
+		predicted bool
+	}
+	all := make([][]obs, workers)
+	var wg sync.WaitGroup
+	errCount := make([]int, workers)
+	start := time.Now()
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			cs := workload.NewQueryStream(workload.NewRNG(100+int64(w)), workload.DefaultRegions(2), query.Count)
+			explore := workload.NewQueryStream(workload.NewRNG(7000+int64(w)), exploreRegions(), query.Count)
+			for i := 0; i < perWorker; i++ {
+				q := cs.Next()
+				if i%10 < 3 {
+					q = explore.Next()
+				}
+				t0 := time.Now()
+				ans, err := client.Answer(q)
+				if err != nil {
+					errCount[w]++
+					continue
+				}
+				all[w] = append(all[w], obs{lat: time.Since(t0), predicted: ans.Predicted})
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var lats, cross []time.Duration
+	var predicted int
+	for _, ws := range all {
+		for _, o := range ws {
+			lats = append(lats, o.lat)
+			if o.predicted {
+				predicted++
+			} else {
+				cross = append(cross, o.lat)
+			}
+		}
+	}
+	row.Queries = len(lats)
+	for _, e := range errCount {
+		if e > 0 {
+			return E14Row{}, fmt.Errorf("E14: %d measurement-phase errors", e)
+		}
+	}
+	if elapsed > 0 {
+		row.QPS = float64(row.Queries) / elapsed.Seconds()
+	}
+	if row.Queries > 0 {
+		row.PredictionRate = float64(predicted) / float64(row.Queries)
+	}
+	row.P50, row.P99 = durPercentile(lats, 0.50), durPercentile(lats, 0.99)
+	row.CrossShardP50, row.CrossShardP99 = durPercentile(cross, 0.50), durPercentile(cross, 0.99)
+
+	if !failover || nodes < 3 {
+		return row, nil
+	}
+
+	// Failover phase: kill one node mid-stream; every query must still
+	// succeed via replica failover. Then revive it with snapshot warm-up.
+	victim := ids[len(ids)-1]
+	lc.Kill(victim)
+	fs := workload.NewQueryStream(workload.NewRNG(999), workload.DefaultRegions(2), query.Count)
+	row.FailoverQueries = perWorker
+	for i := 0; i < row.FailoverQueries; i++ {
+		if _, err := client.Answer(fs.Next()); err != nil {
+			row.FailoverErrors++
+		}
+	}
+	t0 := time.Now()
+	if _, err := lc.Revive(victim, ids[0]); err != nil {
+		return row, err
+	}
+	row.RecoveryTime = time.Since(t0)
+	return row, nil
+}
+
+// exploreRegions is one wide interest region covering the whole data
+// space: its queries land far from the trained quanta, so they take the
+// exact cross-shard path.
+func exploreRegions() []workload.InterestRegion {
+	return []workload.InterestRegion{{
+		Center: []float64{50, 50}, Spread: 26, Extent: 5, ExtentJitter: 0.5, Weight: 1,
+	}}
+}
+
+// durPercentile returns the p-th percentile of unsorted durations.
+func durPercentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

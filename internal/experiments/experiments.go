@@ -45,9 +45,7 @@ func NewEnv(nRows, nodes int, seed int64) (*Env, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments env: %w", err)
 	}
-	rng := workload.NewRNG(seed)
-	rows := workload.GaussianMixture(rng, nRows, 3, workload.DefaultMixture(3), 0)
-	workload.CorrelatedColumns(rng, rows, 0, 2, 2, 5, 1)
+	rows := workload.StandardRows(nRows, seed)
 	if err := tbl.Load(rows); err != nil {
 		return nil, fmt.Errorf("experiments env: %w", err)
 	}

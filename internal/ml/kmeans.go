@@ -261,6 +261,54 @@ func (q *OnlineAVQ) Count(i int) int64 {
 	return q.counts[i]
 }
 
+// AVQState is the complete serialisable state of an OnlineAVQ quantiser.
+// A quantiser restored from its state assigns and observes bit-identically
+// to the original, so shipped agents keep the donor's query-space
+// partitioning exactly.
+type AVQState struct {
+	SpawnDistance float64     `json:"spawn_distance"`
+	MaxPrototypes int         `json:"max_prototypes"`
+	LearningRate0 float64     `json:"learning_rate0"`
+	Prototypes    [][]float64 `json:"prototypes"`
+	Counts        []int64     `json:"counts"`
+	Age           []int64     `json:"age"`
+	Clock         int64       `json:"clock"`
+}
+
+// State exports the quantiser's full state (copies, no aliasing).
+func (q *OnlineAVQ) State() AVQState {
+	counts := make([]int64, len(q.counts))
+	copy(counts, q.counts)
+	age := make([]int64, len(q.age))
+	copy(age, q.age)
+	return AVQState{
+		SpawnDistance: q.SpawnDistance,
+		MaxPrototypes: q.MaxPrototypes,
+		LearningRate0: q.LearningRate0,
+		Prototypes:    q.Prototypes(),
+		Counts:        counts,
+		Age:           age,
+		Clock:         q.clock,
+	}
+}
+
+// NewOnlineAVQFromState rebuilds a quantiser from an exported state.
+func NewOnlineAVQFromState(st AVQState) (*OnlineAVQ, error) {
+	if len(st.Counts) != len(st.Prototypes) || len(st.Age) != len(st.Prototypes) {
+		return nil, fmt.Errorf("%w: AVQ state with %d prototypes, %d counts, %d ages",
+			ErrDimensionMismatch, len(st.Prototypes), len(st.Counts), len(st.Age))
+	}
+	q := NewOnlineAVQ(st.SpawnDistance, st.MaxPrototypes)
+	q.LearningRate0 = st.LearningRate0
+	q.clock = st.Clock
+	for i, p := range st.Prototypes {
+		q.protos = append(q.protos, CopyVec(p))
+		q.counts = append(q.counts, st.Counts[i])
+		q.age = append(q.age, st.Age[i])
+	}
+	return q, nil
+}
+
 // PurgeStale removes prototypes that have not won in the last maxAge
 // observations and returns the indices (into the pre-purge ordering) that
 // were removed; the SEA agent discards the matching answer models

@@ -190,6 +190,46 @@ func (r *RLS) SetWeights(w []float64) {
 // Dim returns the model's input dimensionality (excluding intercept).
 func (r *RLS) Dim() int { return r.dim }
 
+// RLSState is the complete serialisable state of an RLS model: weights,
+// the inverse-covariance estimate and the observation count. A model
+// restored from its state continues training exactly where the original
+// left off, which is what lets cluster nodes ship warm models instead of
+// data (RT1.5, RT5.2).
+type RLSState struct {
+	Dim     int       `json:"dim"`
+	Lambda  float64   `json:"lambda"`
+	Weights []float64 `json:"weights"`
+	// P is the row-major (dim+1)x(dim+1) inverse covariance estimate.
+	P []float64 `json:"p"`
+	N int64     `json:"n"`
+}
+
+// State exports the model's full state (copies, no aliasing).
+func (r *RLS) State() RLSState {
+	return RLSState{
+		Dim:     r.dim,
+		Lambda:  r.lambda,
+		Weights: CopyVec(r.weights),
+		P:       CopyVec(r.p.Data),
+		N:       r.n,
+	}
+}
+
+// NewRLSFromState rebuilds a model from an exported state. Predictions
+// and subsequent Observe calls are bit-identical to the original's.
+func NewRLSFromState(st RLSState) (*RLS, error) {
+	k := st.Dim + 1
+	if st.Dim < 0 || len(st.Weights) != k || len(st.P) != k*k {
+		return nil, fmt.Errorf("%w: RLS state dim %d with %d weights, %d P entries",
+			ErrDimensionMismatch, st.Dim, len(st.Weights), len(st.P))
+	}
+	r := NewRLS(st.Dim, st.Lambda, 1)
+	copy(r.weights, st.Weights)
+	copy(r.p.Data, st.P)
+	r.n = st.N
+	return r, nil
+}
+
 // PolyFeatures expands x into degree-2 polynomial features: the original
 // coordinates, all squares, and all pairwise products. SEA's answer models
 // use this to capture the quadratic growth of COUNT with subspace volume.

@@ -1,0 +1,90 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRLSStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := NewRLS(3, 0.99, 1000)
+	obs := func(m *RLS, seed int64) {
+		g := rand.New(rand.NewSource(seed))
+		for i := 0; i < 50; i++ {
+			x := []float64{g.NormFloat64(), g.NormFloat64(), g.NormFloat64()}
+			m.Observe(x, 2*x[0]-x[1]+0.5*x[2]+1)
+		}
+	}
+	obs(r, 1)
+
+	restored, err := NewRLSFromState(r.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictions bit-identical now, and after identical further training.
+	for i := 0; i < 20; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if a, b := r.Predict(x), restored.Predict(x); a != b {
+			t.Fatalf("prediction diverged: %v vs %v", a, b)
+		}
+	}
+	obs(r, 2)
+	obs(restored, 2)
+	if r.Count() != restored.Count() {
+		t.Errorf("counts diverged: %d vs %d", r.Count(), restored.Count())
+	}
+	for i := 0; i < 20; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if a, b := r.Predict(x), restored.Predict(x); a != b {
+			t.Fatalf("post-train prediction diverged: %v vs %v", a, b)
+		}
+	}
+
+	if _, err := NewRLSFromState(RLSState{Dim: 2, Weights: []float64{1}}); err == nil {
+		t.Error("malformed RLS state accepted")
+	}
+}
+
+func TestAVQStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	q := NewOnlineAVQ(4, 16)
+	feed := func(avq *OnlineAVQ, seed int64, n int) {
+		g := rand.New(rand.NewSource(seed))
+		for i := 0; i < n; i++ {
+			c := float64(g.Intn(3)) * 10
+			avq.Observe([]float64{c + g.NormFloat64(), c + g.NormFloat64()})
+		}
+	}
+	feed(q, 1, 200)
+
+	restored, err := NewOnlineAVQFromState(q.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != q.Len() {
+		t.Fatalf("prototype counts diverged: %d vs %d", restored.Len(), q.Len())
+	}
+	for i := 0; i < 50; i++ {
+		x := []float64{rng.Float64() * 30, rng.Float64() * 30}
+		w1, d1 := q.Assign(x)
+		w2, d2 := restored.Assign(x)
+		if w1 != w2 || d1 != d2 {
+			t.Fatalf("assignment diverged at %v: (%d,%v) vs (%d,%v)", x, w1, d1, w2, d2)
+		}
+	}
+	// Identical further observations keep the two in lockstep.
+	feed(q, 2, 100)
+	feed(restored, 2, 100)
+	for i := 0; i < 50; i++ {
+		x := []float64{rng.Float64() * 30, rng.Float64() * 30}
+		w1, d1 := q.Assign(x)
+		w2, d2 := restored.Assign(x)
+		if w1 != w2 || d1 != d2 {
+			t.Fatalf("post-train assignment diverged at %v", x)
+		}
+	}
+
+	if _, err := NewOnlineAVQFromState(AVQState{Prototypes: [][]float64{{1}}, Counts: []int64{1}}); err == nil {
+		t.Error("malformed AVQ state accepted")
+	}
+}

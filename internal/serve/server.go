@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"strings"
 	"time"
@@ -43,6 +45,10 @@ type CostJSON struct {
 	BytesLAN int64 `json:"bytes_lan"`
 	Nodes    int   `json:"nodes_touched"`
 }
+
+// ToCostJSON converts a virtual cost to its wire form (shared with the
+// distributed node API in internal/dist).
+func ToCostJSON(c metrics.Cost) CostJSON { return costJSON(c) }
 
 func costJSON(c metrics.Cost) CostJSON {
 	return CostJSON{
@@ -146,11 +152,21 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // Scheduler returns the underlying scheduler (for shutdown and stats).
 func (s *Server) Scheduler() *Scheduler { return s.sched }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// WriteJSON writes v as a JSON response with the given status code.
+// Exported so sibling HTTP front-ends (the distributed node API in
+// internal/dist) share one wire convention.
+func WriteJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
 }
+
+// WriteError maps err onto the serving layer's status-code convention
+// (400 malformed, 429 overload, 503 closed, 502 oracle failure) and
+// writes it as a JSON error body.
+func WriteError(w http.ResponseWriter, err error) { writeError(w, err) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) { WriteJSON(w, code, v) }
 
 func writeError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
@@ -254,4 +270,64 @@ func (s *Server) ListenAndServe(addr string) error {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	return srv.ListenAndServe()
+}
+
+// Run serves on addr until ctx is cancelled, then shuts down gracefully.
+// cmd/seaserve wires ctx to SIGINT/SIGTERM so the process never dies
+// mid-request.
+func (s *Server) Run(ctx context.Context, addr string, drain time.Duration) error {
+	return RunHTTP(ctx, addr, s, drain, s.sched.Close)
+}
+
+// ServeListener is Run over an existing listener.
+func (s *Server) ServeListener(ctx context.Context, l net.Listener, drain time.Duration) error {
+	return RunListener(ctx, l, s, drain, s.sched.Close)
+}
+
+// RunHTTP serves h on addr until ctx is cancelled, then shuts down
+// gracefully (see RunListener). onStopped runs once serving has ended
+// either way — the serving front-ends pass their scheduler drain here.
+func RunHTTP(ctx context.Context, addr string, h http.Handler, drain time.Duration, onStopped func()) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		if onStopped != nil {
+			onStopped()
+		}
+		return err
+	}
+	return RunListener(ctx, l, h, drain, onStopped)
+}
+
+// RunListener serves h on l until ctx is cancelled, then shuts down
+// gracefully: the listener stops accepting, in-flight requests get up to
+// drain to finish (http.Server.Shutdown), then onStopped (if any) runs.
+// A clean shutdown returns nil. Both serving front-ends — this package's
+// Server and internal/dist's node API — share this one drain path.
+func RunListener(ctx context.Context, l net.Listener, h http.Handler, drain time.Duration, onStopped func()) error {
+	if drain <= 0 {
+		drain = 10 * time.Second
+	}
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(l) }()
+	var err error
+	select {
+	case err = <-errCh:
+		if onStopped != nil {
+			onStopped()
+		}
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err = srv.Shutdown(shutdownCtx)
+	<-errCh // Serve has returned http.ErrServerClosed
+	if onStopped != nil {
+		onStopped()
+	}
+	return err
 }

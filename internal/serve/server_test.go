@@ -2,11 +2,14 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/query"
@@ -193,5 +196,49 @@ func TestServerErrorMapping(t *testing.T) {
 	resp2.Body.Close()
 	if resp2.StatusCode != http.StatusNotImplemented {
 		t.Errorf("explain without engine: HTTP %d, want 501", resp2.StatusCode)
+	}
+}
+
+// TestServerGracefulShutdown verifies the drain path: cancelling the run
+// context must let an in-flight request (blocked inside the oracle)
+// finish with 200 instead of killing it, then close the scheduler.
+func TestServerGracefulShutdown(t *testing.T) {
+	agent, oracle := blockedAgent(t)
+	pool, err := NewPool([]*core.Agent{agent}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewScheduler(pool, SchedulerConfig{Workers: 2})
+	srv := NewServer(sched, nil)
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- srv.ServeListener(ctx, l, 5*time.Second) }()
+	url := "http://" + l.Addr().String()
+
+	// Park one request inside the (blocked) oracle fallback.
+	reqDone := make(chan int, 1)
+	go func() {
+		_, code := postQuery(t, url, reqFromQuery(t, countAt(1, 1), "drain"))
+		reqDone <- code
+	}()
+	<-oracle.started
+
+	// Shut down while the request is in flight, then let it finish.
+	cancel()
+	close(oracle.release)
+	if code := <-reqDone; code != http.StatusOK {
+		t.Errorf("in-flight request during shutdown: HTTP %d, want 200", code)
+	}
+	if err := <-runDone; err != nil {
+		t.Errorf("graceful shutdown returned %v, want nil", err)
+	}
+	// The scheduler must be closed once the server has drained.
+	if _, err := sched.Answer("drain", countAt(2, 2)); err != ErrClosed {
+		t.Errorf("after shutdown: err = %v, want ErrClosed", err)
 	}
 }

@@ -1,10 +1,20 @@
 package serve
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 
 	"repro/internal/core"
 )
+
+// ErrFallbackPanic is returned (to the leader and every parked waiter)
+// when an oracle fallback panics mid-flight. Converting the panic into an
+// error keeps the serving workers alive and, critically, guarantees the
+// flight is removed from the group: before this, a panicking fallback
+// left its call registered forever, so every later query with the same
+// key parked behind a flight that could never finish.
+var ErrFallbackPanic = errors.New("serve: fallback panicked")
 
 // group is a minimal single-flight: concurrent do calls with the same
 // key run fn once and share its result. (Modelled on
@@ -65,11 +75,22 @@ func (g *group) do(key string, fn func() (core.Answer, error)) (ans core.Answer,
 	g.m[key] = c
 	g.mu.Unlock()
 
-	c.ans, c.err = fn()
-
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	c.wg.Done()
+	// The flight MUST be unregistered and its waiters woken no matter how
+	// fn exits: a failed (or panicking) fallback's error is delivered to
+	// every parked caller exactly once and is never left behind for later
+	// callers of the same key — the next query with this key starts a
+	// fresh flight.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.err = fmt.Errorf("%w: %v", ErrFallbackPanic, r)
+			}
+			g.mu.Lock()
+			delete(g.m, key)
+			g.mu.Unlock()
+			c.wg.Done()
+		}()
+		c.ans, c.err = fn()
+	}()
 	return c.ans, false, c.err
 }

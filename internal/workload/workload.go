@@ -108,6 +108,18 @@ func DefaultMixture(d int) []MixtureComponent {
 	return comps
 }
 
+// StandardRows builds the repo's standard 3-column clustered dataset —
+// x, y spatial from the default Gaussian mixture, z = 2x + 5 + noise —
+// from a single seed. Cluster members, experiments and examples all
+// call this one constructor so equal seeds produce bit-identical data
+// everywhere (the distributed cluster's partitioning depends on it).
+func StandardRows(n int, seed int64) []storage.Row {
+	rng := NewRNG(seed)
+	rows := GaussianMixture(rng, n, 3, DefaultMixture(3), 0)
+	CorrelatedColumns(rng, rows, 0, 2, 2, 5, 1)
+	return rows
+}
+
 // CorrelatedColumns rewrites columns colY of rows so that
 // vec[colY] = slope*vec[colX] + intercept + noise. Used by the
 // dependence-statistics experiments (E3): the true regression slope

@@ -1,0 +1,82 @@
+package sea_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/workload"
+	"repro/sea"
+)
+
+// TestClusterFacade drives the distributed cluster through the public
+// sea API: boot 3 in-process members, answer the aggregate suite with
+// results matching single-node evaluation, survive a member kill, and
+// round-trip an agent snapshot.
+func TestClusterFacade(t *testing.T) {
+	rows := workload.StandardRows(3_000, 5)
+
+	agentCfg := core.DefaultConfig(2)
+	agentCfg.TrainingQueries = 1 << 30 // exact-only: every answer scatter-gathers
+	lc, err := sea.StartLocalCluster(3, sea.ClusterConfig{Agent: agentCfg}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	client := lc.Client()
+
+	qs := workload.NewQueryStream(workload.NewRNG(6), workload.DefaultRegions(2), query.Avg)
+	qs.Col = 2
+	for i := 0; i < 10; i++ {
+		q := qs.Next()
+		got, err := client.Answer(q)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		want := query.EvalRows(q, rows).Value
+		if diff := got.Value - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("query %d: cluster %v, single-node %v", i, got.Value, want)
+		}
+	}
+
+	lc.Kill(lc.IDs()[1])
+	for i := 0; i < 10; i++ {
+		if _, err := client.Answer(qs.Next()); err != nil {
+			t.Fatalf("post-kill query %d: client-visible error: %v", i, err)
+		}
+	}
+
+	if _, err := client.Status(); err != nil {
+		t.Errorf("cluster status after kill: %v", err)
+	}
+}
+
+func TestAgentSnapshotFacade(t *testing.T) {
+	sys := loadedSystem(t, 2_000)
+	ag, err := sys.NewAgent(sea.AgentConfig{Dims: 2, TrainingQueries: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := workload.NewQueryStream(workload.NewRNG(7), workload.DefaultRegions(2), query.Count)
+	for i := 0; i < 60; i++ {
+		if _, err := ag.Answer(qs.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := ag.Snapshot()
+	other, err := sys.NewAgent(sea.AgentConfig{Dims: 2, TrainingQueries: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := other.Stats().Queries, ag.Stats().Queries; got != want {
+		t.Errorf("restored agent counters %d, want donor's %d", got, want)
+	}
+	snap.Version++
+	if err := other.RestoreSnapshot(snap); !errors.Is(err, core.ErrSnapshotVersion) {
+		t.Errorf("version-bumped snapshot: err = %v, want ErrSnapshotVersion", err)
+	}
+}
