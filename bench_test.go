@@ -1,5 +1,5 @@
 // Package repro's root benchmarks regenerate every experiment in
-// DESIGN.md's per-experiment index (E1-E14) plus the ablations (A1-A5).
+// DESIGN.md's per-experiment index (E1-E15) plus the ablations (A1-A5).
 // Each bench reports the experiment's headline virtual metrics via
 // b.ReportMetric, so `go test -bench=. -benchmem` prints the rows that
 // EXPERIMENTS.md records. Wall-clock ns/op measures simulator CPU, not
@@ -253,6 +253,25 @@ func BenchmarkE14DistServe(b *testing.B) {
 			b.ReportMetric(float64(row.CrossShardP50.Microseconds()), "cross_shard_p50_us")
 		})
 	}
+}
+
+func BenchmarkE15LiveIngest(b *testing.B) {
+	var row experiments.E15Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		row, err = experiments.E15LiveIngest(20_000, 3, 8, 150, 300, 15, 300, b.TempDir(), true)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(row.ReadQPS, "read_qps")
+	b.ReportMetric(float64(row.ReadP99.Microseconds()), "read_p99_us")
+	b.ReportMetric(row.PredictionRate, "pred_rate")
+	b.ReportMetric(row.PreMAPE, "pre_mape")
+	b.ReportMetric(row.DuringMAPE, "during_mape")
+	b.ReportMetric(row.PostMAPE, "post_mape")
+	b.ReportMetric(float64(row.AckedRows), "acked_rows")
+	b.ReportMetric(float64(row.LostAckedRows), "lost_acked_rows")
 }
 
 func BenchmarkAblationQuanta(b *testing.B) {

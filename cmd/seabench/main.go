@@ -1,20 +1,22 @@
-// Command seabench runs the full experiment suite (E1-E14 and ablations
+// Command seabench runs the full experiment suite (E1-E15 and ablations
 // A1-A5 from DESIGN.md) at configurable scale and prints one table per
 // experiment — the rows EXPERIMENTS.md records. Metrics are virtual
 // simulator units (see internal/metrics), except E13 (concurrent
-// serving) and E14 (distributed cluster) which measure the real serving
-// layer in wall-clock units.
+// serving), E14 (distributed cluster) and E15 (live data plane) which
+// measure the real serving layer in wall-clock units.
 //
 // With -json every experiment emits machine-readable rows instead of
 // tables, one JSON object per line:
 //
 //	{"experiment":"E4","row":{...}}
 //
-// so BENCH tracking can diff runs without parsing tables.
+// so BENCH tracking can diff runs without parsing tables. CI runs
+// `seabench -scale smoke -json` on every push and uploads the lines as
+// a build artifact, so the perf trajectory accumulates per commit.
 //
 // Usage:
 //
-//	seabench [-scale small|paper] [-only E4] [-json]
+//	seabench [-scale smoke|small|paper] [-only E4] [-json]
 package main
 
 import (
@@ -28,10 +30,16 @@ import (
 )
 
 func main() {
-	scale := flag.String("scale", "small", "experiment scale: small | paper")
+	scale := flag.String("scale", "small", "experiment scale: smoke | small | paper")
 	only := flag.String("only", "", "run only the named experiment (e.g. E4)")
 	jsonOut := flag.Bool("json", false, "emit one JSON row per line instead of tables")
 	flag.Parse()
+	switch *scale {
+	case "smoke", "small", "paper":
+	default:
+		fmt.Fprintf(os.Stderr, "seabench: unknown -scale %q (want smoke, small or paper)\n", *scale)
+		os.Exit(2)
+	}
 	if err := run(*scale, *only, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "seabench:", err)
 		os.Exit(1)
@@ -67,9 +75,21 @@ func (e *emitter) emit(name string, rows ...any) bool {
 
 func run(scale, only string, jsonOut bool) error {
 	big := scale == "paper"
+	smoke := scale == "smoke"
 	pick := func(small, paper int) int {
 		if big {
 			return paper
+		}
+		if smoke {
+			// Smoke mode quarters the size knobs (floored so every
+			// experiment still has enough data to run): CI exercises the
+			// full suite on every push without paying small-scale cost.
+			if small >= 4_000 {
+				return small / 4
+			}
+			if small >= 40 {
+				return small / 2
+			}
 		}
 		return small
 	}
@@ -336,6 +356,30 @@ func run(scale, only string, jsonOut bool) error {
 				}
 				fmt.Println(string(js))
 			}
+			fmt.Println()
+		}
+	}
+
+	if want("E15") {
+		dir, err := os.MkdirTemp("", "seabench-e15-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		// 3 nodes, kill-and-recover on: the row carries accuracy under
+		// drift, read latency under ingest, and the durability verdict.
+		r, err := experiments.E15LiveIngest(pick(10_000, 20_000), 3,
+			pick(8, 16), pick(100, 300), 300, pick(10, 30), pick(200, 500), dir, true)
+		if err != nil {
+			return err
+		}
+		if !em.emit("E15", r) {
+			fmt.Println("== E15: live data plane (ingest + drift maintenance + kill/replay recovery) ==")
+			js, err := json.Marshal(r)
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(js))
 			fmt.Println()
 		}
 	}

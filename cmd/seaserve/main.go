@@ -22,13 +22,26 @@
 // Every member loads the same deterministic synthetic dataset (same
 // -rows/-seed) and keeps only the partitions the ring assigns it.
 //
+// Cluster mode is also a live system: -data-dir enables the WAL-durable
+// write path (POST /v1/ingest appends replicated, quorum-acked row
+// batches; a restarted member replays its WAL and catches up the log
+// tail from peers), -write-quorum sets the ack threshold, and
+// -drift-budget/-requant-check tune the drift-aware online model
+// maintenance.
+//
 // Endpoints (both modes):
 //
 //	POST /v1/query    {"agg":"count","los":[20,20],"his":[30,30]}
+//	GET  /v1/metrics  Prometheus text (QPS, latency, ingest/drift)
 //	GET  /healthz     liveness (also used by failover probing)
 //
 // Single-node adds POST /v1/explain and GET /v1/stats; cluster mode adds
-// POST /v1/partial, GET /v1/snapshot and GET /v1/cluster.
+// POST /v1/ingest, /v1/replicate, /v1/walfetch, /v1/partial,
+// GET /v1/snapshot and GET /v1/cluster.
+//
+// Flag combinations are validated at startup (replication factor vs
+// cluster size, quorum vs replicas, cluster-only flags in single-node
+// mode) and fail fast with a clear error instead of degrading silently.
 //
 // The process traps SIGINT/SIGTERM and shuts down gracefully: the
 // listener stops accepting, in-flight queries drain (up to -drain), and
@@ -42,6 +55,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -54,33 +68,71 @@ import (
 	"repro/sea"
 )
 
+// options is the parsed and validated flag set.
+type options struct {
+	addr           string
+	rows           int
+	nodes          int
+	training       int
+	agents         int
+	workers        int
+	queue          int
+	tenantInflight int
+	seed           int64
+	drain          time.Duration
+	nodeID         string
+	peerList       string
+	peers          map[string]string
+	replicas       int
+	warmFrom       string
+	dataDir        string
+	writeQuorum    int
+	driftBudget    int
+	requantCheck   time.Duration
+	// set records which flags were given explicitly (flag.Visit):
+	// cluster-only flags with non-zero defaults (-replicas,
+	// -requant-check) can only be rejected in single-node mode when we
+	// know the user actually set them.
+	set map[string]bool
+}
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	rows := flag.Int("rows", 20_000, "synthetic rows to load")
-	nodes := flag.Int("nodes", 8, "simulated cluster size (single-node mode)")
-	training := flag.Int("training", 300, "training queries per agent")
-	agents := flag.Int("agents", 1, "agent pool size (affinity-sharded)")
-	workers := flag.Int("workers", 8, "serving worker goroutines")
-	queue := flag.Int("queue", 256, "pending-query queue depth")
-	tenantInflight := flag.Int("tenant-inflight", 64, "max in-flight queries per tenant")
-	seed := flag.Int64("seed", 1, "data/workload RNG seed (must match across members)")
-	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
-	nodeID := flag.String("node-id", "", "cluster member id (enables cluster mode)")
-	peers := flag.String("peers", "", "cluster members as id=url,id=url,... (cluster mode)")
-	replicas := flag.Int("replicas", dist.DefaultReplicas, "replication factor (cluster mode)")
-	warmFrom := flag.String("warm-from", "", "peer URL to import agent snapshots from at start (cluster mode)")
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&o.rows, "rows", 20_000, "synthetic rows to load")
+	flag.IntVar(&o.nodes, "nodes", 8, "simulated cluster size (single-node mode)")
+	flag.IntVar(&o.training, "training", 300, "training queries per agent")
+	flag.IntVar(&o.agents, "agents", 1, "agent pool size (affinity-sharded)")
+	flag.IntVar(&o.workers, "workers", 8, "serving worker goroutines")
+	flag.IntVar(&o.queue, "queue", 256, "pending-query queue depth")
+	flag.IntVar(&o.tenantInflight, "tenant-inflight", 64, "max in-flight queries per tenant")
+	flag.Int64Var(&o.seed, "seed", 1, "data/workload RNG seed (must match across members)")
+	flag.DurationVar(&o.drain, "drain", 10*time.Second, "graceful-shutdown drain deadline")
+	flag.StringVar(&o.nodeID, "node-id", "", "cluster member id (enables cluster mode)")
+	flag.StringVar(&o.peerList, "peers", "", "cluster members as id=url,id=url,... (cluster mode)")
+	flag.IntVar(&o.replicas, "replicas", dist.DefaultReplicas, "replication factor (cluster mode)")
+	flag.StringVar(&o.warmFrom, "warm-from", "", "peer URL to import agent snapshots from at start (cluster mode)")
+	flag.StringVar(&o.dataDir, "data-dir", "", "WAL directory for the live write path (cluster mode; empty = no durability)")
+	flag.IntVar(&o.writeQuorum, "write-quorum", 0, "owners that must apply an ingest batch before ack (cluster mode; 0 = majority of -replicas)")
+	flag.IntVar(&o.driftBudget, "drift-budget", 200, "ingested rows a quantum absorbs before its models re-earn trust (0 = legacy wholesale invalidation)")
+	flag.DurationVar(&o.requantCheck, "requant-check", 2*time.Second, "background drift-maintainer poll period (cluster mode; 0 disables re-quantisation)")
 	flag.Parse()
+	o.set = make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { o.set[f.Name] = true })
+
+	if err := o.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "seaserve:", err)
+		os.Exit(2)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	var err error
-	if *nodeID != "" {
-		err = runCluster(ctx, *addr, *nodeID, *peers, *replicas, *warmFrom,
-			*rows, *training, *agents, *workers, *queue, *tenantInflight, *seed, *drain)
+	if o.nodeID != "" {
+		err = runCluster(ctx, o)
 	} else {
-		err = runSingle(ctx, *addr, *rows, *nodes, *training, *agents, *workers,
-			*queue, *tenantInflight, *seed, *drain)
+		err = runSingle(ctx, o)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "seaserve:", err)
@@ -88,26 +140,107 @@ func main() {
 	}
 }
 
-func runSingle(ctx context.Context, addr string, rows, nodes, training, agents, workers, queue, tenantInflight int, seed int64, drain time.Duration) error {
-	sys, err := sea.NewSystem(sea.SystemConfig{Nodes: nodes, Columns: []string{"x", "y", "z"}})
+// validate fails fast on flag combinations that would otherwise degrade
+// silently (a replication factor the cluster cannot honour, warm-up
+// with nobody to warm from, durability flags outside cluster mode).
+func (o *options) validate() error {
+	if o.rows < 1 {
+		return fmt.Errorf("-rows must be >= 1, got %d", o.rows)
+	}
+	if o.nodes < 1 {
+		return fmt.Errorf("-nodes must be >= 1, got %d", o.nodes)
+	}
+	if o.training < 0 {
+		return fmt.Errorf("-training must be >= 0, got %d", o.training)
+	}
+	if o.agents < 1 {
+		return fmt.Errorf("-agents must be >= 1, got %d", o.agents)
+	}
+	if o.workers < 1 || o.queue < 1 {
+		return fmt.Errorf("-workers and -queue must be >= 1, got %d and %d", o.workers, o.queue)
+	}
+	if o.driftBudget < 0 {
+		return fmt.Errorf("-drift-budget must be >= 0, got %d", o.driftBudget)
+	}
+
+	cluster := o.nodeID != ""
+	if !cluster {
+		// Single-node mode: reject cluster-only flags instead of
+		// silently ignoring them. Flags with non-zero defaults
+		// (-replicas, -requant-check) count only when explicitly set.
+		for flagName, set := range map[string]bool{
+			"-peers":         o.peerList != "",
+			"-warm-from":     o.warmFrom != "",
+			"-data-dir":      o.dataDir != "",
+			"-write-quorum":  o.writeQuorum != 0,
+			"-replicas":      o.set["replicas"],
+			"-requant-check": o.set["requant-check"],
+		} {
+			if set {
+				return fmt.Errorf("%s requires cluster mode (set -node-id)", flagName)
+			}
+		}
+		return nil
+	}
+
+	peers, err := parsePeers(o.peerList)
 	if err != nil {
 		return err
 	}
-	if err := sys.Load(workload.StandardRows(rows, seed)); err != nil {
+	o.peers = peers
+	if _, ok := peers[o.nodeID]; !ok {
+		return fmt.Errorf("-node-id %q is not listed in -peers (members: %s)",
+			o.nodeID, strings.Join(peerIDs(peers), ", "))
+	}
+	if o.replicas < 1 {
+		return fmt.Errorf("-replicas must be >= 1, got %d", o.replicas)
+	}
+	if o.replicas > len(peers) {
+		return fmt.Errorf("-replicas %d exceeds the cluster size %d", o.replicas, len(peers))
+	}
+	if o.writeQuorum < 0 || o.writeQuorum > o.replicas {
+		return fmt.Errorf("-write-quorum must be in [0, -replicas=%d], got %d", o.replicas, o.writeQuorum)
+	}
+	if o.warmFrom != "" {
+		if len(peers) < 2 {
+			return fmt.Errorf("-warm-from needs at least one peer besides this node")
+		}
+		if o.warmFrom == peers[o.nodeID] {
+			return fmt.Errorf("-warm-from %q is this node's own URL", o.warmFrom)
+		}
+	}
+	return nil
+}
+
+func peerIDs(peers map[string]string) []string {
+	ids := make([]string, 0, len(peers))
+	for id := range peers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func runSingle(ctx context.Context, o options) error {
+	sys, err := sea.NewSystem(sea.SystemConfig{Nodes: o.nodes, Columns: []string{"x", "y", "z"}})
+	if err != nil {
 		return err
 	}
-	log.Printf("loaded %d rows over %d nodes", sys.Rows(), nodes)
-
-	if agents < 1 {
-		agents = 1
+	if err := sys.Load(workload.StandardRows(o.rows, o.seed)); err != nil {
+		return err
 	}
-	pool := make([]*sea.Agent, agents)
+	log.Printf("loaded %d rows over %d nodes", sys.Rows(), o.nodes)
+
+	pool := make([]*sea.Agent, o.agents)
 	for i := range pool {
-		ag, err := sys.NewAgent(sea.AgentConfig{Dims: 2, TrainingQueries: training, UseMapReduceOracle: true})
+		ag, err := sys.NewAgent(sea.AgentConfig{
+			Dims: 2, TrainingQueries: o.training, UseMapReduceOracle: true,
+			DriftRowBudget: o.driftBudget,
+		})
 		if err != nil {
 			return err
 		}
-		if err := pretrain(ag, training, seed+int64(i)); err != nil {
+		if err := pretrain(ag, o.training, o.seed+int64(i)); err != nil {
 			return err
 		}
 		st := ag.Stats()
@@ -116,54 +249,66 @@ func runSingle(ctx context.Context, addr string, rows, nodes, training, agents, 
 	}
 
 	srv, err := sea.NewServer(pool, sea.ServeOptions{
-		Workers:        workers,
-		QueueDepth:     queue,
-		TenantInflight: tenantInflight,
+		Workers:        o.workers,
+		QueueDepth:     o.queue,
+		TenantInflight: o.tenantInflight,
 	})
 	if err != nil {
 		return err
 	}
 	log.Printf("serving on %s (%d agents, %d workers, queue %d, tenant-inflight %d)",
-		addr, agents, workers, queue, tenantInflight)
-	return srv.Run(ctx, addr, drain)
+		o.addr, o.agents, o.workers, o.queue, o.tenantInflight)
+	return srv.Run(ctx, o.addr, o.drain)
 }
 
-func runCluster(ctx context.Context, addr, nodeID, peerList string, replicas int, warmFrom string, rows, training, agents, workers, queue, tenantInflight int, seed int64, drain time.Duration) error {
-	peers, err := parsePeers(peerList)
-	if err != nil {
-		return err
-	}
+func runCluster(ctx context.Context, o options) error {
 	agentCfg := core.DefaultConfig(2)
-	agentCfg.TrainingQueries = training
+	agentCfg.TrainingQueries = o.training
+	agentCfg.DriftRowBudget = o.driftBudget
 	node, err := dist.NewNode(dist.Config{
-		ID:             nodeID,
-		Peers:          peers,
-		Replicas:       replicas,
-		Agents:         agents,
+		ID:             o.nodeID,
+		Peers:          o.peers,
+		Replicas:       o.replicas,
+		Agents:         o.agents,
 		Agent:          agentCfg,
-		Workers:        workers,
-		QueueDepth:     queue,
-		TenantInflight: tenantInflight,
+		Workers:        o.workers,
+		QueueDepth:     o.queue,
+		TenantInflight: o.tenantInflight,
+		DataDir:        o.dataDir,
+		WriteQuorum:    o.writeQuorum,
+		RequantCheck:   o.requantCheck,
 	})
 	if err != nil {
 		return err
 	}
-	node.Load(workload.StandardRows(rows, seed))
+	if err := node.Load(workload.StandardRows(o.rows, o.seed)); err != nil {
+		return err
+	}
 	st := node.Status()
-	log.Printf("cluster member %s: %d/%d partitions, %d rows held, %d members, replicas=%d",
-		nodeID, len(st.PartitionsHeld), st.PartitionsTotal, st.RowsHeld, len(st.Members), st.Replicas)
-	if warmFrom != "" {
-		shipped, err := node.WarmFrom(warmFrom)
+	log.Printf("cluster member %s: %d/%d partitions, %d rows held, %d members, replicas=%d, data version %d",
+		o.nodeID, len(st.PartitionsHeld), st.PartitionsTotal, st.RowsHeld, len(st.Members), st.Replicas,
+		node.DataVersion())
+	if o.dataDir != "" && len(o.peers) > 1 {
+		// Log-tail catch-up: close the gap this member missed while it
+		// was down (best effort — a cold cluster has no tail to fetch).
+		if fetched, err := node.CatchUp(); err != nil {
+			log.Printf("log-tail catch-up incomplete: %v", err)
+		} else if fetched > 0 {
+			log.Printf("caught up %d missed ingest batches from peers", fetched)
+		}
+	}
+	if o.warmFrom != "" {
+		shipped, err := node.WarmFrom(o.warmFrom)
 		if err != nil {
-			log.Printf("warm-up from %s failed (serving cold): %v", warmFrom, err)
+			log.Printf("warm-up from %s failed (serving cold): %v", o.warmFrom, err)
 		} else {
-			log.Printf("warmed up from %s: %d snapshot bytes", warmFrom, shipped)
+			log.Printf("warmed up from %s: %d snapshot bytes", o.warmFrom, shipped)
 		}
 	}
 
-	log.Printf("cluster member %s serving on %s", nodeID, addr)
-	context.AfterFunc(ctx, func() { log.Printf("shutting down (draining up to %v)", drain) })
-	return serve.RunHTTP(ctx, addr, node.Handler(), drain, node.Close)
+	log.Printf("cluster member %s serving on %s", o.nodeID, o.addr)
+	context.AfterFunc(ctx, func() { log.Printf("shutting down (draining up to %v)", o.drain) })
+	return serve.RunHTTP(ctx, o.addr, node.Handler(), o.drain, node.Close)
 }
 
 // parsePeers parses "n0=http://a:8080,n1=http://b:8080".

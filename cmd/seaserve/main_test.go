@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func clusterOpts() options {
+	return options{
+		addr: ":0", rows: 1000, nodes: 4, training: 10, agents: 1,
+		workers: 2, queue: 16, seed: 1, drain: time.Second,
+		nodeID:   "n0",
+		peerList: "n0=http://a:1,n1=http://b:1,n2=http://c:1",
+		replicas: 2,
+	}
+}
+
+func TestValidateAcceptsSaneConfigs(t *testing.T) {
+	single := clusterOpts()
+	single.nodeID, single.peerList, single.replicas = "", "", 2
+	if err := single.validate(); err != nil {
+		t.Fatalf("single-node config rejected: %v", err)
+	}
+	cl := clusterOpts()
+	cl.dataDir = "/tmp/wal"
+	cl.writeQuorum = 2
+	cl.warmFrom = "http://b:1"
+	if err := cl.validate(); err != nil {
+		t.Fatalf("cluster config rejected: %v", err)
+	}
+}
+
+func TestValidateFailsFast(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*options)
+		want string
+	}{
+		{"replicas exceed cluster", func(o *options) { o.replicas = 5 }, "exceeds the cluster size"},
+		{"node not in peers", func(o *options) { o.nodeID = "n9" }, "not listed in -peers"},
+		{"quorum above replicas", func(o *options) { o.writeQuorum = 3 }, "-write-quorum"},
+		{"bad peers entry", func(o *options) { o.peerList = "n0" }, "bad -peers entry"},
+		{"warm-from self", func(o *options) { o.warmFrom = "http://a:1" }, "own URL"},
+		{"zero rows", func(o *options) { o.rows = 0 }, "-rows"},
+		{"negative drift budget", func(o *options) { o.driftBudget = -1 }, "-drift-budget"},
+		{"peers without node-id", func(o *options) { o.nodeID = "" }, "requires cluster mode"},
+		{"data-dir without cluster", func(o *options) { o.nodeID = ""; o.peerList = ""; o.dataDir = "/tmp/x" }, "requires cluster mode"},
+		{"warm-from without peers", func(o *options) {
+			o.peerList = "n0=http://a:1"
+			o.warmFrom = "http://b:1"
+			o.replicas = 1
+		}, "at least one peer"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := clusterOpts()
+			tc.mut(&o)
+			err := o.validate()
+			if err == nil {
+				t.Fatalf("config accepted, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateRejectsExplicitClusterFlagsInSingleMode(t *testing.T) {
+	for _, name := range []string{"replicas", "requant-check"} {
+		o := clusterOpts()
+		o.nodeID, o.peerList = "", ""
+		o.set = map[string]bool{name: true}
+		err := o.validate()
+		if err == nil || !strings.Contains(err.Error(), "requires cluster mode") {
+			t.Fatalf("explicitly-set -%s accepted in single-node mode: %v", name, err)
+		}
+	}
+}

@@ -77,6 +77,17 @@ type Config struct {
 	ProbationSupport int
 	// PredictCPU is the simulated cost of one model inference.
 	PredictCPU time.Duration
+	// DriftRowBudget enables incremental model maintenance (RT1.4 under
+	// a live write path): AbsorbRows attributes ingested rows to their
+	// nearest quantum, incrementally updates additive (COUNT/SUM) models
+	// in place, and only once a quantum has absorbed this many rows are
+	// its remaining models invalidated — instead of the legacy wholesale
+	// invalidate-on-version-change. 0 disables incremental maintenance.
+	DriftRowBudget int
+	// RecentQueries is the per-model ring of recent exact-path queries
+	// kept for incremental COUNT/SUM updates (default 8 when
+	// DriftRowBudget > 0).
+	RecentQueries int
 }
 
 // DefaultConfig returns settings tuned for the experiments' [0,100]^d
@@ -115,6 +126,61 @@ type quantumModel struct {
 	// probation > 0 forces fallbacks until that many fresh exact
 	// observations arrive (data-update staleness, RT1.4(ii)).
 	probation int
+	// recent is a ring of this model's latest exact-path queries; the
+	// incremental maintenance path (AbsorbRows) replays them against
+	// freshly ingested rows to update additive models in place.
+	recent    []storedObs
+	recentPos int
+	// growth is the incremental-maintenance correction for additive
+	// aggregates (COUNT, SUM): a multiplicative answer-space factor
+	// tracking how much the quantum's data mass has grown since the RLS
+	// weights last saw the truth. Ingested batches advance it by their
+	// exactly-known delta contribution; exact answers re-anchor it.
+	// 0 means "uninitialised" (treated as 1).
+	growth float64
+}
+
+// growthFactor returns the model's current answer-space correction.
+func (m *quantumModel) growthFactor() float64 {
+	if m.growth == 0 {
+		return 1
+	}
+	return m.growth
+}
+
+// additive reports whether agg is maintained incrementally under ingest
+// (its answer grows by an exactly-computable delta per batch).
+func additive(agg query.Agg) bool { return agg == query.Count || agg == query.Sum }
+
+// correct applies the growth correction to a raw model prediction.
+func (m *quantumModel) correct(agg query.Agg, pred float64) float64 {
+	if additive(agg) {
+		return pred * m.growthFactor()
+	}
+	return pred
+}
+
+// storedObs is one remembered exact-path query: the model features plus
+// the selection, enough to compute an ingested batch's exact delta
+// contribution to the query's answer.
+type storedObs struct {
+	feat []float64
+	sel  query.Selection
+}
+
+// storeRecent remembers an exact-path observation for incremental
+// replay. cap is the configured ring size.
+func (m *quantumModel) storeRecent(capacity int, feat []float64, sel query.Selection) {
+	if capacity <= 0 {
+		return
+	}
+	obs := storedObs{feat: append([]float64(nil), feat...), sel: sel}
+	if len(m.recent) < capacity {
+		m.recent = append(m.recent, obs)
+		return
+	}
+	m.recent[m.recentPos] = obs
+	m.recentPos = (m.recentPos + 1) % len(m.recent)
 }
 
 // Answer is the agent's reply to one analytical query.
@@ -131,6 +197,11 @@ type Answer struct {
 	// Quantum is the query-space quantum the query fell into (-1 during
 	// cold start).
 	Quantum int
+	// FreshRows is how many ingested rows the answering quantum has
+	// absorbed since its models last refreshed — the staleness signal
+	// freshness-aware serving layers surface (0 for exact answers:
+	// they always read live data).
+	FreshRows int
 	// Cost is the full cost charged for this answer: base-data work for
 	// exact answers, a model inference for predictions.
 	Cost metrics.Cost
@@ -183,6 +254,15 @@ type Agent struct {
 	stats   Stats
 
 	dataVer int64
+
+	// Incremental-maintenance state (all guarded by mu): per-quantum
+	// fresh-row counters plus lifetime drift accounting.
+	freshRows          map[int]int
+	driftAbsorbed      int64
+	driftUnattributed  int64
+	driftInvalidations int64
+	driftUpdated       int64
+	driftRebuilds      int64
 }
 
 // NewAgent builds an agent over the given exact oracle.
@@ -199,11 +279,15 @@ func NewAgent(oracle Oracle, cfg Config) (*Agent, error) {
 	if cfg.MinSupport < 1 {
 		cfg.MinSupport = 1
 	}
+	if cfg.DriftRowBudget > 0 && cfg.RecentQueries <= 0 {
+		cfg.RecentQueries = 8
+	}
 	a := &Agent{
 		cfg:       cfg,
 		oracle:    oracle,
 		quantizer: ml.NewOnlineAVQ(cfg.SpawnDistance, cfg.MaxQuanta),
 		models:    make(map[modelKey][]*quantumModel),
+		freshRows: make(map[int]int),
 	}
 	if oracle != nil {
 		a.dataVer = oracle.DataVersion()
@@ -340,7 +424,7 @@ func (a *Agent) TryPredict(q query.Query) (Answer, bool) {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	if a.oracle != nil {
-		if a.oracle.DataVersion() != a.dataVer {
+		if a.oracle.DataVersion() != a.dataVer && !a.incremental() {
 			return Answer{}, false // base data changed: slow path invalidates
 		}
 		a.statsMu.Lock()
@@ -365,13 +449,14 @@ func (a *Agent) TryPredict(q query.Query) (Answer, bool) {
 	if !m.trustworthy(a.cfg) {
 		return Answer{}, false
 	}
-	pred := invTransform(q.Aggregate, m.rls.Predict(a.features(q)))
+	pred := m.correct(q.Aggregate, invTransform(q.Aggregate, m.rls.Predict(a.features(q))))
 	pred = clampPrediction(q.Aggregate, pred)
 	ans := Answer{
 		Value:     pred,
 		Predicted: true,
 		EstError:  m.estError(),
 		Quantum:   quantum,
+		FreshRows: a.freshRows[quantum],
 		Cost:      metrics.Cost{Time: a.cfg.PredictCPU, CPUTime: a.cfg.PredictCPU},
 	}
 	a.statsMu.Lock()
@@ -415,13 +500,14 @@ func (a *Agent) answerSlow(q query.Query) (Answer, error) {
 	m := a.model(k, quantum)
 
 	if !inTraining && !outOfCoverage && m.trustworthy(a.cfg) {
-		pred := invTransform(q.Aggregate, m.rls.Predict(feat))
+		pred := m.correct(q.Aggregate, invTransform(q.Aggregate, m.rls.Predict(feat)))
 		pred = clampPrediction(q.Aggregate, pred)
 		ans := Answer{
 			Value:     pred,
 			Predicted: true,
 			EstError:  m.estError(),
 			Quantum:   quantum,
+			FreshRows: a.freshRows[quantum],
 			Cost:      metrics.Cost{Time: a.cfg.PredictCPU, CPUTime: a.cfg.PredictCPU},
 		}
 		a.statsMu.Lock()
@@ -450,12 +536,22 @@ func (a *Agent) answerSlow(q query.Query) (Answer, error) {
 	if err != nil {
 		return Answer{}, fmt.Errorf("core: oracle: %w", err)
 	}
-	pred := invTransform(q.Aggregate, m.rls.Predict(feat))
+	pred := m.correct(q.Aggregate, invTransform(q.Aggregate, m.rls.Predict(feat)))
 	if m.n > 0 {
 		m.observeResidual(normError(q.Aggregate, pred, res.Value))
 	}
 	m.rls.Observe(feat, transformTarget(q.Aggregate, res.Value))
 	m.n++
+	m.storeRecent(a.cfg.RecentQueries, feat, q.Select)
+	if additive(q.Aggregate) && m.growth != 0 {
+		// Exact answer in hand: re-anchor the incremental growth
+		// correction against the freshly updated raw model.
+		raw := invTransform(q.Aggregate, m.rls.Predict(feat))
+		m.reanchorGrowth(raw, res.Value)
+	}
+	// The quantum just saw ground truth: its staleness clock restarts
+	// (freshRows feeds Answer.FreshRows / the wire's stale_rows).
+	delete(a.freshRows, quantum)
 
 	ans := Answer{
 		Value:   res.Value,
@@ -527,14 +623,16 @@ func clampPrediction(agg query.Agg, v float64) float64 {
 
 // maybeDetectDataChange compares the oracle's data version against the
 // last seen one and, on change, puts every model on probation. Callers
-// that know the affected subspace should use NotifyDataChange instead for
-// surgical invalidation.
+// that know the affected subspace should use NotifyDataChange instead
+// for surgical invalidation; with incremental maintenance enabled
+// (Config.DriftRowBudget > 0) version changes never invalidate
+// wholesale — AbsorbRows is the maintenance channel instead.
 func (a *Agent) maybeDetectDataChange() {
 	if a.oracle == nil {
 		return
 	}
 	v := a.oracle.DataVersion()
-	if v != a.dataVer && a.dataVer != 0 {
+	if v != a.dataVer && a.dataVer != 0 && !a.incremental() {
 		a.invalidate(nil)
 	}
 	a.dataVer = v
@@ -626,7 +724,7 @@ func (a *Agent) PredictOnly(q query.Query) (value, estErr float64, ok bool) {
 	if !m.trustworthy(a.cfg) {
 		return 0, 0, false
 	}
-	pred := invTransform(q.Aggregate, m.rls.Predict(a.features(q)))
+	pred := m.correct(q.Aggregate, invTransform(q.Aggregate, m.rls.Predict(a.features(q))))
 	return clampPrediction(q.Aggregate, pred), m.estError(), true
 }
 

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// liveOracle is a thread-safe in-memory oracle over a mutable row set:
+// the unit-test stand-in for the cluster's scatter-gather oracle.
+type liveOracle struct {
+	mu   sync.Mutex
+	rows []storage.Row
+	ver  int64
+}
+
+func newLiveOracle(rows []storage.Row) *liveOracle {
+	return &liveOracle{rows: rows, ver: 1}
+}
+
+func (o *liveOracle) Answer(q query.Query) (query.Result, metrics.Cost, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return query.EvalRows(q, o.rows), metrics.Cost{RowsRead: int64(len(o.rows))}, nil
+}
+
+func (o *liveOracle) DataVersion() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.ver
+}
+
+// Ingest appends rows and bumps the version, returning the new version.
+func (o *liveOracle) Ingest(rows []storage.Row) int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.rows = append(o.rows, rows...)
+	o.ver++
+	return o.ver
+}
+
+func vecsOf(rows []storage.Row) [][]float64 {
+	out := make([][]float64, len(rows))
+	for i, r := range rows {
+		out[i] = r.Vec
+	}
+	return out
+}
+
+func liveConfig(training int) Config {
+	cfg := DefaultConfig(2)
+	cfg.TrainingQueries = training
+	cfg.DriftRowBudget = 200
+	return cfg
+}
+
+// trainCount runs a mixed count stream through the agent so the region
+// quanta exist and their models are trusted.
+func trainCount(t *testing.T, ag *Agent, n int, seed int64) *workload.QueryStream {
+	t.Helper()
+	qs := workload.NewQueryStream(workload.NewRNG(seed), workload.DefaultRegions(2), query.Count)
+	for i := 0; i < n; i++ {
+		if _, err := ag.Answer(qs.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return qs
+}
+
+func TestIncrementalAbsorbKeepsPredicting(t *testing.T) {
+	rows := workload.StandardRows(8000, 1)
+	oracle := newLiveOracle(rows)
+	ag, err := NewAgent(oracle, liveConfig(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := trainCount(t, ag, 320, 7)
+
+	probe := qs.Next()
+	if _, ok := ag.TryPredict(probe); !ok {
+		t.Fatalf("expected a trusted model before ingest")
+	}
+
+	// Ingest a batch into the first interest region; the version bump
+	// must NOT freeze the fast path in incremental mode.
+	fresh := workload.GaussianMixture(workload.NewRNG(99), 150, 3,
+		[]workload.MixtureComponent{{Center: []float64{25, 25, 25}, Std: 6, Weight: 1}}, 100000)
+	ver := oracle.Ingest(fresh)
+	res := ag.AbsorbRows(ver, vecsOf(fresh))
+	if res.Attributed == 0 {
+		t.Fatalf("expected attributed rows, got %+v", res)
+	}
+	ans, ok := ag.TryPredict(probe)
+	if !ok {
+		t.Fatalf("incremental agent refused the fast path after a version bump")
+	}
+	if !ans.Predicted {
+		t.Fatalf("expected a model prediction")
+	}
+	if ans.FreshRows == 0 && res.Attributed > 0 && ans.Quantum >= 0 {
+		// FreshRows is per-quantum; the probe's quantum may differ from
+		// the ingested region, so only assert the counter plumbing when
+		// the drift status shows pending quanta.
+		if ag.Drift().PendingQuanta == 0 {
+			t.Fatalf("absorbed rows but no quantum reports pending freshness")
+		}
+	}
+}
+
+func TestIncrementalCountTracksIngestedRows(t *testing.T) {
+	rows := workload.StandardRows(8000, 1)
+	oracle := newLiveOracle(rows)
+	cfg := liveConfig(200)
+	cfg.DriftRowBudget = 100000 // isolate the in-place update path
+	ag, err := NewAgent(oracle, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainCount(t, ag, 360, 7)
+
+	// A fixed probe query inside region one.
+	probe := query.Query{
+		Select:    query.Selection{Los: []float64{19, 19}, His: []float64{31, 31}},
+		Aggregate: query.Count,
+	}
+	// Ensure the probe's model saw the probe as an exact observation so
+	// the remembered-selection replay covers it.
+	if _, err := ag.Answer(probe); err != nil {
+		t.Fatal(err)
+	}
+	before, _, ok := ag.PredictOnly(probe)
+	if !ok {
+		t.Skip("probe model not trusted at this seed; covered by E15")
+	}
+
+	// Double the data mass in the probe region.
+	fresh := workload.GaussianMixture(workload.NewRNG(5), 4000, 3,
+		[]workload.MixtureComponent{{Center: []float64{25, 25, 25}, Std: 8, Weight: 1}}, 200000)
+	ver := oracle.Ingest(fresh)
+	res := ag.AbsorbRows(ver, vecsOf(fresh))
+	if res.UpdatedModels == 0 {
+		t.Fatalf("expected incremental model updates, got %+v", res)
+	}
+
+	truth := query.EvalRows(probe, append(append([]storage.Row(nil), rows...), fresh...)).Value
+	after, _, ok := ag.PredictOnly(probe)
+	if !ok {
+		t.Fatalf("model lost trust after incremental update")
+	}
+	errBefore := math.Abs(before-truth) / truth
+	errAfter := math.Abs(after-truth) / truth
+	if after <= before {
+		t.Fatalf("count prediction did not grow with ingested mass: before=%.1f after=%.1f truth=%.1f",
+			before, after, truth)
+	}
+	if errAfter >= errBefore {
+		t.Fatalf("incremental update did not reduce error: before=%.3f after=%.3f", errBefore, errAfter)
+	}
+}
+
+func TestDriftBudgetInvalidatesQuantumModels(t *testing.T) {
+	rows := workload.StandardRows(8000, 1)
+	oracle := newLiveOracle(rows)
+	cfg := liveConfig(200)
+	cfg.DriftRowBudget = 50
+	ag, err := NewAgent(oracle, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train AVG models (non-additive: they take probation on budget
+	// exhaustion instead of in-place updates).
+	qs := workload.NewQueryStream(workload.NewRNG(7), workload.DefaultRegions(2), query.Avg)
+	qs.Col = 2
+	for i := 0; i < 340; i++ {
+		if _, err := ag.Answer(qs.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probe := query.Query{
+		Select:    query.Selection{Los: []float64{20, 20}, His: []float64{30, 30}},
+		Aggregate: query.Avg, Col: 2,
+	}
+	if _, _, ok := ag.PredictOnly(probe); !ok {
+		t.Skip("probe model not trusted at this seed; covered by E15")
+	}
+
+	fresh := workload.GaussianMixture(workload.NewRNG(13), 200, 3,
+		[]workload.MixtureComponent{{Center: []float64{25, 25, 25}, Std: 4, Weight: 1}}, 300000)
+	ver := oracle.Ingest(fresh)
+	res := ag.AbsorbRows(ver, vecsOf(fresh))
+	if res.InvalidatedQuanta == 0 {
+		t.Fatalf("expected drift-budget invalidation, got %+v", res)
+	}
+	if _, _, ok := ag.PredictOnly(probe); ok {
+		t.Fatalf("stale AVG model still predicts after its quantum exhausted the drift budget")
+	}
+	// Fresh exact answers clear probation again.
+	for i := 0; i < cfg.ProbationSupport+1; i++ {
+		if _, err := ag.Answer(probe); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, ok := ag.PredictOnly(probe); !ok {
+		t.Fatalf("model did not re-earn trust after probation")
+	}
+}
+
+func TestLegacyAbsorbInvalidatesWholesale(t *testing.T) {
+	rows := workload.StandardRows(6000, 1)
+	oracle := newLiveOracle(rows)
+	cfg := DefaultConfig(2)
+	cfg.TrainingQueries = 200 // DriftRowBudget = 0: legacy mode
+	ag, err := NewAgent(oracle, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := trainCount(t, ag, 320, 7)
+	probe := qs.Next()
+	if _, ok := ag.TryPredict(probe); !ok {
+		t.Skip("no trusted model at this seed")
+	}
+	ver := oracle.Ingest(workload.StandardRows(50, 2))
+	ag.AbsorbRows(ver, [][]float64{{25, 25, 25}})
+	if _, ok := ag.TryPredict(probe); ok {
+		t.Fatalf("legacy agent predicted from a model that should be on probation")
+	}
+}
+
+func TestRebuildSwapsStateWithoutBlockingReads(t *testing.T) {
+	rows := workload.StandardRows(8000, 1)
+	oracle := newLiveOracle(rows)
+	ag, err := NewAgent(oracle, liveConfig(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := trainCount(t, ag, 320, 7)
+	statsBefore := ag.Stats()
+
+	// Concurrent readers hammer the fast path while Rebuild retrains.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rqs := workload.NewQueryStream(workload.NewRNG(50+int64(w)), workload.DefaultRegions(2), query.Count)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ag.TryPredict(rqs.Next())
+			}
+		}(w)
+	}
+
+	sample := qs.Batch(160)
+	if err := ag.Rebuild(sample); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := ag.Drift().Rebuilds; got != 1 {
+		t.Fatalf("Rebuilds = %d, want 1", got)
+	}
+	// Lifetime counters survive the swap (and keep growing).
+	if ag.Stats().Queries < statsBefore.Queries {
+		t.Fatalf("lifetime stats went backwards across the rebuild")
+	}
+	// The rebuilt agent serves the current interest regions.
+	var predicted int
+	for i := 0; i < 50; i++ {
+		if _, ok := ag.TryPredict(qs.Next()); ok {
+			predicted++
+		}
+	}
+	if predicted == 0 {
+		t.Fatalf("rebuilt agent answers nothing data-lessly")
+	}
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/query"
+)
+
+// This file is the live-data-plane half of model maintenance (RT1.4):
+// instead of the legacy "any data-version change puts every model on
+// probation", an agent with Config.DriftRowBudget > 0 absorbs streamed
+// row batches incrementally:
+//
+//   - Each ingested row is attributed to its nearest query quantum (or
+//     counted as unattributed when it falls outside the learned
+//     coverage — a signal that the data is drifting away from the
+//     models entirely).
+//
+//   - Additive aggregates (COUNT, SUM) are updated in place: the
+//     model's recent exact-path queries are replayed against the fresh
+//     batch, whose delta contribution to each remembered selection is
+//     exactly computable, and the corrected answers are folded back
+//     into the RLS state. Those models keep predicting through ingest
+//     without ever touching the oracle.
+//
+//   - Non-additive models (AVG, VAR, CORR, SLOPE) tolerate up to
+//     DriftRowBudget fresh rows per quantum; past that the quantum's
+//     models enter probation and must re-earn trust on fresh exact
+//     answers — surgical, per-quantum invalidation instead of a
+//     cluster-wide model wipe.
+//
+//   - Rebuild is the heavyweight response to sustained drift: a shadow
+//     agent re-quantises from scratch in the background while the live
+//     agent keeps serving, then the learned state swaps in with one
+//     brief write-locked Restore (double buffering: reads never block
+//     on retraining).
+
+// AbsorbResult reports what one AbsorbRows call did.
+type AbsorbResult struct {
+	// Attributed is how many rows landed inside a quantum's coverage.
+	Attributed int
+	// Unattributed is how many rows fell outside every quantum — drift
+	// away from the learned query space.
+	Unattributed int
+	// UpdatedModels is how many (model, remembered query) pairs were
+	// incrementally refreshed in place.
+	UpdatedModels int
+	// InvalidatedQuanta is how many quanta exhausted their drift budget
+	// and had their non-additive models put on probation.
+	InvalidatedQuanta int
+}
+
+// DriftStatus is the agent's lifetime ingest/drift accounting, polled
+// by maintenance loops to decide when a background rebuild is due.
+type DriftStatus struct {
+	// Absorbed is the total rows passed through AbsorbRows.
+	Absorbed int64 `json:"absorbed"`
+	// Unattributed is how many of those fell outside every quantum.
+	Unattributed int64 `json:"unattributed"`
+	// InvalidatedQuanta counts drift-budget invalidation events.
+	InvalidatedQuanta int64 `json:"invalidated_quanta"`
+	// UpdatedModels counts incremental in-place model refreshes.
+	UpdatedModels int64 `json:"updated_models"`
+	// Rebuilds counts completed background re-quantisations.
+	Rebuilds int64 `json:"rebuilds"`
+	// PendingQuanta is how many quanta currently carry fresh rows their
+	// models have not been refreshed against.
+	PendingQuanta int `json:"pending_quanta"`
+}
+
+// incremental reports whether the agent maintains its models
+// incrementally under ingest (vs legacy wholesale invalidation).
+func (a *Agent) incremental() bool { return a.cfg.DriftRowBudget > 0 }
+
+// AbsorbRows folds one ingested row batch into the agent's maintenance
+// state and advances its data version to version (0 keeps the current
+// one). Rows are full attribute vectors; the first Config.Dims columns
+// locate the row in the quantised space.
+//
+// Without incremental maintenance configured this degrades to the
+// legacy behaviour: every model goes on probation, exactly as a
+// detected version change would.
+func (a *Agent) AbsorbRows(version int64, rows [][]float64) AbsorbResult {
+	var res AbsorbResult
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if version != 0 {
+		a.dataVer = version
+	}
+	if len(rows) == 0 {
+		return res
+	}
+	a.driftAbsorbed += int64(len(rows))
+	if !a.incremental() {
+		a.invalidate(nil)
+		res.Unattributed = len(rows)
+		a.driftUnattributed += int64(len(rows))
+		return res
+	}
+
+	// Attribute each row to its nearest quantum by data-space centre.
+	protos := a.quantizer.Prototypes()
+	byQuantum := make(map[int]int)
+	for _, r := range rows {
+		q, d2 := nearestCentre(protos, r, a.cfg.Dims)
+		if q < 0 || (a.cfg.SpawnDistance > 0 && d2 > a.cfg.SpawnDistance) {
+			res.Unattributed++
+			continue
+		}
+		res.Attributed++
+		byQuantum[q]++
+	}
+
+	// Incremental refresh of additive models: replay each affected
+	// model's remembered exact-path queries against the fresh batch.
+	// The batch's delta contribution to each remembered selection is
+	// exactly computable, so the observed growth ratios advance the
+	// model's answer-space growth correction — a strong update a mature
+	// (low-gain) RLS could not absorb from single observations. Exact
+	// answers later re-anchor the correction against the raw model.
+	for k, ms := range a.models {
+		if !additive(k.agg) {
+			continue
+		}
+		for q := range byQuantum {
+			if q >= len(ms) || ms[q] == nil || ms[q].n == 0 {
+				continue
+			}
+			m := ms[q]
+			var ratioSum float64
+			var ratios int
+			for _, obs := range m.recent {
+				var delta float64
+				// Selections may reach past the quantum boundary, so the
+				// delta scans the whole batch, not just attributed rows.
+				for _, r := range rows {
+					if !obs.sel.Contains(r) {
+						continue
+					}
+					if k.agg == query.Count {
+						delta++
+					} else if k.col < len(r) {
+						delta += r[k.col]
+					}
+				}
+				cur := m.correct(k.agg, invTransform(k.agg, m.rls.Predict(obs.feat)))
+				if cur > 1 && cur+delta > 0 {
+					ratioSum += (cur + delta) / cur
+					ratios++
+				}
+			}
+			if ratios == 0 {
+				continue
+			}
+			g := m.growthFactor() * (ratioSum / float64(ratios))
+			m.growth = clampGrowth(g)
+			res.UpdatedModels++
+		}
+	}
+
+	// Drift budget: a quantum that has absorbed more fresh rows than
+	// the budget invalidates its non-incremental models so they re-earn
+	// trust on fresh exact answers. Incrementally-maintained additive
+	// models stay trusted but take a one-shot truth re-anchor (a single
+	// forced fallback): in-place updates track growth relative to the
+	// model's own predictions, so without a periodic exact observation
+	// their absolute error could drift unobserved.
+	for q, n := range byQuantum {
+		wasBelow := a.freshRows[q] < a.cfg.DriftRowBudget
+		a.freshRows[q] += n
+		// freshRows is the staleness clock: it keeps growing until the
+		// quantum next sees ground truth (an exact answer resets it in
+		// answerSlow), so predicted answers report their real staleness
+		// even past the budget. Invalidation fires once per crossing.
+		if !wasBelow || a.freshRows[q] < a.cfg.DriftRowBudget {
+			continue
+		}
+		res.InvalidatedQuanta++
+		for k, ms := range a.models {
+			if q >= len(ms) || ms[q] == nil {
+				continue
+			}
+			m := ms[q]
+			if (k.agg == query.Count || k.agg == query.Sum) && len(m.recent) > 0 {
+				if m.probation == 0 {
+					m.probation = 1 // re-anchor on the next exact answer
+				}
+				continue
+			}
+			m.probation = a.cfg.ProbationSupport
+			m.residPos = 0
+			m.residFull = false
+		}
+	}
+
+	a.driftUnattributed += int64(res.Unattributed)
+	a.driftInvalidations += int64(res.InvalidatedQuanta)
+	a.driftUpdated += int64(res.UpdatedModels)
+	return res
+}
+
+// Drift returns the agent's lifetime ingest/drift accounting.
+func (a *Agent) Drift() DriftStatus {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	pending := 0
+	for _, n := range a.freshRows {
+		if n > 0 {
+			pending++
+		}
+	}
+	return DriftStatus{
+		Absorbed:          a.driftAbsorbed,
+		Unattributed:      a.driftUnattributed,
+		InvalidatedQuanta: a.driftInvalidations,
+		UpdatedModels:     a.driftUpdated,
+		Rebuilds:          a.driftRebuilds,
+		PendingQuanta:     pending,
+	}
+}
+
+// Rebuild re-quantises the agent in the background: a shadow agent is
+// trained from scratch on the supplied (typically recent) queries
+// against the same oracle, then its learned state swaps in with one
+// brief write-locked Restore. The live agent keeps serving reads for
+// the whole retrain — the double-buffered maintenance swap of RT1.4.
+// Lifetime stats are preserved across the swap.
+//
+// The shadow calls the oracle concurrently with live serving, so
+// Rebuild requires a thread-safe oracle (the distributed scatter-gather
+// oracle is; the single-threaded simulator oracles are not).
+func (a *Agent) Rebuild(queries []query.Query) error {
+	a.mu.RLock()
+	oracle, cfg := a.oracle, a.cfg
+	a.mu.RUnlock()
+	if oracle == nil {
+		return ErrNoOracle
+	}
+	if len(queries) == 0 {
+		return fmt.Errorf("core: rebuild needs a non-empty query sample")
+	}
+	shadowCfg := cfg
+	// Train the quantiser on the first half of the sample, then let the
+	// second half mature the per-quantum error estimates.
+	shadowCfg.TrainingQueries = len(queries) / 2
+	shadow, err := NewAgent(oracle, shadowCfg)
+	if err != nil {
+		return err
+	}
+	for _, q := range queries {
+		if _, err := shadow.Answer(q); err != nil {
+			return fmt.Errorf("core: rebuild: %w", err)
+		}
+	}
+	snap := shadow.Snapshot()
+	snap.Config = cfg
+	snap.Stats = a.Stats()
+	snap.DataVersion = oracle.DataVersion()
+	if err := a.Restore(snap); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.driftRebuilds++
+	a.mu.Unlock()
+	return nil
+}
+
+// clampGrowth bounds the growth correction: a factor outside this range
+// means the remembered queries no longer describe the quantum (the
+// drift budget and probation handle that case instead).
+func clampGrowth(g float64) float64 {
+	if g < 0.1 {
+		return 0.1
+	}
+	if g > 50 {
+		return 50
+	}
+	return g
+}
+
+// reanchorGrowth re-estimates the growth correction from one exact
+// answer: growth tracks truth/raw as an EWMA, so batch-advanced
+// corrections converge back onto the (slowly learning) RLS weights
+// every time the truth is observed.
+func (m *quantumModel) reanchorGrowth(raw, truth float64) {
+	if raw <= 1 || truth <= 0 {
+		return
+	}
+	m.growth = clampGrowth(0.3*m.growthFactor() + 0.7*(truth/raw))
+}
+
+// nearestCentre finds the prototype whose data-space centre (first dims
+// coordinates) is closest to the row vector.
+func nearestCentre(protos [][]float64, row []float64, dims int) (int, float64) {
+	best, bestD := -1, math.MaxFloat64
+	for i, p := range protos {
+		var d2 float64
+		for j := 0; j < dims && j < len(p) && j < len(row); j++ {
+			d := row[j] - p[j]
+			d2 += d * d
+		}
+		if d2 < bestD {
+			best, bestD = i, d2
+		}
+	}
+	return best, bestD
+}

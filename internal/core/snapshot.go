@@ -31,6 +31,9 @@ type ModelSnapshot struct {
 	ResidFull bool        `json:"resid_full"`
 	N         int64       `json:"n"`
 	Probation int         `json:"probation"`
+	// Growth is the incremental-maintenance answer-space correction for
+	// additive aggregates (0 = uninitialised, treated as 1).
+	Growth float64 `json:"growth,omitempty"`
 }
 
 // AgentSnapshot is the complete serialisable state of a trained agent:
@@ -84,6 +87,7 @@ func (a *Agent) Snapshot() *AgentSnapshot {
 				ResidFull: m.residFull,
 				N:         m.n,
 				Probation: m.probation,
+				Growth:    m.growth,
 			})
 		}
 	}
@@ -146,6 +150,7 @@ func (a *Agent) Restore(s *AgentSnapshot) error {
 			residFull: msnap.ResidFull,
 			n:         msnap.N,
 			probation: msnap.Probation,
+			growth:    msnap.Growth,
 		}
 		k := modelKey{agg: msnap.Agg, col: msnap.Col, col2: msnap.Col2}
 		ms := models[k]
@@ -158,9 +163,15 @@ func (a *Agent) Restore(s *AgentSnapshot) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.cfg = s.Config
+	if a.cfg.DriftRowBudget > 0 && a.cfg.RecentQueries <= 0 {
+		a.cfg.RecentQueries = 8
+	}
 	a.quantizer = quant
 	a.models = models
 	a.dataVer = s.DataVersion
+	// The restored state is fully fresh: any pre-swap ingest pressure
+	// was either folded into the donor's models or superseded by them.
+	a.freshRows = make(map[int]int)
 	a.statsMu.Lock()
 	a.stats = s.Stats
 	a.statsMu.Unlock()

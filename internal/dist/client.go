@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/query"
 	"repro/internal/serve"
+	"repro/internal/storage"
 )
 
 // Client is a ring-aware cluster client: it routes each query to the
@@ -149,6 +150,55 @@ func decodeAnswer(resp *http.Response) (QueryResponse, bool, error) {
 	err := fmt.Errorf("dist: HTTP %d: %s", resp.StatusCode, e.Error)
 	retryable := resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
 	return QueryResponse{}, retryable, err
+}
+
+// Ingest appends a batch of rows through the cluster's replicated write
+// path (POST /v1/ingest). The entry node routes each row's partition
+// batch to its primary, which sequences it, replicates it to the ring
+// owners and acks at the write quorum; the response reports per-
+// partition outcomes. A transport error fails over to the next member —
+// but because the failed attempt may have partially applied before the
+// connection broke, callers that retry must tolerate duplicate rows.
+// Per-partition quorum failures are NOT retried here: they come back in
+// the response as unacked parts for the caller to decide about.
+func (c *Client) Ingest(rows []storage.Row) (IngestResponse, error) {
+	if len(rows) == 0 {
+		return IngestResponse{}, fmt.Errorf("dist: ingest needs rows")
+	}
+	body, err := json.Marshal(IngestRequest{Rows: rowsToWire(rows)})
+	if err != nil {
+		return IngestResponse{}, err
+	}
+	var lastErr error
+	for _, id := range c.ring.Nodes() {
+		url := c.urls[id]
+		if !c.health.available(url) {
+			continue
+		}
+		resp, err := c.hc.Post(url+"/v1/ingest", "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			c.health.markDownOn(url, err)
+			continue
+		}
+		var out IngestResponse
+		derr := json.NewDecoder(resp.Body).Decode(&out)
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code != http.StatusOK {
+			lastErr = fmt.Errorf("dist: ingest via %s: HTTP %d", id, code)
+			if code == http.StatusBadRequest {
+				return IngestResponse{}, lastErr
+			}
+			continue
+		}
+		if derr != nil {
+			lastErr = derr
+			continue
+		}
+		return out, nil
+	}
+	return IngestResponse{}, errAllReplicas("ingest", lastErr)
 }
 
 // Status fetches a member's cluster view (GET /v1/cluster), trying every

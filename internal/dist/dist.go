@@ -32,9 +32,14 @@
 // Node-to-node API (all JSON):
 //
 //	POST /v1/query     client-facing query; non-owners forward to owners
+//	POST /v1/ingest    client-facing row batches (replicated, quorum-
+//	                   acked, WAL-durable live write path)
+//	POST /v1/replicate primary-to-replica sequenced batch shipping
+//	POST /v1/walfetch  log-tail fetch for recovering replicas
 //	POST /v1/partial   per-partition aggregate state for scatter-gather
 //	GET  /v1/snapshot  agent snapshots for model shipping
 //	GET  /v1/cluster   membership, partitions held, serving health
+//	GET  /v1/metrics   Prometheus text exposition
 //	GET  /healthz      liveness (failover probing)
 //
 // cmd/seaserve exposes a node via -node-id/-peers/-replicas; E14
@@ -53,6 +58,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/query"
 	"repro/internal/serve"
+	"repro/internal/storage"
 )
 
 // Defaults for Config's zero values.
@@ -100,6 +106,28 @@ type Config struct {
 	// node's throughput at Workers/ServiceDelay, which is what makes
 	// scale-out measurable on small hosts (E14). Zero disables pacing.
 	ServiceDelay time.Duration
+	// DataDir, when set, enables WAL durability for the live write
+	// path: every owned data partition appends its sequenced ingest
+	// batches to a write-ahead log under DataDir/part-<i>, and Load
+	// replays those segments on restart so acknowledged writes survive
+	// a crash. Empty disables durability (ingest is memory-only).
+	DataDir string
+	// WriteQuorum is how many ring owners must apply an ingest batch
+	// before it is acknowledged (default: a majority of Replicas;
+	// clamped to [1, Replicas]).
+	WriteQuorum int
+	// WALSyncEvery batches WAL fsyncs: the log fsyncs after every N
+	// appended batches (default 1 — every acknowledged batch is
+	// durable; larger values trade a bounded loss window for
+	// throughput).
+	WALSyncEvery int
+	// RequantCheck, when positive, runs a background drift maintainer
+	// per pooled agent: recently served queries are recorded, and when
+	// ingest pressure outgrows the incremental maintenance path
+	// (unattributed drift or sustained invalidations) the agent is
+	// re-quantised in the background and swapped in without blocking
+	// reads. Zero disables background re-quantisation.
+	RequantCheck time.Duration
 	// Timeout bounds each node-to-node HTTP call (default
 	// DefaultTimeout).
 	Timeout time.Duration
@@ -130,6 +158,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Cooldown <= 0 {
 		c.Cooldown = DefaultCooldown
+	}
+	if c.WriteQuorum <= 0 {
+		c.WriteQuorum = c.Replicas/2 + 1
+	}
+	if c.WriteQuorum > c.Replicas {
+		c.WriteQuorum = c.Replicas
 	}
 	return c
 }
@@ -194,6 +228,7 @@ func (r QueryResponse) Answer() core.Answer {
 		Predicted: r.Predicted,
 		EstError:  r.EstError,
 		Quantum:   r.Quantum,
+		FreshRows: r.StaleRows,
 		Cost:      costFromJSON(r.Cost),
 	}
 }
@@ -244,4 +279,93 @@ func errAllReplicas(what string, last error) error {
 		return fmt.Errorf("%w: %s", ErrAllReplicasFailed, what)
 	}
 	return fmt.Errorf("%w: %s: last error: %v", ErrAllReplicasFailed, what, last)
+}
+
+// WireRow is one ingested record on the wire.
+type WireRow struct {
+	Key uint64    `json:"key"`
+	Vec []float64 `json:"vec"`
+}
+
+// IngestRequest is the POST /v1/ingest body: a batch of rows to append
+// through the replicated write path. Rows are routed to their
+// partitions by key hash; each partition's batch is sequenced by the
+// partition's primary and replicated to the ring owners.
+type IngestRequest struct {
+	Rows []WireRow `json:"rows"`
+}
+
+// PartIngestResult is one partition's outcome within an ingest batch.
+type PartIngestResult struct {
+	Part int `json:"part"`
+	Rows int `json:"rows"`
+	// Acked reports whether the write quorum was reached. An unacked
+	// batch may still have been applied by a subset of the owners;
+	// callers must treat it as lost-or-present, never as absent.
+	Acked bool   `json:"acked"`
+	Seq   uint64 `json:"seq,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// IngestResponse summarises an ingest batch: per-partition quorum
+// results plus the answering node's data version after apply.
+type IngestResponse struct {
+	Node       string             `json:"node"`
+	AckedRows  int                `json:"acked_rows"`
+	FailedRows int                `json:"failed_rows"`
+	Version    int64              `json:"version"`
+	Parts      []PartIngestResult `json:"parts"`
+}
+
+// ReplicateRequest is the primary-to-replica POST /v1/replicate body:
+// one sequenced partition batch. Replicas apply batches strictly in
+// sequence order, so every holder's partition log is identical.
+type ReplicateRequest struct {
+	Part int       `json:"part"`
+	Seq  uint64    `json:"seq"`
+	Rows []WireRow `json:"rows"`
+}
+
+// ReplicateResponse reports the replica's last applied sequence.
+type ReplicateResponse struct {
+	LastSeq uint64 `json:"last_seq"`
+}
+
+// WALFetchRequest is the POST /v1/walfetch body: a recovering replica
+// asks a peer holder for partition entries it missed (the "log tail"
+// of snapshot-plus-log-replay recovery).
+type WALFetchRequest struct {
+	Part  int    `json:"part"`
+	After uint64 `json:"after"`
+}
+
+// WALFetchEntry is one sequenced batch of a fetched log tail.
+type WALFetchEntry struct {
+	Seq  uint64    `json:"seq"`
+	Rows []WireRow `json:"rows"`
+}
+
+// WALFetchResponse carries a partition's log tail.
+type WALFetchResponse struct {
+	Part    int             `json:"part"`
+	LastSeq uint64          `json:"last_seq"`
+	Entries []WALFetchEntry `json:"entries"`
+}
+
+// wireToRows converts wire rows to storage rows.
+func wireToRows(ws []WireRow) []storage.Row {
+	out := make([]storage.Row, len(ws))
+	for i, w := range ws {
+		out[i] = storage.Row{Key: w.Key, Vec: w.Vec}
+	}
+	return out
+}
+
+// rowsToWire converts storage rows to wire rows.
+func rowsToWire(rows []storage.Row) []WireRow {
+	out := make([]WireRow, len(rows))
+	for i, r := range rows {
+		out[i] = WireRow{Key: r.Key, Vec: r.Vec}
+	}
+	return out
 }

@@ -1,0 +1,442 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"repro/internal/ingest"
+	"repro/internal/query"
+	"repro/internal/serve"
+	"repro/internal/storage"
+)
+
+// This file is the cluster's replicated write path (the live data
+// plane):
+//
+//	POST /v1/ingest     client-facing row batches; rows are routed to
+//	                    their partitions by key hash, each partition
+//	                    batch is handled by (or forwarded to) the
+//	                    partition's primary and acknowledged at the
+//	                    configured write quorum
+//	POST /v1/replicate  primary-to-replica sequenced batch shipping
+//	POST /v1/walfetch   log-tail fetch for recovering replicas
+//
+// Sequencing: the first ring owner of a partition is its primary and
+// assigns a per-partition monotonically increasing batch sequence.
+// Replicas apply batches strictly in order (a gap is rejected, not
+// buffered), so every holder's partition content is a prefix of the
+// same log — which is what makes a restarted replica, after WAL replay
+// plus log-tail catch-up, answer bit-identically to one that never
+// died. Durability comes from the per-partition WAL (internal/ingest):
+// with the default fsync policy a batch is on stable storage at every
+// acking owner before the client sees the ack.
+
+// partitionForKey routes an ingested row to its data partition with the
+// row-placement hash shared with storage.Table, so sequential keys
+// spread uniformly.
+func (n *Node) partitionForKey(key uint64) int {
+	return int(storage.MixKey(key) % uint64(n.cfg.Partitions))
+}
+
+// partLock returns partition p's ingest mutex (nil when this node does
+// not own p).
+func (n *Node) partLock(p int) *sync.Mutex {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.partMu[p]
+}
+
+// wal returns partition p's write-ahead log (nil without DataDir).
+func (n *Node) wal(p int) *ingest.Log {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.wals[p]
+}
+
+// applyBatch makes one sequenced partition batch visible: WAL append
+// first (durability before visibility; skipped during replay, which
+// reads from the WAL), then the in-memory partition, the node data
+// version, and the agents' incremental-maintenance state. Callers
+// serialise per partition via partLock; replay runs before serving.
+func (n *Node) applyBatch(p int, seq uint64, rows []storage.Row, writeWAL bool) error {
+	if writeWAL {
+		if l := n.wal(p); l != nil {
+			if err := l.Append(seq, rows); err != nil {
+				return fmt.Errorf("dist: partition %d: %w", p, err)
+			}
+		}
+	}
+	n.mu.Lock()
+	if _, ok := n.parts[p]; !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("dist: node %s does not hold partition %d", n.id, p)
+	}
+	n.parts[p] = append(n.parts[p], rows...)
+	n.rowsHeld += int64(len(rows))
+	n.lastSeq[p] = seq
+	n.version++
+	ver := n.version
+	n.mu.Unlock()
+
+	vecs := make([][]float64, len(rows))
+	for i, r := range rows {
+		vecs[i] = r.Vec
+	}
+	for _, ag := range n.pool.Agents() {
+		res := ag.AbsorbRows(ver, vecs)
+		n.pool.Recorder().DriftInvalidate(res.InvalidatedQuanta)
+	}
+	n.pool.Recorder().IngestBatch(len(rows))
+	return nil
+}
+
+// writeQuorum returns the ack threshold for a partition with the given
+// owner count.
+func (n *Node) writeQuorum(owners int) int {
+	q := n.cfg.WriteQuorum
+	if q > owners {
+		q = owners
+	}
+	if q < 1 {
+		q = 1
+	}
+	return q
+}
+
+func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		serve.WriteError(w, fmt.Errorf("%w: %v", query.ErrBadQuery, err))
+		return
+	}
+	if len(req.Rows) == 0 {
+		serve.WriteError(w, fmt.Errorf("%w: ingest batch needs rows", query.ErrBadQuery))
+		return
+	}
+	for i, row := range req.Rows {
+		if len(row.Vec) == 0 {
+			serve.WriteError(w, fmt.Errorf("%w: ingest row %d has an empty vector", query.ErrBadQuery, i))
+			return
+		}
+	}
+	groups := make(map[int][]storage.Row)
+	for _, row := range req.Rows {
+		p := n.partitionForKey(row.Key)
+		groups[p] = append(groups[p], storage.Row{Key: row.Key, Vec: row.Vec})
+	}
+	parts := make([]int, 0, len(groups))
+	for p := range groups {
+		parts = append(parts, p)
+	}
+	sort.Ints(parts)
+
+	forwarded := r.Header.Get(forwardHeader) != ""
+	resp := IngestResponse{Node: n.id}
+	for _, p := range parts {
+		rows := groups[p]
+		owners := n.ring.Owners(partKey(p), n.cfg.Replicas)
+		var pr PartIngestResult
+		switch {
+		case len(owners) > 0 && owners[0] == n.id:
+			pr = n.primaryIngest(p, owners, rows)
+		case forwarded:
+			// Anti-bounce: a forwarded ingest is terminal. A ring
+			// disagreement must surface as an error, not hop again —
+			// and never as a silent non-primary apply, which would fork
+			// the partition's sequence.
+			pr = PartIngestResult{Part: p, Rows: len(rows),
+				Error: fmt.Sprintf("dist: node %s is not the primary of partition %d", n.id, p)}
+		default:
+			pr = n.forwardIngest(owners, p, rows)
+		}
+		if pr.Acked {
+			resp.AckedRows += pr.Rows
+		} else {
+			resp.FailedRows += pr.Rows
+		}
+		resp.Parts = append(resp.Parts, pr)
+	}
+	resp.Version = n.DataVersion()
+	serve.WriteJSON(w, http.StatusOK, resp)
+}
+
+// primaryIngest sequences one partition batch, applies it locally and
+// replicates it to the other ring owners, acking at the write quorum.
+// The local apply happens first: an unacked batch may therefore still
+// be present on a minority of owners (standard quorum semantics — the
+// caller must treat unacked as lost-or-present).
+func (n *Node) primaryIngest(p int, owners []string, rows []storage.Row) PartIngestResult {
+	mu := n.partLock(p)
+	if mu == nil {
+		return PartIngestResult{Part: p, Rows: len(rows),
+			Error: fmt.Sprintf("dist: primary %s does not hold partition %d", n.id, p)}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	n.mu.RLock()
+	seq := n.lastSeq[p] + 1
+	n.mu.RUnlock()
+	if err := n.applyBatch(p, seq, rows, true); err != nil {
+		return PartIngestResult{Part: p, Rows: len(rows), Error: err.Error()}
+	}
+	acks := 1
+	for _, o := range owners[1:] {
+		if o == n.id {
+			continue
+		}
+		url, ok := n.cfg.Peers[o]
+		if !ok || !n.health.available(url) {
+			continue
+		}
+		if err := n.replicateTo(url, p, seq, rows); err != nil {
+			n.health.markDownOn(url, err)
+			continue
+		}
+		acks++
+	}
+	return PartIngestResult{
+		Part: p, Rows: len(rows), Seq: seq,
+		Acked: acks >= n.writeQuorum(len(owners)),
+	}
+}
+
+// replicateTo ships one sequenced batch to a replica owner.
+func (n *Node) replicateTo(url string, p int, seq uint64, rows []storage.Row) error {
+	body, err := json.Marshal(ReplicateRequest{Part: p, Seq: seq, Rows: rowsToWire(rows)})
+	if err != nil {
+		return err
+	}
+	resp, err := n.hc.Post(url+"/v1/replicate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("replicate to %s: HTTP %d: %w", url, resp.StatusCode, errPeerResponded)
+	}
+	return nil
+}
+
+// forwardIngest proxies one partition batch to its primary and adapts
+// the primary's response. Only the primary may sequence the batch, so
+// unlike query forwarding there is no local fallback: an unreachable
+// primary fails the batch (unacked, nothing applied).
+func (n *Node) forwardIngest(owners []string, p int, rows []storage.Row) PartIngestResult {
+	fail := func(msg string) PartIngestResult {
+		return PartIngestResult{Part: p, Rows: len(rows), Error: msg}
+	}
+	if len(owners) == 0 {
+		return fail("dist: partition has no ring owners")
+	}
+	url, ok := n.cfg.Peers[owners[0]]
+	if !ok || !n.health.available(url) {
+		return fail(fmt.Sprintf("dist: primary %s of partition %d is unreachable", owners[0], p))
+	}
+	body, err := json.Marshal(IngestRequest{Rows: rowsToWire(rows)})
+	if err != nil {
+		return fail(err.Error())
+	}
+	hreq, err := http.NewRequest(http.MethodPost, url+"/v1/ingest", bytes.NewReader(body))
+	if err != nil {
+		return fail(err.Error())
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(forwardHeader, n.id)
+	resp, err := n.hc.Do(hreq)
+	if err != nil {
+		n.health.markDownOn(url, err)
+		return fail(fmt.Sprintf("dist: primary %s of partition %d: %v", owners[0], p, err))
+	}
+	defer resp.Body.Close()
+	var out IngestResponse
+	if derr := json.NewDecoder(resp.Body).Decode(&out); derr != nil || resp.StatusCode != http.StatusOK {
+		return fail(fmt.Sprintf("dist: primary %s of partition %d: HTTP %d", owners[0], p, resp.StatusCode))
+	}
+	for _, pr := range out.Parts {
+		if pr.Part == p {
+			return pr
+		}
+	}
+	return fail("dist: primary response missing the partition result")
+}
+
+func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	var req ReplicateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err := dec.Decode(&req); err != nil {
+		serve.WriteError(w, fmt.Errorf("%w: %v", query.ErrBadQuery, err))
+		return
+	}
+	mu := n.partLock(req.Part)
+	if mu == nil {
+		serve.WriteJSON(w, http.StatusNotFound, map[string]string{
+			"error": fmt.Sprintf("dist: node %s does not hold partition %d", n.id, req.Part),
+		})
+		return
+	}
+	mu.Lock()
+	last := n.partSeqLocked(req.Part)
+	if req.Seq > last+1 {
+		// Sequence gap: this replica missed a batch. Heal inline by
+		// fetching the missing tail from the peer holders (the primary
+		// already has every earlier batch — including this one — in its
+		// WAL), then re-check. Refusing to buffer out-of-order batches
+		// keeps every holder's partition a prefix of one log.
+		mu.Unlock()
+		_, _ = n.catchUpPartition(req.Part)
+		mu.Lock()
+		last = n.partSeqLocked(req.Part)
+	}
+	defer mu.Unlock()
+	if req.Seq <= last {
+		// Duplicate delivery (or healed by catch-up): idempotent ack.
+		serve.WriteJSON(w, http.StatusOK, ReplicateResponse{LastSeq: last})
+		return
+	}
+	if req.Seq != last+1 {
+		// Still gapped after the heal attempt: reject so the primary
+		// counts no ack.
+		serve.WriteJSON(w, http.StatusConflict, ReplicateResponse{LastSeq: last})
+		return
+	}
+	if err := n.applyBatch(req.Part, req.Seq, wireToRows(req.Rows), true); err != nil {
+		serve.WriteError(w, err)
+		return
+	}
+	serve.WriteJSON(w, http.StatusOK, ReplicateResponse{LastSeq: req.Seq})
+}
+
+// partSeqLocked reads a partition's last applied sequence (callers hold
+// the partition ingest lock; n.mu still guards the map itself).
+func (n *Node) partSeqLocked(p int) uint64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.lastSeq[p]
+}
+
+func (n *Node) handleWALFetch(w http.ResponseWriter, r *http.Request) {
+	var req WALFetchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		serve.WriteError(w, fmt.Errorf("%w: %v", query.ErrBadQuery, err))
+		return
+	}
+	l := n.wal(req.Part)
+	if l == nil {
+		serve.WriteJSON(w, http.StatusNotFound, map[string]string{
+			"error": fmt.Sprintf("dist: node %s has no WAL for partition %d", n.id, req.Part),
+		})
+		return
+	}
+	entries, err := l.EntriesAfter(req.After)
+	if err != nil {
+		serve.WriteError(w, err)
+		return
+	}
+	resp := WALFetchResponse{Part: req.Part, LastSeq: n.PartLastSeq(req.Part)}
+	for _, e := range entries {
+		resp.Entries = append(resp.Entries, WALFetchEntry{Seq: e.Seq, Rows: rowsToWire(e.Rows)})
+	}
+	serve.WriteJSON(w, http.StatusOK, resp)
+}
+
+// CatchUp fetches every owned partition's missed log tail from peer
+// holders and applies it — the second half of snapshot-plus-log-replay
+// recovery: Load replays the local WAL, CatchUp closes the gap the node
+// missed while it was down. It returns how many batches were fetched.
+func (n *Node) CatchUp() (int, error) {
+	n.mu.RLock()
+	owned := make([]int, 0, len(n.parts))
+	for p := range n.parts {
+		owned = append(owned, p)
+	}
+	n.mu.RUnlock()
+	sort.Ints(owned)
+	var fetched int
+	var lastErr error
+	for _, p := range owned {
+		np, err := n.catchUpPartition(p)
+		fetched += np
+		if err != nil {
+			lastErr = err
+		}
+	}
+	return fetched, lastErr
+}
+
+func (n *Node) catchUpPartition(p int) (int, error) {
+	mu := n.partLock(p)
+	if mu == nil {
+		return 0, nil
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var applied int
+	var lastErr error
+	// Consult EVERY reachable holder, not just the first: a holder can
+	// itself be behind (it missed a replication too), so stopping at
+	// one donor could silently strand acked batches that another
+	// holder still has.
+	for _, holder := range n.ring.Owners(partKey(p), n.cfg.Replicas) {
+		if holder == n.id {
+			continue
+		}
+		url, ok := n.cfg.Peers[holder]
+		if !ok || !n.health.available(url) {
+			continue
+		}
+		// Fetch failures are NOT held against the peer: catch-up runs
+		// at boot, when the rest of the cluster may still be starting,
+		// and quarantining peers here would poison the first cooldown
+		// window of serving (ingest has no local fallback).
+		tail, err := n.fetchTail(url, p, n.partSeqLocked(p))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		for _, e := range tail {
+			cur := n.partSeqLocked(p)
+			if e.Seq <= cur {
+				continue
+			}
+			if e.Seq != cur+1 {
+				break // gap in this donor's tail; the next holder may fill it
+			}
+			if err := n.applyBatch(p, e.Seq, wireToRows(e.Rows), true); err != nil {
+				return applied, err
+			}
+			applied++
+		}
+	}
+	return applied, lastErr
+}
+
+func (n *Node) fetchTail(url string, p int, after uint64) ([]WALFetchEntry, error) {
+	body, err := json.Marshal(WALFetchRequest{Part: p, After: after})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := n.hc.Post(url+"/v1/walfetch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil // holder keeps no WAL; nothing to fetch
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("walfetch from %s: HTTP %d: %w", url, resp.StatusCode, errPeerResponded)
+	}
+	var out WALFetchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	sort.Slice(out.Entries, func(i, j int) bool { return out.Entries[i].Seq < out.Entries[j].Seq })
+	return out.Entries, nil
+}

@@ -1,0 +1,401 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+// liveCluster starts a cluster with WAL durability under dir and a
+// write quorum equal to the replication factor (every acked batch is on
+// every owner).
+func liveCluster(t *testing.T, nodes int, dir string) (*LocalCluster, []storage.Row) {
+	t.Helper()
+	rows := testRows(2_000, 11)
+	cfg := core.DefaultConfig(2)
+	cfg.TrainingQueries = 1 << 30 // exact-path cluster: determinism matters here
+	cfg.DriftRowBudget = 200
+	lc, err := StartLocal(nodes, Config{
+		Agent:       cfg,
+		Replicas:    2,
+		WriteQuorum: 2,
+		DataDir:     dir,
+	}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lc.Close)
+	return lc, rows
+}
+
+// ingestRows builds fresh uniquely-keyed rows for ingest.
+func ingestRows(n int, firstKey uint64) []storage.Row {
+	out := make([]storage.Row, n)
+	for i := range out {
+		k := firstKey + uint64(i)
+		out[i] = storage.Row{Key: k, Vec: []float64{float64(k%100) + 0.5, 50, 1}}
+	}
+	return out
+}
+
+// wholeSpace selects every row.
+func wholeSpace(agg query.Agg, col int) query.Query {
+	return query.Query{
+		Select:    query.Selection{Los: []float64{-1e9, -1e9}, His: []float64{1e9, 1e9}},
+		Aggregate: agg, Col: col,
+	}
+}
+
+// assertHoldersAgree checks that every holder of every partition has a
+// bit-identical partial aggregate state (VAR partials exercise counts,
+// sums and sums of squares at once).
+func assertHoldersAgree(t *testing.T, lc *LocalCluster) {
+	t.Helper()
+	probe := wholeSpace(query.Var, 2)
+	any := lc.Node(lc.IDs()[0])
+	for p := 0; p < any.Partitions(); p++ {
+		owners := any.PartitionOwners(p)
+		var ref []float64
+		var refID string
+		for _, id := range owners {
+			node := lc.Node(id)
+			if node == nil {
+				continue
+			}
+			st, ok := node.PartialState(p, probe)
+			if !ok {
+				t.Fatalf("owner %s does not hold partition %d", id, p)
+			}
+			if ref == nil {
+				ref, refID = st, id
+				continue
+			}
+			if len(st) != len(ref) {
+				t.Fatalf("partition %d: %s and %s disagree on partial width", p, refID, id)
+			}
+			for i := range st {
+				if st[i] != ref[i] {
+					t.Fatalf("partition %d: %s and %s partial states differ at %d: %v != %v",
+						p, refID, id, i, st[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+func TestIngestReplicatesAtQuorumAndStaysExact(t *testing.T) {
+	lc, base := liveCluster(t, 3, t.TempDir())
+	client := lc.Client()
+
+	var acked int
+	for b := 0; b < 5; b++ {
+		batch := ingestRows(40, 1_000_000+uint64(b)*1000)
+		resp, err := client.Ingest(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.FailedRows != 0 {
+			t.Fatalf("batch %d: %d rows missed quorum on a healthy cluster: %+v",
+				b, resp.FailedRows, resp.Parts)
+		}
+		acked += resp.AckedRows
+	}
+	if acked != 200 {
+		t.Fatalf("acked %d rows, want 200", acked)
+	}
+
+	// Every holder of every partition applied the same sequenced log.
+	assertHoldersAgree(t, lc)
+
+	// The exact read path sees the ingested rows immediately.
+	res, _, err := lc.Node(lc.IDs()[0]).ScatterGather(wholeSpace(query.Count, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(res.Value) != len(base)+acked {
+		t.Fatalf("cluster COUNT = %v, want %d", res.Value, len(base)+acked)
+	}
+
+	// Ingest counters surface through the cluster status.
+	st := lc.Node(lc.IDs()[0]).Status()
+	if st.Serving.IngestRows == 0 || st.Serving.IngestBatches == 0 {
+		t.Fatalf("node ingest counters empty: %+v", st.Serving)
+	}
+}
+
+func TestIngestWALReplaySurvivesKill(t *testing.T) {
+	dir := t.TempDir()
+	lc, base := liveCluster(t, 3, dir)
+	client := lc.Client()
+
+	// Phase 1: acked writes on a healthy cluster.
+	var acked int
+	for b := 0; b < 4; b++ {
+		resp, err := client.Ingest(ingestRows(50, 2_000_000+uint64(b)*1000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		acked += resp.AckedRows
+		if resp.FailedRows != 0 {
+			t.Fatalf("unexpected quorum failure pre-kill: %+v", resp.Parts)
+		}
+	}
+
+	// Kill a member, keep ingesting. Partitions whose primary died fail
+	// (unacked); partitions with a live primary but the dead replica
+	// also fail quorum 2/2 — either way no acked write involves the
+	// dead node without having hit its WAL first.
+	victim := lc.IDs()[2]
+	lc.Kill(victim)
+	var duringAcked, duringFailed int
+	for b := 0; b < 4; b++ {
+		resp, err := client.Ingest(ingestRows(50, 3_000_000+uint64(b)*1000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		duringAcked += resp.AckedRows
+		duringFailed += resp.FailedRows
+	}
+	if duringFailed == 0 {
+		t.Fatalf("expected some quorum failures with a dead owner (W=R=2)")
+	}
+
+	// Revive: base reload + own-WAL replay + log-tail catch-up.
+	if _, err := lc.Revive(victim, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	// No acked write lost, and the restarted member is bit-identical to
+	// the never-killed holders.
+	assertHoldersAgree(t, lc)
+	res, _, err := lc.Node(victim).ScatterGather(wholeSpace(query.Count, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(res.Value) < len(base)+acked+duringAcked {
+		t.Fatalf("post-recovery COUNT %v lost acked rows (want >= %d)",
+			res.Value, len(base)+acked+duringAcked)
+	}
+}
+
+func TestIngestNonPrimaryProxiesToPrimary(t *testing.T) {
+	lc, _ := liveCluster(t, 3, t.TempDir())
+	node0 := lc.Node(lc.IDs()[0])
+
+	// Find a key whose partition primary is NOT n0, so posting the row
+	// to n0 forces the proxy hop.
+	var key uint64
+	var part int
+	found := false
+	for k := uint64(5_000_000); k < 5_000_500; k++ {
+		p := node0.partitionForKey(k)
+		if owners := node0.PartitionOwners(p); len(owners) > 0 && owners[0] != node0.ID() {
+			key, part, found = k, p, true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no foreign-primary key in probe range")
+	}
+
+	body, _ := json.Marshal(IngestRequest{Rows: []WireRow{{Key: key, Vec: []float64{1, 2, 3}}}})
+	resp, err := http.Post(lc.URL(node0.ID())+"/v1/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out IngestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.AckedRows != 1 || out.FailedRows != 0 {
+		t.Fatalf("proxied ingest not acked: %+v", out)
+	}
+	// The row must be visible on the primary (and every holder).
+	primary := lc.Node(node0.PartitionOwners(part)[0])
+	probe := query.Query{
+		Select:    query.Selection{Los: []float64{-1e9, -1e9}, His: []float64{1e9, 1e9}},
+		Aggregate: query.Count,
+	}
+	st, ok := primary.PartialState(part, probe)
+	if !ok || len(st) == 0 {
+		t.Fatalf("primary lost partition %d", part)
+	}
+}
+
+func TestIngestForwardedRequestNeverBounces(t *testing.T) {
+	lc, _ := liveCluster(t, 3, t.TempDir())
+	node0 := lc.Node(lc.IDs()[0])
+
+	var key uint64
+	found := false
+	for k := uint64(6_000_000); k < 6_000_500; k++ {
+		p := node0.partitionForKey(k)
+		if owners := node0.PartitionOwners(p); len(owners) > 0 && owners[0] != node0.ID() {
+			key, found = k, true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no foreign-primary key in probe range")
+	}
+
+	// A request already marked as forwarded must NOT hop again: the
+	// non-primary reports a per-partition error instead of bouncing.
+	body, _ := json.Marshal(IngestRequest{Rows: []WireRow{{Key: key, Vec: []float64{1, 2, 3}}}})
+	req, _ := http.NewRequest(http.MethodPost, lc.URL(node0.ID())+"/v1/ingest", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(forwardHeader, "test")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out IngestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.AckedRows != 0 || out.FailedRows != 1 {
+		t.Fatalf("forwarded ingest to non-primary must fail, got %+v", out)
+	}
+	if len(out.Parts) != 1 || !strings.Contains(out.Parts[0].Error, "not the primary") {
+		t.Fatalf("expected a not-the-primary error, got %+v", out.Parts)
+	}
+}
+
+func TestQueryForwardAntiBounceAnswersLocally(t *testing.T) {
+	lc, _ := exactCluster(t, 3)
+	node0 := lc.Node(lc.IDs()[0])
+
+	// Find a query whose ring owners exclude n0.
+	qs := aggStreams(777)[0]
+	var q query.Query
+	found := false
+	for i := 0; i < 200; i++ {
+		cand := qs.Next()
+		owners := node0.owners(cand)
+		isOwner := false
+		for _, o := range owners {
+			if o == node0.ID() {
+				isOwner = true
+			}
+		}
+		if !isOwner {
+			q, found = cand, true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no non-owned query found")
+	}
+
+	// Without the header, the non-owner proxies to a ring owner.
+	post := func(withHeader bool) QueryResponse {
+		t.Helper()
+		body, _ := json.Marshal(queryToWire(q, ""))
+		req, _ := http.NewRequest(http.MethodPost, lc.URL(node0.ID())+"/v1/query", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		if withHeader {
+			req.Header.Set(forwardHeader, "test")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("HTTP %d", resp.StatusCode)
+		}
+		var out QueryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	proxied := post(false)
+	if proxied.Node == node0.ID() {
+		t.Fatalf("non-owner answered an owned query locally without the forward header")
+	}
+	owners := node0.owners(q)
+	isOwner := false
+	for _, o := range owners {
+		if o == proxied.Node {
+			isOwner = true
+		}
+	}
+	if !isOwner {
+		t.Fatalf("proxied query answered by %s, not a ring owner %v", proxied.Node, owners)
+	}
+
+	// With the header, the same non-owner must answer locally — the
+	// anti-bounce guarantee that stops forwarding loops outright.
+	bounced := post(true)
+	if bounced.Node != node0.ID() {
+		t.Fatalf("forwarded query hopped again: answered by %s, want %s", bounced.Node, node0.ID())
+	}
+}
+
+func TestReplicateGapHealsInline(t *testing.T) {
+	lc, _ := liveCluster(t, 3, t.TempDir())
+	node0 := lc.Node(lc.IDs()[0])
+
+	// Pick a partition whose primary is n0 with a distinct replica.
+	part := -1
+	var replica *Node
+	for p := 0; p < node0.Partitions(); p++ {
+		owners := node0.PartitionOwners(p)
+		if len(owners) >= 2 && owners[0] == node0.ID() {
+			part, replica = p, lc.Node(owners[1])
+			break
+		}
+	}
+	if part < 0 || replica == nil {
+		t.Skip("no n0-primary partition with a replica")
+	}
+
+	// Create a replication gap: apply a batch on the primary only (as
+	// if the replica's connection dropped mid-replication).
+	seq := node0.PartLastSeq(part) + 1
+	gapRows := []storage.Row{{Key: 42_000_000, Vec: []float64{1, 2, 3}}}
+	if err := node0.applyBatch(part, seq, gapRows, true); err != nil {
+		t.Fatal(err)
+	}
+	if replica.PartLastSeq(part) != seq-1 {
+		t.Fatalf("replica unexpectedly has seq %d", replica.PartLastSeq(part))
+	}
+
+	// Ingest the next batch through the normal path: the replica sees a
+	// sequence gap, heals inline from the primary's WAL, and acks.
+	var batch []storage.Row
+	for k := uint64(43_000_000); len(batch) == 0; k++ {
+		if node0.partitionForKey(k) == part {
+			batch = append(batch, storage.Row{Key: k, Vec: []float64{4, 5, 6}})
+		}
+	}
+	pr := node0.primaryIngest(part, node0.PartitionOwners(part), batch)
+	if !pr.Acked {
+		t.Fatalf("gapped replica did not heal: %+v", pr)
+	}
+	if got := replica.PartLastSeq(part); got != seq+1 {
+		t.Fatalf("replica lastSeq = %d after heal, want %d", got, seq+1)
+	}
+	// Both holders now hold identical state, including the gap batch.
+	probe := wholeSpace(query.Var, 2)
+	a, _ := node0.PartialState(part, probe)
+	b, _ := replica.PartialState(part, probe)
+	if len(a) != len(b) {
+		t.Fatalf("partial widths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("healed replica diverges at %d: %v != %v", i, a[i], b[i])
+		}
+	}
+}

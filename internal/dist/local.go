@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"sync"
 
@@ -77,11 +78,18 @@ func (lc *LocalCluster) startNode(id string, l net.Listener) error {
 	cfg := lc.base
 	cfg.ID = id
 	cfg.Peers = lc.Members()
+	if lc.base.DataDir != "" {
+		// Each member keeps its own WAL tree, like separate hosts would.
+		cfg.DataDir = filepath.Join(lc.base.DataDir, id)
+	}
 	node, err := NewNode(cfg)
 	if err != nil {
 		return err
 	}
-	node.Load(lc.rows)
+	if err := node.Load(lc.rows); err != nil {
+		node.Close()
+		return err
+	}
 	srv := &http.Server{Handler: node.Handler()}
 	lc.mu.Lock()
 	lc.nodes[id] = node
@@ -148,9 +156,12 @@ func (lc *LocalCluster) Kill(id string) {
 }
 
 // Revive restarts a killed member on its original address with a fresh
-// (empty-headed) node, reloads its data partitions, and — when warmFrom
-// is a live member id — imports that member's agent snapshots so the
-// replica predicts immediately. It returns the shipped snapshot bytes.
+// node: it reloads the base data partitions, replays the member's own
+// WAL segments (when the cluster runs with a DataDir), fetches the log
+// tail it missed from peer holders, and — when warmFrom is a live
+// member id — imports that member's agent snapshots so the replica
+// predicts immediately (model snapshot + log tail instead of a full
+// retrain). It returns the shipped snapshot bytes.
 func (lc *LocalCluster) Revive(id, warmFrom string) (int64, error) {
 	lc.mu.Lock()
 	addr, ok := lc.addrs[id]
@@ -169,6 +180,11 @@ func (lc *LocalCluster) Revive(id, warmFrom string) (int64, error) {
 	}
 	if err := lc.startNode(id, l); err != nil {
 		return 0, err
+	}
+	if lc.base.DataDir != "" {
+		// Log-tail catch-up: fetch the batches this member missed while
+		// it was down (best effort — dead peers are skipped).
+		_, _ = lc.Node(id).CatchUp()
 	}
 	if warmFrom == "" {
 		return 0, nil

@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ingest"
 	"repro/internal/query"
 	"repro/internal/serve"
 	"repro/internal/storage"
@@ -36,10 +38,20 @@ type Node struct {
 	pool  *serve.Pool
 	sched *serve.Scheduler
 
-	// parts is fixed after Load (read-only during serving).
+	// maints are the per-agent background drift maintainers (nil when
+	// RequantCheck is disabled).
+	maints []*ingest.Maintainer
+
+	// mu guards the partition map and the live-ingest bookkeeping.
+	// Base rows are laid down once by Load; the ingest path appends
+	// under the write lock (serialised per partition by partMu).
 	mu       sync.RWMutex
 	parts    map[int][]storage.Row
 	rowsHeld int64
+	version  int64
+	lastSeq  map[int]uint64
+	wals     map[int]*ingest.Log
+	partMu   map[int]*sync.Mutex
 }
 
 // NewNode builds a node from cfg. The node holds no data until Load.
@@ -59,12 +71,16 @@ func NewNode(cfg Config) (*Node, error) {
 		ids = []string{cfg.ID}
 	}
 	n := &Node{
-		cfg:    cfg,
-		id:     cfg.ID,
-		ring:   NewRing(cfg.VNodes, ids...),
-		health: newHealth(cfg.Cooldown, cfg.Timeout),
-		hc:     newHTTPClient(cfg.Timeout),
-		parts:  make(map[int][]storage.Row),
+		cfg:     cfg,
+		id:      cfg.ID,
+		ring:    NewRing(cfg.VNodes, ids...),
+		health:  newHealth(cfg.Cooldown, cfg.Timeout),
+		hc:      newHTTPClient(cfg.Timeout),
+		parts:   make(map[int][]storage.Row),
+		version: 1, // bulk-loaded base data is version 1; ingest advances it
+		lastSeq: make(map[int]uint64),
+		wals:    make(map[int]*ingest.Log),
+		partMu:  make(map[int]*sync.Mutex),
 	}
 	agents := make([]*core.Agent, cfg.Agents)
 	for i := range agents {
@@ -84,11 +100,30 @@ func NewNode(cfg Config) (*Node, error) {
 		QueueDepth:     cfg.QueueDepth,
 		TenantInflight: cfg.TenantInflight,
 	})
+	if cfg.RequantCheck > 0 {
+		rec := pool.Recorder()
+		for _, ag := range agents {
+			m := ingest.NewMaintainer(ag, ingest.MaintainerConfig{
+				Interval: cfg.RequantCheck,
+				OnRebuild: func(err error) {
+					if err == nil {
+						rec.Rebuild()
+					}
+				},
+			})
+			m.Start()
+			n.maints = append(n.maints, m)
+		}
+	}
 	n.mux = http.NewServeMux()
 	n.mux.HandleFunc("POST /v1/query", n.handleQuery)
 	n.mux.HandleFunc("POST /v1/partial", n.handlePartial)
+	n.mux.HandleFunc("POST /v1/ingest", n.handleIngest)
+	n.mux.HandleFunc("POST /v1/replicate", n.handleReplicate)
+	n.mux.HandleFunc("POST /v1/walfetch", n.handleWALFetch)
 	n.mux.HandleFunc("GET /v1/snapshot", n.handleSnapshot)
 	n.mux.HandleFunc("GET /v1/cluster", n.handleCluster)
+	n.mux.HandleFunc("GET /v1/metrics", n.handleMetrics)
 	n.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok\n"))
@@ -108,23 +143,41 @@ func (n *Node) Pool() *serve.Pool { return n.pool }
 // Handler returns the node's HTTP API.
 func (n *Node) Handler() http.Handler { return n.mux }
 
-// Close drains the node's scheduler. In-flight queries complete.
-func (n *Node) Close() { n.sched.Close() }
+// Close drains the node's scheduler, stops the drift maintainers and
+// closes the partition WALs. In-flight queries complete.
+func (n *Node) Close() {
+	for _, m := range n.maints {
+		m.Stop()
+	}
+	n.sched.Close()
+	n.mu.Lock()
+	wals := n.wals
+	n.wals = make(map[int]*ingest.Log)
+	n.mu.Unlock()
+	for _, l := range wals {
+		_ = l.Close()
+	}
+}
 
 // Load partitions rows round-robin into cfg.Partitions data partitions
 // and keeps the ones whose ring owners include this node (each partition
-// lives on Replicas members). Call once, before serving traffic: the
-// partition map is read-only afterwards.
-func (n *Node) Load(rows []storage.Row) {
+// lives on Replicas members). With a configured DataDir it then opens
+// each owned partition's write-ahead log and replays the surviving
+// segments on top of the base rows — the crash-recovery half of the
+// live write path. Call once, before serving traffic; afterwards only
+// the ingest path mutates the partition map.
+func (n *Node) Load(rows []storage.Row) error {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.parts = make(map[int][]storage.Row)
 	n.rowsHeld = 0
+	n.lastSeq = make(map[int]uint64)
+	n.partMu = make(map[int]*sync.Mutex)
 	for p := 0; p < n.cfg.Partitions; p++ {
 		owners := n.ring.Owners(partKey(p), n.cfg.Replicas)
 		for _, o := range owners {
 			if o == n.id {
 				n.parts[p] = nil
+				n.partMu[p] = &sync.Mutex{}
 				break
 			}
 		}
@@ -136,6 +189,33 @@ func (n *Node) Load(rows []storage.Row) {
 			n.rowsHeld++
 		}
 	}
+	owned := make([]int, 0, len(n.parts))
+	for p := range n.parts {
+		owned = append(owned, p)
+	}
+	n.mu.Unlock()
+
+	if n.cfg.DataDir == "" {
+		return nil
+	}
+	sort.Ints(owned)
+	for _, p := range owned {
+		l, err := ingest.Open(filepath.Join(n.cfg.DataDir, fmt.Sprintf("part-%d", p)),
+			ingest.Options{SyncEvery: n.cfg.WALSyncEvery})
+		if err != nil {
+			return fmt.Errorf("dist: node %s: %w", n.id, err)
+		}
+		replayErr := l.Replay(func(e ingest.Entry) error {
+			return n.applyBatch(p, e.Seq, e.Rows, false)
+		})
+		n.mu.Lock()
+		n.wals[p] = l
+		n.mu.Unlock()
+		if replayErr != nil {
+			return fmt.Errorf("dist: node %s: replay partition %d: %w", n.id, p, replayErr)
+		}
+	}
+	return nil
 }
 
 // partition returns partition p's local rows and whether this node holds
@@ -153,6 +233,11 @@ func (n *Node) partition(p int) ([]storage.Row, bool) {
 // for that long, bounding the node's throughput like a real node's
 // storage/NIC service time would.
 func (n *Node) Answer(tenant string, q query.Query) (core.Answer, error) {
+	if len(n.maints) > 0 {
+		// Remember the query as rebuild training material for the agent
+		// that owns its key slice (background drift maintenance).
+		n.maints[n.pool.RouteIndex(serve.Key(q))].Record(q)
+	}
 	if n.cfg.ServiceDelay <= 0 {
 		return n.sched.Answer(tenant, q)
 	}
@@ -227,6 +312,7 @@ func (n *Node) answerLocal(w http.ResponseWriter, tenant string, q query.Query) 
 			Predicted: ans.Predicted,
 			EstError:  ans.EstError,
 			Quantum:   ans.Quantum,
+			StaleRows: ans.FreshRows,
 			Cost:      serve.ToCostJSON(ans.Cost),
 		},
 		Node: n.id,
@@ -309,6 +395,46 @@ func (n *Node) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 
 func (n *Node) handleCluster(w http.ResponseWriter, _ *http.Request) {
 	serve.WriteJSON(w, http.StatusOK, n.Status())
+}
+
+func (n *Node) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	serve.WriteMetrics(w, n.pool.Recorder().Snapshot())
+}
+
+// DataVersion returns the node's live data version: 1 after the bulk
+// load, advanced by every applied ingest batch (including WAL replay).
+func (n *Node) DataVersion() int64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.version
+}
+
+// Partitions returns the cluster's data-partition count.
+func (n *Node) Partitions() int { return n.cfg.Partitions }
+
+// PartitionOwners returns partition p's ring owners (primary first).
+func (n *Node) PartitionOwners(p int) []string {
+	return n.ring.Owners(partKey(p), n.cfg.Replicas)
+}
+
+// PartLastSeq returns partition p's last applied ingest sequence (0 if
+// nothing was ingested or the node does not hold p).
+func (n *Node) PartLastSeq(p int) uint64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.lastSeq[p]
+}
+
+// PartialState evaluates q's mergeable aggregate state over the node's
+// local copy of partition p — the bit-exact comparison hook the
+// recovery experiments use to prove a replayed replica equals a
+// never-killed one.
+func (n *Node) PartialState(p int, q query.Query) ([]float64, bool) {
+	rows, ok := n.partition(p)
+	if !ok {
+		return nil, false
+	}
+	return query.PartialEval(q, rows), true
 }
 
 // Status reports the node's cluster view: membership with liveness,

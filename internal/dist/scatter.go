@@ -26,9 +26,12 @@ func (o scatterOracle) Answer(q query.Query) (query.Result, metrics.Cost, error)
 	return o.n.ScatterGather(q)
 }
 
-// DataVersion is constant: cluster data is bulk-loaded before serving
-// (the repo's update experiments run on the single-node path).
-func (o scatterOracle) DataVersion() int64 { return 1 }
+// DataVersion tracks the node's live data version: the bulk load is
+// version 1 and every applied ingest batch advances it. Agents absorb
+// the same version through AbsorbRows, so the fast path stays live
+// across ingest (incremental maintenance) while legacy agents see the
+// change and invalidate.
+func (o scatterOracle) DataVersion() int64 { return o.n.DataVersion() }
 
 type partialResult struct {
 	partial []float64

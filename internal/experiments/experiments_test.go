@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"testing"
+	"time"
 )
 
 // The experiment functions are exercised at small scale here; the root
@@ -266,5 +267,33 @@ func TestAblations(t *testing.T) {
 	}
 	if len(a5) != 2 {
 		t.Fatalf("A5 policies = %d", len(a5))
+	}
+}
+
+func TestE15Shape(t *testing.T) {
+	row, err := E15LiveIngest(4_000, 3, 4, 40, 100, 6, 120, t.TempDir(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.ReadQueries == 0 || row.IngestBatches == 0 {
+		t.Fatalf("E15 did nothing: %+v", row)
+	}
+	if row.AckedRows == 0 {
+		t.Error("E15: no acked writes on a healthy cluster")
+	}
+	if row.LostAckedRows != 0 {
+		t.Errorf("E15: lost %d acked rows after WAL replay + catch-up", row.LostAckedRows)
+	}
+	if !row.BitIdentical {
+		t.Error("E15: restarted member is not bit-identical to the surviving holders")
+	}
+	if row.PredictionRate == 0 {
+		t.Error("E15: cluster never predicted under ingest")
+	}
+	if row.ReadP99 <= 0 || row.ReadP99 > 5*time.Second {
+		t.Errorf("E15: implausible read p99 %v", row.ReadP99)
+	}
+	if row.RecoveryTime <= 0 {
+		t.Error("E15: recovery phase did not run")
 	}
 }

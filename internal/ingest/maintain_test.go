@@ -1,0 +1,126 @@
+package ingest
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// stubOracle is a thread-safe exact oracle over a mutable row set.
+type stubOracle struct {
+	mu   sync.Mutex
+	rows []storage.Row
+	ver  int64
+}
+
+func (o *stubOracle) Answer(q query.Query) (query.Result, metrics.Cost, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return query.EvalRows(q, o.rows), metrics.Cost{}, nil
+}
+
+func (o *stubOracle) DataVersion() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.ver
+}
+
+func (o *stubOracle) ingest(rows []storage.Row) int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.rows = append(o.rows, rows...)
+	o.ver++
+	return o.ver
+}
+
+func TestMaintainerRebuildsOnUnattributedDrift(t *testing.T) {
+	oracle := &stubOracle{rows: workload.StandardRows(6000, 1), ver: 1}
+	cfg := core.DefaultConfig(2)
+	cfg.TrainingQueries = 150
+	cfg.DriftRowBudget = 100
+	ag, err := core.NewAgent(oracle, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train on the standard regions.
+	qs := workload.NewQueryStream(workload.NewRNG(7), workload.DefaultRegions(2), query.Count)
+	for i := 0; i < 260; i++ {
+		if _, err := ag.Answer(qs.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m := NewMaintainer(ag, MaintainerConfig{
+		RebuildUnattributed: 300,
+		MinRecorded:         50,
+	})
+
+	// No drift yet: check must be a no-op.
+	if rebuilt, _ := m.CheckNow(); rebuilt {
+		t.Fatalf("rebuild fired without drift")
+	}
+
+	// The analysts' interest (and the data) moves to a region the agent
+	// never quantised: record the new queries, absorb the new rows.
+	shifted := []workload.InterestRegion{{Center: []float64{55, 10}, Spread: 3, Extent: 5, ExtentJitter: 0.3, Weight: 1}}
+	newQS := workload.NewQueryStream(workload.NewRNG(11), shifted, query.Count)
+	for i := 0; i < 120; i++ {
+		m.Record(newQS.Next())
+	}
+	fresh := workload.GaussianMixture(workload.NewRNG(3), 400, 3,
+		[]workload.MixtureComponent{{Center: []float64{55, 10, 0}, Std: 4, Weight: 1}}, 500000)
+	ver := oracle.ingest(fresh)
+	vecs := make([][]float64, len(fresh))
+	for i, r := range fresh {
+		vecs[i] = r.Vec
+	}
+	res := ag.AbsorbRows(ver, vecs)
+	if res.Unattributed < 300 {
+		t.Fatalf("expected mostly-unattributed drift rows, got %+v", res)
+	}
+
+	rebuilt, err := m.CheckNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rebuilt {
+		t.Fatalf("maintainer did not rebuild under unattributed drift")
+	}
+	if m.Rebuilds() != 1 {
+		t.Fatalf("Rebuilds = %d, want 1", m.Rebuilds())
+	}
+	// The rebuilt agent now covers the new interest region data-lessly.
+	var predicted int
+	for i := 0; i < 60; i++ {
+		if _, ok := ag.TryPredict(newQS.Next()); ok {
+			predicted++
+		}
+	}
+	if predicted == 0 {
+		t.Fatalf("rebuilt agent still cannot serve the drifted region")
+	}
+	// A second check without new drift must not rebuild again.
+	if again, _ := m.CheckNow(); again {
+		t.Fatalf("rebuild re-fired without fresh drift")
+	}
+}
+
+func TestMaintainerStartStop(t *testing.T) {
+	oracle := &stubOracle{rows: workload.StandardRows(500, 1), ver: 1}
+	cfg := core.DefaultConfig(2)
+	cfg.DriftRowBudget = 100
+	ag, err := core.NewAgent(oracle, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMaintainer(ag, MaintainerConfig{})
+	m.Start()
+	m.Start() // idempotent
+	m.Stop()
+	m.Stop() // idempotent
+}

@@ -1,0 +1,415 @@
+// Package ingest is the live data plane's durability and model-
+// maintenance layer: a per-partition write-ahead log (segment files,
+// CRC'd records, fsync batching) that makes streaming appends survive
+// crashes, and a drift maintainer that watches a live agent's ingest
+// pressure and re-quantises it in the background with a double-buffered
+// swap so reads never block on retraining.
+//
+// The WAL follows the shape of durable per-partition shard stores
+// (SemaDB's diskstore/WAL layer) and the snapshot-plus-log-replay
+// recovery of incremental backup designs: a restarted node replays its
+// segments to rebuild partition state, and a fresh replica recovers via
+// model snapshot + log tail instead of a full retrain. internal/dist
+// wires the log under each cluster member's owned partitions and
+// replicates sequenced batches across the ring owners at a write
+// quorum.
+package ingest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// WAL record layout (all little-endian):
+//
+//	[8 seq][4 payloadLen][payload][4 crc32(seq+len+payload)]
+//
+// payload:
+//
+//	[4 rowCount] then per row: [8 key][2 dim][8*dim float64 bits]
+//
+// Records are appended to segment files `seg-<n>.wal`; a segment is
+// rotated once it exceeds SegmentBytes. A torn tail (partial record at
+// the end of the newest segment, from a crash mid-write) is tolerated
+// on replay: everything before it is recovered, the tail is discarded.
+const (
+	recHeaderBytes  = 12 // seq + payloadLen
+	recTrailerBytes = 4  // crc
+	segPrefix       = "seg-"
+	segSuffix       = ".wal"
+)
+
+// ErrCorrupt is returned when a WAL segment is damaged somewhere other
+// than its tail (a torn tail is silently truncated instead).
+var ErrCorrupt = errors.New("ingest: corrupt WAL record")
+
+// ErrStaleSeq is returned when Append is given a sequence number that
+// does not advance the log.
+var ErrStaleSeq = errors.New("ingest: stale WAL sequence")
+
+// Entry is one replayed WAL record: a sequenced row batch.
+type Entry struct {
+	Seq  uint64
+	Rows []storage.Row
+}
+
+// Options tunes a Log. The zero value is usable.
+type Options struct {
+	// SegmentBytes rotates to a new segment file once the active one
+	// exceeds this size (default 4 MiB).
+	SegmentBytes int64
+	// SyncEvery fsyncs after every N appended batches (default 1:
+	// every append is durable before it is acknowledged). Larger values
+	// batch fsyncs — higher throughput, bounded loss window.
+	SyncEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 1
+	}
+	return o
+}
+
+// Log is a per-partition write-ahead log: sequenced row batches
+// appended to CRC'd segment files under one directory. It is safe for
+// concurrent use; appends serialise internally.
+type Log struct {
+	dir string
+	opt Options
+
+	mu       sync.Mutex
+	f        *os.File
+	segSize  int64
+	segIndex int
+	lastSeq  uint64
+	unsynced int
+}
+
+// Open opens (or creates) the log rooted at dir and positions it for
+// appending after the last intact record. Call Replay to read the
+// recovered entries.
+func Open(dir string, opt Options) (*Log, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ingest: open WAL %s: %w", dir, err)
+	}
+	l := &Log{dir: dir, opt: opt}
+	segs, err := l.segments()
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		if err := l.rotateLocked(1); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	// Scan every segment to find the last intact record; truncate a
+	// torn tail on the newest segment so the next append lands cleanly.
+	for i, seg := range segs {
+		final := i == len(segs)-1
+		valid, last, err := scanSegment(filepath.Join(dir, seg), nil)
+		if err != nil {
+			// Only a malformed record at the END of the NEWEST segment
+			// is a torn tail (a crash mid-write); IO errors and damage
+			// in older segments must surface, not silently truncate
+			// acked records.
+			if !final || !errors.Is(err, ErrCorrupt) {
+				return nil, fmt.Errorf("ingest: segment %s: %w", seg, err)
+			}
+			// Torn tail: keep the intact prefix.
+			if terr := os.Truncate(filepath.Join(dir, seg), valid); terr != nil {
+				return nil, fmt.Errorf("ingest: truncate torn tail of %s: %w", seg, terr)
+			}
+		}
+		if last > l.lastSeq {
+			l.lastSeq = last
+		}
+	}
+	lastSeg := segs[len(segs)-1]
+	l.segIndex = segNumber(lastSeg)
+	f, err := os.OpenFile(filepath.Join(dir, lastSeg), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: open segment %s: %w", lastSeg, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	l.f, l.segSize = f, st.Size()
+	return l, nil
+}
+
+// LastSeq returns the sequence number of the last appended (or
+// recovered) batch; 0 means the log is empty.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq
+}
+
+// Append writes one sequenced row batch. seq must advance the log
+// (seq > LastSeq); per-partition sequencing is assigned by the
+// partition's primary. The record is fsynced according to
+// Options.SyncEvery before Append returns.
+func (l *Log) Append(seq uint64, rows []storage.Row) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq <= l.lastSeq {
+		return fmt.Errorf("%w: got %d, last is %d", ErrStaleSeq, seq, l.lastSeq)
+	}
+	rec := encodeRecord(seq, rows)
+	if l.segSize > 0 && l.segSize+int64(len(rec)) > l.opt.SegmentBytes {
+		if err := l.rotateLocked(l.segIndex + 1); err != nil {
+			return err
+		}
+	}
+	if _, err := l.f.Write(rec); err != nil {
+		return fmt.Errorf("ingest: append seq %d: %w", seq, err)
+	}
+	l.segSize += int64(len(rec))
+	l.lastSeq = seq
+	l.unsynced++
+	if l.unsynced >= l.opt.SyncEvery {
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync flushes any batched appends to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.unsynced == 0 {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("ingest: fsync: %w", err)
+	}
+	l.unsynced = 0
+	return nil
+}
+
+// Close syncs and closes the active segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.syncLocked()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// Replay streams every recovered entry, in sequence order, to fn. It
+// reads from disk and may run concurrently with appends (appends past
+// the replay snapshot are not observed).
+func (l *Log) Replay(fn func(Entry) error) error {
+	l.mu.Lock()
+	segs, err := l.segments()
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	for i, seg := range segs {
+		final := i == len(segs)-1
+		if _, _, err := scanSegment(filepath.Join(l.dir, seg), fn); err != nil {
+			var cb *callbackError
+			if errors.As(err, &cb) {
+				return cb.err
+			}
+			if final && errors.Is(err, ErrCorrupt) {
+				// A malformed tail record on the active segment is an
+				// append racing this replay snapshot (Open already
+				// truncated any crash-torn tail); everything intact was
+				// delivered.
+				return nil
+			}
+			return fmt.Errorf("ingest: segment %s: %w", seg, err)
+		}
+	}
+	return nil
+}
+
+// EntriesAfter returns every entry with Seq > after — the log tail a
+// lagging replica fetches to catch up after recovery.
+func (l *Log) EntriesAfter(after uint64) ([]Entry, error) {
+	var out []Entry
+	err := l.Replay(func(e Entry) error {
+		if e.Seq > after {
+			out = append(out, e)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// rotateLocked opens segment n as the active file.
+func (l *Log) rotateLocked(n int) error {
+	if l.f != nil {
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+		if err := l.f.Close(); err != nil {
+			return err
+		}
+	}
+	name := fmt.Sprintf("%s%08d%s", segPrefix, n, segSuffix)
+	f, err := os.OpenFile(filepath.Join(l.dir, name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("ingest: create segment %s: %w", name, err)
+	}
+	l.f, l.segIndex, l.segSize = f, n, 0
+	return nil
+}
+
+// segments lists the log's segment file names in index order.
+func (l *Log) segments() ([]string, error) {
+	ents, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: list %s: %w", l.dir, err)
+	}
+	var segs []string
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasPrefix(name, segPrefix) && strings.HasSuffix(name, segSuffix) {
+			segs = append(segs, name)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segNumber(segs[i]) < segNumber(segs[j]) })
+	return segs, nil
+}
+
+func segNumber(name string) int {
+	var n int
+	fmt.Sscanf(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), "%d", &n)
+	return n
+}
+
+// callbackError wraps an error returned by a Replay callback so it is
+// distinguishable from segment corruption.
+type callbackError struct{ err error }
+
+func (e *callbackError) Error() string { return "ingest: replay callback: " + e.err.Error() }
+func (e *callbackError) Unwrap() error { return e.err }
+
+// scanSegment reads records from one segment, calling fn (when non-nil)
+// per entry. It returns the byte offset after the last intact record
+// and the highest sequence seen. A torn or corrupt record stops the
+// scan with a non-nil error (callers decide whether the tail may be
+// truncated).
+func scanSegment(path string, fn func(Entry) error) (validBytes int64, lastSeq uint64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	off := int64(0)
+	for int(off) < len(data) {
+		rest := data[off:]
+		if len(rest) < recHeaderBytes {
+			return off, lastSeq, fmt.Errorf("%w: short header at %d", ErrCorrupt, off)
+		}
+		seq := binary.LittleEndian.Uint64(rest[0:8])
+		plen := binary.LittleEndian.Uint32(rest[8:12])
+		total := recHeaderBytes + int(plen) + recTrailerBytes
+		if len(rest) < total {
+			return off, lastSeq, fmt.Errorf("%w: short record at %d", ErrCorrupt, off)
+		}
+		want := binary.LittleEndian.Uint32(rest[recHeaderBytes+int(plen):])
+		if crc32.ChecksumIEEE(rest[:recHeaderBytes+int(plen)]) != want {
+			return off, lastSeq, fmt.Errorf("%w: bad checksum at %d", ErrCorrupt, off)
+		}
+		rows, derr := decodePayload(rest[recHeaderBytes : recHeaderBytes+int(plen)])
+		if derr != nil {
+			return off, lastSeq, fmt.Errorf("%w: %v", ErrCorrupt, derr)
+		}
+		if fn != nil {
+			if ferr := fn(Entry{Seq: seq, Rows: rows}); ferr != nil {
+				return off, lastSeq, &callbackError{err: ferr}
+			}
+		}
+		lastSeq = seq
+		off += int64(total)
+	}
+	return off, lastSeq, nil
+}
+
+func encodeRecord(seq uint64, rows []storage.Row) []byte {
+	plen := 4
+	for _, r := range rows {
+		plen += 8 + 2 + 8*len(r.Vec)
+	}
+	buf := make([]byte, recHeaderBytes+plen+recTrailerBytes)
+	binary.LittleEndian.PutUint64(buf[0:8], seq)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(plen))
+	p := buf[recHeaderBytes:]
+	binary.LittleEndian.PutUint32(p, uint32(len(rows)))
+	o := 4
+	for _, r := range rows {
+		binary.LittleEndian.PutUint64(p[o:], r.Key)
+		o += 8
+		binary.LittleEndian.PutUint16(p[o:], uint16(len(r.Vec)))
+		o += 2
+		for _, v := range r.Vec {
+			binary.LittleEndian.PutUint64(p[o:], math.Float64bits(v))
+			o += 8
+		}
+	}
+	crc := crc32.ChecksumIEEE(buf[:recHeaderBytes+plen])
+	binary.LittleEndian.PutUint32(buf[recHeaderBytes+plen:], crc)
+	return buf
+}
+
+func decodePayload(p []byte) ([]storage.Row, error) {
+	if len(p) < 4 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	count := int(binary.LittleEndian.Uint32(p))
+	rows := make([]storage.Row, 0, count)
+	o := 4
+	for i := 0; i < count; i++ {
+		if len(p) < o+10 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		key := binary.LittleEndian.Uint64(p[o:])
+		o += 8
+		dim := int(binary.LittleEndian.Uint16(p[o:]))
+		o += 2
+		if len(p) < o+8*dim {
+			return nil, io.ErrUnexpectedEOF
+		}
+		vec := make([]float64, dim)
+		for j := 0; j < dim; j++ {
+			vec[j] = math.Float64frombits(binary.LittleEndian.Uint64(p[o:]))
+			o += 8
+		}
+		rows = append(rows, storage.Row{Key: key, Vec: vec})
+	}
+	return rows, nil
+}

@@ -1,0 +1,241 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func testRows(n int, firstKey uint64) []storage.Row {
+	rows := make([]storage.Row, n)
+	for i := range rows {
+		rows[i] = storage.Row{
+			Key: firstKey + uint64(i),
+			Vec: []float64{float64(i), float64(i) * 0.5, -float64(i)},
+		}
+	}
+	return rows
+}
+
+func TestWALAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Entry
+	for seq := uint64(1); seq <= 5; seq++ {
+		rows := testRows(int(seq), seq*100)
+		if err := l.Append(seq, rows); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, Entry{Seq: seq, Rows: rows})
+	}
+	if got := l.LastSeq(); got != 5 {
+		t.Fatalf("LastSeq = %d, want 5", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and replay: all batches, in order, bit-identical.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.LastSeq(); got != 5 {
+		t.Fatalf("recovered LastSeq = %d, want 5", got)
+	}
+	var got []Entry
+	if err := l2.Replay(func(e Entry) error { got = append(got, e); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d entries, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.Seq != want[i].Seq || len(e.Rows) != len(want[i].Rows) {
+			t.Fatalf("entry %d: got seq %d / %d rows, want seq %d / %d rows",
+				i, e.Seq, len(e.Rows), want[i].Seq, len(want[i].Rows))
+		}
+		for j, r := range e.Rows {
+			w := want[i].Rows[j]
+			if r.Key != w.Key {
+				t.Fatalf("entry %d row %d: key %d != %d", i, j, r.Key, w.Key)
+			}
+			for k := range r.Vec {
+				if r.Vec[k] != w.Vec[k] {
+					t.Fatalf("entry %d row %d col %d: %v != %v", i, j, k, r.Vec[k], w.Vec[k])
+				}
+			}
+		}
+	}
+}
+
+func TestWALStaleSeqRejected(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(3, testRows(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(3, testRows(1, 0)); !errors.Is(err, ErrStaleSeq) {
+		t.Fatalf("duplicate seq error = %v, want ErrStaleSeq", err)
+	}
+	if err := l.Append(2, testRows(1, 0)); !errors.Is(err, ErrStaleSeq) {
+		t.Fatalf("regressing seq error = %v, want ErrStaleSeq", err)
+	}
+}
+
+func TestWALSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotation every append or two.
+	l, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 20; seq++ {
+		if err := l.Append(seq, testRows(3, seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) < 3 {
+		t.Fatalf("expected >= 3 segments after rotation, got %d", len(ents))
+	}
+	l2, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	var n int
+	var lastSeq uint64
+	if err := l2.Replay(func(e Entry) error {
+		if e.Seq <= lastSeq {
+			return fmt.Errorf("out-of-order seq %d after %d", e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+		n++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 20 || lastSeq != 20 {
+		t.Fatalf("replayed %d entries up to seq %d, want 20/20", n, lastSeq)
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := l.Append(seq, testRows(2, seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-write: chop bytes off the segment tail.
+	seg := filepath.Join(dir, "seg-00000001.wal")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.LastSeq(); got != 2 {
+		t.Fatalf("LastSeq after torn tail = %d, want 2", got)
+	}
+	var n int
+	if err := l2.Replay(func(Entry) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("replayed %d entries after torn tail, want 2", n)
+	}
+	// The log must accept fresh appends after truncation.
+	if err := l2.Append(3, testRows(1, 9)); err != nil {
+		t.Fatal(err)
+	}
+	var seqs []uint64
+	if err := l2.Replay(func(e Entry) error { seqs = append(seqs, e.Seq); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 3 || seqs[2] != 3 {
+		t.Fatalf("post-recovery replay seqs = %v, want [1 2 3]", seqs)
+	}
+}
+
+func TestWALEntriesAfter(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for seq := uint64(1); seq <= 6; seq++ {
+		if err := l.Append(seq, testRows(1, seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tail, err := l.EntriesAfter(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 2 || tail[0].Seq != 5 || tail[1].Seq != 6 {
+		t.Fatalf("EntriesAfter(4) seqs = %v, want [5 6]", tail)
+	}
+	all, err := l.EntriesAfter(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 6 {
+		t.Fatalf("EntriesAfter(0) len = %d, want 6", len(all))
+	}
+}
+
+func TestWALSyncBatching(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{SyncEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for seq := uint64(1); seq <= 10; seq++ {
+		if err := l.Append(seq, testRows(1, seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	if err := l.Replay(func(Entry) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("replayed %d, want 10", n)
+	}
+}

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+)
+
+// PrometheusContentType is the content type of the text exposition
+// format WritePrometheus emits.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders a serving snapshot in the Prometheus text
+// exposition format: lifetime counters as *_total series, rates and
+// latency percentiles as gauges. Serving front-ends mount it on
+// GET /v1/metrics so one scrape config covers single-node servers and
+// every cluster member alike.
+func WritePrometheus(w io.Writer, s ServeSnapshot) error {
+	counters := []struct {
+		name, help string
+		v          int64
+	}{
+		{"sea_queries_total", "Answered queries (predicted + fallbacks + deduped).", s.Queries},
+		{"sea_predicted_total", "Queries answered data-lessly from learned models.", s.Predicted},
+		{"sea_fallbacks_total", "Queries that executed the exact oracle path.", s.Fallbacks},
+		{"sea_deduped_total", "Queries served by sharing an identical in-flight fallback.", s.Deduped},
+		{"sea_rejected_total", "Submissions turned away by admission control.", s.Rejected},
+		{"sea_errors_total", "Failed queries.", s.Errors},
+		{"sea_ingest_batches_total", "Row batches applied through the live write path.", s.IngestBatches},
+		{"sea_ingest_rows_total", "Rows applied through the live write path.", s.IngestRows},
+		{"sea_drift_invalidations_total", "Quanta invalidated by the ingest drift budget.", s.DriftInvalidations},
+		{"sea_rebuilds_total", "Completed background model re-quantisations.", s.Rebuilds},
+	}
+	for _, c := range counters {
+		if err := writeSeries(w, c.name, c.help, "counter", float64(c.v)); err != nil {
+			return err
+		}
+	}
+	gauges := []struct {
+		name, help string
+		v          float64
+	}{
+		{"sea_qps", "Lifetime queries per second.", s.QPS},
+		{"sea_fallback_rate", "Fraction of queries that ran the exact path.", s.FallbackRate},
+		{"sea_uptime_seconds", "Recorder uptime.", s.Uptime.Seconds()},
+	}
+	for _, g := range gauges {
+		if err := writeSeries(w, g.name, g.help, "gauge", g.v); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w,
+		"# HELP sea_latency_seconds Query latency percentiles over the recent window.\n"+
+			"# TYPE sea_latency_seconds gauge\n"+
+			"sea_latency_seconds{quantile=\"0.5\"} %g\n"+
+			"sea_latency_seconds{quantile=\"0.9\"} %g\n"+
+			"sea_latency_seconds{quantile=\"0.99\"} %g\n"+
+			"sea_latency_seconds{quantile=\"1\"} %g\n",
+		s.P50.Seconds(), s.P90.Seconds(), s.P99.Seconds(), s.Max.Seconds()); err != nil {
+		return err
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, name, help, kind string, v float64) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, kind, name, v)
+	return err
+}

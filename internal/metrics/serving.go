@@ -28,6 +28,15 @@ type ServeSnapshot struct {
 	Rejected int64 `json:"rejected"`
 	// Errors is how many queries failed.
 	Errors int64 `json:"errors"`
+	// IngestBatches/IngestRows count row batches applied through the
+	// live data plane's write path.
+	IngestBatches int64 `json:"ingest_batches"`
+	IngestRows    int64 `json:"ingest_rows"`
+	// DriftInvalidations counts quanta whose models were invalidated by
+	// the ingest drift budget (incremental maintenance events).
+	DriftInvalidations int64 `json:"drift_invalidations"`
+	// Rebuilds counts completed background re-quantisations.
+	Rebuilds int64 `json:"rebuilds"`
 	// QPS is Queries divided by the uptime.
 	QPS float64 `json:"qps"`
 	// FallbackRate is Fallbacks / Queries.
@@ -57,6 +66,11 @@ type ServeRecorder struct {
 	deduped   int64
 	rejected  int64
 	errors    int64
+
+	ingestBatches int64
+	ingestRows    int64
+	driftInval    int64
+	rebuilds      int64
 }
 
 // NewServeRecorder builds a recorder keeping the last window latency
@@ -114,6 +128,31 @@ func (r *ServeRecorder) Error() {
 	r.mu.Unlock()
 }
 
+// IngestBatch records one applied row batch from the live write path.
+func (r *ServeRecorder) IngestBatch(rows int) {
+	r.mu.Lock()
+	r.ingestBatches++
+	r.ingestRows += int64(rows)
+	r.mu.Unlock()
+}
+
+// DriftInvalidate records n drift-budget model invalidation events.
+func (r *ServeRecorder) DriftInvalidate(n int) {
+	if n <= 0 {
+		return
+	}
+	r.mu.Lock()
+	r.driftInval += int64(n)
+	r.mu.Unlock()
+}
+
+// Rebuild records one completed background re-quantisation.
+func (r *ServeRecorder) Rebuild() {
+	r.mu.Lock()
+	r.rebuilds++
+	r.mu.Unlock()
+}
+
 // Snapshot computes the current view: lifetime counters plus latency
 // percentiles over the recent window.
 func (r *ServeRecorder) Snapshot() ServeSnapshot {
@@ -125,13 +164,17 @@ func (r *ServeRecorder) Snapshot() ServeSnapshot {
 	window := make([]time.Duration, n)
 	copy(window, r.lats[:n])
 	s := ServeSnapshot{
-		Queries:   r.queries,
-		Predicted: r.predicted,
-		Fallbacks: r.fallbacks,
-		Deduped:   r.deduped,
-		Rejected:  r.rejected,
-		Errors:    r.errors,
-		Uptime:    time.Since(r.start),
+		Queries:            r.queries,
+		Predicted:          r.predicted,
+		Fallbacks:          r.fallbacks,
+		Deduped:            r.deduped,
+		Rejected:           r.rejected,
+		Errors:             r.errors,
+		IngestBatches:      r.ingestBatches,
+		IngestRows:         r.ingestRows,
+		DriftInvalidations: r.driftInval,
+		Rebuilds:           r.rebuilds,
+		Uptime:             time.Since(r.start),
 	}
 	r.mu.Unlock()
 

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -80,5 +81,51 @@ func TestServeRecorderConcurrent(t *testing.T) {
 	wg.Wait()
 	if s := r.Snapshot(); s.Queries != workers*each {
 		t.Errorf("queries = %d, want %d", s.Queries, workers*each)
+	}
+}
+
+func TestIngestAndDriftCounters(t *testing.T) {
+	r := NewServeRecorder(8)
+	r.IngestBatch(10)
+	r.IngestBatch(5)
+	r.DriftInvalidate(3)
+	r.DriftInvalidate(0) // no-op
+	r.Rebuild()
+	s := r.Snapshot()
+	if s.IngestBatches != 2 || s.IngestRows != 15 {
+		t.Fatalf("ingest counters = %d batches / %d rows, want 2/15", s.IngestBatches, s.IngestRows)
+	}
+	if s.DriftInvalidations != 3 {
+		t.Fatalf("DriftInvalidations = %d, want 3", s.DriftInvalidations)
+	}
+	if s.Rebuilds != 1 {
+		t.Fatalf("Rebuilds = %d, want 1", s.Rebuilds)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewServeRecorder(8)
+	r.Observe(2*time.Millisecond, true)
+	r.Observe(4*time.Millisecond, false)
+	r.IngestBatch(7)
+	r.Rebuild()
+	var buf strings.Builder
+	if err := WritePrometheus(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"sea_queries_total 2",
+		"sea_predicted_total 1",
+		"sea_fallbacks_total 1",
+		"sea_ingest_rows_total 7",
+		"sea_rebuilds_total 1",
+		"# TYPE sea_queries_total counter",
+		"# TYPE sea_qps gauge",
+		`sea_latency_seconds{quantile="0.99"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -101,10 +101,17 @@ func (p *Pool) Agents() []*core.Agent { return p.agents }
 
 // route picks the agent responsible for key.
 func (p *Pool) route(key string) *core.Agent {
+	return p.agents[p.RouteIndex(key)]
+}
+
+// RouteIndex returns the index of the agent Answer would route key to
+// (maintenance layers use it to attribute recorded queries and drift
+// rebuilds to the right pooled agent).
+func (p *Pool) RouteIndex(key string) int {
 	if len(p.agents) == 1 {
-		return p.agents[0]
+		return 0
 	}
-	return p.agents[fnv32(key)%uint32(len(p.agents))]
+	return int(fnv32(key) % uint32(len(p.agents)))
 }
 
 // Answer serves one query: the model fast path when possible, otherwise

@@ -62,10 +62,14 @@ func costJSON(c metrics.Cost) CostJSON {
 
 // QueryResponse is the wire form of an answer.
 type QueryResponse struct {
-	Value     float64  `json:"value"`
-	Predicted bool     `json:"predicted"`
-	EstError  float64  `json:"est_error"`
-	Quantum   int      `json:"quantum"`
+	Value     float64 `json:"value"`
+	Predicted bool    `json:"predicted"`
+	EstError  float64 `json:"est_error"`
+	Quantum   int     `json:"quantum"`
+	// StaleRows is the freshness signal of a predicted answer: how many
+	// ingested rows the answering quantum has absorbed since its models
+	// last refreshed (0 = fully fresh, and always 0 for exact answers).
+	StaleRows int      `json:"stale_rows,omitempty"`
 	Cost      CostJSON `json:"cost"`
 }
 
@@ -139,6 +143,7 @@ func NewServer(sched *Scheduler, exp *explain.Engine) *Server {
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/explain", s.handleExplain)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok\n"))
@@ -220,6 +225,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Predicted: ans.Predicted,
 		EstError:  ans.EstError,
 		Quantum:   ans.Quantum,
+		StaleRows: ans.FreshRows,
 		Cost:      costJSON(ans.Cost),
 	})
 }
@@ -260,6 +266,19 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Agent:   s.sched.pool.Stats(),
 		Serving: s.sched.pool.rec.Snapshot(),
 	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	WriteMetrics(w, s.sched.pool.rec.Snapshot())
+}
+
+// WriteMetrics renders a serving snapshot in the Prometheus text
+// format; the distributed node API mounts the same exposition on its
+// own GET /v1/metrics route.
+func WriteMetrics(w http.ResponseWriter, snap metrics.ServeSnapshot) {
+	w.Header().Set("Content-Type", metrics.PrometheusContentType)
+	w.WriteHeader(http.StatusOK)
+	_ = metrics.WritePrometheus(w, snap)
 }
 
 // ListenAndServe runs the front-end on addr until the listener fails.

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -240,5 +242,52 @@ func TestServerGracefulShutdown(t *testing.T) {
 	// The scheduler must be closed once the server has drained.
 	if _, err := sched.Answer("drain", countAt(2, 2)); err != ErrClosed {
 		t.Errorf("after shutdown: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestServerMetricsEndpoint(t *testing.T) {
+	served, _ := newTrainedAgent(t, 4_000, 200, 21, 22)
+	pool, err := NewPool([]*core.Agent{served}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewScheduler(pool, SchedulerConfig{Workers: 4})
+	defer sched.Close()
+	ts := httptest.NewServer(NewServer(sched, nil))
+	defer ts.Close()
+
+	// Serve some traffic so the counters move.
+	qs := workload.NewQueryStream(workload.NewRNG(88), workload.DefaultRegions(2), query.Count)
+	for i := 0; i < 20; i++ {
+		if _, code := postQuery(t, ts.URL, reqFromQuery(t, qs.Next(), "m")); code != http.StatusOK {
+			t.Fatalf("query %d failed", i)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q, want Prometheus text format", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"sea_queries_total 20",
+		"# TYPE sea_queries_total counter",
+		"sea_ingest_rows_total",
+		"sea_drift_invalidations_total",
+		"sea_latency_seconds{quantile=\"0.99\"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -137,13 +137,19 @@ func (t *Table) PartitionFor(key uint64, vec []float64) int {
 		}
 		return len(t.parts) - 1
 	}
-	// splitmix-style key mix keeps hash partitioning uniform even for
-	// sequential keys.
-	x := key
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	return int(x % uint64(len(t.parts)))
+	return int(MixKey(key) % uint64(len(t.parts)))
+}
+
+// MixKey is the splitmix-style finalizer that keeps key-hash placement
+// uniform even for sequential keys. It is THE row-placement hash: both
+// the simulated table's hash partitioning and the distributed cluster's
+// ingest routing (internal/dist) use it, so the two layers agree on
+// where a key lives.
+func MixKey(key uint64) uint64 {
+	key ^= key >> 30
+	key *= 0xbf58476d1ce4e5b9
+	key ^= key >> 27
+	return key
 }
 
 // primaryNode returns the node hosting partition p's primary copy.
@@ -290,6 +296,32 @@ func (t *Table) Append(r Row) (metrics.Cost, error) {
 	t.rows++
 	t.version++
 	cost := t.cl.ScanCost(1, t.RowBytes()).Add(t.cl.TransferLAN(r.Bytes()))
+	return cost, nil
+}
+
+// AppendBatch inserts a batch of rows online under a single version
+// bump — the streaming-ingest write primitive: one batch is one durable
+// unit, so model maintenance sees one data-version step per batch
+// instead of one per row. The whole batch is schema-checked before any
+// row lands (all-or-nothing), and each row is charged one primary write
+// plus one LAN replication transfer.
+func (t *Table) AppendBatch(rows []Row) (metrics.Cost, error) {
+	for _, r := range rows {
+		if len(r.Vec) != len(t.columns) {
+			return metrics.Cost{}, fmt.Errorf("%w: row width %d, table %q width %d",
+				ErrSchemaMismatch, len(r.Vec), t.name, len(t.columns))
+		}
+	}
+	var cost metrics.Cost
+	for _, r := range rows {
+		p := t.PartitionFor(r.Key, r.Vec)
+		t.parts[p] = append(t.parts[p], r)
+		cost = cost.Add(t.cl.ScanCost(1, t.RowBytes()).Add(t.cl.TransferLAN(r.Bytes())))
+	}
+	if len(rows) > 0 {
+		t.rows += int64(len(rows))
+		t.version++
+	}
 	return cost, nil
 }
 

@@ -266,3 +266,40 @@ func TestPartitioningProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestAppendBatchSingleVersionBump(t *testing.T) {
+	cl := testCluster(4)
+	tbl, err := NewTable(cl, "t", []string{"a", "b"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Load(mkRows(100, 2)); err != nil {
+		t.Fatal(err)
+	}
+	v0 := tbl.Version()
+	batch := make([]Row, 50)
+	for i := range batch {
+		batch[i] = Row{Key: uint64(1000 + i), Vec: []float64{1, 2}}
+	}
+	cost, err := tbl.AppendBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Version() != v0+1 {
+		t.Fatalf("batch bumped version by %d, want 1", tbl.Version()-v0)
+	}
+	if tbl.Rows() != 150 {
+		t.Fatalf("Rows = %d, want 150", tbl.Rows())
+	}
+	if cost.RowsRead == 0 {
+		t.Fatalf("batch append charged no work")
+	}
+	// A schema-mismatched batch is rejected atomically.
+	bad := []Row{{Key: 1, Vec: []float64{1, 2}}, {Key: 2, Vec: []float64{1}}}
+	if _, err := tbl.AppendBatch(bad); err == nil {
+		t.Fatalf("mismatched batch accepted")
+	}
+	if tbl.Rows() != 150 || tbl.Version() != v0+1 {
+		t.Fatalf("failed batch mutated the table")
+	}
+}

@@ -1,0 +1,85 @@
+package sea
+
+// This file re-exports the live data plane (internal/ingest + the
+// cluster's replicated write path in internal/dist): streaming row
+// ingestion with WAL durability, quorum-acknowledged replicated writes,
+// and drift-aware online model maintenance (incremental per-quantum
+// updates plus background re-quantisation with a double-buffered agent
+// swap). See cmd/seaserve's -data-dir/-write-quorum flags and
+// DESIGN.md's "Live data plane" section.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/ingest"
+)
+
+// WAL is a per-partition write-ahead log: sequenced row batches in
+// CRC'd segment files with batched fsyncs (see ingest.Log).
+type WAL = ingest.Log
+
+// WALOptions tunes a WAL (segment size, fsync batching).
+type WALOptions = ingest.Options
+
+// WALEntry is one replayed WAL record.
+type WALEntry = ingest.Entry
+
+// OpenWAL opens (or creates) a write-ahead log rooted at dir.
+func OpenWAL(dir string, opt WALOptions) (*WAL, error) { return ingest.Open(dir, opt) }
+
+// DriftStatus is an agent's lifetime ingest/drift accounting.
+type DriftStatus = core.DriftStatus
+
+// AbsorbResult reports what one AbsorbRows call did.
+type AbsorbResult = core.AbsorbResult
+
+// DriftMaintainer watches a live agent's ingest pressure and
+// re-quantises it in the background when incremental maintenance stops
+// being enough (see ingest.Maintainer).
+type DriftMaintainer = ingest.Maintainer
+
+// DriftMaintainerConfig tunes a DriftMaintainer.
+type DriftMaintainerConfig = ingest.MaintainerConfig
+
+// IngestResponse summarises a cluster ingest batch (see
+// dist.IngestResponse); ClusterClient.Ingest returns it.
+type IngestResponse = dist.IngestResponse
+
+// AbsorbRows folds an ingested row batch into the agent's maintenance
+// state: with AgentConfig.DriftRowBudget > 0 additive models update in
+// place and stale quanta invalidate surgically; otherwise every model
+// goes on probation (legacy wholesale invalidation).
+func (a *Agent) AbsorbRows(version int64, rows [][]float64) AbsorbResult {
+	return a.inner.AbsorbRows(version, rows)
+}
+
+// Drift returns the agent's lifetime ingest/drift accounting.
+func (a *Agent) Drift() DriftStatus { return a.inner.Drift() }
+
+// Rebuild re-quantises the agent from the supplied query sample in the
+// background and swaps the result in without blocking reads (requires a
+// thread-safe oracle; see core.Agent.Rebuild).
+func (a *Agent) Rebuild(queries []Query) error { return a.inner.Rebuild(queries) }
+
+// NewDriftMaintainer builds a background drift maintainer over the
+// agent.
+func NewDriftMaintainer(a *Agent, cfg DriftMaintainerConfig) *DriftMaintainer {
+	return ingest.NewMaintainer(a.inner, cfg)
+}
+
+// Ingest appends a batch of rows to the system's table online — one
+// version bump per batch, so agent maintenance sees one data-version
+// step per durable unit. Pair with Agent.AbsorbRows (incremental) or
+// Agent.NotifyDataChange (legacy) to keep models honest.
+func (s *System) Ingest(rows []Row) (Cost, error) {
+	if s.ex == nil {
+		return Cost{}, fmt.Errorf("sea: ingest before Load")
+	}
+	cost, err := s.table.AppendBatch(rows)
+	if err != nil {
+		return cost, fmt.Errorf("sea: ingest: %w", err)
+	}
+	return cost, nil
+}

@@ -183,6 +183,11 @@ type AgentConfig struct {
 	// UseMapReduceOracle trains through the Fig. 1 path when true
 	// (default) or the cohort path when false.
 	UseMapReduceOracle bool
+	// DriftRowBudget enables incremental model maintenance under a live
+	// write path: ingested rows update additive models in place and
+	// stale quanta invalidate surgically instead of wholesale (see
+	// core.Config.DriftRowBudget). 0 keeps the legacy behaviour.
+	DriftRowBudget int
 }
 
 // Agent is the public handle of the SEA intelligent agent (Fig. 2).
@@ -203,6 +208,9 @@ func (s *System) NewAgent(cfg AgentConfig) (*Agent, error) {
 	}
 	if cfg.FallbackThreshold > 0 {
 		cc.FallbackThreshold = cfg.FallbackThreshold
+	}
+	if cfg.DriftRowBudget > 0 {
+		cc.DriftRowBudget = cfg.DriftRowBudget
 	}
 	var oracle core.Oracle
 	if cfg.UseMapReduceOracle {
