@@ -1,5 +1,5 @@
 // Package repro's root benchmarks regenerate every experiment in
-// DESIGN.md's per-experiment index (E1-E15) plus the ablations (A1-A5).
+// DESIGN.md's per-experiment index (E1-E16) plus the ablations (A1-A5).
 // Each bench reports the experiment's headline virtual metrics via
 // b.ReportMetric, so `go test -bench=. -benchmem` prints the rows that
 // EXPERIMENTS.md records. Wall-clock ns/op measures simulator CPU, not
@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/query"
 )
 
 func BenchmarkE1DatalessVsBDAS(b *testing.B) {
@@ -341,6 +342,30 @@ func BenchmarkAblationGeoRouting(b *testing.B) {
 	}
 	b.ReportMetric(out["core-only"], "core_only_wan_B")
 	b.ReportMetric(out["peer-first"], "peer_first_wan_B")
+}
+
+func BenchmarkE16Vectorized(b *testing.B) {
+	for _, rows := range []int{100_000, 1_000_000} {
+		for _, sel := range []float64{0.01, 0.10, 0.50} {
+			for _, agg := range []query.Agg{query.Count, query.Sum, query.Var, query.Corr} {
+				b.Run(sizeName(rows)+"/"+pctName(sel)+"/"+agg.String(), func(b *testing.B) {
+					var row experiments.E16Row
+					var err error
+					for i := 0; i < b.N; i++ {
+						row, err = experiments.E16Vectorized(rows, 16, sel, agg, 3)
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(row.KernelSpeedupX, "kernel_speedup_x")
+					b.ReportMetric(row.ParSpeedupX, "par_speedup_x")
+					b.ReportMetric(row.PrunedSpeedupX, "pruned_speedup_x")
+					b.ReportMetric(row.PrunedFrac, "pruned_frac")
+					b.ReportMetric(row.VecMRowsPerSec, "vec_mrows_s")
+				})
+			}
+		}
+	}
 }
 
 func sizeName(n int) string {

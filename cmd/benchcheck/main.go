@@ -1,0 +1,126 @@
+// Command benchcheck compares two seabench -json outputs and fails
+// (exit 1) when the new run's exact-path throughput has regressed
+// beyond the allowed fraction. CI's bench-regression job runs it
+// against the BENCH_<sha>.json artifact of the previous push, so a
+// kernel regression fails the build instead of silently accumulating.
+//
+// Rows are matched by experiment + identity key (rows, selectivity,
+// agg); the verdict is the geometric mean of the per-row new/base
+// throughput ratios, which damps single-row CI noise while still
+// catching a real across-the-board slowdown.
+//
+// Usage:
+//
+//	benchcheck -base BENCH_old.json -new BENCH_new.json \
+//	    [-experiment E16] [-metric vec_mrows_s] [-max-drop 0.20]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+)
+
+type line struct {
+	Experiment string                 `json:"experiment"`
+	Row        map[string]interface{} `json:"row"`
+}
+
+// load reads the metric per identity key from one seabench JSON stream.
+func load(path, experiment, metric string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var l line
+		if err := json.Unmarshal(raw, &l); err != nil {
+			continue // tolerate non-JSON noise in the stream
+		}
+		if l.Experiment != experiment {
+			continue
+		}
+		v, ok := l.Row[metric].(float64)
+		if !ok || v <= 0 {
+			continue
+		}
+		key := fmt.Sprintf("rows=%v/sel=%v/agg=%v", l.Row["rows"], l.Row["selectivity"], l.Row["agg"])
+		out[key] = v
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	basePath := flag.String("base", "", "baseline seabench -json file")
+	newPath := flag.String("new", "", "candidate seabench -json file")
+	experiment := flag.String("experiment", "E16", "experiment id to compare")
+	metric := flag.String("metric", "vec_mrows_s", "row field holding the throughput (higher = better)")
+	maxDrop := flag.Float64("max-drop", 0.20, "maximum tolerated fractional throughput drop")
+	flag.Parse()
+	if *basePath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -base and -new are required")
+		os.Exit(2)
+	}
+
+	base, err := load(*basePath, *experiment, *metric)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: read baseline: %v\n", err)
+		os.Exit(2)
+	}
+	cand, err := load(*newPath, *experiment, *metric)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: read candidate: %v\n", err)
+		os.Exit(2)
+	}
+	if len(base) == 0 {
+		// First run after the experiment landed (or baseline predates
+		// it): nothing to compare against — pass, the artifact becomes
+		// the next baseline.
+		fmt.Printf("benchcheck: no %s/%s rows in baseline %s; skipping comparison\n",
+			*experiment, *metric, *basePath)
+		return
+	}
+	if len(cand) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: candidate %s has no %s/%s rows\n",
+			*newPath, *experiment, *metric)
+		os.Exit(1)
+	}
+
+	var logSum float64
+	var n int
+	for key, b := range base {
+		c, ok := cand[key]
+		if !ok {
+			fmt.Printf("benchcheck: %s: only in baseline, skipped\n", key)
+			continue
+		}
+		ratio := c / b
+		fmt.Printf("benchcheck: %s: base=%.1f new=%.1f ratio=%.3f\n", key, b, c, ratio)
+		logSum += math.Log(ratio)
+		n++
+	}
+	if n == 0 {
+		fmt.Println("benchcheck: no comparable rows; skipping")
+		return
+	}
+	geo := math.Exp(logSum / float64(n))
+	floor := 1 - *maxDrop
+	fmt.Printf("benchcheck: geomean ratio %.3f over %d rows (floor %.3f)\n", geo, n, floor)
+	if geo < floor {
+		fmt.Fprintf(os.Stderr, "benchcheck: FAIL: %s throughput regressed %.1f%% (> %.0f%% allowed)\n",
+			*experiment, (1-geo)*100, *maxDrop*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: OK")
+}

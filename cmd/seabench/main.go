@@ -1,9 +1,9 @@
-// Command seabench runs the full experiment suite (E1-E15 and ablations
+// Command seabench runs the full experiment suite (E1-E16 and ablations
 // A1-A5 from DESIGN.md) at configurable scale and prints one table per
 // experiment — the rows EXPERIMENTS.md records. Metrics are virtual
 // simulator units (see internal/metrics), except E13 (concurrent
-// serving), E14 (distributed cluster) and E15 (live data plane) which
-// measure the real serving layer in wall-clock units.
+// serving), E14 (distributed cluster), E15 (live data plane) and E16
+// (vectorized execution) which measure real wall-clock behaviour.
 //
 // With -json every experiment emits machine-readable rows instead of
 // tables, one JSON object per line:
@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/query"
 )
 
 func main() {
@@ -380,6 +381,28 @@ func run(scale, only string, jsonOut bool) error {
 				return err
 			}
 			fmt.Println(string(js))
+			fmt.Println()
+		}
+	}
+
+	if want("E16") {
+		// The vectorized-vs-row-at-a-time contrast is wall-clock: run a
+		// compact grid so the bench-regression job has stable rows to
+		// diff. Iterations are higher at smoke scale to damp CI noise.
+		var rows []experiments.E16Row
+		for _, agg := range []query.Agg{query.Count, query.Sum, query.Var, query.Corr} {
+			r, err := experiments.E16Vectorized(pick(200_000, 1_000_000), 16, 0.10, agg, 5)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, r)
+		}
+		if !em.emit("E16", anySlice(rows)...) {
+			fmt.Println("== E16: vectorized columnar execution (zone-map pruning + batch kernels, wall clock) ==")
+			for _, r := range rows {
+				fmt.Printf("agg=%-8s rows=%-8d sel=%.2f kernel=%5.2fx parallel=%5.2fx pruned=%5.2fx pruned_frac=%.2f vec=%6.1f Mrows/s\n",
+					r.Agg, r.Rows, r.Selectivity, r.KernelSpeedupX, r.ParSpeedupX, r.PrunedSpeedupX, r.PrunedFrac, r.VecMRowsPerSec)
+			}
 			fmt.Println()
 		}
 	}

@@ -183,25 +183,56 @@ func (e *Engine) Answer(q query.Query) (query.Result, float64, metrics.Cost, err
 	if err := q.Validate(); err != nil {
 		return query.Result{}, 0, metrics.Cost{}, err
 	}
+	// Aggregate columns refer to the base schema; the sample appends a
+	// weight column past it.
+	if err := q.ValidateCols(e.weightCol); err != nil {
+		return query.Result{}, 0, metrics.Cost{}, err
+	}
 	// Scan the (distributed) sample with the cohort engine: all sample
 	// partitions, each fully read — the sample is small but the
-	// distributed machinery is still paid, per the paper's critique.
+	// distributed machinery is still paid, per the paper's critique. The
+	// selection itself runs through the vectorized columnar kernel; the
+	// few matching rows are materialised from the column views for the
+	// weighted estimators.
 	parts := make([]int, e.sample.Partitions())
 	for i := range parts {
 		parts[i] = i
 	}
-	var matched []storage.Row
-	task := func(part []storage.Row) ([][]float64, int64) {
-		for _, r := range part {
-			if q.Select.Contains(r.Vec) {
-				matched = append(matched, r)
+	matchedPer := make([][]storage.Row, e.sample.Partitions())
+	task := func(p int) ([][]float64, int64, error) {
+		view, _, err := e.sample.ScanColumns(p)
+		if err != nil {
+			if !errors.Is(err, storage.ErrNoColumns) {
+				return nil, 0, err
 			}
+			rows, _, err := e.sample.ScanPartition(p)
+			if err != nil {
+				return nil, 0, err
+			}
+			var m []storage.Row
+			for _, r := range rows {
+				if q.Select.Contains(r.Vec) {
+					m = append(m, r)
+				}
+			}
+			matchedPer[p] = m
+			return nil, int64(len(rows)), nil
 		}
-		return nil, int64(len(part))
+		idx := query.SelectIndices(q.Select, view)
+		m := make([]storage.Row, 0, len(idx))
+		for _, i := range idx {
+			m = append(m, storage.Row{Key: view.Keys[i], Vec: view.Row(i)})
+		}
+		matchedPer[p] = m
+		return nil, int64(view.Len()), nil
 	}
-	_, cost, err := e.eng.CoordinatorGather(e.sample, parts, task)
+	_, cost, err := e.eng.CoordinatorGatherParallel(e.sample, parts, task)
 	if err != nil {
 		return query.Result{}, 0, cost, fmt.Errorf("aqp answer: %w", err)
+	}
+	var matched []storage.Row
+	for _, m := range matchedPer {
+		matched = append(matched, m...)
 	}
 	cost = cost.Add(e.eng.Cluster().TransferLAN(int64(len(matched)) * 16))
 

@@ -76,6 +76,9 @@ func (n *Node) applyBatch(p int, seq uint64, rows []storage.Row, writeWAL bool) 
 		return fmt.Errorf("dist: node %s does not hold partition %d", n.id, p)
 	}
 	n.parts[p] = append(n.parts[p], rows...)
+	if cs, ok := n.cols[p]; ok {
+		cs.Append(rows...)
+	}
 	n.rowsHeld += int64(len(rows))
 	n.lastSeq[p] = seq
 	n.version++

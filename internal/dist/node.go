@@ -45,8 +45,13 @@ type Node struct {
 	// mu guards the partition map and the live-ingest bookkeeping.
 	// Base rows are laid down once by Load; the ingest path appends
 	// under the write lock (serialised per partition by partMu).
+	// cols mirrors each held partition as a columnar projection with a
+	// zone map, so node-local exact partials run through the vectorized
+	// batch kernels; a partition whose projection goes ragged (width-
+	// mismatched ingested row) falls back to the row path.
 	mu       sync.RWMutex
 	parts    map[int][]storage.Row
+	cols     map[int]*storage.ColStore
 	rowsHeld int64
 	version  int64
 	lastSeq  map[int]uint64
@@ -77,6 +82,7 @@ func NewNode(cfg Config) (*Node, error) {
 		health:  newHealth(cfg.Cooldown, cfg.Timeout),
 		hc:      newHTTPClient(cfg.Timeout),
 		parts:   make(map[int][]storage.Row),
+		cols:    make(map[int]*storage.ColStore),
 		version: 1, // bulk-loaded base data is version 1; ingest advances it
 		lastSeq: make(map[int]uint64),
 		wals:    make(map[int]*ingest.Log),
@@ -169,6 +175,7 @@ func (n *Node) Close() {
 func (n *Node) Load(rows []storage.Row) error {
 	n.mu.Lock()
 	n.parts = make(map[int][]storage.Row)
+	n.cols = make(map[int]*storage.ColStore)
 	n.rowsHeld = 0
 	n.lastSeq = make(map[int]uint64)
 	n.partMu = make(map[int]*sync.Mutex)
@@ -177,6 +184,8 @@ func (n *Node) Load(rows []storage.Row) error {
 		for _, o := range owners {
 			if o == n.id {
 				n.parts[p] = nil
+				// Width is adopted from the first row to land.
+				n.cols[p] = storage.NewColStore(-1)
 				n.partMu[p] = &sync.Mutex{}
 				break
 			}
@@ -186,6 +195,7 @@ func (n *Node) Load(rows []storage.Row) error {
 		p := i % n.cfg.Partitions
 		if _, ok := n.parts[p]; ok {
 			n.parts[p] = append(n.parts[p], r)
+			n.cols[p].Append(r)
 			n.rowsHeld++
 		}
 	}
@@ -224,7 +234,53 @@ func (n *Node) partition(p int) ([]storage.Row, bool) {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	rows, ok := n.parts[p]
-	return rows, ok
+	return rows[:len(rows):len(rows)], ok
+}
+
+// schemaWidth returns the row width this node has observed (adopted by
+// its columnar mirrors from the data), or -1 when unknown.
+func (n *Node) schemaWidth() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	for _, cs := range n.cols {
+		if w := cs.Width(); w >= 0 {
+			return w
+		}
+	}
+	return -1
+}
+
+// localPartial evaluates q's mergeable aggregate state over the node's
+// local copy of partition p, preferring the vectorized columnar path:
+// the zone map first (a partition that cannot intersect the selection
+// contributes a zero state without touching a row), then the batch
+// kernels over the columnar view. Partitions without a usable
+// projection fall back to the retained row-at-a-time kernel. The
+// second return is the number of rows actually read, the third whether
+// this node holds p.
+func (n *Node) localPartial(p int, q query.Query) ([]float64, int64, bool) {
+	n.mu.RLock()
+	rows, ok := n.parts[p]
+	if !ok {
+		n.mu.RUnlock()
+		return nil, 0, false
+	}
+	rows = rows[:len(rows):len(rows)]
+	view, vecOK := n.cols[p].View()
+	canMatch := true
+	if vecOK {
+		// Zone test against the live bounds while still holding the
+		// read lock: no per-query zone-map copies on the scatter path.
+		canMatch = query.ZoneCanMatch(q.Select, n.cols[p].ZoneView())
+	}
+	n.mu.RUnlock()
+	if vecOK && view.Len() == len(rows) {
+		if !canMatch {
+			return query.ZeroPartial(), 0, true
+		}
+		return query.PartialEvalView(q, view), int64(view.Len()), true
+	}
+	return query.PartialEval(q, rows), int64(len(rows)), true
 }
 
 // Answer serves one query through the node's own pool (local API used by
@@ -371,7 +427,7 @@ func (n *Node) handlePartial(w http.ResponseWriter, r *http.Request) {
 		serve.WriteError(w, err)
 		return
 	}
-	rows, ok := n.partition(req.Part)
+	partial, rowsRead, ok := n.localPartial(req.Part, q)
 	if !ok {
 		serve.WriteJSON(w, http.StatusNotFound, map[string]string{
 			"error": fmt.Sprintf("dist: node %s does not hold partition %d", n.id, req.Part),
@@ -379,8 +435,8 @@ func (n *Node) handlePartial(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	serve.WriteJSON(w, http.StatusOK, PartialResponse{
-		Partial: query.PartialEval(q, rows),
-		Rows:    int64(len(rows)),
+		Partial: partial,
+		Rows:    rowsRead,
 	})
 }
 
@@ -428,13 +484,12 @@ func (n *Node) PartLastSeq(p int) uint64 {
 // PartialState evaluates q's mergeable aggregate state over the node's
 // local copy of partition p — the bit-exact comparison hook the
 // recovery experiments use to prove a replayed replica equals a
-// never-killed one.
+// never-killed one. It runs the same (vectorized when available) kernel
+// as the serving path, so two replicas holding identical rows produce
+// identical states.
 func (n *Node) PartialState(p int, q query.Query) ([]float64, bool) {
-	rows, ok := n.partition(p)
-	if !ok {
-		return nil, false
-	}
-	return query.PartialEval(q, rows), true
+	partial, _, ok := n.localPartial(p, q)
+	return partial, ok
 }
 
 // Status reports the node's cluster view: membership with liveness,

@@ -48,6 +48,14 @@ type partialResult struct {
 // per-shard moments (AVG/VAR/CORR) via query.MergeEval.
 func (n *Node) ScatterGather(q query.Query) (query.Result, metrics.Cost, error) {
 	start := time.Now()
+	// Validate aggregate columns against the local schema (adopted from
+	// the data) before fanning out: a malformed query fails loudly here
+	// instead of summing silent zeros across the cluster.
+	if w := n.schemaWidth(); w >= 0 {
+		if err := q.ValidateCols(w); err != nil {
+			return query.Result{}, metrics.Cost{}, err
+		}
+	}
 	results := make([]partialResult, n.cfg.Partitions)
 	var wg sync.WaitGroup
 	wg.Add(n.cfg.Partitions)
@@ -84,10 +92,13 @@ func (n *Node) ScatterGather(q query.Query) (query.Result, metrics.Cost, error) 
 }
 
 // gatherPartition fetches partition p's aggregate state from its holders
-// in ring order, starting with this node when it is a holder.
+// in ring order, starting with this node when it is a holder. Local
+// partitions run the vectorized columnar kernel behind a zone-map check
+// (a partition that cannot intersect the selection contributes a zero
+// state for zero rows read).
 func (n *Node) gatherPartition(p int, q query.Query) partialResult {
-	if rows, ok := n.partition(p); ok {
-		return partialResult{partial: query.PartialEval(q, rows), rows: int64(len(rows)), holder: n.id}
+	if partial, rowsRead, ok := n.localPartial(p, q); ok {
+		return partialResult{partial: partial, rows: rowsRead, holder: n.id}
 	}
 	var lastErr error
 	for _, holder := range n.ring.Owners(partKey(p), n.cfg.Replicas) {

@@ -14,7 +14,10 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/metrics"
@@ -173,6 +176,93 @@ func (e *Engine) CoordinatorGather(t *storage.Table, partitions []int, task Coho
 	}
 
 	// One request message per node plus the response transfer.
+	req := metrics.Cost{
+		Time:     e.cl.Config().LANLatency,
+		Messages: int64(len(nodesSeen)),
+	}
+	resp := e.cl.TransferLAN(respBytes)
+	total := req.Add(nodeWork).Add(resp)
+	total.RowsReturned = int64(len(out))
+	return out, total, nil
+}
+
+// PartTask is executed "on" a cohort node against one partition,
+// addressed by index so the task can choose its own access path (e.g. a
+// columnar scan). It returns the produced result vectors and how many
+// rows it actually read.
+type PartTask func(p int) (results [][]float64, rowsRead int64, err error)
+
+// CoordinatorGatherParallel is CoordinatorGather with the node-side
+// work fanned out across up to GOMAXPROCS coordinator workers — the
+// simulator equivalent of cohort nodes genuinely working in parallel.
+// The cost model is identical to CoordinatorGather (one launch per
+// involved node, per-partition scan charges merged as parallel work,
+// one request message per node plus the response transfer) and is
+// assembled in partition order, so costs and results are deterministic
+// regardless of goroutine scheduling.
+func (e *Engine) CoordinatorGatherParallel(t *storage.Table, partitions []int, task PartTask) ([]CohortResult, metrics.Cost, error) {
+	type partOut struct {
+		results  [][]float64
+		rowsRead int64
+		err      error
+	}
+	outs := make([]partOut, len(partitions))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(partitions) {
+		workers = len(partitions)
+	}
+	if workers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1) - 1)
+					if i >= len(partitions) {
+						return
+					}
+					o := &outs[i]
+					o.results, o.rowsRead, o.err = task(partitions[i])
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i, p := range partitions {
+			o := &outs[i]
+			o.results, o.rowsRead, o.err = task(p)
+		}
+	}
+
+	var nodeWork metrics.Cost // parallel across cohort nodes
+	var respBytes int64
+	out := make([]CohortResult, 0, len(partitions))
+	nodesSeen := make(map[int]bool)
+	for i, p := range partitions {
+		if outs[i].err != nil {
+			return nil, metrics.Cost{}, fmt.Errorf("cohort gather on %q: %w", t.Name(), outs[i].err)
+		}
+		node, err := t.HostNode(p)
+		if err != nil {
+			return nil, metrics.Cost{}, fmt.Errorf("cohort gather on %q: %w", t.Name(), err)
+		}
+		c := e.cl.ScanCost(outs[i].rowsRead, t.RowBytes())
+		if !nodesSeen[node] {
+			nodesSeen[node] = true
+			c = c.Add(e.cl.CohortLaunch())
+			c.NodesTouched = 1
+		} else {
+			c.NodesTouched = 0
+		}
+		nodeWork = nodeWork.Merge(c)
+		for _, v := range outs[i].results {
+			respBytes += 8 + 8*int64(len(v))
+		}
+		out = append(out, CohortResult{Partition: p, Results: outs[i].results})
+	}
+
 	req := metrics.Cost{
 		Time:     e.cl.Config().LANLatency,
 		Messages: int64(len(nodesSeen)),

@@ -7,11 +7,14 @@
 //     measured against (E1), and the "training oracle" that answers the
 //     agent's training queries.
 //
-//   - ExactCohort is the coordinator–cohort path (RT3.2): with a grid
-//     synopsis routing the query, the coordinator engages only partitions
-//     that can intersect the queried subspace.
+//   - ExactCohort is the coordinator–cohort path (RT3.2): with the
+//     storage layer's zone maps routing the query, the coordinator
+//     engages only partitions that can intersect the queried subspace,
+//     and each engaged partition streams through the vectorized
+//     columnar kernels (internal/query) in parallel.
 //
-// Both return bit-identical answers; they differ only in cost.
+// Both return the same answers (within reassociation tolerance for the
+// second-order statistics); they differ in cost and in wall-clock speed.
 package exec
 
 import (
@@ -29,55 +32,15 @@ type Executor struct {
 	eng   *engine.Engine
 	table *storage.Table
 
-	// partBounds[p] = per-dimension [lo,hi] bounding box of partition p,
-	// built at Attach time; lets the cohort path prune partitions.
-	partMins [][]float64
-	partMaxs [][]float64
 	// grid is an optional density synopsis for selectivity estimates.
 	grid *sketch.GridHistogram
 }
 
-// New builds an executor for table t on engine eng, computing partition
-// bounding boxes (an offline, uncharged index-build step).
+// New builds an executor for table t on engine eng. Partition pruning
+// metadata (zone maps) lives in the storage layer and is maintained on
+// every mutation, so there is no index-build step.
 func New(eng *engine.Engine, t *storage.Table) (*Executor, error) {
-	ex := &Executor{eng: eng, table: t}
-	if err := ex.rebuildBounds(); err != nil {
-		return nil, err
-	}
-	return ex, nil
-}
-
-func (ex *Executor) rebuildBounds() error {
-	n := ex.table.Partitions()
-	ex.partMins = make([][]float64, n)
-	ex.partMaxs = make([][]float64, n)
-	for p := 0; p < n; p++ {
-		rows, _, err := ex.table.ScanPartition(p)
-		if err != nil {
-			return fmt.Errorf("exec: bounds of partition %d: %w", p, err)
-		}
-		if len(rows) == 0 {
-			continue
-		}
-		d := len(rows[0].Vec)
-		mins := make([]float64, d)
-		maxs := make([]float64, d)
-		copy(mins, rows[0].Vec)
-		copy(maxs, rows[0].Vec)
-		for _, r := range rows[1:] {
-			for j := 0; j < d && j < len(r.Vec); j++ {
-				if r.Vec[j] < mins[j] {
-					mins[j] = r.Vec[j]
-				}
-				if r.Vec[j] > maxs[j] {
-					maxs[j] = r.Vec[j]
-				}
-			}
-		}
-		ex.partMins[p] = mins
-		ex.partMaxs[p] = maxs
-	}
-	return nil
+	return &Executor{eng: eng, table: t}, nil
 }
 
 // Table returns the executor's table.
@@ -89,6 +52,9 @@ func (ex *Executor) Engine() *engine.Engine { return ex.eng }
 // ExactMapReduce answers q with a full MapReduce pass (Fig. 1 baseline).
 func (ex *Executor) ExactMapReduce(q query.Query) (query.Result, metrics.Cost, error) {
 	if err := q.Validate(); err != nil {
+		return query.Result{}, metrics.Cost{}, err
+	}
+	if err := q.ValidateCols(ex.table.Width()); err != nil {
 		return query.Result{}, metrics.Cost{}, err
 	}
 	const resultKey = 0
@@ -112,68 +78,37 @@ func (ex *Executor) ExactMapReduce(q query.Query) (query.Result, metrics.Cost, e
 	return query.Result{Value: v[0], Support: int64(v[1])}, cost, nil
 }
 
-// boxIntersects reports whether partition p's bounding box can intersect
-// the selection.
-func (ex *Executor) boxIntersects(p int, s query.Selection) bool {
-	mins, maxs := ex.partMins[p], ex.partMaxs[p]
-	if mins == nil {
-		return false
-	}
-	if s.IsRadius() {
-		// Distance from centre to box must be <= radius.
-		var d2 float64
-		for j, c := range s.Center {
-			if j >= len(mins) {
-				break
-			}
-			v := c
-			if v < mins[j] {
-				d := mins[j] - v
-				d2 += d * d
-			} else if v > maxs[j] {
-				d := v - maxs[j]
-				d2 += d * d
-			}
-		}
-		return d2 <= s.Radius*s.Radius
-	}
-	for j := range s.Los {
-		if j >= len(mins) {
-			break
-		}
-		if s.His[j] < mins[j] || s.Los[j] > maxs[j] {
-			return false
-		}
-	}
-	return true
-}
-
-// CandidatePartitions returns the partitions whose bounding boxes
-// intersect the selection.
+// CandidatePartitions returns the partitions whose zone maps intersect
+// the selection. Zone maps are maintained by the storage layer on every
+// mutation, so the answer is always current.
 func (ex *Executor) CandidatePartitions(s query.Selection) []int {
-	var out []int
-	for p := 0; p < ex.table.Partitions(); p++ {
-		if ex.boxIntersects(p, s) {
-			out = append(out, p)
-		}
-	}
-	return out
+	parts, _ := query.Prune(ex.table, s)
+	return parts
 }
 
-// ExactCohort answers q by engaging only candidate partitions through the
-// coordinator–cohort paradigm. With hash partitioning every partition is
-// usually a candidate (data is spread uniformly), so the win comes from
-// skipping job-framework overhead; with range partitioning the pruning is
-// also dramatic — exactly the trade-off the optimizer (RT3) learns.
+// ExactCohort answers q by engaging only candidate partitions through
+// the coordinator–cohort paradigm, evaluating each with the vectorized
+// columnar kernels in parallel. With hash partitioning every partition
+// is usually a candidate (data is spread uniformly), so the win comes
+// from skipping job-framework overhead and from the batch kernels; with
+// range partitioning the zone-map pruning is also dramatic — exactly
+// the trade-off the optimizer (RT3) learns.
 func (ex *Executor) ExactCohort(q query.Query) (query.Result, metrics.Cost, error) {
 	if err := q.Validate(); err != nil {
 		return query.Result{}, metrics.Cost{}, err
 	}
-	parts := ex.CandidatePartitions(q.Select)
-	task := func(part []storage.Row) ([][]float64, int64) {
-		return [][]float64{query.PartialEval(q, part)}, int64(len(part))
+	if err := q.ValidateCols(ex.table.Width()); err != nil {
+		return query.Result{}, metrics.Cost{}, err
 	}
-	results, cost, err := ex.eng.CoordinatorGather(ex.table, parts, task)
+	parts := ex.CandidatePartitions(q.Select)
+	task := func(p int) ([][]float64, int64, error) {
+		partial, rowsRead, err := query.PartialForPartition(q, ex.table, p)
+		if err != nil {
+			return nil, 0, err
+		}
+		return [][]float64{partial}, rowsRead, nil
+	}
+	results, cost, err := ex.eng.CoordinatorGatherParallel(ex.table, parts, task)
 	if err != nil {
 		return query.Result{}, cost, fmt.Errorf("exact cohort: %w", err)
 	}
@@ -189,21 +124,47 @@ func (ex *Executor) ExactCohort(q query.Query) (query.Result, metrics.Cost, erro
 // features by the optimizer).
 func (ex *Executor) BuildGrid(cellsPer int) error {
 	var mins, maxs []float64
-	for p := range ex.partMins {
-		if ex.partMins[p] == nil {
+	for p, zm := range ex.table.ZoneMaps() {
+		if zm.Rows == 0 {
 			continue
 		}
+		pmins, pmaxs := zm.Mins, zm.Maxs
+		if pmins == nil {
+			// No usable projection: derive this partition's box from rows.
+			rows, _, err := ex.table.ScanPartition(p)
+			if err != nil {
+				return fmt.Errorf("exec: build grid: %w", err)
+			}
+			for _, r := range rows {
+				for j := 0; j < len(r.Vec); j++ {
+					if j >= len(pmins) {
+						pmins = append(pmins, r.Vec[j])
+						pmaxs = append(pmaxs, r.Vec[j])
+						continue
+					}
+					if r.Vec[j] < pmins[j] {
+						pmins[j] = r.Vec[j]
+					}
+					if r.Vec[j] > pmaxs[j] {
+						pmaxs[j] = r.Vec[j]
+					}
+				}
+			}
+		}
 		if mins == nil {
-			mins = append([]float64(nil), ex.partMins[p]...)
-			maxs = append([]float64(nil), ex.partMaxs[p]...)
+			mins = append([]float64(nil), pmins...)
+			maxs = append([]float64(nil), pmaxs...)
 			continue
 		}
 		for j := range mins {
-			if ex.partMins[p][j] < mins[j] {
-				mins[j] = ex.partMins[p][j]
+			if j >= len(pmins) {
+				continue
 			}
-			if ex.partMaxs[p][j] > maxs[j] {
-				maxs[j] = ex.partMaxs[p][j]
+			if pmins[j] < mins[j] {
+				mins[j] = pmins[j]
+			}
+			if pmaxs[j] > maxs[j] {
+				maxs[j] = pmaxs[j]
 			}
 		}
 	}
@@ -261,6 +222,7 @@ func (ex *Executor) EstimateSelectivity(s query.Selection) float64 {
 	return est / float64(ex.table.Rows())
 }
 
-// RefreshBounds recomputes partition bounding boxes after data updates
-// (call after storage mutations so cohort pruning stays correct).
-func (ex *Executor) RefreshBounds() error { return ex.rebuildBounds() }
+// RefreshBounds is retained for API compatibility: partition pruning
+// metadata now lives in the storage layer's zone maps, which every
+// mutation keeps current, so there is nothing to rebuild.
+func (ex *Executor) RefreshBounds() error { return nil }

@@ -1,0 +1,34 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/query"
+)
+
+// TestEvaluationBoundaryRejectsBadColumns asserts both exact paths
+// refuse out-of-range aggregate columns with ErrBadQuery instead of
+// silently aggregating zeros (the old colVal behaviour).
+func TestEvaluationBoundaryRejectsBadColumns(t *testing.T) {
+	ex := buildExec(t, 500, 2, 4)
+	sel := query.Selection{Los: []float64{0, 0}, His: []float64{100, 100}}
+	bad := []query.Query{
+		{Select: sel, Aggregate: query.Sum, Col: 9},
+		{Select: sel, Aggregate: query.Avg, Col: -1},
+		{Select: sel, Aggregate: query.Corr, Col: 0, Col2: 9},
+		{Select: sel, Aggregate: query.RegSlope, Col: 9, Col2: 0},
+	}
+	for i, q := range bad {
+		if _, _, err := ex.ExactMapReduce(q); !errors.Is(err, query.ErrBadQuery) {
+			t.Errorf("case %d: ExactMapReduce err = %v, want ErrBadQuery", i, err)
+		}
+		if _, _, err := ex.ExactCohort(q); !errors.Is(err, query.ErrBadQuery) {
+			t.Errorf("case %d: ExactCohort err = %v, want ErrBadQuery", i, err)
+		}
+	}
+	// COUNT ignores Col entirely: stays valid.
+	if _, _, err := ex.ExactCohort(query.Query{Select: sel, Aggregate: query.Count, Col: 9}); err != nil {
+		t.Errorf("Count with stray Col: %v", err)
+	}
+}

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/query"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// E16Row is one row of the vectorized-execution microbenchmark: the
+// wall-clock contrast between the retained row-at-a-time reference
+// kernel (PartialEval + MergeEval over every partition) and the
+// vectorized columnar engine, on the same data at the same selectivity.
+// The hash layout isolates the batch-kernel speedup (uniform data means
+// zone maps cannot prune); the range layout adds zone-map pruning on
+// top, the way a sorted store would benefit.
+type E16Row struct {
+	Rows        int     `json:"rows"`
+	Parts       int     `json:"parts"`
+	Selectivity float64 `json:"selectivity"`
+	Agg         string  `json:"agg"`
+
+	// Hash layout: kernel speedup only.
+	RowLatency     time.Duration `json:"row_ns"`
+	VecLatency     time.Duration `json:"vec_ns"`
+	ParLatency     time.Duration `json:"par_ns"`
+	KernelSpeedupX float64       `json:"kernel_speedup_x"`
+	ParSpeedupX    float64       `json:"par_speedup_x"`
+	VecMRowsPerSec float64       `json:"vec_mrows_s"`
+
+	// Range layout: zone-map pruning compounds with the kernels.
+	RangeRowLatency time.Duration `json:"range_row_ns"`
+	RangeVecLatency time.Duration `json:"range_vec_ns"`
+	PrunedSpeedupX  float64       `json:"pruned_speedup_x"`
+	PartsPruned     int           `json:"parts_pruned"`
+	PrunedFrac      float64       `json:"pruned_frac"`
+}
+
+// e16Query builds the benchmark query: an x-stripe of the requested
+// overall selectivity crossed with a 90% y-band (so both the early-exit
+// row path and the multi-pass column path do real multi-dimensional
+// work), carrying the given aggregate over the correlated z column.
+func e16Query(selectivity float64, agg query.Agg) query.Query {
+	sx := selectivity / 0.9
+	if sx > 1 {
+		sx = 1
+	}
+	lo := 50 - 50*sx
+	hi := 50 + 50*sx
+	q := query.Query{
+		Select:    query.Selection{Los: []float64{lo, 5}, His: []float64{hi, 95}},
+		Aggregate: agg,
+	}
+	switch agg {
+	case query.Sum, query.Avg, query.Var:
+		q.Col = 2
+	case query.Corr, query.RegSlope:
+		q.Col, q.Col2 = 0, 2
+	}
+	return q
+}
+
+// e16Table loads uniform x,y plus correlated z into a fresh table.
+func e16Table(nRows, parts int, ranged bool) (*storage.Table, error) {
+	cl := cluster.New(8, cluster.DefaultConfig())
+	var opts []storage.Option
+	if ranged {
+		bounds := make([]float64, parts-1)
+		for i := range bounds {
+			bounds[i] = 100 * float64(i+1) / float64(parts)
+		}
+		opts = append(opts, storage.WithRangePartitioning(bounds))
+	}
+	tbl, err := storage.NewTable(cl, "e16", []string{"x", "y", "z"}, parts, opts...)
+	if err != nil {
+		return nil, err
+	}
+	rng := workload.NewRNG(97)
+	rows := workload.Uniform(rng, nRows, 3, []float64{0, 0, 0}, []float64{100, 100, 1}, 1)
+	workload.CorrelatedColumns(rng, rows, 0, 2, 2, 5, 1)
+	if err := tbl.Load(rows); err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}
+
+// rowPathEval is the retained row-at-a-time reference: scan every
+// partition, PartialEval each, MergeEval the states.
+func rowPathEval(q query.Query, tbl *storage.Table) (query.Result, error) {
+	partials := make([][]float64, tbl.Partitions())
+	for p := 0; p < tbl.Partitions(); p++ {
+		rows, _, err := tbl.ScanPartition(p)
+		if err != nil {
+			return query.Result{}, err
+		}
+		partials[p] = query.PartialEval(q, rows)
+	}
+	return query.MergeEval(q, partials), nil
+}
+
+// vecPathEval is the single-core vectorized path: zone-map pruning,
+// then the batch kernels over each surviving partition's column views,
+// merged in partition order.
+func vecPathEval(q query.Query, tbl *storage.Table) (query.Result, int, error) {
+	parts, pruned := query.Prune(tbl, q.Select)
+	partials := make([][]float64, 0, len(parts))
+	for _, p := range parts {
+		view, _, err := tbl.ScanColumns(p)
+		if err != nil {
+			return query.Result{}, 0, err
+		}
+		partials = append(partials, query.PartialEvalView(q, view))
+	}
+	return query.MergeEval(q, partials), pruned, nil
+}
+
+// timeBest runs fn iters times and returns the fastest run (the usual
+// microbenchmark guard against scheduler noise).
+func timeBest(iters int, fn func() error) (time.Duration, error) {
+	best := time.Duration(math.MaxInt64)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// e16Agree enforces the engine's correctness contract inside the
+// benchmark: supports equal, values within reassociation tolerance.
+func e16Agree(what string, got, want query.Result) error {
+	if got.Support != want.Support {
+		return fmt.Errorf("E16 %s: support %d != %d", what, got.Support, want.Support)
+	}
+	if d := math.Abs(got.Value - want.Value); d > 1e-9*math.Max(1, math.Abs(want.Value)) {
+		return fmt.Errorf("E16 %s: value %v != %v", what, got.Value, want.Value)
+	}
+	return nil
+}
+
+// E16Vectorized measures the vectorized columnar engine against the
+// row-at-a-time reference at one (rows, partitions, selectivity,
+// aggregate) grid point. It returns an error if the two paths ever
+// disagree, so a kernel bug fails the benchmark rather than skewing it.
+func E16Vectorized(nRows, parts int, selectivity float64, agg query.Agg, iters int) (E16Row, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	q := e16Query(selectivity, agg)
+	row := E16Row{Rows: nRows, Parts: parts, Selectivity: selectivity, Agg: agg.String()}
+
+	// Hash layout: uniform data defeats pruning, isolating the kernels.
+	tbl, err := e16Table(nRows, parts, false)
+	if err != nil {
+		return row, err
+	}
+	var rowRes, vecRes, parRes query.Result
+	row.RowLatency, err = timeBest(iters, func() error {
+		rowRes, err = rowPathEval(q, tbl)
+		return err
+	})
+	if err != nil {
+		return row, err
+	}
+	row.VecLatency, err = timeBest(iters, func() error {
+		vecRes, _, err = vecPathEval(q, tbl)
+		return err
+	})
+	if err != nil {
+		return row, err
+	}
+	row.ParLatency, err = timeBest(iters, func() error {
+		var stats query.TableScanStats
+		parRes, stats, err = query.EvalTable(q, tbl)
+		_ = stats
+		return err
+	})
+	if err != nil {
+		return row, err
+	}
+	if err := e16Agree("vec", vecRes, rowRes); err != nil {
+		return row, err
+	}
+	if err := e16Agree("parallel", parRes, rowRes); err != nil {
+		return row, err
+	}
+	row.KernelSpeedupX = ratioNs(row.RowLatency, row.VecLatency)
+	row.ParSpeedupX = ratioNs(row.RowLatency, row.ParLatency)
+	if row.VecLatency > 0 {
+		row.VecMRowsPerSec = float64(nRows) / row.VecLatency.Seconds() / 1e6
+	}
+
+	// Range layout: zone maps prune the stripes the selection misses.
+	rtbl, err := e16Table(nRows, parts, true)
+	if err != nil {
+		return row, err
+	}
+	var rRowRes, rVecRes query.Result
+	row.RangeRowLatency, err = timeBest(iters, func() error {
+		rRowRes, err = rowPathEval(q, rtbl)
+		return err
+	})
+	if err != nil {
+		return row, err
+	}
+	row.RangeVecLatency, err = timeBest(iters, func() error {
+		rVecRes, row.PartsPruned, err = vecPathEval(q, rtbl)
+		return err
+	})
+	if err != nil {
+		return row, err
+	}
+	if err := e16Agree("range", rVecRes, rRowRes); err != nil {
+		return row, err
+	}
+	if err := e16Agree("layouts", rRowRes, rowRes); err != nil {
+		return row, err
+	}
+	row.PrunedSpeedupX = ratioNs(row.RangeRowLatency, row.RangeVecLatency)
+	row.PrunedFrac = float64(row.PartsPruned) / float64(parts)
+	return row, nil
+}
+
+func ratioNs(a, b time.Duration) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/query"
+)
+
+func TestE16Vectorized(t *testing.T) {
+	for _, agg := range []query.Agg{query.Count, query.Sum, query.Corr} {
+		row, err := E16Vectorized(30_000, 8, 0.1, agg, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", agg, err)
+		}
+		if row.KernelSpeedupX <= 0 || row.ParSpeedupX <= 0 || row.PrunedSpeedupX <= 0 {
+			t.Fatalf("%s: non-positive speedups: %+v", agg, row)
+		}
+		// A 10%-selectivity x-stripe over 8 range partitions intersects
+		// at most 2 stripes: pruning must skip at least half the table.
+		if row.PrunedFrac < 0.5 {
+			t.Errorf("%s: pruned frac = %v, want >= 0.5 (pruned %d of %d)",
+				agg, row.PrunedFrac, row.PartsPruned, row.Parts)
+		}
+		if row.VecMRowsPerSec <= 0 {
+			t.Errorf("%s: vec throughput = %v", agg, row.VecMRowsPerSec)
+		}
+	}
+}

@@ -225,6 +225,30 @@ func (q Query) Validate() error {
 	return nil
 }
 
+// ValidateCols checks the aggregate's column references against a
+// table width at the evaluation boundary. Without this check, colVal
+// silently reads 0 for out-of-range columns — a malformed query would
+// produce a well-formed-looking answer instead of an error.
+func (q Query) ValidateCols(width int) error {
+	switch q.Aggregate {
+	case Sum, Avg, Var:
+		if q.Col < 0 || q.Col >= width {
+			return fmt.Errorf("%w: %s column %d out of range for %d-column table",
+				ErrBadQuery, q.Aggregate, q.Col, width)
+		}
+	case Corr, RegSlope:
+		if q.Col < 0 || q.Col >= width {
+			return fmt.Errorf("%w: %s column %d out of range for %d-column table",
+				ErrBadQuery, q.Aggregate, q.Col, width)
+		}
+		if q.Col2 < 0 || q.Col2 >= width {
+			return fmt.Errorf("%w: %s second column %d out of range for %d-column table",
+				ErrBadQuery, q.Aggregate, q.Col2, width)
+		}
+	}
+	return nil
+}
+
 // Vectorize maps the query to its position in query space: centre
 // coordinates followed by the extent. This is the representation the SEA
 // agent quantises (RT1.1) and its per-quantum models regress over
@@ -367,19 +391,36 @@ func finishAgg(q Query, st aggState) Result {
 	case Avg:
 		res.Value = st.sum / nf
 	case Var:
+		// sum2/n - m² can go (slightly or catastrophically) negative on
+		// mean-dominated data; a variance is never negative, so clamp.
 		m := st.sum / nf
-		res.Value = st.sum2/nf - m*m
+		res.Value = clampNonNeg(st.sum2/nf - m*m)
 	case Corr:
+		// The same cancellation can push either variance term negative,
+		// which used to surface as NaN (sqrt of a negative). Clamp both:
+		// a non-positive variance means the correlation is undefined and
+		// the result stays 0.
 		num := nf*st.sxy - st.sx*st.sy
-		den := math.Sqrt(nf*st.sxx-st.sx*st.sx) * math.Sqrt(nf*st.syy-st.sy*st.sy)
+		den := math.Sqrt(clampNonNeg(nf*st.sxx-st.sx*st.sx)) *
+			math.Sqrt(clampNonNeg(nf*st.syy-st.sy*st.sy))
 		if den != 0 {
 			res.Value = num / den
 		}
 	case RegSlope:
 		den := nf*st.sxx - st.sx*st.sx
-		if den != 0 {
+		if den > 0 {
 			res.Value = (nf*st.sxy - st.sx*st.sy) / den
 		}
 	}
 	return res
+}
+
+// clampNonNeg floors a variance/covariance term at zero: catastrophic
+// cancellation in raw-moment arithmetic can drive a mathematically
+// non-negative quantity negative.
+func clampNonNeg(v float64) float64 {
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	return v
 }

@@ -1,0 +1,204 @@
+// Columnar projection: every partition maintains a struct-of-arrays
+// mirror of its rows — one contiguous []float64 per column plus a key
+// column — together with a zone map (per-column min/max and a row
+// count). The projection is what the vectorized batch kernels in
+// internal/query scan: contiguous columns turn the per-row pointer
+// chase of []Row into sequential streams, and zone maps let the exact
+// path skip partitions that cannot intersect a selection at all.
+package storage
+
+import "errors"
+
+// ErrNoColumns is returned by ScanColumns when a partition has no
+// usable columnar projection (its rows became ragged through an
+// UpdateWhere that resized vectors); callers fall back to the
+// row-at-a-time path.
+var ErrNoColumns = errors.New("storage: no columnar projection for partition")
+
+// ColumnView is a read-only, zero-copy columnar snapshot of one
+// partition: Cols[j][i] is row i's value in column j, Keys[i] its key.
+// The slices alias the partition's live column arrays with length and
+// capacity pinned at snapshot time, so concurrent appends never become
+// visible through an already-taken view and the view must not be
+// mutated.
+type ColumnView struct {
+	// Keys holds the row keys.
+	Keys []uint64
+	// Cols holds one contiguous value array per table column.
+	Cols [][]float64
+}
+
+// Len returns the number of rows in the view.
+func (v ColumnView) Len() int { return len(v.Keys) }
+
+// Width returns the number of value columns.
+func (v ColumnView) Width() int { return len(v.Cols) }
+
+// Row materialises row i as a freshly allocated attribute vector.
+func (v ColumnView) Row(i int) []float64 {
+	out := make([]float64, len(v.Cols))
+	for j, c := range v.Cols {
+		out[j] = c[i]
+	}
+	return out
+}
+
+// ZoneMap summarises one partition for pruning: per-column minima and
+// maxima plus the row count. Mins/Maxs are nil either when the
+// partition is empty (Rows == 0: always prunable) or when the columnar
+// projection is unavailable (Rows > 0: never prunable).
+type ZoneMap struct {
+	// Mins holds the per-column minimum over the partition's rows.
+	Mins []float64
+	// Maxs holds the per-column maximum.
+	Maxs []float64
+	// Rows is the partition's row count.
+	Rows int
+}
+
+// ColStore is the append-only columnar mirror of one partition. It is
+// not internally synchronised: the owning table (or distributed node)
+// serialises appends and snapshots under its own lock, and views taken
+// under that lock stay immutable afterwards because appends only ever
+// write past every outstanding view's pinned length.
+type ColStore struct {
+	width int
+	keys  []uint64
+	cols  [][]float64
+	mins  []float64
+	maxs  []float64
+	// ragged flips when a row whose width disagrees with the store
+	// arrives; the projection is then unusable and readers fall back to
+	// rows.
+	ragged bool
+	// unbounded flips when a NaN value arrives: NaN is invisible to
+	// min/max (every comparison is false) yet matches any range under
+	// the selection semantics, so the zone map must stop claiming it
+	// bounds the data or pruning would skip matching rows.
+	unbounded bool
+}
+
+// NewColStore builds an empty store for rows of the given width. A
+// negative width means "adopt the first appended row's width" (used by
+// distributed nodes that learn the schema from data).
+func NewColStore(width int) *ColStore {
+	c := &ColStore{width: width}
+	if width >= 0 {
+		c.cols = make([][]float64, width)
+	}
+	return c
+}
+
+// BuildColStore builds a store of the given width holding rows.
+func BuildColStore(width int, rows []Row) *ColStore {
+	c := NewColStore(width)
+	c.Append(rows...)
+	return c
+}
+
+// Append adds rows to the projection, extending the zone map. A row of
+// the wrong width poisons the store (Ragged) rather than corrupting the
+// layout.
+func (c *ColStore) Append(rows ...Row) {
+	for _, r := range rows {
+		if c.width < 0 {
+			c.width = len(r.Vec)
+			c.cols = make([][]float64, c.width)
+		}
+		if c.ragged {
+			return
+		}
+		if len(r.Vec) != c.width {
+			c.ragged = true
+			return
+		}
+		c.keys = append(c.keys, r.Key)
+		for j := range c.cols {
+			c.cols[j] = append(c.cols[j], r.Vec[j])
+		}
+		if c.mins == nil {
+			c.mins = append([]float64(nil), r.Vec...)
+			c.maxs = append([]float64(nil), r.Vec...)
+			for _, v := range r.Vec {
+				if v != v {
+					c.unbounded = true
+				}
+			}
+			continue
+		}
+		for j, v := range r.Vec {
+			if v < c.mins[j] {
+				c.mins[j] = v
+			}
+			if v > c.maxs[j] {
+				c.maxs[j] = v
+			}
+			if v != v {
+				c.unbounded = true
+			}
+		}
+	}
+}
+
+// Len returns the number of projected rows.
+func (c *ColStore) Len() int { return len(c.keys) }
+
+// Width returns the store's column count, or -1 when it is nil or has
+// not yet adopted a width.
+func (c *ColStore) Width() int {
+	if c == nil || c.width < 0 {
+		return -1
+	}
+	return c.width
+}
+
+// Ragged reports whether the projection was poisoned by a
+// width-mismatched row.
+func (c *ColStore) Ragged() bool { return c.ragged }
+
+// View snapshots the store as a ColumnView. The second return is false
+// when the projection is unusable. Length and capacity are pinned so
+// later appends stay invisible and consumer appends cannot touch shared
+// memory.
+func (c *ColStore) View() (ColumnView, bool) {
+	if c == nil || c.ragged {
+		return ColumnView{}, false
+	}
+	n := len(c.keys)
+	v := ColumnView{
+		Keys: c.keys[:n:n],
+		Cols: make([][]float64, len(c.cols)),
+	}
+	for j := range c.cols {
+		v.Cols[j] = c.cols[j][:n:n]
+	}
+	return v, true
+}
+
+// Zone returns a copy of the store's zone map. For a nil or ragged
+// store the caller must synthesise a ZoneMap from its own row count
+// (nil bounds, Rows > 0) so pruning keeps the partition. A store that
+// has absorbed a NaN value reports its row count with nil bounds for
+// the same reason: min/max cannot bound NaN, and a NaN coordinate
+// matches any range.
+func (c *ColStore) Zone() ZoneMap {
+	zm := c.ZoneView()
+	zm.Mins = append([]float64(nil), zm.Mins...)
+	zm.Maxs = append([]float64(nil), zm.Maxs...)
+	return zm
+}
+
+// ZoneView is Zone without the copies: the returned slices alias the
+// live min/max arrays, which appends mutate in place, so the caller
+// must hold whatever lock serialises appends for as long as it reads
+// the view. This is the allocation-free pruning primitive for hot
+// paths; Zone returns stable copies instead.
+func (c *ColStore) ZoneView() ZoneMap {
+	if c == nil || c.ragged {
+		return ZoneMap{}
+	}
+	if c.unbounded {
+		return ZoneMap{Rows: len(c.keys)}
+	}
+	return ZoneMap{Mins: c.mins, Maxs: c.maxs, Rows: len(c.keys)}
+}
