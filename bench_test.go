@@ -368,6 +368,57 @@ func BenchmarkE16Vectorized(b *testing.B) {
 	}
 }
 
+// BenchmarkE17HotPath proves the serving hot path's allocation
+// contract with -benchmem precision: the steady-state TryPredict tier
+// (indexed quantum lookup + scratch-arena features) and the versioned
+// cache-hit tier must both report 0 allocs/op. The E17 sub-benchmark
+// reports the full experiment row (throughput, tier latencies, batched
+// cluster RPCs per query).
+func BenchmarkE17HotPath(b *testing.B) {
+	fix, err := experiments.NewE17Fixture(20_000, 300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("TryPredict", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := fix.Agent.TryPredict(fix.Query); !ok {
+				b.Fatal("fast path refused the pinned query")
+			}
+		}
+	})
+	b.Run("CacheHit", func(b *testing.B) {
+		if _, err := fix.Pool.Answer(fix.Query); err != nil { // prime
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := fix.Pool.Answer(fix.Query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("E17", func(b *testing.B) {
+		var row experiments.E17Row
+		var err error
+		for i := 0; i < b.N; i++ {
+			row, err = experiments.E17HotPath(20_000, 300, 16, 500, 100)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(row.QPS, "qps")
+		b.ReportMetric(row.TryPredictNsOp, "try_predict_ns")
+		b.ReportMetric(row.TryPredictAllocsOp, "try_predict_allocs")
+		b.ReportMetric(row.CacheHitNsOp, "cache_hit_ns")
+		b.ReportMetric(row.CacheHitAllocsOp, "cache_hit_allocs")
+		b.ReportMetric(row.CacheHitRate, "cache_hit_rate")
+		b.ReportMetric(row.RPCsPerQuery, "rpcs_per_query")
+		b.ReportMetric(float64(row.P99.Microseconds()), "p99_us")
+	})
+}
+
 func sizeName(n int) string {
 	switch {
 	case n >= 1_000_000 && n%1_000_000 == 0:

@@ -1,18 +1,28 @@
 // Command benchcheck compares two seabench -json outputs and fails
-// (exit 1) when the new run's exact-path throughput has regressed
-// beyond the allowed fraction. CI's bench-regression job runs it
-// against the BENCH_<sha>.json artifact of the previous push, so a
-// kernel regression fails the build instead of silently accumulating.
+// (exit 1) when the new run's tracked metric has regressed beyond the
+// allowed fraction. CI's bench-regression job runs it against the
+// BENCH_<sha>.json artifact of the previous push, so a kernel (or
+// allocation) regression fails the build instead of silently
+// accumulating.
 //
 // Rows are matched by experiment + identity key (rows, selectivity,
-// agg); the verdict is the geometric mean of the per-row new/base
-// throughput ratios, which damps single-row CI noise while still
-// catching a real across-the-board slowdown.
+// agg); the verdict is the geometric mean of the per-row goodness
+// ratios, which damps single-row CI noise while still catching a real
+// across-the-board slowdown.
+//
+// By default the metric is higher-is-better throughput. With
+// -lower-better the metric is a cost (e.g. allocs/op, where the
+// steady-state target is exactly 0): zero values are admitted, each
+// row's goodness ratio becomes (base+1)/(new+1), and the run fails
+// when the geomean says the cost rose beyond -max-drop — so a fast
+// path that regresses from 0 to 1 allocs/op halves its ratio and
+// fails loudly.
 //
 // Usage:
 //
 //	benchcheck -base BENCH_old.json -new BENCH_new.json \
-//	    [-experiment E16] [-metric vec_mrows_s] [-max-drop 0.20]
+//	    [-experiment E16] [-metric vec_mrows_s] [-max-drop 0.20] \
+//	    [-lower-better]
 package main
 
 import (
@@ -30,7 +40,9 @@ type line struct {
 }
 
 // load reads the metric per identity key from one seabench JSON stream.
-func load(path, experiment, metric string) (map[string]float64, error) {
+// allowZero admits zero-valued rows (lower-is-better metrics like
+// allocs/op sit exactly at zero when healthy).
+func load(path, experiment, metric string, allowZero bool) (map[string]float64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -52,7 +64,7 @@ func load(path, experiment, metric string) (map[string]float64, error) {
 			continue
 		}
 		v, ok := l.Row[metric].(float64)
-		if !ok || v <= 0 {
+		if !ok || v < 0 || (v == 0 && !allowZero) {
 			continue
 		}
 		key := fmt.Sprintf("rows=%v/sel=%v/agg=%v", l.Row["rows"], l.Row["selectivity"], l.Row["agg"])
@@ -66,19 +78,21 @@ func main() {
 	newPath := flag.String("new", "", "candidate seabench -json file")
 	experiment := flag.String("experiment", "E16", "experiment id to compare")
 	metric := flag.String("metric", "vec_mrows_s", "row field holding the throughput (higher = better)")
-	maxDrop := flag.Float64("max-drop", 0.20, "maximum tolerated fractional throughput drop")
+	maxDrop := flag.Float64("max-drop", 0.20, "maximum tolerated fractional regression")
+	lowerBetter := flag.Bool("lower-better", false,
+		"treat the metric as a cost (e.g. allocs/op): admit zero values and fail when it rises")
 	flag.Parse()
 	if *basePath == "" || *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchcheck: -base and -new are required")
 		os.Exit(2)
 	}
 
-	base, err := load(*basePath, *experiment, *metric)
+	base, err := load(*basePath, *experiment, *metric, *lowerBetter)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcheck: read baseline: %v\n", err)
 		os.Exit(2)
 	}
-	cand, err := load(*newPath, *experiment, *metric)
+	cand, err := load(*newPath, *experiment, *metric, *lowerBetter)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcheck: read candidate: %v\n", err)
 		os.Exit(2)
@@ -105,8 +119,15 @@ func main() {
 			fmt.Printf("benchcheck: %s: only in baseline, skipped\n", key)
 			continue
 		}
-		ratio := c / b
-		fmt.Printf("benchcheck: %s: base=%.1f new=%.1f ratio=%.3f\n", key, b, c, ratio)
+		var ratio float64
+		if *lowerBetter {
+			// Goodness ratio for a cost metric, +1-smoothed so the
+			// healthy value 0 divides cleanly.
+			ratio = (b + 1) / (c + 1)
+		} else {
+			ratio = c / b
+		}
+		fmt.Printf("benchcheck: %s: base=%.2f new=%.2f ratio=%.3f\n", key, b, c, ratio)
 		logSum += math.Log(ratio)
 		n++
 	}
@@ -118,8 +139,12 @@ func main() {
 	floor := 1 - *maxDrop
 	fmt.Printf("benchcheck: geomean ratio %.3f over %d rows (floor %.3f)\n", geo, n, floor)
 	if geo < floor {
-		fmt.Fprintf(os.Stderr, "benchcheck: FAIL: %s throughput regressed %.1f%% (> %.0f%% allowed)\n",
-			*experiment, (1-geo)*100, *maxDrop*100)
+		what := "throughput"
+		if *lowerBetter {
+			what = *metric
+		}
+		fmt.Fprintf(os.Stderr, "benchcheck: FAIL: %s %s regressed %.1f%% (> %.0f%% allowed)\n",
+			*experiment, what, (1-geo)*100, *maxDrop*100)
 		os.Exit(1)
 	}
 	fmt.Println("benchcheck: OK")

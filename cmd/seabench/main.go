@@ -1,9 +1,10 @@
-// Command seabench runs the full experiment suite (E1-E16 and ablations
+// Command seabench runs the full experiment suite (E1-E17 and ablations
 // A1-A5 from DESIGN.md) at configurable scale and prints one table per
 // experiment — the rows EXPERIMENTS.md records. Metrics are virtual
 // simulator units (see internal/metrics), except E13 (concurrent
-// serving), E14 (distributed cluster), E15 (live data plane) and E16
-// (vectorized execution) which measure real wall-clock behaviour.
+// serving), E14 (distributed cluster), E15 (live data plane), E16
+// (vectorized execution) and E17 (serving hot path) which measure real
+// wall-clock behaviour.
 //
 // With -json every experiment emits machine-readable rows instead of
 // tables, one JSON object per line:
@@ -404,6 +405,23 @@ func run(scale, only string, jsonOut bool) error {
 					r.Agg, r.Rows, r.Selectivity, r.KernelSpeedupX, r.ParSpeedupX, r.PrunedSpeedupX, r.PrunedFrac, r.VecMRowsPerSec)
 			}
 			fmt.Println()
+		}
+	}
+
+	if want("E17") {
+		// The serving hot path: zero-alloc tier latencies, cache-hit
+		// rate under a repeat-heavy stream, and the batched
+		// scatter-gather's partial RPCs per exact query.
+		r, err := experiments.E17HotPath(pick(10_000, 20_000), 300,
+			pick(8, 16), pick(250, 1000), pick(50, 200))
+		if err != nil {
+			return err
+		}
+		if !em.emit("E17", r) {
+			fmt.Println("== E17: serving hot path (zero-alloc tiers, answer cache, batched scatter RPCs) ==")
+			fmt.Printf("try_predict=%.0fns (%.2f allocs)  cache_hit=%.0fns (%.2f allocs)  qps=%.0f  p99=%v  cache_hit_rate=%.2f  rpcs/query=%.2f (max holders %d)\n\n",
+				r.TryPredictNsOp, r.TryPredictAllocsOp, r.CacheHitNsOp, r.CacheHitAllocsOp,
+				r.QPS, r.P99, r.CacheHitRate, r.RPCsPerQuery, r.MaxRemoteHolders)
 		}
 	}
 

@@ -79,6 +79,7 @@ type options struct {
 	queue          int
 	tenantInflight int
 	seed           int64
+	answerCache    int
 	drain          time.Duration
 	nodeID         string
 	peerList       string
@@ -107,6 +108,8 @@ func main() {
 	flag.IntVar(&o.queue, "queue", 256, "pending-query queue depth")
 	flag.IntVar(&o.tenantInflight, "tenant-inflight", 64, "max in-flight queries per tenant")
 	flag.Int64Var(&o.seed, "seed", 1, "data/workload RNG seed (must match across members)")
+	flag.IntVar(&o.answerCache, "answer-cache", dist.DefaultAnswerCache,
+		"versioned answer-cache capacity in entries (0 disables)")
 	flag.DurationVar(&o.drain, "drain", 10*time.Second, "graceful-shutdown drain deadline")
 	flag.StringVar(&o.nodeID, "node-id", "", "cluster member id (enables cluster mode)")
 	flag.StringVar(&o.peerList, "peers", "", "cluster members as id=url,id=url,... (cluster mode)")
@@ -161,6 +164,9 @@ func (o *options) validate() error {
 	}
 	if o.driftBudget < 0 {
 		return fmt.Errorf("-drift-budget must be >= 0, got %d", o.driftBudget)
+	}
+	if o.answerCache < 0 {
+		return fmt.Errorf("-answer-cache must be >= 0, got %d", o.answerCache)
 	}
 
 	cluster := o.nodeID != ""
@@ -252,6 +258,7 @@ func runSingle(ctx context.Context, o options) error {
 		Workers:        o.workers,
 		QueueDepth:     o.queue,
 		TenantInflight: o.tenantInflight,
+		AnswerCache:    o.answerCache,
 	})
 	if err != nil {
 		return err
@@ -275,6 +282,7 @@ func runCluster(ctx context.Context, o options) error {
 		QueueDepth:     o.queue,
 		TenantInflight: o.tenantInflight,
 		DataDir:        o.dataDir,
+		AnswerCache:    answerCacheConfig(o.answerCache),
 		WriteQuorum:    o.writeQuorum,
 		RequantCheck:   o.requantCheck,
 	})
@@ -309,6 +317,15 @@ func runCluster(ctx context.Context, o options) error {
 	log.Printf("cluster member %s serving on %s", o.nodeID, o.addr)
 	context.AfterFunc(ctx, func() { log.Printf("shutting down (draining up to %v)", o.drain) })
 	return serve.RunHTTP(ctx, o.addr, node.Handler(), o.drain, node.Close)
+}
+
+// answerCacheConfig maps the flag's convention (0 = disabled) onto
+// dist.Config's (0 = default, negative = disabled).
+func answerCacheConfig(entries int) int {
+	if entries == 0 {
+		return -1
+	}
+	return entries
 }
 
 // parsePeers parses "n0=http://a:8080,n1=http://b:8080".

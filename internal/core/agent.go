@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
@@ -138,6 +139,11 @@ type quantumModel struct {
 	// exactly-known delta contribution; exact answers re-anchor it.
 	// 0 means "uninitialised" (treated as 1).
 	growth float64
+	// est caches the rolling 90th-percentile normalised error so the
+	// read-locked prediction fast path never sorts the residual window.
+	// Every mutation of the residual ring happens under the agent's
+	// write lock and must call refreshEst.
+	est float64
 }
 
 // growthFactor returns the model's current answer-space correction.
@@ -253,7 +259,15 @@ type Agent struct {
 	statsMu sync.Mutex
 	stats   Stats
 
-	dataVer int64
+	// dataVer is the last data version the agent has folded in. Atomic
+	// so the lock-free CacheVersion read never serialises behind an
+	// in-flight oracle fallback holding mu.
+	dataVer atomic.Int64
+
+	// scratch pools per-call prediction buffers (query vector, model
+	// features) so the steady-state TryPredict/PredictOnly fast paths
+	// run without heap allocations.
+	scratch sync.Pool
 
 	// Incremental-maintenance state (all guarded by mu): per-quantum
 	// fresh-row counters plus lifetime drift accounting.
@@ -290,9 +304,27 @@ func NewAgent(oracle Oracle, cfg Config) (*Agent, error) {
 		freshRows: make(map[int]int),
 	}
 	if oracle != nil {
-		a.dataVer = oracle.DataVersion()
+		a.dataVer.Store(oracle.DataVersion())
 	}
 	return a, nil
+}
+
+// predictScratch is the per-call scratch arena of the prediction fast
+// paths: the query vector (centre..., extent, shape flag) and the model
+// features reuse these buffers instead of allocating.
+type predictScratch struct {
+	qvec []float64
+	feat []float64
+}
+
+func (a *Agent) getScratch() *predictScratch {
+	if s, ok := a.scratch.Get().(*predictScratch); ok {
+		return s
+	}
+	return &predictScratch{
+		qvec: make([]float64, 0, a.cfg.Dims+2),
+		feat: make([]float64, 0, a.featureDim()),
+	}
 }
 
 // featureDim is the model input width: the full degree-2 polynomial
@@ -312,6 +344,23 @@ func (a *Agent) features(q query.Query) []float64 {
 	}
 	out := ml.PolyFeatures(v)
 	out = append(out, q.Select.Volume())
+	return out
+}
+
+// featuresFrom expands an already-built query vector qv (centre...,
+// extent — produced by VectorizeInto over s.qvec) into the model
+// features, reusing the scratch arena. It computes bit-identically to
+// features without allocating.
+func (a *Agent) featuresFrom(s *predictScratch, qv []float64, q query.Query) []float64 {
+	if q.Select.IsRadius() {
+		qv = append(qv, 1)
+	} else {
+		qv = append(qv, 0)
+	}
+	s.qvec = qv[:0]
+	out := ml.PolyFeaturesInto(s.feat[:0], qv)
+	out = append(out, q.Select.Volume())
+	s.feat = out[:0]
 	return out
 }
 
@@ -344,6 +393,7 @@ func (a *Agent) model(k modelKey, quantum int) *quantumModel {
 		ms[quantum] = &quantumModel{
 			rls:       ml.NewRLS(a.featureDim(), a.cfg.Forgetting, 1000),
 			residuals: make([]float64, a.cfg.ErrorWindow),
+			est:       math.Inf(1),
 		}
 	}
 	a.models[k] = ms
@@ -371,19 +421,26 @@ func (m *quantumModel) observeResidual(e float64) {
 	if m.probation > 0 {
 		m.probation--
 	}
+	m.refreshEst()
 }
 
-// estError returns the rolling 90th-percentile normalised error.
-func (m *quantumModel) estError() float64 {
+// refreshEst recomputes the cached rolling-error estimate. The residual
+// ring only mutates under the agent's write lock, so the read-locked
+// prediction paths read m.est without sorting anything.
+func (m *quantumModel) refreshEst() {
 	n := len(m.residuals)
 	if !m.residFull {
 		n = m.residPos
 	}
 	if n == 0 {
-		return math.Inf(1)
+		m.est = math.Inf(1)
+		return
 	}
-	return ml.Quantile(m.residuals[:n], 0.9)
+	m.est = ml.Quantile(m.residuals[:n], 0.9)
 }
+
+// estError returns the rolling 90th-percentile normalised error.
+func (m *quantumModel) estError() float64 { return m.est }
 
 // trustworthy reports whether the model may answer data-lessly under the
 // configured thresholds.
@@ -424,7 +481,7 @@ func (a *Agent) TryPredict(q query.Query) (Answer, bool) {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	if a.oracle != nil {
-		if a.oracle.DataVersion() != a.dataVer && !a.incremental() {
+		if a.oracle.DataVersion() != a.dataVer.Load() && !a.incremental() {
 			return Answer{}, false // base data changed: slow path invalidates
 		}
 		a.statsMu.Lock()
@@ -434,7 +491,10 @@ func (a *Agent) TryPredict(q query.Query) (Answer, bool) {
 			return Answer{}, false
 		}
 	}
-	quantum, d2 := a.quantizer.Assign(a.quantFeatures(q))
+	s := a.getScratch()
+	defer a.scratch.Put(s)
+	qv := q.VectorizeInto(s.qvec[:0], a.cfg.Dims)
+	quantum, d2 := a.quantizer.Assign(qv)
 	if quantum < 0 {
 		return Answer{}, false
 	}
@@ -449,7 +509,7 @@ func (a *Agent) TryPredict(q query.Query) (Answer, bool) {
 	if !m.trustworthy(a.cfg) {
 		return Answer{}, false
 	}
-	pred := m.correct(q.Aggregate, invTransform(q.Aggregate, m.rls.Predict(a.features(q))))
+	pred := m.correct(q.Aggregate, invTransform(q.Aggregate, m.rls.Predict(a.featuresFrom(s, qv, q))))
 	pred = clampPrediction(q.Aggregate, pred)
 	ans := Answer{
 		Value:     pred,
@@ -632,10 +692,10 @@ func (a *Agent) maybeDetectDataChange() {
 		return
 	}
 	v := a.oracle.DataVersion()
-	if v != a.dataVer && a.dataVer != 0 && !a.incremental() {
+	if cur := a.dataVer.Load(); v != cur && cur != 0 && !a.incremental() {
 		a.invalidate(nil)
 	}
-	a.dataVer = v
+	a.dataVer.Store(v)
 }
 
 // NotifyDataChange invalidates models whose quantum prototype falls
@@ -646,8 +706,26 @@ func (a *Agent) NotifyDataChange(sel *query.Selection) {
 	defer a.mu.Unlock()
 	a.invalidate(sel)
 	if a.oracle != nil {
-		a.dataVer = a.oracle.DataVersion()
+		a.dataVer.Store(a.oracle.DataVersion())
 	}
+}
+
+// DataVersion returns the last data version the agent has folded in.
+func (a *Agent) DataVersion() int64 { return a.dataVer.Load() }
+
+// CacheVersion is the freshness stamp serving-layer answer caches pair
+// with this agent's cached answers: the oracle's live data version
+// (which advances with every applied ingest batch), or the agent's
+// last-seen version when it has no oracle. It takes no lock — the
+// oracle reference is immutable after construction and
+// Oracle.DataVersion is documented read-safe — so cache hits never
+// serialise behind an in-flight oracle fallback holding the agent's
+// write lock.
+func (a *Agent) CacheVersion() int64 {
+	if a.oracle != nil {
+		return a.oracle.DataVersion()
+	}
+	return a.dataVer.Load()
 }
 
 func (a *Agent) invalidate(sel *query.Selection) {
@@ -668,6 +746,7 @@ func (a *Agent) invalidate(sel *query.Selection) {
 			// Reset the error window: old residuals describe dead data.
 			m.residPos = 0
 			m.residFull = false
+			m.refreshEst()
 		}
 	}
 }
@@ -708,7 +787,10 @@ func (a *Agent) PredictOnly(q query.Query) (value, estErr float64, ok bool) {
 	}
 	a.mu.RLock()
 	defer a.mu.RUnlock()
-	quantum, d2 := a.quantizer.Assign(a.quantFeatures(q))
+	s := a.getScratch()
+	defer a.scratch.Put(s)
+	qv := q.VectorizeInto(s.qvec[:0], a.cfg.Dims)
+	quantum, d2 := a.quantizer.Assign(qv)
 	if quantum < 0 {
 		return 0, 0, false
 	}
@@ -724,7 +806,7 @@ func (a *Agent) PredictOnly(q query.Query) (value, estErr float64, ok bool) {
 	if !m.trustworthy(a.cfg) {
 		return 0, 0, false
 	}
-	pred := m.correct(q.Aggregate, invTransform(q.Aggregate, m.rls.Predict(a.features(q))))
+	pred := m.correct(q.Aggregate, invTransform(q.Aggregate, m.rls.Predict(a.featuresFrom(s, qv, q))))
 	return clampPrediction(q.Aggregate, pred), m.estError(), true
 }
 
@@ -788,6 +870,7 @@ func (a *Agent) ImportModel(agg query.Agg, col, col2, quantum int, weights []flo
 	}
 	m.residFull = true
 	m.probation = 0
+	m.refreshEst()
 }
 
 // SeedQuantum inserts a quantum prototype directly (used when importing a

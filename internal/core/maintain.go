@@ -86,7 +86,7 @@ func (a *Agent) AbsorbRows(version int64, rows [][]float64) AbsorbResult {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if version != 0 {
-		a.dataVer = version
+		a.dataVer.Store(version)
 	}
 	if len(rows) == 0 {
 		return res
@@ -191,6 +191,7 @@ func (a *Agent) AbsorbRows(version int64, rows [][]float64) AbsorbResult {
 			m.probation = a.cfg.ProbationSupport
 			m.residPos = 0
 			m.residFull = false
+			m.refreshEst()
 		}
 	}
 

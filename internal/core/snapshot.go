@@ -67,7 +67,7 @@ func (a *Agent) Snapshot() *AgentSnapshot {
 		Version:     SnapshotVersion,
 		Config:      a.cfg,
 		Quantizer:   a.quantizer.State(),
-		DataVersion: a.dataVer,
+		DataVersion: a.dataVer.Load(),
 	}
 	for k, ms := range a.models {
 		for qi, m := range ms {
@@ -152,6 +152,7 @@ func (a *Agent) Restore(s *AgentSnapshot) error {
 			probation: msnap.Probation,
 			growth:    msnap.Growth,
 		}
+		m.refreshEst()
 		k := modelKey{agg: msnap.Agg, col: msnap.Col, col2: msnap.Col2}
 		ms := models[k]
 		for len(ms) <= msnap.Quantum {
@@ -168,7 +169,7 @@ func (a *Agent) Restore(s *AgentSnapshot) error {
 	}
 	a.quantizer = quant
 	a.models = models
-	a.dataVer = s.DataVersion
+	a.dataVer.Store(s.DataVersion)
 	// The restored state is fully fresh: any pre-swap ingest pressure
 	// was either folded into the donor's models or superseded by them.
 	a.freshRows = make(map[int]int)

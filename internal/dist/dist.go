@@ -50,6 +50,7 @@ package dist
 import (
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"strconv"
 	"time"
@@ -66,6 +67,15 @@ const (
 	DefaultReplicas = 2
 	DefaultTimeout  = 2 * time.Second
 	DefaultCooldown = 2 * time.Second
+	// DefaultAnswerCache is the per-node answer-cache capacity.
+	DefaultAnswerCache = 4096
+	// DefaultAnswerCacheTTL bounds a cached answer's age. The version
+	// stamp invalidates instantly for every write this node observes
+	// (applied or forwarded ingest); the TTL bounds staleness for
+	// writes that land entirely on other members.
+	DefaultAnswerCacheTTL = 500 * time.Millisecond
+	// DefaultGatherFanout bounds the scatter-gather worker pool.
+	DefaultGatherFanout = 8
 )
 
 // ErrAllReplicasFailed is returned when every ring owner of a key (or
@@ -121,6 +131,21 @@ type Config struct {
 	// durable; larger values trade a bounded loss window for
 	// throughput).
 	WALSyncEvery int
+	// AnswerCache sizes the node's versioned answer cache (entries):
+	// answered queries are cached by canonical key and data version, so
+	// repeated queries are served without touching the agents, and every
+	// applied ingest batch invalidates affected entries through the
+	// version stamp. 0 takes DefaultAnswerCache; negative disables.
+	AnswerCache int
+	// AnswerCacheTTL bounds a cached answer's age, covering writes
+	// this node never observes (they can land entirely on remote
+	// partition holders). 0 takes DefaultAnswerCacheTTL; negative
+	// disables age expiry.
+	AnswerCacheTTL time.Duration
+	// GatherFanout bounds the scatter-gather worker pool: at most this
+	// many concurrent local partition evaluations and per-holder batched
+	// partial RPCs per query (default DefaultGatherFanout).
+	GatherFanout int
 	// RequantCheck, when positive, runs a background drift maintainer
 	// per pooled agent: recently served queries are recorded, and when
 	// ingest pressure outgrows the incremental maintenance path
@@ -165,19 +190,39 @@ func (c Config) withDefaults() Config {
 	if c.WriteQuorum > c.Replicas {
 		c.WriteQuorum = c.Replicas
 	}
+	if c.AnswerCache == 0 {
+		c.AnswerCache = DefaultAnswerCache
+	}
+	if c.AnswerCacheTTL == 0 {
+		c.AnswerCacheTTL = DefaultAnswerCacheTTL
+	}
+	if c.GatherFanout <= 0 {
+		c.GatherFanout = DefaultGatherFanout
+	}
 	return c
 }
 
 // newHTTPClient builds the node-to-node/client HTTP client: generous
 // per-host connection pooling (the default of 2 idle conns per host
-// forces a TCP handshake on most requests under concurrent serving).
+// forces a TCP handshake on most requests under concurrent serving;
+// MaxIdleConnsPerHost comfortably exceeds any sane replication factor),
+// TCP keep-alives, and explicit dial/response-header deadlines so a
+// wedged peer costs at most the configured timeout instead of hanging a
+// scatter worker.
 func newHTTPClient(timeout time.Duration) *http.Client {
+	dialer := &net.Dialer{
+		Timeout:   timeout,
+		KeepAlive: 30 * time.Second,
+	}
 	return &http.Client{
 		Timeout: timeout,
 		Transport: &http.Transport{
-			MaxIdleConns:        256,
-			MaxIdleConnsPerHost: 64,
-			IdleConnTimeout:     90 * time.Second,
+			DialContext:           dialer.DialContext,
+			MaxIdleConns:          256,
+			MaxIdleConnsPerHost:   64,
+			IdleConnTimeout:       90 * time.Second,
+			ResponseHeaderTimeout: timeout,
+			ExpectContinueTimeout: time.Second,
 		},
 	}
 }
@@ -246,6 +291,35 @@ type PartialResponse struct {
 	Partial []float64 `json:"partial"`
 	// Rows is how many base rows the partition scan touched.
 	Rows int64 `json:"rows"`
+}
+
+// PartialsRequest asks a holder for its local aggregate states of many
+// data partitions in one round trip — the batched successor of
+// PartialRequest (POST /v1/partial stays mounted for wire back-compat).
+// Grouping a query's missing partitions per holder turns the exact
+// fallback's fan-out from one RPC per partition into one RPC per
+// holder.
+type PartialsRequest struct {
+	Parts []int              `json:"parts"`
+	Query serve.QueryRequest `json:"query"`
+}
+
+// PartPartial is one partition's outcome within a batched partials
+// response. A holder that does not hold the partition reports it in
+// Error instead of failing the whole batch, so the caller re-batches
+// just the leftovers to the next replica.
+type PartPartial struct {
+	Part    int       `json:"part"`
+	Partial []float64 `json:"partial,omitempty"`
+	Rows    int64     `json:"rows"`
+	Error   string    `json:"error,omitempty"`
+}
+
+// PartialsResponse carries the per-partition aggregate states of one
+// batched POST /v1/partials round trip.
+type PartialsResponse struct {
+	Node     string        `json:"node"`
+	Partials []PartPartial `json:"partials"`
 }
 
 // SnapshotResponse ships a node's agent states for replica warm-up.

@@ -93,6 +93,9 @@ func (n *Node) applyBatch(p int, seq uint64, rows []storage.Row, writeWAL bool) 
 		res := ag.AbsorbRows(ver, vecs)
 		n.pool.Recorder().DriftInvalidate(res.InvalidatedQuanta)
 	}
+	// Only now — with the agents' models caught up — may answer-cache
+	// entries be stamped with this version.
+	n.publishAbsorbed(ver)
 	n.pool.Recorder().IngestBatch(len(rows))
 	return nil
 }
@@ -157,6 +160,10 @@ func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 				Error: fmt.Sprintf("dist: node %s is not the primary of partition %d", n.id, p)}
 		default:
 			pr = n.forwardIngest(owners, p, rows)
+			// The batch changed data this node holds no replica of, so
+			// its own version counter stays put — advance the ingest
+			// epoch instead so cached cluster-wide answers expire.
+			n.ingestEpoch.Add(1)
 		}
 		if pr.Acked {
 			resp.AckedRows += pr.Rows

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -57,6 +58,26 @@ type Node struct {
 	lastSeq  map[int]uint64
 	wals     map[int]*ingest.Log
 	partMu   map[int]*sync.Mutex
+
+	// partialsServed counts incoming partial-state RPCs (batched and
+	// legacy); partialsSent counts outgoing batched rounds. E17 and the
+	// dist tests use them to assert the message-minimal fan-out shape.
+	partialsServed atomic.Int64
+	partialsSent   atomic.Int64
+
+	// ingestEpoch advances for every ingest batch this node FORWARDS
+	// to a primary: the batch changes cluster data the node's own
+	// version counter never sees (it holds none of the written
+	// partitions), yet the node knows about it — so it must expire its
+	// cached cluster-wide answers. Folded into cacheVersion.
+	ingestEpoch atomic.Int64
+	// absorbedVer is the highest data version whose batch the agents
+	// have fully absorbed. The answer cache stamps with THIS, not the
+	// live version: between a batch's apply (version visible) and its
+	// AbsorbRows (models updated), an answer computed from the
+	// pre-batch models must not be cached at the post-batch version —
+	// it would pass every later check and outlive the data it missed.
+	absorbedVer atomic.Int64
 }
 
 // NewNode builds a node from cfg. The node holds no data until Load.
@@ -100,6 +121,13 @@ func NewNode(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dist: %w", err)
 	}
+	if cfg.AnswerCache > 0 {
+		pool.EnableCache(cfg.AnswerCache)
+		if cfg.AnswerCacheTTL > 0 {
+			pool.Cache().SetTTL(cfg.AnswerCacheTTL)
+		}
+		pool.SetCacheVersion(n.cacheVersion)
+	}
 	n.pool = pool
 	n.sched = serve.NewScheduler(pool, serve.SchedulerConfig{
 		Workers:        cfg.Workers,
@@ -114,6 +142,9 @@ func NewNode(cfg Config) (*Node, error) {
 				OnRebuild: func(err error) {
 					if err == nil {
 						rec.Rebuild()
+						// The swapped-in models predict differently at
+						// the same data version: drop cached answers.
+						pool.FlushCache()
 					}
 				},
 			})
@@ -124,6 +155,7 @@ func NewNode(cfg Config) (*Node, error) {
 	n.mux = http.NewServeMux()
 	n.mux.HandleFunc("POST /v1/query", n.handleQuery)
 	n.mux.HandleFunc("POST /v1/partial", n.handlePartial)
+	n.mux.HandleFunc("POST /v1/partials", n.handlePartials)
 	n.mux.HandleFunc("POST /v1/ingest", n.handleIngest)
 	n.mux.HandleFunc("POST /v1/replicate", n.handleReplicate)
 	n.mux.HandleFunc("POST /v1/walfetch", n.handleWALFetch)
@@ -179,6 +211,7 @@ func (n *Node) Load(rows []storage.Row) error {
 	n.rowsHeld = 0
 	n.lastSeq = make(map[int]uint64)
 	n.partMu = make(map[int]*sync.Mutex)
+	n.absorbedVer.Store(n.version) // bulk load needs no model absorb
 	for p := 0; p < n.cfg.Partitions; p++ {
 		owners := n.ring.Owners(partKey(p), n.cfg.Replicas)
 		for _, o := range owners {
@@ -416,6 +449,7 @@ func (n *Node) forward(w http.ResponseWriter, owners []string, req serve.QueryRe
 }
 
 func (n *Node) handlePartial(w http.ResponseWriter, r *http.Request) {
+	n.partialsServed.Add(1)
 	var req PartialRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err := dec.Decode(&req); err != nil {
@@ -440,6 +474,44 @@ func (n *Node) handlePartial(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handlePartials is the batched partial-state endpoint: one round trip
+// carries every partition the caller needs from this holder. Partitions
+// this node does not hold come back as per-entry errors, never as a
+// whole-batch failure, so the caller re-batches only the leftovers.
+func (n *Node) handlePartials(w http.ResponseWriter, r *http.Request) {
+	n.partialsServed.Add(1)
+	var req PartialsRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		serve.WriteError(w, fmt.Errorf("%w: %v", query.ErrBadQuery, err))
+		return
+	}
+	q, err := req.Query.Query()
+	if err != nil {
+		serve.WriteError(w, err)
+		return
+	}
+	resp := PartialsResponse{Node: n.id, Partials: make([]PartPartial, 0, len(req.Parts))}
+	for _, p := range req.Parts {
+		e := PartPartial{Part: p}
+		if partial, rowsRead, ok := n.localPartial(p, q); ok {
+			e.Partial, e.Rows = partial, rowsRead
+		} else {
+			e.Error = fmt.Sprintf("dist: node %s does not hold partition %d", n.id, p)
+		}
+		resp.Partials = append(resp.Partials, e)
+	}
+	serve.WriteJSON(w, http.StatusOK, resp)
+}
+
+// PartialRPCsServed returns how many partial-state RPCs (batched and
+// legacy) this node has answered.
+func (n *Node) PartialRPCsServed() int64 { return n.partialsServed.Load() }
+
+// PartialRPCsSent returns how many batched partials round trips this
+// node has issued while scatter-gathering.
+func (n *Node) PartialRPCsSent() int64 { return n.partialsSent.Load() }
+
 func (n *Node) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 	agents := n.pool.Agents()
 	resp := SnapshotResponse{Node: n.id, Agents: make([]*core.AgentSnapshot, len(agents))}
@@ -463,6 +535,28 @@ func (n *Node) DataVersion() int64 {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	return n.version
+}
+
+// cacheVersion is the answer cache's freshness stamp: the highest
+// fully-absorbed local data version (advanced once a batch this node
+// applies has also reached the agents' models) plus the ingest epoch
+// (advanced by every batch it forwards elsewhere). Both only grow, so
+// the sum strictly increases on every write this node observes;
+// writes it cannot observe are bounded by the cache TTL.
+func (n *Node) cacheVersion() int64 {
+	return n.absorbedVer.Load() + n.ingestEpoch.Load()
+}
+
+// publishAbsorbed raises absorbedVer to ver (monotone max: batches of
+// different partitions absorb concurrently and may finish out of
+// order).
+func (n *Node) publishAbsorbed(ver int64) {
+	for {
+		cur := n.absorbedVer.Load()
+		if ver <= cur || n.absorbedVer.CompareAndSwap(cur, ver) {
+			return
+		}
+	}
 }
 
 // Partitions returns the cluster's data-partition count.

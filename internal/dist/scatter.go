@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/query"
+	"repro/internal/serve"
 )
 
 // scatterOracle is the exact engine behind each node's agents: a query
@@ -30,22 +33,36 @@ func (o scatterOracle) Answer(q query.Query) (query.Result, metrics.Cost, error)
 // version 1 and every applied ingest batch advances it. Agents absorb
 // the same version through AbsorbRows, so the fast path stays live
 // across ingest (incremental maintenance) while legacy agents see the
-// change and invalidate.
+// change and invalidate. The serving layer's answer cache stamps its
+// entries with the same version, so an applied batch also expires every
+// cached answer it could have staled.
 func (o scatterOracle) DataVersion() int64 { return o.n.DataVersion() }
 
 type partialResult struct {
 	partial []float64
 	rows    int64
-	remote  bool
 	holder  string
-	err     error
 }
+
+// jsonBufPool pools the request/response buffers of the batched partial
+// RPCs so a scatter under load does not churn a fresh buffer per round
+// trip.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // ScatterGather computes q's exact answer across every data partition:
 // local partitions are evaluated in place, remote ones are fetched from
-// their holders (POST /v1/partial) with replica failover, and the
-// per-partition aggregate states merge exactly (COUNT/SUM) or from
-// per-shard moments (AVG/VAR/CORR) via query.MergeEval.
+// their ring holders, and the per-partition aggregate states merge
+// exactly (COUNT/SUM) or from per-shard moments (AVG/VAR/CORR) via
+// query.MergeEval.
+//
+// The fan-out is message-minimal and bounded: missing partitions are
+// grouped by holder and fetched with ONE batched POST /v1/partials per
+// holder (not one RPC per partition), all work runs on a worker pool of
+// at most Config.GatherFanout goroutines, and a holder failure
+// re-batches just its leftover partitions onto the next replicas. Cost
+// accounting reflects the batched shape: Messages counts 2 per RPC
+// round trip, BytesLAN the actual request+response payload bytes, and
+// NodesTouched the distinct holders that contributed states.
 func (n *Node) ScatterGather(q query.Query) (query.Result, metrics.Cost, error) {
 	start := time.Now()
 	// Validate aggregate columns against the local schema (adopted from
@@ -57,31 +74,27 @@ func (n *Node) ScatterGather(q query.Query) (query.Result, metrics.Cost, error) 
 		}
 	}
 	results := make([]partialResult, n.cfg.Partitions)
-	var wg sync.WaitGroup
-	wg.Add(n.cfg.Partitions)
-	for p := 0; p < n.cfg.Partitions; p++ {
-		go func(p int) {
-			defer wg.Done()
-			results[p] = n.gatherPartition(p, q)
-		}(p)
+	missing := n.gatherLocal(q, results)
+	cost := metrics.Cost{}
+	if len(missing) > 0 {
+		rpcBytes, rpcs, err := n.gatherRemote(q, missing, results)
+		if err != nil {
+			return query.Result{}, metrics.Cost{}, err
+		}
+		cost.Messages += 2 * int64(rpcs) // one request + one response per holder round trip
+		cost.BytesLAN += rpcBytes
 	}
-	wg.Wait()
 
 	partials := make([][]float64, 0, len(results))
-	cost := metrics.Cost{}
 	holders := make(map[string]bool)
-	for p, r := range results {
-		if r.err != nil {
-			return query.Result{}, metrics.Cost{}, fmt.Errorf("dist: partition %d: %w", p, r.err)
+	for p := range results {
+		r := &results[p]
+		if r.partial == nil {
+			return query.Result{}, metrics.Cost{}, fmt.Errorf("dist: partition %d unresolved", p)
 		}
 		partials = append(partials, r.partial)
 		cost.RowsRead += r.rows
 		holders[r.holder] = true
-		if r.remote {
-			// One request + one 8-slot aggregate state back.
-			cost.Messages += 2
-			cost.BytesLAN += int64(8*len(r.partial)) + 128
-		}
 	}
 	res := query.MergeEval(q, partials)
 	elapsed := time.Since(start)
@@ -91,53 +104,194 @@ func (n *Node) ScatterGather(q query.Query) (query.Result, metrics.Cost, error) 
 	return res, cost, nil
 }
 
-// gatherPartition fetches partition p's aggregate state from its holders
-// in ring order, starting with this node when it is a holder. Local
-// partitions run the vectorized columnar kernel behind a zone-map check
-// (a partition that cannot intersect the selection contributes a zero
-// state for zero rows read).
-func (n *Node) gatherPartition(p int, q query.Query) partialResult {
-	if partial, rowsRead, ok := n.localPartial(p, q); ok {
-		return partialResult{partial: partial, rows: rowsRead, holder: n.id}
+// gatherLocal evaluates every locally-held partition on the bounded
+// worker pool and returns the partitions this node does not hold.
+func (n *Node) gatherLocal(q query.Query, results []partialResult) []int {
+	n.mu.RLock()
+	held := make([]int, 0, len(n.parts))
+	for p := range n.parts {
+		held = append(held, p)
 	}
-	var lastErr error
-	for _, holder := range n.ring.Owners(partKey(p), n.cfg.Replicas) {
-		if holder == n.id {
-			continue
-		}
-		url, ok := n.cfg.Peers[holder]
-		if !ok || !n.health.available(url) {
-			continue
-		}
-		pr, err := n.fetchPartial(url, p, q)
-		if err != nil {
-			lastErr = err
-			n.health.markDownOn(url, err)
-			continue
-		}
-		pr.holder = holder
-		pr.remote = true
-		return pr
+	n.mu.RUnlock()
+	isHeld := make(map[int]bool, len(held))
+	for _, p := range held {
+		isHeld[p] = true
 	}
-	return partialResult{err: errAllReplicas(fmt.Sprintf("partition %d", p), lastErr)}
+	var missing []int
+	for p := 0; p < n.cfg.Partitions; p++ {
+		if !isHeld[p] {
+			missing = append(missing, p)
+		}
+	}
+	runBounded(n.cfg.GatherFanout, len(held), func(i int) {
+		p := held[i]
+		if partial, rows, ok := n.localPartial(p, q); ok {
+			results[p] = partialResult{partial: partial, rows: rows, holder: n.id}
+		}
+	})
+	return missing
 }
 
-func (n *Node) fetchPartial(url string, p int, q query.Query) (partialResult, error) {
-	body, err := json.Marshal(PartialRequest{Part: p, Query: queryToWire(q, "")})
-	if err != nil {
-		return partialResult{}, err
+// gatherRemote resolves the missing partitions: each round groups the
+// still-unresolved partitions by their next untried ring holder, issues
+// one batched /v1/partials RPC per holder on the bounded pool, and
+// re-batches whatever a holder failed to deliver (transport error, or a
+// per-partition "not held" entry) onto the next replicas. It returns
+// the total wire bytes moved and the RPC round trips issued.
+func (n *Node) gatherRemote(q query.Query, missing []int, results []partialResult) (int64, int, error) {
+	wire := queryToWire(q, "")
+	// Per-partition remote holder candidates in ring order, consumed by
+	// a cursor as failovers advance.
+	cand := make(map[int][]string, len(missing))
+	next := make(map[int]int, len(missing))
+	for _, p := range missing {
+		for _, h := range n.ring.Owners(partKey(p), n.cfg.Replicas) {
+			if h != n.id {
+				cand[p] = append(cand[p], h)
+			}
+		}
 	}
-	resp, err := n.hc.Post(url+"/v1/partial", "application/json", bytes.NewReader(body))
+
+	var bytesMoved int64
+	var rpcs int
+	var lastErr error
+	unresolved := append([]int(nil), missing...)
+	for len(unresolved) > 0 {
+		groups := make(map[string][]int)
+		for _, p := range unresolved {
+			var holder string
+			for next[p] < len(cand[p]) {
+				h := cand[p][next[p]]
+				next[p]++
+				url, ok := n.cfg.Peers[h]
+				if ok && n.health.available(url) {
+					holder = h
+					break
+				}
+			}
+			if holder == "" {
+				return bytesMoved, rpcs, errAllReplicas(fmt.Sprintf("partition %d", p), lastErr)
+			}
+			groups[holder] = append(groups[holder], p)
+		}
+
+		type rpcOut struct {
+			holder string
+			parts  []int
+			resp   []PartPartial
+			bytes  int64
+			err    error
+		}
+		outs := make([]rpcOut, 0, len(groups))
+		for h, ps := range groups {
+			sort.Ints(ps)
+			outs = append(outs, rpcOut{holder: h, parts: ps})
+		}
+		sort.Slice(outs, func(i, j int) bool { return outs[i].holder < outs[j].holder })
+		runBounded(n.cfg.GatherFanout, len(outs), func(i int) {
+			o := &outs[i]
+			url := n.cfg.Peers[o.holder]
+			o.resp, o.bytes, o.err = n.fetchPartials(url, o.parts, wire)
+			if o.err != nil {
+				n.health.markDownOn(url, o.err)
+			}
+		})
+
+		unresolved = unresolved[:0]
+		for _, o := range outs {
+			if o.err != nil {
+				lastErr = o.err
+				unresolved = append(unresolved, o.parts...)
+				continue
+			}
+			rpcs++
+			bytesMoved += o.bytes
+			got := make(map[int]bool, len(o.resp))
+			for _, e := range o.resp {
+				if e.Error != "" || e.Partial == nil {
+					continue
+				}
+				if e.Part < 0 || e.Part >= len(results) {
+					continue
+				}
+				got[e.Part] = true
+				results[e.Part] = partialResult{
+					partial: e.Partial, rows: e.Rows, holder: o.holder,
+				}
+			}
+			for _, p := range o.parts {
+				if !got[p] {
+					unresolved = append(unresolved, p)
+				}
+			}
+		}
+	}
+	return bytesMoved, rpcs, nil
+}
+
+// fetchPartials runs one batched partials round trip against a holder,
+// returning its per-partition entries and the request+response payload
+// bytes. Both JSON buffers come from the shared pool.
+func (n *Node) fetchPartials(url string, parts []int, wq serve.QueryRequest) ([]PartPartial, int64, error) {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer jsonBufPool.Put(buf)
+	if err := json.NewEncoder(buf).Encode(PartialsRequest{Parts: parts, Query: wq}); err != nil {
+		return nil, 0, err
+	}
+	reqBytes := int64(buf.Len())
+	resp, err := n.hc.Post(url+"/v1/partials", "application/json", bytes.NewReader(buf.Bytes()))
 	if err != nil {
-		return partialResult{}, err
+		return nil, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return partialResult{}, fmt.Errorf("partial from %s: HTTP %d: %w", url, resp.StatusCode, errPeerResponded)
+		return nil, 0, fmt.Errorf("partials from %s: HTTP %d: %w", url, resp.StatusCode, errPeerResponded)
 	}
-	var pr PartialResponse
-	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
-		return partialResult{}, err
+	rb := jsonBufPool.Get().(*bytes.Buffer)
+	rb.Reset()
+	defer jsonBufPool.Put(rb)
+	if _, err := rb.ReadFrom(io.LimitReader(resp.Body, 64<<20)); err != nil {
+		return nil, 0, err
 	}
-	return partialResult{partial: pr.Partial, rows: pr.Rows}, nil
+	var pr PartialsResponse
+	if err := json.Unmarshal(rb.Bytes(), &pr); err != nil {
+		return nil, 0, err
+	}
+	n.partialsSent.Add(1)
+	return pr.Partials, reqBytes + int64(rb.Len()), nil
+}
+
+// runBounded runs fn(0..n-1) on at most fanout worker goroutines and
+// waits for completion — the bounded replacement for the old
+// goroutine-per-partition spawn.
+func runBounded(fanout, n int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	if fanout <= 0 || fanout > n {
+		fanout = n
+	}
+	if fanout == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(fanout)
+	for w := 0; w < fanout; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is active. Under -race
+// sync.Pool intentionally bypasses its caches, so the hot path's
+// zero-allocation contract cannot hold and its assertions are skipped.
+const raceEnabled = true

@@ -23,6 +23,7 @@ func WritePrometheus(w io.Writer, s ServeSnapshot) error {
 		{"sea_predicted_total", "Queries answered data-lessly from learned models.", s.Predicted},
 		{"sea_fallbacks_total", "Queries that executed the exact oracle path.", s.Fallbacks},
 		{"sea_deduped_total", "Queries served by sharing an identical in-flight fallback.", s.Deduped},
+		{"sea_cache_hits_total", "Queries served from the versioned answer cache.", s.CacheHits},
 		{"sea_rejected_total", "Submissions turned away by admission control.", s.Rejected},
 		{"sea_errors_total", "Failed queries.", s.Errors},
 		{"sea_ingest_batches_total", "Row batches applied through the live write path.", s.IngestBatches},

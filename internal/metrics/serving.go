@@ -24,6 +24,10 @@ type ServeSnapshot struct {
 	// toward Queries but not Fallbacks, so FallbackRate tracks real
 	// oracle executions.
 	Deduped int64 `json:"deduped"`
+	// CacheHits is how many were served straight from the versioned
+	// answer cache without touching an agent. They count toward
+	// Queries but toward neither Predicted nor Fallbacks.
+	CacheHits int64 `json:"cache_hits"`
 	// Rejected is how many submissions admission control turned away.
 	Rejected int64 `json:"rejected"`
 	// Errors is how many queries failed.
@@ -64,6 +68,7 @@ type ServeRecorder struct {
 	predicted int64
 	fallbacks int64
 	deduped   int64
+	cacheHits int64
 	rejected  int64
 	errors    int64
 
@@ -103,6 +108,16 @@ func (r *ServeRecorder) Dedup(lat time.Duration) {
 	defer r.mu.Unlock()
 	r.observeLocked(lat)
 	r.deduped++
+}
+
+// CacheHit records a query served straight from the versioned answer
+// cache: it counts toward Queries and the latency window, but toward
+// neither Predicted nor Fallbacks (no agent was touched).
+func (r *ServeRecorder) CacheHit(lat time.Duration) {
+	r.mu.Lock()
+	r.observeLocked(lat)
+	r.cacheHits++
+	r.mu.Unlock()
 }
 
 func (r *ServeRecorder) observeLocked(lat time.Duration) {
@@ -168,6 +183,7 @@ func (r *ServeRecorder) Snapshot() ServeSnapshot {
 		Predicted:          r.predicted,
 		Fallbacks:          r.fallbacks,
 		Deduped:            r.deduped,
+		CacheHits:          r.cacheHits,
 		Rejected:           r.rejected,
 		Errors:             r.errors,
 		IngestBatches:      r.ingestBatches,

@@ -1,0 +1,203 @@
+package ml
+
+import "math"
+
+// This file is the quantiser's prototype index: an exact accelerator
+// for nearest-prototype lookup. OnlineAVQ.Assign sits on the serving
+// hot path (every TryPredict routes its query through it), and the
+// naive NearestCentroid scan costs O(quanta x dims) per call.
+//
+// The index is a uniform grid of eagerly-maintained candidate lists
+// over the prototypes' leading coordinates, with cell side
+// sqrt(SpawnDistance) — the quantiser's own coverage radius. Every
+// prototype registers itself in the lists of its cell and that cell's
+// Chebyshev-1 neighbours (3^dims lists, <= 27), so the list stored for
+// any cell holds exactly the prototypes within one cell of it. A
+// lookup is one map access plus a scan of those few candidates, and
+// the winner is provably exact whenever its squared distance is below
+// cell side squared: any unlisted prototype is at least one full cell
+// away along some indexed axis. That threshold equals SpawnDistance,
+// i.e. exactly the agent's query-space coverage test — every
+// in-coverage lookup (the entire prediction fast path) is proven, and
+// anything farther falls back to the full scan it would have needed
+// anyway.
+//
+// Concurrency contract: lookups are pure reads and never mutate the
+// index, so any number of readers may run concurrently; all mutation
+// happens in OnlineAVQ's write paths (Observe, purge), which owners
+// serialise against readers (the SEA agent holds its RWMutex
+// accordingly).
+//
+// The index is exact, tie-breaks included: when it answers, it returns
+// bit-identically what NearestCentroid would. Maintenance is
+// incremental: a spawned prototype inserts into its 3^dims lists, a
+// winner migrating across a cell boundary moves between the affected
+// lists, and a purge rebuilds from scratch (prototypes renumber).
+
+const (
+	// gridMaxDims caps how many leading coordinates the index buckets:
+	// neighbourhood sizes grow 3^dims, and the exactness proof only
+	// needs the indexed subspace distance as a lower bound.
+	gridMaxDims = 3
+	// gridMinProtos is the prototype count below which a linear scan is
+	// already cheaper than any index bookkeeping.
+	gridMinProtos = 24
+)
+
+// gridCell addresses one cell; unused trailing dims stay zero.
+type gridCell [gridMaxDims]int32
+
+// protoGrid is the candidate-list index over a prototype set.
+type protoGrid struct {
+	cell  float64 // cell side length (sqrt of the spawn distance)
+	dims  int     // indexed leading coordinates, <= gridMaxDims
+	keys  []gridCell
+	lists map[gridCell][]int32 // cell -> prototypes within 1 cell of it
+}
+
+func newProtoGrid(cellSide float64, dims int, protos [][]float64) *protoGrid {
+	if dims > gridMaxDims {
+		dims = gridMaxDims
+	}
+	g := &protoGrid{
+		cell:  cellSide,
+		dims:  dims,
+		keys:  make([]gridCell, 0, len(protos)),
+		lists: make(map[gridCell][]int32, 27*len(protos)/8),
+	}
+	for _, p := range protos {
+		if !g.insert(p) {
+			return nil // non-finite or short prototype: stay linear
+		}
+	}
+	return g
+}
+
+// cellOf buckets the leading coordinates of x. ok is false when x is
+// too short or non-finite in an indexed dimension (the caller must then
+// fall back to the full scan).
+func (g *protoGrid) cellOf(x []float64) (gridCell, bool) {
+	var c gridCell
+	if len(x) < g.dims {
+		return c, false
+	}
+	for j := 0; j < g.dims; j++ {
+		v := x[j] / g.cell
+		if math.IsNaN(v) || v >= math.MaxInt32 || v <= math.MinInt32 {
+			return c, false
+		}
+		c[j] = int32(math.Floor(v))
+	}
+	return c, true
+}
+
+// eachNeighbour calls fn for c and its Chebyshev-1 neighbours (3^dims
+// cells).
+func (g *protoGrid) eachNeighbour(c gridCell, fn func(gridCell)) {
+	k := c
+	switch g.dims {
+	case 1:
+		for dx := int32(-1); dx <= 1; dx++ {
+			k[0] = c[0] + dx
+			fn(k)
+		}
+	case 2:
+		for dx := int32(-1); dx <= 1; dx++ {
+			for dy := int32(-1); dy <= 1; dy++ {
+				k[0], k[1] = c[0]+dx, c[1]+dy
+				fn(k)
+			}
+		}
+	default:
+		for dx := int32(-1); dx <= 1; dx++ {
+			for dy := int32(-1); dy <= 1; dy++ {
+				for dz := int32(-1); dz <= 1; dz++ {
+					k[0], k[1], k[2] = c[0]+dx, c[1]+dy, c[2]+dz
+					fn(k)
+				}
+			}
+		}
+	}
+}
+
+// enlist adds prototype i to cell k's candidate list.
+func (g *protoGrid) enlist(k gridCell, i int32) {
+	g.lists[k] = append(g.lists[k], i)
+}
+
+// delist removes prototype i from cell k's candidate list (swap-delete:
+// list order is irrelevant, ties are resolved by prototype index).
+func (g *protoGrid) delist(k gridCell, i int32) {
+	list := g.lists[k]
+	for j, v := range list {
+		if v == i {
+			list[j] = list[len(list)-1]
+			list = list[:len(list)-1]
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(g.lists, k)
+	} else {
+		g.lists[k] = list
+	}
+}
+
+// insert registers one appended prototype (index = current count) in
+// the lists of its cell's neighbourhood.
+func (g *protoGrid) insert(p []float64) bool {
+	c, ok := g.cellOf(p)
+	if !ok {
+		return false
+	}
+	i := int32(len(g.keys))
+	g.keys = append(g.keys, c)
+	g.eachNeighbour(c, func(k gridCell) { g.enlist(k, i) })
+	return true
+}
+
+// update re-buckets prototype i after its coordinates moved. It reports
+// false when the moved prototype can no longer be indexed (the owner
+// then drops the index). A move within its cell costs nothing: lists
+// hold indices, distances are computed live.
+func (g *protoGrid) update(i int, p []float64) bool {
+	c, ok := g.cellOf(p)
+	if !ok {
+		return false
+	}
+	if old := g.keys[i]; c != old {
+		g.keys[i] = c
+		g.eachNeighbour(old, func(k gridCell) { g.delist(k, int32(i)) })
+		g.eachNeighbour(c, func(k gridCell) { g.enlist(k, int32(i)) })
+	}
+	return true
+}
+
+// nearest returns the index of and squared distance to the prototype
+// nearest x — bit-identical to NearestCentroid(protos, x) — whenever it
+// can prove the winner from the cell's candidate list: any unlisted
+// prototype is at least one full cell away along some indexed axis, so
+// a candidate strictly inside cell² wins globally. Equal distances keep
+// the lower prototype index, matching NearestCentroid's
+// first-strictly-smaller rule. ok is false when the proof fails (the
+// query is outside the quantiser's coverage radius, or its cell has no
+// nearby prototypes at all) and the caller must scan. Pure read.
+func (g *protoGrid) nearest(protos [][]float64, x []float64) (int, float64, bool) {
+	c, cok := g.cellOf(x)
+	if !cok {
+		return -1, 0, false
+	}
+	best, bestD := -1, math.Inf(1)
+	for _, i := range g.lists[c] {
+		d := SquaredDistance(protos[i], x)
+		if d < bestD || (d == bestD && int(i) < best) {
+			bestD, best = d, int(i)
+		}
+	}
+	if best < 0 || bestD >= g.cell*g.cell {
+		// Unproven (or a boundary tie an unseen prototype could share):
+		// let the caller scan linearly.
+		return -1, 0, false
+	}
+	return best, bestD, true
+}

@@ -1,0 +1,210 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randVec(rng *rand.Rand, dims int, span float64) []float64 {
+	v := make([]float64, dims)
+	for j := range v {
+		v[j] = (rng.Float64() - 0.5) * 2 * span
+	}
+	return v
+}
+
+// TestGridAssignMatchesLinearScan is the exactness property of the
+// prototype index: over random prototype sets (grown through Observe,
+// so prototypes migrate and spawn exactly like the live quantiser's),
+// Assign through the grid must return the same winner AND the same
+// squared distance as a plain NearestCentroid scan — ties included.
+func TestGridAssignMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	spawns := []float64{25, 100, 400, 2500}
+	for trial := 0; trial < 120; trial++ {
+		dims := 1 + rng.Intn(6)
+		spawn := spawns[rng.Intn(len(spawns))]
+		q := NewOnlineAVQ(spawn, 128)
+		n := 1 + rng.Intn(120)
+		for i := 0; i < n; i++ {
+			q.Observe(randVec(rng, dims, 120))
+		}
+		probe := func(stage string) {
+			protos := q.Prototypes()
+			for k := 0; k < 60; k++ {
+				x := randVec(rng, dims, 200)
+				gi, gd := q.Assign(x)
+				li, ld := NearestCentroid(protos, x)
+				if gi != li || gd != ld {
+					t.Fatalf("trial %d (%s, dims=%d spawn=%v protos=%d): Assign=(%d,%v) linear=(%d,%v)",
+						trial, stage, dims, spawn, len(protos), gi, gd, li, ld)
+				}
+			}
+		}
+		probe("grown")
+		// Purging renumbers prototypes; the index must follow.
+		q.PurgeStale(int64(rng.Intn(40)))
+		probe("purged")
+		// A state round trip rebuilds the index lazily.
+		rt, err := NewOnlineAVQFromState(q.State())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 20; k++ {
+			x := randVec(rng, dims, 200)
+			gi, gd := rt.Assign(x)
+			li, ld := q.Assign(x)
+			if gi != li || gd != ld {
+				t.Fatalf("trial %d: restored Assign=(%d,%v) != original (%d,%v)", trial, gi, gd, li, ld)
+			}
+		}
+	}
+}
+
+// TestGridObserveMatchesLinearReference feeds one stream to an indexed
+// quantiser and to a force-linear reference: every Observe must pick
+// the same winner and leave bit-identical prototypes, counts and ages —
+// the indexed quantiser is an accelerator, not a behaviour change.
+func TestGridObserveMatchesLinearReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		dims := 1 + rng.Intn(4)
+		indexed := NewOnlineAVQ(225, 64)
+		linear := NewOnlineAVQ(225, 64)
+		linear.noGrid = true
+		for i := 0; i < 800; i++ {
+			x := randVec(rng, dims, 100)
+			wi := indexed.Observe(x)
+			wl := linear.Observe(CopyVec(x))
+			if wi != wl {
+				t.Fatalf("trial %d step %d: indexed winner %d != linear %d", trial, i, wi, wl)
+			}
+		}
+		if indexed.Len() != linear.Len() {
+			t.Fatalf("trial %d: %d prototypes != %d", trial, indexed.Len(), linear.Len())
+		}
+		ip, lp := indexed.Prototypes(), linear.Prototypes()
+		for i := range ip {
+			for j := range ip[i] {
+				if ip[i][j] != lp[i][j] {
+					t.Fatalf("trial %d: prototype %d dim %d: %v != %v", trial, i, j, ip[i][j], lp[i][j])
+				}
+			}
+			if indexed.Count(i) != linear.Count(i) {
+				t.Fatalf("trial %d: count %d: %d != %d", trial, i, indexed.Count(i), linear.Count(i))
+			}
+		}
+	}
+}
+
+// TestGridAssignConcurrentReaders pins the index's concurrency
+// contract: Assign is a pure read, so any number of goroutines may
+// call it simultaneously on a warm (grid-built) quantiser — the
+// scenario core.Agent.TryPredict creates under its shared read lock.
+// Run under -race this fails if Assign ever mutates shared state
+// again (e.g. lazily building candidate lists).
+func TestGridAssignConcurrentReaders(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	q := NewOnlineAVQ(225, 128)
+	for i := 0; i < 4000; i++ {
+		q.Observe(randVec(rng, 3, 400))
+	}
+	if q.Len() < gridMinProtos {
+		t.Fatalf("setup grew only %d prototypes, want >= %d for the grid", q.Len(), gridMinProtos)
+	}
+	protos := q.Prototypes()
+	probes := make([][]float64, 128)
+	for i := range probes {
+		p := protos[rng.Intn(len(protos))]
+		x := make([]float64, len(p))
+		for j := range x {
+			x[j] = p[j] + (rng.Float64()-0.5)*10
+		}
+		probes[i] = x
+	}
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			for i := 0; i < 3000; i++ {
+				x := probes[(i+w)%len(probes)]
+				gi, gd := q.Assign(x)
+				li, ld := NearestCentroid(protos, x)
+				if gi != li || gd != ld {
+					done <- fmt.Errorf("worker %d: Assign=(%d,%v) linear=(%d,%v)", w, gi, gd, li, ld)
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAssignIndexedVsLinear(b *testing.B) {
+	for _, maxProtos := range []int{64, 256, 1024} {
+		span := 30 * math.Sqrt(float64(maxProtos))
+		// Every build replays one deterministic stream, so the linear
+		// and indexed quantisers hold identical prototypes and the
+		// probes are in-coverage for both.
+		build := func(noGrid bool) *OnlineAVQ {
+			rng := rand.New(rand.NewSource(3))
+			q := NewOnlineAVQ(225, maxProtos)
+			q.noGrid = noGrid
+			for i := 0; i < 20*maxProtos; i++ {
+				q.Observe(randVec(rng, 3, span))
+			}
+			return q
+		}
+		rng := rand.New(rand.NewSource(99))
+		// In-coverage probes (within the spawn radius of some
+		// prototype): the population the TryPredict fast path routes.
+		ref := build(true)
+		protos := ref.Prototypes()
+		probes := make([][]float64, 256)
+		for i := range probes {
+			p := protos[rng.Intn(len(protos))]
+			x := make([]float64, len(p))
+			for j := range x {
+				x[j] = p[j] + (rng.Float64()-0.5)*10
+			}
+			probes[i] = x
+		}
+		name := "protos=" + itoa(len(protos))
+		b.Run(name+"/indexed", func(b *testing.B) {
+			q := build(false)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Assign(probes[i%len(probes)])
+			}
+		})
+		b.Run(name+"/linear", func(b *testing.B) {
+			q := build(true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Assign(probes[i%len(probes)])
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

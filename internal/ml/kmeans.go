@@ -187,6 +187,15 @@ type OnlineAVQ struct {
 	counts []int64
 	age    []int64 // observations since last win, for purging
 	clock  int64
+
+	// grid is the exact uniform-cell prototype index (see index.go):
+	// built lazily once the prototype set outgrows a linear scan,
+	// maintained incrementally by Observe, dropped (and lazily rebuilt)
+	// by PurgeStale. nil means "scan linearly".
+	grid *protoGrid
+	// noGrid force-disables the index; tests use it to diff the indexed
+	// quantiser against the pure linear-scan reference.
+	noGrid bool
 }
 
 // NewOnlineAVQ constructs a quantiser. spawnDist is a squared distance.
@@ -202,7 +211,8 @@ func NewOnlineAVQ(spawnDist float64, maxProtos int) *OnlineAVQ {
 }
 
 // Observe folds x into the quantiser and returns the index of the winning
-// (or newly spawned) prototype.
+// (or newly spawned) prototype. The prototype index is maintained in
+// step: spawns insert, a migrating winner is re-bucketed.
 func (q *OnlineAVQ) Observe(x []float64) int {
 	q.clock++
 	if len(q.protos) == 0 {
@@ -211,11 +221,15 @@ func (q *OnlineAVQ) Observe(x []float64) int {
 		q.age = append(q.age, 0)
 		return 0
 	}
-	win, d2 := NearestCentroid(q.protos, x)
+	q.ensureGrid()
+	win, d2 := q.nearest(x)
 	if q.SpawnDistance > 0 && d2 > q.SpawnDistance && len(q.protos) < q.MaxPrototypes {
 		q.protos = append(q.protos, CopyVec(x))
 		q.counts = append(q.counts, 1)
 		q.age = append(q.age, 0)
+		if q.grid != nil && !q.grid.insert(q.protos[len(q.protos)-1]) {
+			q.grid = nil
+		}
 		return len(q.protos) - 1
 	}
 	q.counts[win]++
@@ -232,13 +246,50 @@ func (q *OnlineAVQ) Observe(x []float64) int {
 	for j := 0; j < len(p) && j < len(x); j++ {
 		p[j] += lr * (x[j] - p[j])
 	}
+	if q.grid != nil && !q.grid.update(win, p) {
+		q.grid = nil
+	}
 	return win
 }
 
 // Assign returns the nearest prototype's index and squared distance
-// without updating state.
+// without updating ANY state — it is a pure read, safe for concurrent
+// callers as long as Observe/PurgeStale are externally serialised
+// against them (the SEA agent holds its RWMutex accordingly). It is
+// bit-identical to a NearestCentroid scan over Prototypes(); the grid
+// index only accelerates it.
 func (q *OnlineAVQ) Assign(x []float64) (int, float64) {
+	return q.nearest(x)
+}
+
+// nearest is the indexed nearest-prototype lookup with linear-scan
+// fallback whenever the grid is absent or cannot prove the winner.
+// Pure read: all index mutation lives in Observe/ensureGrid.
+func (q *OnlineAVQ) nearest(x []float64) (int, float64) {
+	if q.grid != nil {
+		if best, bestD, ok := q.grid.nearest(q.protos, x); ok {
+			return best, bestD
+		}
+	}
 	return NearestCentroid(q.protos, x)
+}
+
+// ensureGrid lazily builds the prototype index once the set is big
+// enough for it to pay off. Cell side = sqrt(SpawnDistance): prototypes
+// spawn at least that far apart, so occupied cells stay sparse and the
+// winner is almost always within one ring.
+func (q *OnlineAVQ) ensureGrid() {
+	if q.grid != nil || q.noGrid || q.SpawnDistance <= 0 || len(q.protos) < gridMinProtos {
+		return
+	}
+	dims := len(q.protos[0])
+	if dims > gridMaxDims {
+		dims = gridMaxDims
+	}
+	if dims == 0 {
+		return
+	}
+	q.grid = newProtoGrid(math.Sqrt(q.SpawnDistance), dims, q.protos)
 }
 
 // Prototypes returns copies of the current prototypes.
@@ -328,5 +379,8 @@ func (q *OnlineAVQ) PurgeStale(maxAge int64) []int {
 		ages = append(ages, q.age[i])
 	}
 	q.protos, q.counts, q.age = protos, counts, ages
+	// Purging renumbers the survivors; drop the index and let the next
+	// lookup rebuild it over the compacted set.
+	q.grid = nil
 	return removed
 }

@@ -234,15 +234,22 @@ func NewRLSFromState(st RLSState) (*RLS, error) {
 // coordinates, all squares, and all pairwise products. SEA's answer models
 // use this to capture the quadratic growth of COUNT with subspace volume.
 func PolyFeatures(x []float64) []float64 {
+	return PolyFeaturesInto(make([]float64, 0, PolyDim(len(x))), x)
+}
+
+// PolyFeaturesInto appends the degree-2 polynomial expansion of x to
+// dst and returns it — the allocation-free variant serving hot paths
+// use with a reusable scratch buffer (pass dst[:0] with capacity
+// PolyDim(len(x))).
+func PolyFeaturesInto(dst, x []float64) []float64 {
 	d := len(x)
-	out := make([]float64, 0, d+d*(d+1)/2)
-	out = append(out, x...)
+	dst = append(dst, x...)
 	for i := 0; i < d; i++ {
 		for j := i; j < d; j++ {
-			out = append(out, x[i]*x[j])
+			dst = append(dst, x[i]*x[j])
 		}
 	}
-	return out
+	return dst
 }
 
 // PolyDim returns len(PolyFeatures(x)) for an input of dimension d.

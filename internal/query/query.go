@@ -255,13 +255,33 @@ func (q Query) ValidateCols(width int) error {
 // (RT1.3). dims pads/truncates the centre to a fixed width so that all
 // queries share one geometry.
 func (q Query) Vectorize(dims int) []float64 {
-	c := q.Select.Center1()
-	out := make([]float64, dims+1)
-	for i := 0; i < dims && i < len(c); i++ {
-		out[i] = c[i]
+	return q.VectorizeInto(make([]float64, 0, dims+1), dims)
+}
+
+// VectorizeInto appends the query vector (centre..., extent) to dst and
+// returns it — the allocation-free variant the agent's prediction fast
+// path uses with a reusable scratch buffer (pass dst[:0] with capacity
+// dims+1).
+func (q Query) VectorizeInto(dst []float64, dims int) []float64 {
+	s := q.Select
+	if s.IsRadius() {
+		for i := 0; i < dims; i++ {
+			if i < len(s.Center) {
+				dst = append(dst, s.Center[i])
+			} else {
+				dst = append(dst, 0)
+			}
+		}
+	} else {
+		for i := 0; i < dims; i++ {
+			if i < len(s.Los) && i < len(s.His) {
+				dst = append(dst, (s.Los[i]+s.His[i])/2)
+			} else {
+				dst = append(dst, 0)
+			}
+		}
 	}
-	out[dims] = q.Select.Extent()
-	return out
+	return append(dst, s.Extent())
 }
 
 // Result is an executed query's answer.

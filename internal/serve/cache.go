@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// cacheShards is the answer cache's shard count: enough that concurrent
+// hot-path hits rarely contend on one mutex, small enough that a modest
+// capacity still gives every shard a useful LRU depth.
+const cacheShards = 16
+
+// AnswerCache is a bounded, sharded LRU of answered queries keyed by
+// the canonical query key (Key) and stamped with the answering agent's
+// data version (core.Agent.CacheVersion). A hit is returned without
+// touching the agent at all — no agent lock, no quantiser lookup, no
+// model inference — which makes it the cheapest tier of the serving hot
+// path. Staleness is handled by the version stamp: ingest advances the
+// data version, so a hit whose stamp no longer matches the live version
+// is dropped on sight instead of served. Entries are stamped with the
+// version read *before* the answer was computed, so a write racing the
+// computation can only expire the entry early, never let it outlive the
+// data it described. FreshRows/stale_rows semantics carry through
+// unchanged: the cached Answer is returned verbatim, and any ingest
+// that would have advanced its staleness also advances the version and
+// therefore evicts it.
+type AnswerCache struct {
+	shards [cacheShards]cacheShard
+	capPer int
+	// ttl additionally expires entries by age when positive. A version
+	// stamp can only invalidate what the stamping node observes; in a
+	// cluster, a write can land on remote partition holders without
+	// ever touching this node, so distributed caches bound that
+	// invisible-write staleness with a TTL on top of the stamp.
+	ttl time.Duration
+}
+
+type cacheShard struct {
+	mu   sync.Mutex
+	m    map[string]*cacheEntry
+	head *cacheEntry // most recently used
+	tail *cacheEntry // least recently used
+}
+
+type cacheEntry struct {
+	key        string
+	ver        int64
+	stamp      time.Time // put time, for TTL expiry
+	ans        core.Answer
+	prev, next *cacheEntry
+}
+
+// NewAnswerCache builds a cache bounded to roughly capacity entries
+// (rounded up to a multiple of the shard count).
+func NewAnswerCache(capacity int) *AnswerCache {
+	if capacity < cacheShards {
+		capacity = cacheShards
+	}
+	c := &AnswerCache{capPer: (capacity + cacheShards - 1) / cacheShards}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*cacheEntry)
+	}
+	return c
+}
+
+// SetTTL bounds every entry's lifetime (<= 0 disables age expiry).
+// Configure before serving; not safe to change concurrently with
+// lookups.
+func (c *AnswerCache) SetTTL(d time.Duration) { c.ttl = d }
+
+// Get returns the cached answer for key at the given data version.
+func (c *AnswerCache) Get(key string, ver int64) (core.Answer, bool) {
+	return c.lookup([]byte(key), fnv32(key), ver)
+}
+
+// Put caches ans for key at the given data version.
+func (c *AnswerCache) Put(key string, ver int64, ans core.Answer) {
+	c.put(key, fnv32(key), ver, ans)
+}
+
+// lookup is the allocation-free hit path: key arrives as the scratch
+// byte slice the Pool built it in (the map access through string(key)
+// does not allocate), h is its fnv32 hash.
+func (c *AnswerCache) lookup(key []byte, h uint32, ver int64) (core.Answer, bool) {
+	s := &c.shards[h%cacheShards]
+	s.mu.Lock()
+	e := s.m[string(key)]
+	if e == nil {
+		s.mu.Unlock()
+		return core.Answer{}, false
+	}
+	if e.ver != ver || (c.ttl > 0 && time.Since(e.stamp) > c.ttl) {
+		// The data moved under the entry (or it aged out): evict
+		// eagerly so one stale key cannot pin shard capacity until LRU
+		// pressure finds it.
+		s.unlink(e)
+		delete(s.m, e.key)
+		s.mu.Unlock()
+		return core.Answer{}, false
+	}
+	s.moveToFront(e)
+	ans := e.ans
+	s.mu.Unlock()
+	return ans, true
+}
+
+func (c *AnswerCache) put(key string, h uint32, ver int64, ans core.Answer) {
+	var stamp time.Time
+	if c.ttl > 0 {
+		stamp = time.Now()
+	}
+	s := &c.shards[h%cacheShards]
+	s.mu.Lock()
+	if e := s.m[key]; e != nil {
+		e.ver, e.ans, e.stamp = ver, ans, stamp
+		s.moveToFront(e)
+		s.mu.Unlock()
+		return
+	}
+	e := &cacheEntry{key: key, ver: ver, stamp: stamp, ans: ans}
+	s.m[key] = e
+	s.pushFront(e)
+	if len(s.m) > c.capPer {
+		lru := s.tail
+		s.unlink(lru)
+		delete(s.m, lru.key)
+	}
+	s.mu.Unlock()
+}
+
+// Len returns the cached entry count across all shards.
+func (c *AnswerCache) Len() int {
+	var n int
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Flush drops every entry — the big hammer for invalidations the
+// version stamp cannot express, e.g. a background model rebuild that
+// changes predictions without changing the data version.
+func (c *AnswerCache) Flush() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.m = make(map[string]*cacheEntry)
+		s.head, s.tail = nil, nil
+		s.mu.Unlock()
+	}
+}
+
+func (s *cacheShard) pushFront(e *cacheEntry) {
+	e.prev, e.next = nil, s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *cacheShard) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *cacheShard) moveToFront(e *cacheEntry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}

@@ -29,8 +29,9 @@ package serve
 
 import (
 	"errors"
+	"math"
 	"strconv"
-	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -41,34 +42,69 @@ import (
 // ErrNoAgents is returned when a Pool is built without agents.
 var ErrNoAgents = errors.New("serve: pool needs at least one agent")
 
-// Key canonicalises a query for routing and single-flight
+// Key canonicalises a query for routing, caching and single-flight
 // deduplication: two queries with the same key are the same question.
+// Columns the aggregate never reads are canonicalised away — COUNT uses
+// neither Col nor Col2, SUM/AVG/VAR ignore Col2 — so equivalent queries
+// share one cache/single-flight/routing identity instead of splitting
+// on junk column values.
 func Key(q query.Query) string {
-	var b strings.Builder
-	b.Grow(64)
-	b.WriteString(q.Aggregate.String())
-	b.WriteByte('|')
-	b.WriteString(strconv.Itoa(q.Col))
-	b.WriteByte(',')
-	b.WriteString(strconv.Itoa(q.Col2))
-	b.WriteByte('|')
-	writeFloats := func(vs []float64) {
-		for _, v := range vs {
-			b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
-			b.WriteByte(',')
+	return string(AppendKey(nil, q))
+}
+
+// AppendKey appends q's canonical key bytes to dst and returns it —
+// the allocation-free variant the Pool hot path uses with a pooled
+// scratch buffer. Key(q) == string(AppendKey(nil, q)) always.
+func AppendKey(dst []byte, q query.Query) []byte {
+	dst = append(dst, q.Aggregate.String()...)
+	dst = append(dst, '|')
+	col, col2 := keyCols(q)
+	dst = strconv.AppendInt(dst, int64(col), 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendInt(dst, int64(col2), 10)
+	dst = append(dst, '|')
+	if q.Select.IsRadius() {
+		dst = append(dst, 'r')
+		for _, v := range q.Select.Center {
+			dst = appendFloatKey(dst, v)
+			dst = append(dst, ',')
+		}
+		dst = appendFloatKey(dst, q.Select.Radius)
+	} else {
+		dst = append(dst, 'b')
+		for _, v := range q.Select.Los {
+			dst = appendFloatKey(dst, v)
+			dst = append(dst, ',')
+		}
+		dst = append(dst, ';')
+		for _, v := range q.Select.His {
+			dst = appendFloatKey(dst, v)
+			dst = append(dst, ',')
 		}
 	}
-	if q.Select.IsRadius() {
-		b.WriteByte('r')
-		writeFloats(q.Select.Center)
-		b.WriteString(strconv.FormatFloat(q.Select.Radius, 'g', -1, 64))
-	} else {
-		b.WriteByte('b')
-		writeFloats(q.Select.Los)
-		b.WriteByte(';')
-		writeFloats(q.Select.His)
+	return dst
+}
+
+// appendFloatKey encodes one selection coordinate as its raw IEEE-754
+// bit pattern in hex. The key only needs injectivity, not readability,
+// and bit encoding costs a fraction of shortest-representation float
+// formatting while inducing the same equality classes (shortest-repr
+// formatting round-trips bits exactly).
+func appendFloatKey(dst []byte, v float64) []byte {
+	return strconv.AppendUint(dst, math.Float64bits(v), 16)
+}
+
+// keyCols returns the aggregate's effective column identity, zeroing
+// the columns it never reads (mirrors core's model-key normalisation).
+func keyCols(q query.Query) (int, int) {
+	switch q.Aggregate {
+	case query.Count:
+		return 0, 0
+	case query.Sum, query.Avg, query.Var:
+		return q.Col, 0
+	default:
+		return q.Col, q.Col2
 	}
-	return b.String()
 }
 
 // Pool answers queries over a set of thread-safe agents. Routing is by
@@ -79,6 +115,28 @@ type Pool struct {
 	agents []*core.Agent
 	sf     group
 	rec    *metrics.ServeRecorder
+	// cache, when enabled, is the first hot-path tier: answers keyed by
+	// canonical query key and stamped with the routed agent's data
+	// version are returned without touching the agent at all.
+	cache *AnswerCache
+	// verFn overrides the per-agent cache-version source. Distributed
+	// nodes install one that also folds in cluster-visible write
+	// signals (forwarded ingest) the agent's own oracle version cannot
+	// see.
+	verFn func() int64
+	// keys pools the canonical-key scratch buffers so the steady-state
+	// cache-hit and prediction paths build keys without allocating.
+	keys sync.Pool
+}
+
+// keyBuf is the pooled canonical-key scratch buffer.
+type keyBuf struct{ b []byte }
+
+func (p *Pool) getKeyBuf() *keyBuf {
+	if kb, ok := p.keys.Get().(*keyBuf); ok {
+		return kb
+	}
+	return &keyBuf{b: make([]byte, 0, 128)}
 }
 
 // NewPool builds a pool over the given agents, instrumented through rec
@@ -96,6 +154,44 @@ func NewPool(agents []*core.Agent, rec *metrics.ServeRecorder) (*Pool, error) {
 // Recorder returns the pool's serving-metrics recorder.
 func (p *Pool) Recorder() *metrics.ServeRecorder { return p.rec }
 
+// EnableCache attaches a bounded, sharded LRU answer cache of roughly
+// capacity entries to the pool (capacity <= 0 detaches it). Wire it up
+// before serving traffic; it is not safe to toggle concurrently with
+// Answer.
+func (p *Pool) EnableCache(capacity int) {
+	if capacity <= 0 {
+		p.cache = nil
+		return
+	}
+	p.cache = NewAnswerCache(capacity)
+}
+
+// Cache returns the pool's answer cache (nil when disabled).
+func (p *Pool) Cache() *AnswerCache { return p.cache }
+
+// SetCacheVersion overrides the cache's version source (nil restores
+// the default, the routed agent's CacheVersion). The function must be
+// cheap, lock-light and monotone: every data change the caller can
+// observe must change its value. Configure before serving.
+func (p *Pool) SetCacheVersion(fn func() int64) { p.verFn = fn }
+
+// cacheVersion reads the freshness stamp for entries routed to ag.
+func (p *Pool) cacheVersion(ag *core.Agent) int64 {
+	if p.verFn != nil {
+		return p.verFn()
+	}
+	return ag.CacheVersion()
+}
+
+// FlushCache drops every cached answer. Maintenance paths that change
+// predictions without changing the data version (background model
+// rebuilds, explicit invalidations) call this.
+func (p *Pool) FlushCache() {
+	if p.cache != nil {
+		p.cache.Flush()
+	}
+}
+
 // Agents returns the pooled agents (for stats aggregation).
 func (p *Pool) Agents() []*core.Agent { return p.agents }
 
@@ -108,23 +204,46 @@ func (p *Pool) route(key string) *core.Agent {
 // (maintenance layers use it to attribute recorded queries and drift
 // rebuilds to the right pooled agent).
 func (p *Pool) RouteIndex(key string) int {
+	return p.routeHash(fnv32(key))
+}
+
+// routeHash is RouteIndex over a precomputed key hash.
+func (p *Pool) routeHash(h uint32) int {
 	if len(p.agents) == 1 {
 		return 0
 	}
-	return int(fnv32(key) % uint32(len(p.agents)))
+	return int(h % uint32(len(p.agents)))
 }
 
-// Answer serves one query: the model fast path when possible, otherwise
-// a single-flight deduplicated oracle fallback.
+// Answer serves one query through the tiered hot path: a versioned
+// cache hit (cheapest — no agent touched), then the read-locked model
+// fast path, then a single-flight deduplicated oracle fallback. The
+// cache-hit and steady-state prediction tiers run without heap
+// allocations.
 func (p *Pool) Answer(q query.Query) (core.Answer, error) {
 	start := time.Now()
-	key := Key(q)
-	ag := p.route(key)
+	kb := p.getKeyBuf()
+	kb.b = AppendKey(kb.b[:0], q)
+	h := fnv32Bytes(kb.b)
+	ag := p.agents[p.routeHash(h)]
+	// ver is read before the answer is computed, and stamps whatever
+	// gets cached below: a write racing the computation can only make
+	// the entry expire early, never serve past its data version.
+	var ver int64
+	if p.cache != nil {
+		ver = p.cacheVersion(ag)
+		if ans, ok := p.cache.lookup(kb.b, h, ver); ok {
+			p.rec.CacheHit(time.Since(start))
+			p.keys.Put(kb)
+			return ans, nil
+		}
+	}
 	// An identical fallback already in flight? Park behind it without
 	// touching the agent at all — its write lock is held for the
 	// duration of the oracle call, so probing the agent here would
 	// serialise behind the expensive path instead of sharing it.
-	if c := p.sf.join(key); c != nil {
+	if c := p.sf.joinBytes(kb.b); c != nil {
+		p.keys.Put(kb)
 		c.wg.Wait()
 		if c.err != nil {
 			p.rec.Error()
@@ -134,11 +253,17 @@ func (p *Pool) Answer(q query.Query) (core.Answer, error) {
 		return c.ans, nil
 	}
 	if ans, ok := ag.TryPredict(q); ok {
+		if p.cache != nil {
+			p.cache.put(string(kb.b), h, ver, ans)
+		}
+		p.keys.Put(kb)
 		p.rec.Observe(time.Since(start), true)
 		return ans, nil
 	}
 	// Expensive path: identical in-flight fallbacks collapse to one
 	// oracle execution whose result every waiter shares.
+	key := string(kb.b)
+	p.keys.Put(kb)
 	ans, shared, err := p.sf.do(key, func() (core.Answer, error) {
 		return ag.Answer(q)
 	})
@@ -149,6 +274,9 @@ func (p *Pool) Answer(q query.Query) (core.Answer, error) {
 	if shared {
 		p.rec.Dedup(time.Since(start))
 	} else {
+		if p.cache != nil {
+			p.cache.put(key, h, ver, ans)
+		}
 		p.rec.Observe(time.Since(start), ans.Predicted)
 	}
 	return ans, nil
@@ -170,11 +298,22 @@ func (p *Pool) Stats() core.Stats {
 }
 
 // fnv32 is the 32-bit FNV-1a hash (inline to avoid an import for four
-// lines).
+// lines). fnv32(s) == fnv32Bytes([]byte(s)), so routing is identical
+// whether the key was built as a string or in a scratch buffer.
 func fnv32(s string) uint32 {
 	h := uint32(2166136261)
 	for i := 0; i < len(s); i++ {
 		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// fnv32Bytes is fnv32 over a byte slice.
+func fnv32Bytes(b []byte) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(b); i++ {
+		h ^= uint32(b[i])
 		h *= 16777619
 	}
 	return h

@@ -47,6 +47,19 @@ func (g *group) join(key string) *call {
 	return c
 }
 
+// joinBytes is join with a byte-slice key: the map access through
+// string(key) does not allocate, so the no-flight common case (every
+// prediction) costs nothing on the heap.
+func (g *group) joinBytes(key []byte) *call {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c := g.m[string(key)]
+	if c != nil {
+		c.joined++
+	}
+	return c
+}
+
 // waiting reports how many callers are parked on key's active flight.
 func (g *group) waiting(key string) int {
 	g.mu.Lock()

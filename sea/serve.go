@@ -48,6 +48,11 @@ type ServeOptions struct {
 	// TenantInflight caps one tenant's concurrent queries (negative =
 	// unlimited).
 	TenantInflight int
+	// AnswerCache, when positive, enables a bounded versioned answer
+	// cache of roughly that many entries: repeated queries are served
+	// without touching the agents, and any data-version advance
+	// invalidates affected entries.
+	AnswerCache int
 }
 
 // TryPredict attempts the read-mostly fast path: answer q from a
@@ -68,6 +73,9 @@ func NewScheduler(agents []*Agent, opt ServeOptions) (*Scheduler, error) {
 	pool, err := serve.NewPool(cores, nil)
 	if err != nil {
 		return nil, fmt.Errorf("sea: %w", err)
+	}
+	if opt.AnswerCache > 0 {
+		pool.EnableCache(opt.AnswerCache)
 	}
 	return serve.NewScheduler(pool, serve.SchedulerConfig{
 		Workers:        opt.Workers,
