@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/query"
+	"repro/internal/trace"
 )
 
 func BenchmarkE1DatalessVsBDAS(b *testing.B) {
@@ -416,6 +417,67 @@ func BenchmarkE17HotPath(b *testing.B) {
 		b.ReportMetric(row.CacheHitRate, "cache_hit_rate")
 		b.ReportMetric(row.RPCsPerQuery, "rpcs_per_query")
 		b.ReportMetric(float64(row.P99.Microseconds()), "p99_us")
+	})
+}
+
+// BenchmarkE18TraceOverhead proves the observability layer's cost
+// contract. Disabled: with a tracer attached but sampling off, the
+// cache-hit serving path must still report 0 allocs/op — the tracing
+// hooks may cost nil checks and one atomic load, nothing more (CI
+// greps this line). Sampled forces a trace on every query to bound
+// the worst-case per-trace cost. The E18 sub-benchmark reports the
+// full experiment row: baseline vs traced QPS at 1-in-100 sampling,
+// the shadow audit's measured MAPE against ground truth, and the
+// stitched multi-node span-tree shape.
+func BenchmarkE18TraceOverhead(b *testing.B) {
+	fix, err := experiments.NewE17Fixture(20_000, 300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tracer := trace.NewTracer("bench", 0)
+	fix.Pool.EnableTracing(tracer)
+	if _, err := fix.Pool.Answer(fix.Query); err != nil { // prime the cache
+		b.Fatal(err)
+	}
+	b.Run("Disabled", func(b *testing.B) {
+		tracer.SetSampleRate(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := fix.Pool.Answer(fix.Query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Sampled", func(b *testing.B) {
+		tracer.SetSampleEvery(1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := fix.Pool.Answer(fix.Query); err != nil {
+				b.Fatal(err)
+			}
+		}
+		tracer.SetSampleRate(0)
+	})
+	b.Run("E18", func(b *testing.B) {
+		var row experiments.E18Row
+		var err error
+		for i := 0; i < b.N; i++ {
+			row, err = experiments.E18TraceOverhead(20_000, 300, 16, 500, 100)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(row.BaselineQPS, "baseline_qps")
+		b.ReportMetric(row.TracedQPS, "traced_qps")
+		b.ReportMetric(row.OverheadPct, "overhead_pct")
+		b.ReportMetric(float64(row.SampledTraces), "sampled_traces")
+		b.ReportMetric(float64(row.TraceSpans), "trace_spans")
+		b.ReportMetric(float64(row.TraceNodes), "trace_nodes")
+		b.ReportMetric(row.AuditMAPE, "audit_mape")
+		b.ReportMetric(row.TruthMAPE, "truth_mape")
+		b.ReportMetric(float64(row.SlowLogged), "slow_logged")
 	})
 }
 

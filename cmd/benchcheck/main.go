@@ -18,11 +18,21 @@
 // path that regresses from 0 to 1 allocs/op halves its ratio and
 // fails loudly.
 //
+// With -base-metric the baseline values are read from a DIFFERENT row
+// field of the baseline file. Pointing -base and -new at the SAME file
+// turns benchcheck into a within-run gate between two metrics of one
+// row — e.g. the E18 tracing-overhead contract, where the traced QPS
+// must stay within -max-drop of the untraced QPS measured in the same
+// process seconds earlier:
+//
+//	benchcheck -base bench.json -new bench.json -experiment E18 \
+//	    -base-metric baseline_qps -metric traced_qps -max-drop 0.05
+//
 // Usage:
 //
 //	benchcheck -base BENCH_old.json -new BENCH_new.json \
-//	    [-experiment E16] [-metric vec_mrows_s] [-max-drop 0.20] \
-//	    [-lower-better]
+//	    [-experiment E16] [-metric vec_mrows_s] [-base-metric qps] \
+//	    [-max-drop 0.20] [-lower-better]
 package main
 
 import (
@@ -78,6 +88,8 @@ func main() {
 	newPath := flag.String("new", "", "candidate seabench -json file")
 	experiment := flag.String("experiment", "E16", "experiment id to compare")
 	metric := flag.String("metric", "vec_mrows_s", "row field holding the throughput (higher = better)")
+	baseMetric := flag.String("base-metric", "",
+		"row field to read from the baseline file (default: same as -metric; use with -base == -new for within-run gates)")
 	maxDrop := flag.Float64("max-drop", 0.20, "maximum tolerated fractional regression")
 	lowerBetter := flag.Bool("lower-better", false,
 		"treat the metric as a cost (e.g. allocs/op): admit zero values and fail when it rises")
@@ -87,7 +99,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	base, err := load(*basePath, *experiment, *metric, *lowerBetter)
+	bm := *baseMetric
+	if bm == "" {
+		bm = *metric
+	}
+	base, err := load(*basePath, *experiment, bm, *lowerBetter)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcheck: read baseline: %v\n", err)
 		os.Exit(2)
@@ -102,7 +118,7 @@ func main() {
 		// it): nothing to compare against — pass, the artifact becomes
 		// the next baseline.
 		fmt.Printf("benchcheck: no %s/%s rows in baseline %s; skipping comparison\n",
-			*experiment, *metric, *basePath)
+			*experiment, bm, *basePath)
 		return
 	}
 	if len(cand) == 0 {

@@ -1,10 +1,10 @@
-// Command seabench runs the full experiment suite (E1-E17 and ablations
+// Command seabench runs the full experiment suite (E1-E18 and ablations
 // A1-A5 from DESIGN.md) at configurable scale and prints one table per
 // experiment — the rows EXPERIMENTS.md records. Metrics are virtual
 // simulator units (see internal/metrics), except E13 (concurrent
 // serving), E14 (distributed cluster), E15 (live data plane), E16
-// (vectorized execution) and E17 (serving hot path) which measure real
-// wall-clock behaviour.
+// (vectorized execution), E17 (serving hot path) and E18 (tracing
+// overhead + accuracy audit) which measure real wall-clock behaviour.
 //
 // With -json every experiment emits machine-readable rows instead of
 // tables, one JSON object per line:
@@ -422,6 +422,24 @@ func run(scale, only string, jsonOut bool) error {
 			fmt.Printf("try_predict=%.0fns (%.2f allocs)  cache_hit=%.0fns (%.2f allocs)  qps=%.0f  p99=%v  cache_hit_rate=%.2f  rpcs/query=%.2f (max holders %d)\n\n",
 				r.TryPredictNsOp, r.TryPredictAllocsOp, r.CacheHitNsOp, r.CacheHitAllocsOp,
 				r.QPS, r.P99, r.CacheHitRate, r.RPCsPerQuery, r.MaxRemoteHolders)
+		}
+	}
+
+	if want("E18") {
+		// Observability: tracing overhead at 1-in-100 sampling, the
+		// shadow audit's MAPE vs ground truth, and the stitched
+		// multi-node span tree of one forced cross-shard trace.
+		r, err := experiments.E18TraceOverhead(pick(10_000, 20_000), 300,
+			pick(8, 16), pick(250, 1000), 100)
+		if err != nil {
+			return err
+		}
+		if !em.emit("E18", r) {
+			fmt.Println("== E18: query-path tracing overhead + continuous accuracy audit ==")
+			fmt.Printf("baseline_qps=%.0f traced_qps=%.0f overhead=%.2f%% sampled=%d  trace: spans=%d nodes=%d partial_rpcs=%d  audit: samples=%d mape=%.4f truth=%.4f  slow_logged=%d\n\n",
+				r.BaselineQPS, r.TracedQPS, r.OverheadPct, r.SampledTraces,
+				r.TraceSpans, r.TraceNodes, r.PartialRPCSpans,
+				r.AuditSamples, r.AuditMAPE, r.TruthMAPE, r.SlowLogged)
 		}
 	}
 

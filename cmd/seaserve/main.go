@@ -29,10 +29,18 @@
 // -drift-budget/-requant-check tune the drift-aware online model
 // maintenance.
 //
+// Observability (both modes): -trace-sample traces a fraction of
+// queries into span trees (POST /v1/query?trace=1 forces one inline),
+// -trace-ring bounds the debug ring behind GET /v1/debug/trace/<id>,
+// -slow-query logs outliers to GET /v1/debug/slow, and -audit-sample
+// shadow-audits model answers against exact ground truth (error
+// histograms land in /v1/metrics).
+//
 // Endpoints (both modes):
 //
 //	POST /v1/query    {"agg":"count","los":[20,20],"his":[30,30]}
-//	GET  /v1/metrics  Prometheus text (QPS, latency, ingest/drift)
+//	GET  /v1/metrics  Prometheus text (QPS, per-path latency histograms,
+//	                  ingest/drift gauges, audit error histograms)
 //	GET  /healthz     liveness (also used by failover probing)
 //
 // Single-node adds POST /v1/explain and GET /v1/stats; cluster mode adds
@@ -90,6 +98,10 @@ type options struct {
 	writeQuorum    int
 	driftBudget    int
 	requantCheck   time.Duration
+	traceSample    float64
+	traceRing      int
+	slowQuery      time.Duration
+	auditSample    float64
 	// set records which flags were given explicitly (flag.Visit):
 	// cluster-only flags with non-zero defaults (-replicas,
 	// -requant-check) can only be rejected in single-node mode when we
@@ -119,6 +131,10 @@ func main() {
 	flag.IntVar(&o.writeQuorum, "write-quorum", 0, "owners that must apply an ingest batch before ack (cluster mode; 0 = majority of -replicas)")
 	flag.IntVar(&o.driftBudget, "drift-budget", 200, "ingested rows a quantum absorbs before its models re-earn trust (0 = legacy wholesale invalidation)")
 	flag.DurationVar(&o.requantCheck, "requant-check", 2*time.Second, "background drift-maintainer poll period (cluster mode; 0 disables re-quantisation)")
+	flag.Float64Var(&o.traceSample, "trace-sample", 0, "fraction of queries to trace (0 disables sampling; ?trace=1 always works)")
+	flag.IntVar(&o.traceRing, "trace-ring", 0, "finished traces kept for /v1/debug/trace (0 = default ring)")
+	flag.DurationVar(&o.slowQuery, "slow-query", 0, "log queries slower than this to /v1/debug/slow (0 disables)")
+	flag.Float64Var(&o.auditSample, "audit-sample", 0, "fraction of model-served answers to shadow-audit against exact truth (0 disables)")
 	flag.Parse()
 	o.set = make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { o.set[f.Name] = true })
@@ -167,6 +183,18 @@ func (o *options) validate() error {
 	}
 	if o.answerCache < 0 {
 		return fmt.Errorf("-answer-cache must be >= 0, got %d", o.answerCache)
+	}
+	if o.traceSample < 0 || o.traceSample > 1 {
+		return fmt.Errorf("-trace-sample must be in [0,1], got %g", o.traceSample)
+	}
+	if o.auditSample < 0 || o.auditSample > 1 {
+		return fmt.Errorf("-audit-sample must be in [0,1], got %g", o.auditSample)
+	}
+	if o.traceRing < 0 {
+		return fmt.Errorf("-trace-ring must be >= 0, got %d", o.traceRing)
+	}
+	if o.slowQuery < 0 {
+		return fmt.Errorf("-slow-query must be >= 0, got %v", o.slowQuery)
 	}
 
 	cluster := o.nodeID != ""
@@ -259,6 +287,10 @@ func runSingle(ctx context.Context, o options) error {
 		QueueDepth:     o.queue,
 		TenantInflight: o.tenantInflight,
 		AnswerCache:    o.answerCache,
+		TraceSample:    o.traceSample,
+		TraceRing:      o.traceRing,
+		SlowQuery:      o.slowQuery,
+		AuditSample:    o.auditSample,
 	})
 	if err != nil {
 		return err
@@ -285,6 +317,10 @@ func runCluster(ctx context.Context, o options) error {
 		AnswerCache:    answerCacheConfig(o.answerCache),
 		WriteQuorum:    o.writeQuorum,
 		RequantCheck:   o.requantCheck,
+		TraceSample:    o.traceSample,
+		TraceRing:      o.traceRing,
+		SlowQuery:      o.slowQuery,
+		AuditSample:    o.auditSample,
 	})
 	if err != nil {
 		return err

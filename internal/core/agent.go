@@ -37,6 +37,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/ml"
 	"repro/internal/query"
+	"repro/internal/trace"
 )
 
 // ErrNoOracle is returned when the agent needs an exact answer but was
@@ -51,6 +52,22 @@ type Oracle interface {
 	// DataVersion returns the base data's current version counter.
 	DataVersion() int64
 }
+
+// SpanOracle is an Oracle that can continue a query trace: when a
+// traced query falls back to the exact path, the agent hands the
+// oracle the fallback span so distributed oracles (scatter-gather)
+// attach their per-holder RPC subtrees under it. sp may be nil.
+type SpanOracle interface {
+	Oracle
+	AnswerSpan(q query.Query, sp *trace.Span) (query.Result, metrics.Cost, error)
+}
+
+// AuditFunc receives one accuracy-audit observation: the model's
+// prediction for a query alongside the exact truth. The fallback path
+// invokes it (under the agent's write lock) whenever the responsible
+// model had enough support to have answered; implementations must be
+// cheap and non-blocking.
+type AuditFunc func(agg query.Agg, pred, truth float64)
 
 // Config tunes the agent. The zero value is unusable; use DefaultConfig.
 type Config struct {
@@ -254,6 +271,13 @@ type Agent struct {
 	quantizer *ml.OnlineAVQ
 	models    map[modelKey][]*quantumModel // indexed by quantum id
 
+	// spanOracle caches the oracle's SpanOracle capability (asserted
+	// once at construction, not per fallback).
+	spanOracle SpanOracle
+	// audit, when set, observes every fallback whose model could have
+	// predicted (the free half of the continuous accuracy audit).
+	audit AuditFunc
+
 	// statsMu guards stats separately so concurrent read-path predictions
 	// (which only touch counters) don't contend on mu for writing.
 	statsMu sync.Mutex
@@ -305,8 +329,17 @@ func NewAgent(oracle Oracle, cfg Config) (*Agent, error) {
 	}
 	if oracle != nil {
 		a.dataVer.Store(oracle.DataVersion())
+		a.spanOracle, _ = oracle.(SpanOracle)
 	}
 	return a, nil
+}
+
+// SetAuditor installs the accuracy-audit callback (see AuditFunc).
+// Configure at wiring time, before serving traffic.
+func (a *Agent) SetAuditor(fn AuditFunc) {
+	a.mu.Lock()
+	a.audit = fn
+	a.mu.Unlock()
 }
 
 // predictScratch is the per-call scratch arena of the prediction fast
@@ -455,15 +488,30 @@ func (m *quantumModel) trustworthy(cfg Config) bool {
 // The model-prediction path runs under a shared read lock (many callers
 // in parallel); training, fallbacks and maintenance serialise.
 func (a *Agent) Answer(q query.Query) (Answer, error) {
+	return a.AnswerSpan(q, nil)
+}
+
+// AnswerSpan is Answer under a (possibly nil) trace span: the predict
+// attempt and the exact fallback each get a child span, and span-aware
+// oracles continue the tree across node boundaries. With sp == nil the
+// cost over Answer is a handful of nil checks.
+func (a *Agent) AnswerSpan(q query.Query, sp *trace.Span) (Answer, error) {
 	if err := q.Validate(); err != nil {
 		return Answer{}, err
 	}
-	if ans, ok := a.TryPredict(q); ok {
+	psp := sp.Child("try_predict")
+	ans, ok := a.TryPredict(q)
+	psp.End()
+	if ok {
+		psp.SetAttrInt("quantum", int64(ans.Quantum))
+		psp.SetAttrFloat("est_error", ans.EstError)
 		return ans, nil
 	}
+	fsp := sp.Child("fallback")
+	defer fsp.End()
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.answerSlow(q)
+	return a.answerSlow(q, fsp)
 }
 
 // TryPredict attempts the read-mostly fast path: answer q from a learned
@@ -532,7 +580,7 @@ func (a *Agent) TryPredict(q query.Query) (Answer, bool) {
 // re-runs the prediction checks (conditions may have shifted between a
 // failed TryPredict and lock acquisition) and otherwise takes the exact
 // path: oracle, then fold the fresh (query, answer) pair into the model.
-func (a *Agent) answerSlow(q query.Query) (Answer, error) {
+func (a *Agent) answerSlow(q query.Query, sp *trace.Span) (Answer, error) {
 	a.maybeDetectDataChange()
 	feat := a.features(q)
 	qfeat := a.quantFeatures(q)
@@ -541,6 +589,7 @@ func (a *Agent) answerSlow(q query.Query) (Answer, error) {
 	a.statsMu.Lock()
 	inTraining := a.stats.Queries < int64(a.cfg.TrainingQueries) && a.oracle != nil
 	a.statsMu.Unlock()
+	asp := sp.Child("index_assign")
 	var quantum int
 	var outOfCoverage bool
 	if inTraining {
@@ -557,6 +606,8 @@ func (a *Agent) answerSlow(q query.Query) (Answer, error) {
 	if quantum < 0 { // empty quantizer (no training phase configured)
 		quantum = a.quantizer.Observe(qfeat)
 	}
+	asp.End()
+	asp.SetAttrInt("quantum", int64(quantum))
 	m := a.model(k, quantum)
 
 	if !inTraining && !outOfCoverage && m.trustworthy(a.cfg) {
@@ -592,13 +643,30 @@ func (a *Agent) answerSlow(q query.Query) (Answer, error) {
 			m = a.model(k, quantum)
 		}
 	}
-	res, cost, err := a.oracle.Answer(q)
+	osp := sp.Child("oracle")
+	var res query.Result
+	var cost metrics.Cost
+	var err error
+	if a.spanOracle != nil && sp != nil {
+		res, cost, err = a.spanOracle.AnswerSpan(q, osp)
+	} else {
+		res, cost, err = a.oracle.Answer(q)
+	}
+	osp.End()
 	if err != nil {
 		return Answer{}, fmt.Errorf("core: oracle: %w", err)
 	}
+	osp.SetAttrInt("rows_read", cost.RowsRead)
+	osp.SetAttrInt("nodes", int64(cost.NodesTouched))
 	pred := m.correct(q.Aggregate, invTransform(q.Aggregate, m.rls.Predict(feat)))
 	if m.n > 0 {
 		m.observeResidual(normError(q.Aggregate, pred, res.Value))
+		// Continuous accuracy audit, free half: the truth is already in
+		// hand, so record predicted-vs-truth for every fallback whose
+		// model had support ("could have been predicted").
+		if a.audit != nil {
+			a.audit(q.Aggregate, pred, res.Value)
+		}
 	}
 	m.rls.Observe(feat, transformTarget(q.Aggregate, res.Value))
 	m.n++
@@ -808,6 +876,53 @@ func (a *Agent) PredictOnly(q query.Query) (value, estErr float64, ok bool) {
 	}
 	pred := m.correct(q.Aggregate, invTransform(q.Aggregate, m.rls.Predict(a.featuresFrom(s, qv, q))))
 	return clampPrediction(q.Aggregate, pred), m.estError(), true
+}
+
+// ExactProbe evaluates q on the exact oracle without touching models,
+// statistics or the quantiser: the shadow-audit sampler uses it to
+// obtain ground truth for a model-served answer. It takes the write
+// lock for the oracle call — preserving the contract that only one
+// goroutine calls the oracle at a time — but leaves no trace in the
+// agent's learned state.
+func (a *Agent) ExactProbe(q query.Query) (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.oracle == nil {
+		return 0, ErrNoOracle
+	}
+	res, _, err := a.oracle.Answer(q)
+	if err != nil {
+		return 0, fmt.Errorf("core: probe oracle: %w", err)
+	}
+	return res.Value, nil
+}
+
+// NormError returns the normalised prediction error the agent itself
+// uses for trust decisions: relative for unbounded magnitude
+// aggregates, absolute for the bounded dependence statistics. Audit
+// layers use it so monitored error and fallback decisions share one
+// definition.
+func NormError(agg query.Agg, pred, truth float64) float64 {
+	return normError(agg, pred, truth)
+}
+
+// ProbationQuanta counts models currently on probation (invalidated by
+// a data change and not yet re-trusted) — a drift-health gauge.
+func (a *Agent) ProbationQuanta() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	n := 0
+	for _, ms := range a.models {
+		for _, m := range ms {
+			if m != nil && m.probation > 0 {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // Stats returns a copy of the lifetime counters.

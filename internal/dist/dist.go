@@ -60,6 +60,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/serve"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Defaults for Config's zero values.
@@ -160,6 +161,23 @@ type Config struct {
 	// call before /healthz probing may reinstate it (default
 	// DefaultCooldown).
 	Cooldown time.Duration
+	// TraceSample is the background trace-sampling fraction: roughly
+	// this share of served queries records a full span tree into the
+	// node's trace ring (GET /v1/debug/trace/<id>). 0 disables
+	// background sampling; ?trace=1 requests are always traced.
+	TraceSample float64
+	// TraceRing bounds how many finished traces the node retains
+	// (default trace.DefaultRing).
+	TraceRing int
+	// SlowQuery, when positive, logs every query slower than this
+	// threshold into the slow-query ring (GET /v1/debug/slow).
+	SlowQuery time.Duration
+	// AuditSample is the shadow-audit fraction: roughly this share of
+	// model-served answers is re-evaluated exactly in the background and
+	// the predicted-vs-truth relative error recorded into the accuracy
+	// audit histograms. 0 disables shadow auditing (exact-fallback
+	// audits are always on — they are free).
+	AuditSample float64
 }
 
 func (c Config) withDefaults() Config {
@@ -283,6 +301,10 @@ func (r QueryResponse) Answer() core.Answer {
 type PartialRequest struct {
 	Part  int                `json:"part"`
 	Query serve.QueryRequest `json:"query"`
+	// Trace asks the holder to record a span tree for its side of the
+	// work and return it in PartialResponse.Spans, so a traced query's
+	// tree stitches across node boundaries.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // PartialResponse carries one partition's mergeable aggregate state (see
@@ -291,6 +313,9 @@ type PartialResponse struct {
 	Partial []float64 `json:"partial"`
 	// Rows is how many base rows the partition scan touched.
 	Rows int64 `json:"rows"`
+	// Spans is the holder's span tree for this request (only when the
+	// request asked for a trace).
+	Spans []trace.WireSpan `json:"spans,omitempty"`
 }
 
 // PartialsRequest asks a holder for its local aggregate states of many
@@ -302,6 +327,9 @@ type PartialResponse struct {
 type PartialsRequest struct {
 	Parts []int              `json:"parts"`
 	Query serve.QueryRequest `json:"query"`
+	// Trace asks the holder to record a span tree for its side of the
+	// batch and return it in PartialsResponse.Spans.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // PartPartial is one partition's outcome within a batched partials
@@ -320,6 +348,10 @@ type PartPartial struct {
 type PartialsResponse struct {
 	Node     string        `json:"node"`
 	Partials []PartPartial `json:"partials"`
+	// Spans is the holder's span tree for this batch (only when the
+	// request asked for a trace); the gatherer grafts it under its
+	// partial_rpc span.
+	Spans []trace.WireSpan `json:"spans,omitempty"`
 }
 
 // SnapshotResponse ships a node's agent states for replica warm-up.
@@ -367,6 +399,9 @@ type WireRow struct {
 // partition's primary and replicated to the ring owners.
 type IngestRequest struct {
 	Rows []WireRow `json:"rows"`
+	// Trace asks the ingest path to record a span tree (wal_append,
+	// absorb, replicate fan-out) and return it in IngestResponse.Spans.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // PartIngestResult is one partition's outcome within an ingest batch.
@@ -389,6 +424,10 @@ type IngestResponse struct {
 	FailedRows int                `json:"failed_rows"`
 	Version    int64              `json:"version"`
 	Parts      []PartIngestResult `json:"parts"`
+	// Spans is the write path's span tree (only when the request asked
+	// for a trace). Forwarding nodes stitch the primary's spans under
+	// their own forward span.
+	Spans []trace.WireSpan `json:"spans,omitempty"`
 }
 
 // ReplicateRequest is the primary-to-replica POST /v1/replicate body:

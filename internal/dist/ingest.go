@@ -12,6 +12,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/serve"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // This file is the cluster's replicated write path (the live data
@@ -62,13 +63,16 @@ func (n *Node) wal(p int) *ingest.Log {
 // reads from the WAL), then the in-memory partition, the node data
 // version, and the agents' incremental-maintenance state. Callers
 // serialise per partition via partLock; replay runs before serving.
-func (n *Node) applyBatch(p int, seq uint64, rows []storage.Row, writeWAL bool) error {
+// A non-nil parent span gets wal_append/absorb children (traced ingest).
+func (n *Node) applyBatch(p int, seq uint64, rows []storage.Row, writeWAL bool, sp *trace.Span) error {
 	if writeWAL {
+		wsp := sp.Child("wal_append")
 		if l := n.wal(p); l != nil {
 			if err := l.Append(seq, rows); err != nil {
 				return fmt.Errorf("dist: partition %d: %w", p, err)
 			}
 		}
+		wsp.End()
 	}
 	n.mu.Lock()
 	if _, ok := n.parts[p]; !ok {
@@ -85,6 +89,7 @@ func (n *Node) applyBatch(p int, seq uint64, rows []storage.Row, writeWAL bool) 
 	ver := n.version
 	n.mu.Unlock()
 
+	asp := sp.Child("absorb")
 	vecs := make([][]float64, len(rows))
 	for i, r := range rows {
 		vecs[i] = r.Vec
@@ -97,6 +102,8 @@ func (n *Node) applyBatch(p int, seq uint64, rows []storage.Row, writeWAL bool) 
 	// entries be stamped with this version.
 	n.publishAbsorbed(ver)
 	n.pool.Recorder().IngestBatch(len(rows))
+	asp.End()
+	asp.SetAttrInt("rows", int64(len(rows)))
 	return nil
 }
 
@@ -143,14 +150,23 @@ func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 	sort.Ints(parts)
 
 	forwarded := r.Header.Get(forwardHeader) != ""
+	// ?trace=1 (or a forwarded request's Trace flag) records the write
+	// path as a span tree: wal_append/absorb per applied partition,
+	// replicate fan-out, and the forwarded primaries' own trees
+	// stitched under the forward spans.
+	var root *trace.Span
+	if req.Trace || serve.TraceRequested(r) {
+		root = trace.NewSpan("ingest", n.id)
+	}
 	resp := IngestResponse{Node: n.id}
 	for _, p := range parts {
 		rows := groups[p]
 		owners := n.ring.Owners(partKey(p), n.cfg.Replicas)
 		var pr PartIngestResult
+		psp := root.Child("part")
 		switch {
 		case len(owners) > 0 && owners[0] == n.id:
-			pr = n.primaryIngest(p, owners, rows)
+			pr = n.primaryIngest(p, owners, rows, psp)
 		case forwarded:
 			// Anti-bounce: a forwarded ingest is terminal. A ring
 			// disagreement must surface as an error, not hop again —
@@ -159,12 +175,15 @@ func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 			pr = PartIngestResult{Part: p, Rows: len(rows),
 				Error: fmt.Sprintf("dist: node %s is not the primary of partition %d", n.id, p)}
 		default:
-			pr = n.forwardIngest(owners, p, rows)
+			pr = n.forwardIngest(owners, p, rows, psp)
 			// The batch changed data this node holds no replica of, so
 			// its own version counter stays put — advance the ingest
 			// epoch instead so cached cluster-wide answers expire.
 			n.ingestEpoch.Add(1)
 		}
+		psp.End()
+		psp.SetAttrInt("part", int64(p))
+		psp.SetAttrInt("rows", int64(len(rows)))
 		if pr.Acked {
 			resp.AckedRows += pr.Rows
 		} else {
@@ -173,6 +192,10 @@ func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 		resp.Parts = append(resp.Parts, pr)
 	}
 	resp.Version = n.DataVersion()
+	if root != nil {
+		root.End()
+		resp.Spans = []trace.WireSpan{root.Wire()}
+	}
 	serve.WriteJSON(w, http.StatusOK, resp)
 }
 
@@ -181,7 +204,7 @@ func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 // The local apply happens first: an unacked batch may therefore still
 // be present on a minority of owners (standard quorum semantics — the
 // caller must treat unacked as lost-or-present).
-func (n *Node) primaryIngest(p int, owners []string, rows []storage.Row) PartIngestResult {
+func (n *Node) primaryIngest(p int, owners []string, rows []storage.Row, sp *trace.Span) PartIngestResult {
 	mu := n.partLock(p)
 	if mu == nil {
 		return PartIngestResult{Part: p, Rows: len(rows),
@@ -192,9 +215,10 @@ func (n *Node) primaryIngest(p int, owners []string, rows []storage.Row) PartIng
 	n.mu.RLock()
 	seq := n.lastSeq[p] + 1
 	n.mu.RUnlock()
-	if err := n.applyBatch(p, seq, rows, true); err != nil {
+	if err := n.applyBatch(p, seq, rows, true, sp); err != nil {
 		return PartIngestResult{Part: p, Rows: len(rows), Error: err.Error()}
 	}
+	rsp := sp.Child("replicate")
 	acks := 1
 	for _, o := range owners[1:] {
 		if o == n.id {
@@ -210,6 +234,8 @@ func (n *Node) primaryIngest(p int, owners []string, rows []storage.Row) PartIng
 		}
 		acks++
 	}
+	rsp.End()
+	rsp.SetAttrInt("acks", int64(acks))
 	return PartIngestResult{
 		Part: p, Rows: len(rows), Seq: seq,
 		Acked: acks >= n.writeQuorum(len(owners)),
@@ -237,7 +263,7 @@ func (n *Node) replicateTo(url string, p int, seq uint64, rows []storage.Row) er
 // the primary's response. Only the primary may sequence the batch, so
 // unlike query forwarding there is no local fallback: an unreachable
 // primary fails the batch (unacked, nothing applied).
-func (n *Node) forwardIngest(owners []string, p int, rows []storage.Row) PartIngestResult {
+func (n *Node) forwardIngest(owners []string, p int, rows []storage.Row, sp *trace.Span) PartIngestResult {
 	fail := func(msg string) PartIngestResult {
 		return PartIngestResult{Part: p, Rows: len(rows), Error: msg}
 	}
@@ -248,10 +274,13 @@ func (n *Node) forwardIngest(owners []string, p int, rows []storage.Row) PartIng
 	if !ok || !n.health.available(url) {
 		return fail(fmt.Sprintf("dist: primary %s of partition %d is unreachable", owners[0], p))
 	}
-	body, err := json.Marshal(IngestRequest{Rows: rowsToWire(rows)})
+	body, err := json.Marshal(IngestRequest{Rows: rowsToWire(rows), Trace: sp != nil})
 	if err != nil {
 		return fail(err.Error())
 	}
+	fsp := sp.Child("forward")
+	fsp.SetAttr("primary", owners[0])
+	defer fsp.End()
 	hreq, err := http.NewRequest(http.MethodPost, url+"/v1/ingest", bytes.NewReader(body))
 	if err != nil {
 		return fail(err.Error())
@@ -268,6 +297,8 @@ func (n *Node) forwardIngest(owners []string, p int, rows []storage.Row) PartIng
 	if derr := json.NewDecoder(resp.Body).Decode(&out); derr != nil || resp.StatusCode != http.StatusOK {
 		return fail(fmt.Sprintf("dist: primary %s of partition %d: HTTP %d", owners[0], p, resp.StatusCode))
 	}
+	// Graft the primary's span tree under this node's forward span.
+	fsp.AttachWire(out.Spans)
 	for _, pr := range out.Parts {
 		if pr.Part == p {
 			return pr
@@ -315,7 +346,7 @@ func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		serve.WriteJSON(w, http.StatusConflict, ReplicateResponse{LastSeq: last})
 		return
 	}
-	if err := n.applyBatch(req.Part, req.Seq, wireToRows(req.Rows), true); err != nil {
+	if err := n.applyBatch(req.Part, req.Seq, wireToRows(req.Rows), true, nil); err != nil {
 		serve.WriteError(w, err)
 		return
 	}
@@ -418,7 +449,7 @@ func (n *Node) catchUpPartition(p int) (int, error) {
 			if e.Seq != cur+1 {
 				break // gap in this donor's tail; the next holder may fill it
 			}
-			if err := n.applyBatch(p, e.Seq, wireToRows(e.Rows), true); err != nil {
+			if err := n.applyBatch(p, e.Seq, wireToRows(e.Rows), true, nil); err != nil {
 				return applied, err
 			}
 			applied++

@@ -364,7 +364,7 @@ func TestReplicateGapHealsInline(t *testing.T) {
 	// if the replica's connection dropped mid-replication).
 	seq := node0.PartLastSeq(part) + 1
 	gapRows := []storage.Row{{Key: 42_000_000, Vec: []float64{1, 2, 3}}}
-	if err := node0.applyBatch(part, seq, gapRows, true); err != nil {
+	if err := node0.applyBatch(part, seq, gapRows, true, nil); err != nil {
 		t.Fatal(err)
 	}
 	if replica.PartLastSeq(part) != seq-1 {
@@ -379,7 +379,7 @@ func TestReplicateGapHealsInline(t *testing.T) {
 			batch = append(batch, storage.Row{Key: k, Vec: []float64{4, 5, 6}})
 		}
 	}
-	pr := node0.primaryIngest(part, node0.PartitionOwners(part), batch)
+	pr := node0.primaryIngest(part, node0.PartitionOwners(part), batch, nil)
 	if !pr.Acked {
 		t.Fatalf("gapped replica did not heal: %+v", pr)
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"path/filepath"
 	"sort"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/serve"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // forwardHeader marks a node-to-node forwarded query so ring
@@ -38,6 +40,12 @@ type Node struct {
 
 	pool  *serve.Pool
 	sched *serve.Scheduler
+
+	// tracer owns the node's span trees: the background sampler, the
+	// bounded ring behind GET /v1/debug/trace/<id>, and the slow-query
+	// log. It is also installed on the pool, so every tier of the
+	// serving path threads spans through it.
+	tracer *trace.Tracer
 
 	// maints are the per-agent background drift maintainers (nil when
 	// RequantCheck is disabled).
@@ -129,13 +137,52 @@ func NewNode(cfg Config) (*Node, error) {
 		pool.SetCacheVersion(n.cacheVersion)
 	}
 	n.pool = pool
+	n.tracer = trace.NewTracer(cfg.ID, cfg.TraceRing)
+	n.tracer.SetSampleRate(cfg.TraceSample)
+	if cfg.SlowQuery > 0 {
+		n.tracer.SetSlowThreshold(cfg.SlowQuery)
+	}
+	pool.EnableTracing(n.tracer)
+	if cfg.AuditSample > 0 {
+		every := int64(1)
+		if cfg.AuditSample < 1 {
+			every = int64(math.Round(1 / cfg.AuditSample))
+		}
+		pool.EnableShadowAudit(every, 0)
+	}
+	rec := pool.Recorder()
+	rec.RegisterGauge("sea_wal_segments",
+		"WAL segment files across this node's owned partitions.",
+		func() float64 {
+			n.mu.RLock()
+			defer n.mu.RUnlock()
+			total := 0
+			for _, l := range n.wals {
+				total += l.Segments()
+			}
+			return float64(total)
+		})
+	rec.RegisterGauge("sea_absorbed_version",
+		"Highest data version the agents' models have fully absorbed.",
+		func() float64 { return float64(n.absorbedVer.Load()) })
+	rec.RegisterGauge("sea_ingest_epoch",
+		"Ingest batches this node forwarded to other primaries.",
+		func() float64 { return float64(n.ingestEpoch.Load()) })
+	rec.RegisterGauge("sea_probation_quanta",
+		"Quanta serving under post-invalidation probation across the node's agents.",
+		func() float64 {
+			total := 0
+			for _, ag := range agents {
+				total += ag.ProbationQuanta()
+			}
+			return float64(total)
+		})
 	n.sched = serve.NewScheduler(pool, serve.SchedulerConfig{
 		Workers:        cfg.Workers,
 		QueueDepth:     cfg.QueueDepth,
 		TenantInflight: cfg.TenantInflight,
 	})
 	if cfg.RequantCheck > 0 {
-		rec := pool.Recorder()
 		for _, ag := range agents {
 			m := ingest.NewMaintainer(ag, ingest.MaintainerConfig{
 				Interval: cfg.RequantCheck,
@@ -162,6 +209,7 @@ func NewNode(cfg Config) (*Node, error) {
 	n.mux.HandleFunc("GET /v1/snapshot", n.handleSnapshot)
 	n.mux.HandleFunc("GET /v1/cluster", n.handleCluster)
 	n.mux.HandleFunc("GET /v1/metrics", n.handleMetrics)
+	serve.RegisterDebug(n.mux, func() *trace.Tracer { return n.tracer })
 	n.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok\n"))
@@ -178,6 +226,9 @@ func (n *Node) Ring() *Ring { return n.ring }
 // Pool returns the node's agent pool (for stats and warm-up).
 func (n *Node) Pool() *serve.Pool { return n.pool }
 
+// Tracer returns the node's tracer (debug endpoints, tests).
+func (n *Node) Tracer() *trace.Tracer { return n.tracer }
+
 // Handler returns the node's HTTP API.
 func (n *Node) Handler() http.Handler { return n.mux }
 
@@ -188,6 +239,7 @@ func (n *Node) Close() {
 		m.Stop()
 	}
 	n.sched.Close()
+	n.pool.DrainAudits()
 	n.mu.Lock()
 	wals := n.wals
 	n.wals = make(map[int]*ingest.Log)
@@ -249,7 +301,7 @@ func (n *Node) Load(rows []storage.Row) error {
 			return fmt.Errorf("dist: node %s: %w", n.id, err)
 		}
 		replayErr := l.Replay(func(e ingest.Entry) error {
-			return n.applyBatch(p, e.Seq, e.Rows, false)
+			return n.applyBatch(p, e.Seq, e.Rows, false, nil)
 		})
 		n.mu.Lock()
 		n.wals[p] = l
@@ -322,17 +374,30 @@ func (n *Node) localPartial(p int, q query.Query) ([]float64, int64, bool) {
 // for that long, bounding the node's throughput like a real node's
 // storage/NIC service time would.
 func (n *Node) Answer(tenant string, q query.Query) (core.Answer, error) {
+	return n.AnswerTraced(tenant, q, nil)
+}
+
+// AnswerTraced is Answer under a caller-provided (possibly nil) trace —
+// the ?trace=1 entry point. A nil trace leaves the pool free to make
+// its own background sampling decision.
+func (n *Node) AnswerTraced(tenant string, q query.Query, tr *trace.Trace) (core.Answer, error) {
 	if len(n.maints) > 0 {
 		// Remember the query as rebuild training material for the agent
 		// that owns its key slice (background drift maintenance).
 		n.maints[n.pool.RouteIndex(serve.Key(q))].Record(q)
 	}
 	if n.cfg.ServiceDelay <= 0 {
-		return n.sched.Answer(tenant, q)
+		if tr == nil {
+			return n.sched.Answer(tenant, q)
+		}
+		return n.sched.AnswerTraced(tenant, q, tr)
 	}
 	v, err := n.sched.Do(tenant, func() (any, error) {
 		time.Sleep(n.cfg.ServiceDelay)
-		return n.pool.Answer(q)
+		if tr == nil {
+			return n.pool.Answer(q)
+		}
+		return n.pool.AnswerTraced(q, tr)
 	})
 	if err != nil {
 		return core.Answer{}, err
@@ -380,22 +445,26 @@ func (n *Node) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// failover, and answered locally as the last resort — any node can
 	// scatter-gather, so a fully-degraded ring still serves.
 	if mine || r.Header.Get(forwardHeader) != "" {
-		n.answerLocal(w, tenant, q)
+		n.answerLocal(w, r, tenant, q)
 		return
 	}
-	if n.forward(w, owners, req) {
+	if n.forward(w, owners, req, r.URL.RawQuery) {
 		return
 	}
-	n.answerLocal(w, tenant, q)
+	n.answerLocal(w, r, tenant, q)
 }
 
-func (n *Node) answerLocal(w http.ResponseWriter, tenant string, q query.Query) {
-	ans, err := n.Answer(tenant, q)
+func (n *Node) answerLocal(w http.ResponseWriter, r *http.Request, tenant string, q query.Query) {
+	var tr *trace.Trace
+	if serve.TraceRequested(r) {
+		tr = n.tracer.Force("query")
+	}
+	ans, err := n.AnswerTraced(tenant, q, tr)
 	if err != nil {
 		serve.WriteError(w, err)
 		return
 	}
-	serve.WriteJSON(w, http.StatusOK, QueryResponse{
+	resp := QueryResponse{
 		QueryResponse: serve.QueryResponse{
 			Value:     ans.Value,
 			Predicted: ans.Predicted,
@@ -405,24 +474,35 @@ func (n *Node) answerLocal(w http.ResponseWriter, tenant string, q query.Query) 
 			Cost:      serve.ToCostJSON(ans.Cost),
 		},
 		Node: n.id,
-	})
+	}
+	if tr != nil {
+		resp.TraceID = tr.ID()
+		resp.Trace = tr.Wire()
+	}
+	serve.WriteJSON(w, http.StatusOK, resp)
 }
 
 // forward proxies req to the key's owners in ring order and relays the
-// first conclusive response. It reports false when every owner was
-// unreachable (the caller then degrades to answering locally).
-func (n *Node) forward(w http.ResponseWriter, owners []string, req serve.QueryRequest) bool {
+// first conclusive response. The original URL query string rides along
+// so ?trace=1 reaches the node that actually answers. It reports false
+// when every owner was unreachable (the caller then degrades to
+// answering locally).
+func (n *Node) forward(w http.ResponseWriter, owners []string, req serve.QueryRequest, rawQuery string) bool {
 	body, err := json.Marshal(req)
 	if err != nil {
 		serve.WriteError(w, err)
 		return true
+	}
+	target := "/v1/query"
+	if rawQuery != "" {
+		target += "?" + rawQuery
 	}
 	for _, o := range owners {
 		url, ok := n.cfg.Peers[o]
 		if !ok || o == n.id || !n.health.available(url) {
 			continue
 		}
-		hreq, err := http.NewRequest(http.MethodPost, url+"/v1/query", bytes.NewReader(body))
+		hreq, err := http.NewRequest(http.MethodPost, url+target, bytes.NewReader(body))
 		if err != nil {
 			continue
 		}
@@ -461,17 +541,28 @@ func (n *Node) handlePartial(w http.ResponseWriter, r *http.Request) {
 		serve.WriteError(w, err)
 		return
 	}
+	var root *trace.Span
+	if req.Trace {
+		root = trace.NewSpan("partial", n.id)
+	}
 	partial, rowsRead, ok := n.localPartial(req.Part, q)
+	root.End()
+	root.SetAttrInt("part", int64(req.Part))
+	root.SetAttrInt("rows", rowsRead)
 	if !ok {
 		serve.WriteJSON(w, http.StatusNotFound, map[string]string{
 			"error": fmt.Sprintf("dist: node %s does not hold partition %d", n.id, req.Part),
 		})
 		return
 	}
-	serve.WriteJSON(w, http.StatusOK, PartialResponse{
+	resp := PartialResponse{
 		Partial: partial,
 		Rows:    rowsRead,
-	})
+	}
+	if root != nil {
+		resp.Spans = []trace.WireSpan{root.Wire()}
+	}
+	serve.WriteJSON(w, http.StatusOK, resp)
 }
 
 // handlePartials is the batched partial-state endpoint: one round trip
@@ -491,15 +582,32 @@ func (n *Node) handlePartials(w http.ResponseWriter, r *http.Request) {
 		serve.WriteError(w, err)
 		return
 	}
+	// A traced batch records its side of the work as a detached span
+	// tree rooted at this node; the gatherer grafts it under the
+	// matching partial_rpc span, stitching one tree across nodes.
+	var root *trace.Span
+	if req.Trace {
+		root = trace.NewSpan("partials", n.id)
+	}
+	scan := root.Child("local_scan")
+	var rowsScanned int64
 	resp := PartialsResponse{Node: n.id, Partials: make([]PartPartial, 0, len(req.Parts))}
 	for _, p := range req.Parts {
 		e := PartPartial{Part: p}
 		if partial, rowsRead, ok := n.localPartial(p, q); ok {
 			e.Partial, e.Rows = partial, rowsRead
+			rowsScanned += rowsRead
 		} else {
 			e.Error = fmt.Sprintf("dist: node %s does not hold partition %d", n.id, p)
 		}
 		resp.Partials = append(resp.Partials, e)
+	}
+	scan.End()
+	scan.SetAttrInt("parts", int64(len(req.Parts)))
+	scan.SetAttrInt("rows", rowsScanned)
+	root.End()
+	if root != nil {
+		resp.Spans = []trace.WireSpan{root.Wire()}
 	}
 	serve.WriteJSON(w, http.StatusOK, resp)
 }
@@ -526,7 +634,7 @@ func (n *Node) handleCluster(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (n *Node) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	serve.WriteMetrics(w, n.pool.Recorder().Snapshot())
+	serve.WriteMetrics(w, n.pool.Recorder())
 }
 
 // DataVersion returns the node's live data version: 1 after the bulk

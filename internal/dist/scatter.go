@@ -13,6 +13,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/query"
 	"repro/internal/serve"
+	"repro/internal/trace"
 )
 
 // scatterOracle is the exact engine behind each node's agents: a query
@@ -27,6 +28,13 @@ type scatterOracle struct {
 
 func (o scatterOracle) Answer(q query.Query) (query.Result, metrics.Cost, error) {
 	return o.n.ScatterGather(q)
+}
+
+// AnswerSpan is the traced oracle hook (core.SpanOracle): the agent's
+// fallback span becomes the parent of the scatter-gather's local-scan,
+// per-holder RPC and merge spans.
+func (o scatterOracle) AnswerSpan(q query.Query, sp *trace.Span) (query.Result, metrics.Cost, error) {
+	return o.n.ScatterGatherSpan(q, sp)
 }
 
 // DataVersion tracks the node's live data version: the bulk load is
@@ -64,6 +72,15 @@ var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 // round trip, BytesLAN the actual request+response payload bytes, and
 // NodesTouched the distinct holders that contributed states.
 func (n *Node) ScatterGather(q query.Query) (query.Result, metrics.Cost, error) {
+	return n.ScatterGatherSpan(q, nil)
+}
+
+// ScatterGatherSpan is ScatterGather under a (possibly nil) parent span:
+// the local vectorized scan, each per-holder batched partial RPC, and
+// the final merge get child spans, and holders asked under a trace
+// return their own span trees, which are grafted under the matching
+// partial_rpc span — one stitched tree across node boundaries.
+func (n *Node) ScatterGatherSpan(q query.Query, sp *trace.Span) (query.Result, metrics.Cost, error) {
 	start := time.Now()
 	// Validate aggregate columns against the local schema (adopted from
 	// the data) before fanning out: a malformed query fails loudly here
@@ -74,10 +91,13 @@ func (n *Node) ScatterGather(q query.Query) (query.Result, metrics.Cost, error) 
 		}
 	}
 	results := make([]partialResult, n.cfg.Partitions)
+	lsp := sp.Child("local_scan")
 	missing := n.gatherLocal(q, results)
+	lsp.End()
+	lsp.SetAttrInt("parts", int64(n.cfg.Partitions-len(missing)))
 	cost := metrics.Cost{}
 	if len(missing) > 0 {
-		rpcBytes, rpcs, err := n.gatherRemote(q, missing, results)
+		rpcBytes, rpcs, err := n.gatherRemote(q, missing, results, sp)
 		if err != nil {
 			return query.Result{}, metrics.Cost{}, err
 		}
@@ -85,6 +105,7 @@ func (n *Node) ScatterGather(q query.Query) (query.Result, metrics.Cost, error) 
 		cost.BytesLAN += rpcBytes
 	}
 
+	msp := sp.Child("merge")
 	partials := make([][]float64, 0, len(results))
 	holders := make(map[string]bool)
 	for p := range results {
@@ -97,10 +118,12 @@ func (n *Node) ScatterGather(q query.Query) (query.Result, metrics.Cost, error) 
 		holders[r.holder] = true
 	}
 	res := query.MergeEval(q, partials)
+	msp.End()
 	elapsed := time.Since(start)
 	cost.Time = elapsed
 	cost.CPUTime = elapsed
 	cost.NodesTouched = len(holders)
+	sp.SetAttrInt("nodes", int64(len(holders)))
 	return res, cost, nil
 }
 
@@ -137,8 +160,10 @@ func (n *Node) gatherLocal(q query.Query, results []partialResult) []int {
 // one batched /v1/partials RPC per holder on the bounded pool, and
 // re-batches whatever a holder failed to deliver (transport error, or a
 // per-partition "not held" entry) onto the next replicas. It returns
-// the total wire bytes moved and the RPC round trips issued.
-func (n *Node) gatherRemote(q query.Query, missing []int, results []partialResult) (int64, int, error) {
+// the total wire bytes moved and the RPC round trips issued. Under a
+// trace each holder round trip gets a partial_rpc child span carrying
+// the holder's returned span tree.
+func (n *Node) gatherRemote(q query.Query, missing []int, results []partialResult, sp *trace.Span) (int64, int, error) {
 	wire := queryToWire(q, "")
 	// Per-partition remote holder candidates in ring order, consumed by
 	// a cursor as failovers advance.
@@ -191,8 +216,15 @@ func (n *Node) gatherRemote(q query.Query, missing []int, results []partialResul
 		runBounded(n.cfg.GatherFanout, len(outs), func(i int) {
 			o := &outs[i]
 			url := n.cfg.Peers[o.holder]
-			o.resp, o.bytes, o.err = n.fetchPartials(url, o.parts, wire)
+			// Span.Child is safe under concurrent workers; a nil sp
+			// keeps the whole branch free.
+			rsp := sp.Child("partial_rpc")
+			o.resp, o.bytes, o.err = n.fetchPartials(url, o.parts, wire, rsp)
+			rsp.End()
+			rsp.SetAttr("holder", o.holder)
+			rsp.SetAttrInt("parts", int64(len(o.parts)))
 			if o.err != nil {
+				rsp.SetAttr("error", o.err.Error())
 				n.health.markDownOn(url, o.err)
 			}
 		})
@@ -231,12 +263,13 @@ func (n *Node) gatherRemote(q query.Query, missing []int, results []partialResul
 
 // fetchPartials runs one batched partials round trip against a holder,
 // returning its per-partition entries and the request+response payload
-// bytes. Both JSON buffers come from the shared pool.
-func (n *Node) fetchPartials(url string, parts []int, wq serve.QueryRequest) ([]PartPartial, int64, error) {
+// bytes. Both JSON buffers come from the shared pool. A non-nil span
+// asks the holder for its own span tree and grafts it underneath.
+func (n *Node) fetchPartials(url string, parts []int, wq serve.QueryRequest, sp *trace.Span) ([]PartPartial, int64, error) {
 	buf := jsonBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	defer jsonBufPool.Put(buf)
-	if err := json.NewEncoder(buf).Encode(PartialsRequest{Parts: parts, Query: wq}); err != nil {
+	if err := json.NewEncoder(buf).Encode(PartialsRequest{Parts: parts, Query: wq, Trace: sp != nil}); err != nil {
 		return nil, 0, err
 	}
 	reqBytes := int64(buf.Len())
@@ -258,6 +291,7 @@ func (n *Node) fetchPartials(url string, parts []int, wq serve.QueryRequest) ([]
 	if err := json.Unmarshal(rb.Bytes(), &pr); err != nil {
 		return nil, 0, err
 	}
+	sp.AttachWire(pr.Spans)
 	n.partialsSent.Add(1)
 	return pr.Partials, reqBytes + int64(rb.Len()), nil
 }

@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/query"
+	"repro/internal/serve"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// E18Row is one row of the observability scenario: what query-path
+// tracing costs at serving speed, whether a cross-shard trace stitches
+// into one multi-node span tree, and whether the continuous accuracy
+// audit measures the model error the ground truth actually shows.
+type E18Row struct {
+	Rows int `json:"rows"`
+
+	// Tracing overhead: served QPS of the same repeat-heavy stream with
+	// the tracer attached-but-idle (sampling off) versus sampling 1-in-
+	// SampleEvery queries. OverheadPct is the relative QPS drop.
+	Workers     int     `json:"workers"`
+	SampleEvery int     `json:"sample_every"`
+	BaselineQPS float64 `json:"baseline_qps"`
+	TracedQPS   float64 `json:"traced_qps"`
+	OverheadPct float64 `json:"overhead_pct"`
+	// SampledTraces is how many traces the sampler actually recorded
+	// during the traced phase (proves sampling was live, not disabled).
+	SampledTraces int64 `json:"sampled_traces"`
+
+	// Cross-shard stitching: one forced ?trace=1 exact query against a
+	// 3-node cluster must come back as a single span tree spanning
+	// multiple nodes, with at most one partial_rpc per remote holder.
+	ClusterNodes     int `json:"cluster_nodes"`
+	TraceSpans       int `json:"trace_spans"`
+	TraceNodes       int `json:"trace_nodes"`
+	PartialRPCSpans  int `json:"partial_rpc_spans"`
+	MaxRemoteHolders int `json:"max_remote_holders"`
+
+	// Accuracy audit: the shadow audit's measured MAPE on model-served
+	// answers versus the ground-truth MAPE computed directly over the
+	// same catalog. The audit is only trustworthy if they agree.
+	AuditSamples int64   `json:"audit_samples"`
+	AuditMAPE    float64 `json:"audit_mape"`
+	TruthMAPE    float64 `json:"truth_mape"`
+	// SlowLogged is the slow-query ring population after serving with a
+	// deliberately tiny threshold (proves the slow log triggers).
+	SlowLogged int `json:"slow_logged"`
+}
+
+// serveQPS replays perWorker queries from catalog per worker through a
+// fresh scheduler over pool and returns the served throughput.
+func serveQPS(pool *serve.Pool, workers, perWorker int, catalog []query.Query) float64 {
+	sched := serve.NewScheduler(pool, serve.SchedulerConfig{
+		Workers:        workers,
+		QueueDepth:     4 * workers,
+		TenantInflight: -1,
+	})
+	defer sched.Close()
+	base := pool.Recorder().Snapshot().Queries
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			rng := workload.NewRNG(900 + int64(w))
+			for i := 0; i < perWorker; i++ {
+				_, _ = sched.Answer(fmt.Sprintf("client-%d", w), catalog[rng.Intn(len(catalog))])
+			}
+		}(w)
+	}
+	wg.Wait()
+	phase := time.Since(start)
+	served := pool.Recorder().Snapshot().Queries - base
+	if phase <= 0 {
+		return 0
+	}
+	return float64(served) / phase.Seconds()
+}
+
+// E18TraceOverhead runs the observability scenario end to end.
+//
+// Overhead: the E17 fixture's repeat-heavy stream is served twice —
+// tracer attached with sampling off, then sampling 1-in-sampleEvery —
+// taking the best of two runs per mode so scheduler warm-up noise does
+// not masquerade as tracing cost.
+//
+// Audit: with the shadow audit forced to probe EVERY model-served
+// answer, each catalog query is served once; the audit's measured MAPE
+// is then compared against the ground-truth MAPE computed over the
+// same predicted queries with the agent's exact probe.
+//
+// Cluster: a forced ?trace=1 exact query against a 3-node LocalCluster
+// must return one stitched span tree covering multiple nodes with at
+// most one partial_rpc span per remote holder.
+func E18TraceOverhead(nRows, training, workers, perWorker, sampleEvery int) (E18Row, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	if sampleEvery < 1 {
+		sampleEvery = 100
+	}
+	row := E18Row{Rows: nRows, Workers: workers, SampleEvery: sampleEvery}
+
+	fix, err := NewE17Fixture(nRows, training)
+	if err != nil {
+		return row, err
+	}
+	tracer := trace.NewTracer("local", 0)
+	fix.Pool.EnableTracing(tracer)
+	catalog := make([]query.Query, 64)
+	cs := workload.NewQueryStream(workload.NewRNG(300), workload.DefaultRegions(2), query.Count)
+	for i := range catalog {
+		catalog[i] = cs.Next()
+	}
+	// Prime the cache/prediction tiers once so both measured modes see
+	// the same steady state.
+	for _, q := range catalog {
+		_, _ = fix.Pool.Answer(q)
+	}
+	for run := 0; run < 2; run++ {
+		tracer.SetSampleRate(0)
+		if qps := serveQPS(fix.Pool, workers, perWorker, catalog); qps > row.BaselineQPS {
+			row.BaselineQPS = qps
+		}
+		tracer.SetSampleEvery(int64(sampleEvery))
+		if qps := serveQPS(fix.Pool, workers, perWorker, catalog); qps > row.TracedQPS {
+			row.TracedQPS = qps
+		}
+	}
+	tracer.SetSampleRate(0)
+	sampled, _ := tracer.Counters()
+	row.SampledTraces = sampled
+	if sampled == 0 {
+		return row, fmt.Errorf("E18: sampler recorded no traces at 1-in-%d", sampleEvery)
+	}
+	if row.BaselineQPS > 0 {
+		row.OverheadPct = 100 * (row.BaselineQPS - row.TracedQPS) / row.BaselineQPS
+	}
+
+	// Continuous accuracy audit, shadow half: probe every model answer.
+	// The answer cache is flushed first — a cache hit repeats an already
+	// audited answer, so only model-tier answers are worth probing.
+	fix.Pool.FlushCache()
+	// Probe slots cover the whole catalog so no probe is shed — the
+	// MAPE comparison below needs the full sample, not a biased subset.
+	fix.Pool.EnableShadowAudit(1, len(catalog))
+	tracer.SetSlowThreshold(time.Nanosecond) // everything is "slow": prove the log triggers
+	var preds []struct {
+		q    query.Query
+		pred float64
+	}
+	for _, q := range catalog {
+		if ans, ok := fix.Agent.TryPredict(q); ok {
+			preds = append(preds, struct {
+				q    query.Query
+				pred float64
+			}{q, ans.Value})
+		}
+		if _, err := fix.Pool.Answer(q); err != nil {
+			return row, err
+		}
+	}
+	fix.Pool.DrainAudits()
+	tracer.SetSlowThreshold(0)
+	row.SlowLogged = len(tracer.SlowLog())
+	rec := fix.Pool.Recorder()
+	row.AuditMAPE, row.AuditSamples = rec.Audit().MAPE("shadow")
+	if len(preds) == 0 {
+		return row, fmt.Errorf("E18: trained agent predicted none of the catalog")
+	}
+	var errSum float64
+	for _, pq := range preds {
+		truth, err := fix.Agent.ExactProbe(pq.q)
+		if err != nil {
+			return row, err
+		}
+		errSum += core.NormError(pq.q.Aggregate, pq.pred, truth)
+	}
+	row.TruthMAPE = errSum / float64(len(preds))
+
+	// Cluster half: a forced trace on an exact cross-shard query.
+	ccfg := core.DefaultConfig(2)
+	ccfg.TrainingQueries = 1 << 30 // never finishes training: every query is exact
+	lc, err := dist.StartLocal(3, dist.Config{Agent: ccfg, Replicas: 2},
+		workload.StandardRows(nRows/2, 11))
+	if err != nil {
+		return row, err
+	}
+	defer lc.Close()
+	row.ClusterNodes = 3
+	row.MaxRemoteHolders = row.ClusterNodes - 1
+	entry := lc.IDs()[0]
+	q := stream(5, query.Count).Next()
+	wq := serve.QueryRequest{Agg: "count"}
+	if q.Select.IsRadius() {
+		wq.Center, wq.Radius = q.Select.Center, q.Select.Radius
+	} else {
+		wq.Los, wq.His = q.Select.Los, q.Select.His
+	}
+	body, err := json.Marshal(wq)
+	if err != nil {
+		return row, err
+	}
+	resp, err := http.Post(lc.URL(entry)+"/v1/query?trace=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return row, err
+	}
+	defer resp.Body.Close()
+	var qr dist.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		return row, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return row, fmt.Errorf("E18: traced query: HTTP %d", resp.StatusCode)
+	}
+	if qr.Trace == nil || qr.TraceID == "" {
+		return row, fmt.Errorf("E18: ?trace=1 returned no span tree")
+	}
+	row.TraceSpans = qr.Trace.SpanCount()
+	row.TraceNodes = len(qr.Trace.Nodes())
+	row.PartialRPCSpans = qr.Trace.CountNamed("partial_rpc")
+	if row.TraceNodes < 2 {
+		return row, fmt.Errorf("E18: trace covers %d node(s), want a stitched multi-node tree", row.TraceNodes)
+	}
+	if row.PartialRPCSpans > row.MaxRemoteHolders {
+		return row, fmt.Errorf("E18: %d partial_rpc spans exceed %d remote holders",
+			row.PartialRPCSpans, row.MaxRemoteHolders)
+	}
+	// The ring must serve the same tree back by id.
+	dresp, err := http.Get(lc.URL(qr.Node) + "/v1/debug/trace/" + qr.TraceID)
+	if err != nil {
+		return row, err
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		return row, fmt.Errorf("E18: debug trace lookup on %s: HTTP %d", qr.Node, dresp.StatusCode)
+	}
+	return row, nil
+}

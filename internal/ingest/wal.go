@@ -194,6 +194,18 @@ func (l *Log) Append(seq uint64, rows []storage.Row) error {
 	return nil
 }
 
+// Segments reports how many segment files the log currently spans —
+// the WAL growth gauge the nodes export on /v1/metrics.
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	segs, err := l.segments()
+	if err != nil {
+		return 0
+	}
+	return len(segs)
+}
+
 // Sync flushes any batched appends to stable storage.
 func (l *Log) Sync() error {
 	l.mu.Lock()

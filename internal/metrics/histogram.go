@@ -1,0 +1,218 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a mergeable log-linear histogram over non-negative
+// int64 values (latency in nanoseconds; relative errors scaled by
+// ErrScale). Buckets follow the classic log-linear scheme: values below
+// 2^subBits are exact, larger values split each power-of-two octave
+// into 2^subBits sub-buckets, bounding relative bucket width to
+// 1/2^subBits (6.25%). Recording is lock-free — an atomic add into one
+// of a few shards picked by a value hash, so concurrent recorders on
+// different values never contend — and snapshots merge the shards.
+//
+// The same structure serves two masters: quantile estimation for the
+// stats endpoint (with linear interpolation inside the landing bucket)
+// and real Prometheus histogram exposition, where the fine buckets are
+// collapsed to per-octave cumulative `le` bounds to keep /v1/metrics
+// readable.
+type Histogram struct {
+	shards [histShards]histShard
+	maxV   atomic.Int64
+}
+
+const (
+	subBits    = 4
+	subCount   = 1 << subBits
+	histShards = 4
+	// numBuckets covers the full non-negative int64 range:
+	// (63-subBits+1)*subCount + subCount-1 < 976.
+	numBuckets = 976
+)
+
+type histShard struct {
+	counts [numBuckets]atomic.Int64
+	sum    atomic.Int64
+	count  atomic.Int64
+	_      [64]byte // keep shards off each other's cache lines
+}
+
+// ErrScale converts a relative error to histogram units (and back):
+// errors are recorded as round(err*ErrScale) so one integer histogram
+// type covers both latencies and accuracy-audit errors.
+const ErrScale = 1e9
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < subCount {
+		return int(v)
+	}
+	o := bits.Len64(uint64(v)) - 1 // octave: 2^o <= v < 2^(o+1)
+	s := int((v >> (uint(o) - subBits)) & (subCount - 1))
+	idx := (o-subBits+1)*subCount + s
+	if idx >= numBuckets {
+		return numBuckets - 1
+	}
+	return idx
+}
+
+// bucketBounds returns bucket idx's half-open value range [lo, hi).
+func bucketBounds(idx int) (lo, hi int64) {
+	if idx < subCount {
+		return int64(idx), int64(idx) + 1
+	}
+	o := uint(idx/subCount + subBits - 1)
+	s := int64(idx % subCount)
+	lo = int64(1)<<o + s<<(o-subBits)
+	return lo, lo + int64(1)<<(o-subBits)
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	// Shard by a cheap value hash: near-identical values (the common
+	// latency case differs in low bits) spread across shards.
+	sh := &h.shards[(uint64(v)*0x9e3779b97f4a7c15)>>62&(histShards-1)]
+	sh.counts[bucketOf(v)].Add(1)
+	sh.sum.Add(v)
+	sh.count.Add(1)
+	for {
+		cur := h.maxV.Load()
+		if v <= cur || h.maxV.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// RecordDur records a latency observation.
+func (h *Histogram) RecordDur(d time.Duration) { h.Record(int64(d)) }
+
+// RecordErr records a relative-error observation.
+func (h *Histogram) RecordErr(rel float64) {
+	if math.IsNaN(rel) || rel < 0 {
+		return
+	}
+	if rel > math.MaxInt64/ErrScale {
+		rel = math.MaxInt64 / ErrScale
+	}
+	h.Record(int64(rel * ErrScale))
+}
+
+// HistSnapshot is a merged, immutable view of a histogram.
+type HistSnapshot struct {
+	Counts []int64 // per fine bucket
+	Sum    int64
+	Count  int64
+	Max    int64
+}
+
+// Snapshot merges the shards into one view. Concurrent Record calls
+// may or may not be included; the view is internally consistent enough
+// for monitoring (sum/count/buckets each read atomically).
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{Counts: make([]int64, numBuckets), Max: h.maxV.Load()}
+	for i := range h.shards {
+		sh := &h.shards[i]
+		s.Sum += sh.sum.Load()
+		s.Count += sh.count.Load()
+		for b := 0; b < numBuckets; b++ {
+			if c := sh.counts[b].Load(); c != 0 {
+				s.Counts[b] += c
+			}
+		}
+	}
+	return s
+}
+
+// Merge folds other into s (for all-paths aggregate views).
+func (s *HistSnapshot) Merge(other HistSnapshot) {
+	if s.Counts == nil {
+		s.Counts = make([]int64, numBuckets)
+	}
+	for i, c := range other.Counts {
+		s.Counts[i] += c
+	}
+	s.Sum += other.Sum
+	s.Count += other.Count
+	if other.Max > s.Max {
+		s.Max = other.Max
+	}
+}
+
+// Quantile estimates the p-quantile (0 < p <= 1) with linear
+// interpolation inside the landing bucket, clamped to the observed
+// maximum. Returns 0 on an empty histogram.
+func (s HistSnapshot) Quantile(p float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(p * float64(s.Count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= target {
+			lo, hi := bucketBounds(i)
+			frac := float64(target-cum) / float64(c)
+			v := int64(float64(lo) + frac*float64(hi-lo))
+			if s.Max > 0 && v > s.Max {
+				v = s.Max
+			}
+			return v
+		}
+		cum += c
+	}
+	return s.Max
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// PromBucket is one cumulative Prometheus histogram bucket.
+type PromBucket struct {
+	LE    float64 // upper bound, in scaled units (see PromBuckets)
+	Count int64   // cumulative count <= LE
+}
+
+// PromBuckets collapses the fine buckets to per-octave cumulative
+// bounds for exposition: bounds double from 2^minOctave to 2^maxOctave
+// (in raw units), each scaled by scale (1e-9 turns ns into seconds and
+// err-units into plain relative error). The +Inf bucket is implicit:
+// callers emit it from Count.
+func (s HistSnapshot) PromBuckets(minOctave, maxOctave int, scale float64) []PromBucket {
+	out := make([]PromBucket, 0, maxOctave-minOctave+1)
+	var cum int64
+	next := minOctave
+	for i, c := range s.Counts {
+		_, hi := bucketBounds(i)
+		for next <= maxOctave && int64(1)<<uint(next) < hi {
+			out = append(out, PromBucket{LE: float64(int64(1)<<uint(next)) * scale, Count: cum})
+			next++
+		}
+		cum += c
+	}
+	for next <= maxOctave {
+		out = append(out, PromBucket{LE: float64(int64(1)<<uint(next)) * scale, Count: cum})
+		next++
+	}
+	return out
+}

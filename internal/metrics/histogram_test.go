@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketMath(t *testing.T) {
+	// Values below 16 map to exact unit buckets.
+	for v := int64(0); v < 16; v++ {
+		if got := bucketOf(v); got != int(v) {
+			t.Fatalf("bucketOf(%d) = %d", v, got)
+		}
+	}
+	// Every bucket's bounds must contain the values that map to it, and
+	// bucket indexes must be monotone in the value.
+	prev := -1
+	for _, v := range []int64{1, 15, 16, 17, 100, 1000, 12345, 1 << 20, 1<<40 + 12345} {
+		idx := bucketOf(v)
+		if idx < prev {
+			t.Fatalf("bucketOf not monotone at %d", v)
+		}
+		prev = idx
+		lo, hi := bucketBounds(idx)
+		if v < lo || v >= hi {
+			t.Fatalf("value %d outside its bucket [%d,%d)", v, lo, hi)
+		}
+		// Log-bucket resolution: bucket width stays within 1/16 of the
+		// low bound (6.25% relative error ceiling).
+		if lo >= 16 && hi-lo > lo/8 {
+			t.Fatalf("bucket [%d,%d) too wide for %d", lo, hi, v)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Record(int64(i) * 1000)
+	}
+	hs := h.Snapshot()
+	if hs.Count != 1000 {
+		t.Fatalf("count = %d", hs.Count)
+	}
+	if hs.Max != 1000*1000 {
+		t.Fatalf("max = %d", hs.Max)
+	}
+	p50 := hs.Quantile(0.5)
+	if p50 < 450*1000 || p50 > 550*1000 {
+		t.Fatalf("p50 = %d, want ~500000", p50)
+	}
+	p99 := hs.Quantile(0.99)
+	if p99 < 950*1000 || p99 > 1000*1000 {
+		t.Fatalf("p99 = %d, want within ~5%% of 990000 and clamped to max", p99)
+	}
+	if q := hs.Quantile(1); q != hs.Max {
+		t.Fatalf("p100 = %d, want the exact max %d", q, hs.Max)
+	}
+	mean := hs.Mean()
+	if mean < 495*1000 || mean > 506*1000 {
+		t.Fatalf("mean = %v", mean)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Record(1000)
+		b.Record(8000)
+	}
+	snap := a.Snapshot()
+	snap.Merge(b.Snapshot())
+	if snap.Count != 200 {
+		t.Fatalf("merged count = %d", snap.Count)
+	}
+	if snap.Max != 8000 {
+		t.Fatalf("merged max = %d", snap.Max)
+	}
+	if snap.Sum != 100*1000+100*8000 {
+		t.Fatalf("merged sum = %d", snap.Sum)
+	}
+}
+
+func TestHistogramRecordErr(t *testing.T) {
+	var h Histogram
+	h.RecordErr(0.25)
+	h.RecordErr(math.NaN()) // dropped
+	h.RecordErr(-1)         // dropped
+	hs := h.Snapshot()
+	if hs.Count != 1 {
+		t.Fatalf("count = %d, want 1 (NaN and negative dropped)", hs.Count)
+	}
+	if got := float64(hs.Sum) / ErrScale; got < 0.249 || got > 0.251 {
+		t.Fatalf("recorded relative error = %v, want 0.25", got)
+	}
+}
+
+func TestHistogramPromBuckets(t *testing.T) {
+	var h Histogram
+	h.RecordDur(2 * time.Microsecond)
+	h.RecordDur(3 * time.Millisecond)
+	h.RecordDur(3 * time.Millisecond)
+	hs := h.Snapshot()
+	buckets := hs.PromBuckets(10, 34, 1e-9)
+	if len(buckets) == 0 {
+		t.Fatal("no buckets")
+	}
+	// Cumulative counts must be monotone and end at the total count.
+	prev := int64(0)
+	for _, b := range buckets {
+		if b.Count < prev {
+			t.Fatalf("bucket counts not cumulative: %+v", buckets)
+		}
+		prev = b.Count
+	}
+	if buckets[len(buckets)-1].Count != hs.Count {
+		t.Fatalf("last bucket %d != count %d", buckets[len(buckets)-1].Count, hs.Count)
+	}
+	// A 3ms observation sits above a 1ms bound and below an 8ms bound.
+	for _, b := range buckets {
+		if b.LE >= 0.0005 && b.LE <= 0.0011 && b.Count != 1 {
+			t.Fatalf("le=%g has count %d, want just the 2us sample", b.LE, b.Count)
+		}
+		if b.LE >= 0.0085 && b.Count != 3 {
+			t.Fatalf("le=%g has count %d, want all 3", b.LE, b.Count)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, each = 8, 10_000
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Record(int64(w*each + i + 1))
+				if i%1000 == 0 {
+					_ = h.Snapshot().Quantile(0.5)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	hs := h.Snapshot()
+	if hs.Count != workers*each {
+		t.Fatalf("count = %d, want %d", hs.Count, workers*each)
+	}
+	if hs.Max != workers*each {
+		t.Fatalf("max = %d, want %d", hs.Max, workers*each)
+	}
+}

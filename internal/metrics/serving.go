@@ -3,8 +3,109 @@ package metrics
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// Path classifies which tier of the serving stack produced an answer.
+// Every answered query lands in exactly one path's latency histogram.
+type Path uint8
+
+const (
+	// PathCache: served straight from the versioned answer cache.
+	PathCache Path = iota
+	// PathModel: served by a learned model's prediction.
+	PathModel
+	// PathAQP: served by an approximate (sampling) engine. Reserved —
+	// the serving pool does not currently route through internal/aqp,
+	// but the path is part of the exposition contract so dashboards
+	// need not change when the planner starts using it.
+	PathAQP
+	// PathExactLocal: exact oracle fallback served from local data.
+	PathExactLocal
+	// PathExactScatter: exact fallback that scatter-gathered partials
+	// from more than one cluster member.
+	PathExactScatter
+	// NumPaths bounds the enum.
+	NumPaths
+)
+
+// String returns the exposition label for the path.
+func (p Path) String() string {
+	switch p {
+	case PathCache:
+		return "cache"
+	case PathModel:
+		return "model"
+	case PathAQP:
+		return "aqp"
+	case PathExactLocal:
+		return "exact_local"
+	case PathExactScatter:
+		return "exact_scatter"
+	}
+	return "unknown"
+}
+
+// ClassOf maps a tenant id to its tenant class for per-class metrics:
+// a trailing "-<digits>" instance suffix is stripped ("client-17" ->
+// "client"), anything else is its own class, "" becomes "default".
+func ClassOf(tenant string) string {
+	if tenant == "" {
+		return "default"
+	}
+	for i := len(tenant) - 1; i > 0; i-- {
+		c := tenant[i]
+		if c >= '0' && c <= '9' {
+			continue
+		}
+		if c == '-' && i < len(tenant)-1 {
+			return tenant[:i]
+		}
+		break
+	}
+	return tenant
+}
+
+// maxTenantClasses bounds the per-class map; overflow classes collapse
+// into "other" so a tenant-id cardinality bug cannot grow metrics
+// memory without bound.
+const maxTenantClasses = 64
+
+// PathStats summarises one answer path's latency distribution.
+type PathStats struct {
+	Count int64         `json:"count"`
+	P50   time.Duration `json:"p50_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// TenantStats holds one tenant class's live counters. Fields are
+// atomics so the scheduler updates them without a lock.
+type TenantStats struct {
+	Queries  atomic.Int64
+	Rejected atomic.Int64
+	Inflight atomic.Int64
+	Lat      Histogram
+}
+
+// TenantSnap is the snapshot form of TenantStats.
+type TenantSnap struct {
+	Queries  int64         `json:"queries"`
+	Rejected int64         `json:"rejected"`
+	Inflight int64         `json:"inflight"`
+	P50      time.Duration `json:"p50_ns"`
+	P99      time.Duration `json:"p99_ns"`
+}
+
+// GaugeDef is a registered gauge: a named callback sampled at
+// exposition time (WAL segment counts, absorbed versions, queue
+// depths — state owned elsewhere that metrics should not duplicate).
+type GaugeDef struct {
+	Name string
+	Help string
+	Fn   func() float64
+}
 
 // ServeSnapshot is a point-in-time view of serving-layer health: the
 // throughput/latency/fallback numbers the serving subsystem exposes over
@@ -45,110 +146,131 @@ type ServeSnapshot struct {
 	QPS float64 `json:"qps"`
 	// FallbackRate is Fallbacks / Queries.
 	FallbackRate float64 `json:"fallback_rate"`
-	// P50/P90/P99/Max are latency percentiles over the recent window.
+	// P50/P90/P99 are latency percentiles estimated from the merged
+	// all-paths histogram (log-linear buckets, <=6.25% bucket width,
+	// interpolated); Max is the exact observed maximum.
 	P50 time.Duration `json:"p50_ns"`
 	P90 time.Duration `json:"p90_ns"`
 	P99 time.Duration `json:"p99_ns"`
 	Max time.Duration `json:"max_ns"`
 	// Uptime is how long the recorder has been running.
 	Uptime time.Duration `json:"uptime_ns"`
+	// Paths breaks the latency distribution down by answer path.
+	Paths map[string]PathStats `json:"paths,omitempty"`
+	// Tenants breaks admission and latency down by tenant class.
+	Tenants map[string]TenantSnap `json:"tenants,omitempty"`
+	// Audit summarises the accuracy-audit error histograms.
+	Audit []AuditSnap `json:"audit,omitempty"`
 }
 
 // ServeRecorder accumulates serving-layer measurements. It is safe for
 // concurrent use: every worker in the serving pool observes into one
-// shared recorder. Latencies are kept in a fixed-size ring (the recent
-// window), counters are lifetime totals.
+// shared recorder. Counters are lock-free atomics and latencies land in
+// mergeable per-path histograms, so the hot path never takes a lock.
 type ServeRecorder struct {
-	mu        sync.Mutex
-	start     time.Time
-	lats      []time.Duration
-	pos       int
-	full      bool
-	queries   int64
-	predicted int64
-	fallbacks int64
-	deduped   int64
-	cacheHits int64
-	rejected  int64
-	errors    int64
+	start time.Time
 
-	ingestBatches int64
-	ingestRows    int64
-	driftInval    int64
-	rebuilds      int64
+	queries   atomic.Int64
+	predicted atomic.Int64
+	fallbacks atomic.Int64
+	deduped   atomic.Int64
+	cacheHits atomic.Int64
+	rejected  atomic.Int64
+	errors    atomic.Int64
+
+	ingestBatches atomic.Int64
+	ingestRows    atomic.Int64
+	driftInval    atomic.Int64
+	rebuilds      atomic.Int64
+
+	paths [NumPaths]Histogram
+
+	tenantMu sync.RWMutex
+	tenants  map[string]*TenantStats
+
+	audit AuditRecorder
+
+	gaugeMu sync.RWMutex
+	gauges  []GaugeDef
 }
 
-// NewServeRecorder builds a recorder keeping the last window latency
-// samples (default 4096 when window <= 0).
+// NewServeRecorder builds a recorder. The window argument is retained
+// for compatibility with earlier sorted-window percentile math and is
+// ignored: latency distributions are now lifetime log-bucketed
+// histograms, which merge across recorders and export as real
+// Prometheus histograms.
 func NewServeRecorder(window int) *ServeRecorder {
-	if window <= 0 {
-		window = 4096
+	_ = window
+	return &ServeRecorder{
+		start:   time.Now(),
+		tenants: make(map[string]*TenantStats),
 	}
-	return &ServeRecorder{start: time.Now(), lats: make([]time.Duration, window)}
+}
+
+// ObservePath records one answered query under the path that served
+// it. Cache hits count toward CacheHits, model/AQP answers toward
+// Predicted, exact paths toward Fallbacks.
+func (r *ServeRecorder) ObservePath(lat time.Duration, p Path) {
+	r.queries.Add(1)
+	switch p {
+	case PathCache:
+		r.cacheHits.Add(1)
+	case PathModel, PathAQP:
+		r.predicted.Add(1)
+	default:
+		r.fallbacks.Add(1)
+	}
+	r.paths[p].RecordDur(lat)
 }
 
 // Observe records one answered query: its wall latency and which path
-// served it.
+// served it. Compatibility form of ObservePath — callers that know the
+// precise path (scatter vs local exact) should use ObservePath.
 func (r *ServeRecorder) Observe(lat time.Duration, predicted bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.observeLocked(lat)
 	if predicted {
-		r.predicted++
+		r.ObservePath(lat, PathModel)
 	} else {
-		r.fallbacks++
+		r.ObservePath(lat, PathExactLocal)
 	}
 }
 
-// Dedup records a query answered by sharing an identical in-flight
-// fallback's result: it counts toward Queries and the latency window
-// but not Fallbacks — only the one shared oracle execution does.
+// DedupPath records a query answered by sharing an identical in-flight
+// fallback's result: it counts toward Queries and the shared answer's
+// path histogram (the recorded latency is the waiter's, i.e. how long
+// it parked) but not Fallbacks — only the one shared oracle execution
+// does.
+func (r *ServeRecorder) DedupPath(lat time.Duration, p Path) {
+	r.queries.Add(1)
+	r.deduped.Add(1)
+	r.paths[p].RecordDur(lat)
+}
+
+// Dedup is DedupPath against the exact-local path (compatibility).
 func (r *ServeRecorder) Dedup(lat time.Duration) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.observeLocked(lat)
-	r.deduped++
+	r.DedupPath(lat, PathExactLocal)
 }
 
 // CacheHit records a query served straight from the versioned answer
-// cache: it counts toward Queries and the latency window, but toward
-// neither Predicted nor Fallbacks (no agent was touched).
+// cache: it counts toward Queries and the cache path's histogram, but
+// toward neither Predicted nor Fallbacks (no agent was touched).
 func (r *ServeRecorder) CacheHit(lat time.Duration) {
-	r.mu.Lock()
-	r.observeLocked(lat)
-	r.cacheHits++
-	r.mu.Unlock()
-}
-
-func (r *ServeRecorder) observeLocked(lat time.Duration) {
-	r.lats[r.pos] = lat
-	r.pos = (r.pos + 1) % len(r.lats)
-	if r.pos == 0 {
-		r.full = true
-	}
-	r.queries++
+	r.ObservePath(lat, PathCache)
 }
 
 // Reject records an admission-control rejection.
 func (r *ServeRecorder) Reject() {
-	r.mu.Lock()
-	r.rejected++
-	r.mu.Unlock()
+	r.rejected.Add(1)
 }
 
 // Error records a failed query.
 func (r *ServeRecorder) Error() {
-	r.mu.Lock()
-	r.errors++
-	r.mu.Unlock()
+	r.errors.Add(1)
 }
 
 // IngestBatch records one applied row batch from the live write path.
 func (r *ServeRecorder) IngestBatch(rows int) {
-	r.mu.Lock()
-	r.ingestBatches++
-	r.ingestRows += int64(rows)
-	r.mu.Unlock()
+	r.ingestBatches.Add(1)
+	r.ingestRows.Add(int64(rows))
 }
 
 // DriftInvalidate records n drift-budget model invalidation events.
@@ -156,65 +278,277 @@ func (r *ServeRecorder) DriftInvalidate(n int) {
 	if n <= 0 {
 		return
 	}
-	r.mu.Lock()
-	r.driftInval += int64(n)
-	r.mu.Unlock()
+	r.driftInval.Add(int64(n))
 }
 
 // Rebuild records one completed background re-quantisation.
 func (r *ServeRecorder) Rebuild() {
-	r.mu.Lock()
-	r.rebuilds++
-	r.mu.Unlock()
+	r.rebuilds.Add(1)
+}
+
+// Tenant returns (creating on first use) the stats cell for a tenant
+// class. The class table is bounded: past maxTenantClasses new classes
+// collapse into "other".
+func (r *ServeRecorder) Tenant(class string) *TenantStats {
+	r.tenantMu.RLock()
+	ts := r.tenants[class]
+	r.tenantMu.RUnlock()
+	if ts != nil {
+		return ts
+	}
+	r.tenantMu.Lock()
+	defer r.tenantMu.Unlock()
+	if ts = r.tenants[class]; ts != nil {
+		return ts
+	}
+	if len(r.tenants) >= maxTenantClasses {
+		class = "other"
+		if ts = r.tenants[class]; ts != nil {
+			return ts
+		}
+	}
+	ts = &TenantStats{}
+	r.tenants[class] = ts
+	return ts
+}
+
+// TenantReject records an admission rejection attributed to a tenant
+// class (on top of the global Reject the caller also records).
+func (r *ServeRecorder) TenantReject(class string) {
+	r.Tenant(class).Rejected.Add(1)
+}
+
+// TenantObserve records one completed query (queue wait + execution)
+// for a tenant class.
+func (r *ServeRecorder) TenantObserve(class string, lat time.Duration) {
+	ts := r.Tenant(class)
+	ts.Queries.Add(1)
+	ts.Lat.RecordDur(lat)
+}
+
+// Audit returns the accuracy-audit recorder.
+func (r *ServeRecorder) Audit() *AuditRecorder { return &r.audit }
+
+// PathHist returns the latency histogram for one answer path (the
+// Prometheus writer reads bucket data straight from it).
+func (r *ServeRecorder) PathHist(p Path) *Histogram { return &r.paths[p] }
+
+// RegisterGauge registers a named gauge callback, exported with the
+// given help text on the Prometheus endpoint. Register at wiring time;
+// fn must be cheap and safe to call concurrently.
+func (r *ServeRecorder) RegisterGauge(name, help string, fn func() float64) {
+	r.gaugeMu.Lock()
+	r.gauges = append(r.gauges, GaugeDef{Name: name, Help: help, Fn: fn})
+	r.gaugeMu.Unlock()
+}
+
+// Gauges returns the registered gauge definitions.
+func (r *ServeRecorder) Gauges() []GaugeDef {
+	r.gaugeMu.RLock()
+	defer r.gaugeMu.RUnlock()
+	return append([]GaugeDef(nil), r.gauges...)
+}
+
+// tenantSnapshot copies the per-class table.
+func (r *ServeRecorder) tenantSnapshot() map[string]TenantSnap {
+	r.tenantMu.RLock()
+	defer r.tenantMu.RUnlock()
+	if len(r.tenants) == 0 {
+		return nil
+	}
+	out := make(map[string]TenantSnap, len(r.tenants))
+	for class, ts := range r.tenants {
+		hs := ts.Lat.Snapshot()
+		out[class] = TenantSnap{
+			Queries:  ts.Queries.Load(),
+			Rejected: ts.Rejected.Load(),
+			Inflight: ts.Inflight.Load(),
+			P50:      time.Duration(hs.Quantile(0.50)),
+			P99:      time.Duration(hs.Quantile(0.99)),
+		}
+	}
+	return out
 }
 
 // Snapshot computes the current view: lifetime counters plus latency
-// percentiles over the recent window.
+// percentiles from the merged per-path histograms.
 func (r *ServeRecorder) Snapshot() ServeSnapshot {
-	r.mu.Lock()
-	n := r.pos
-	if r.full {
-		n = len(r.lats)
-	}
-	window := make([]time.Duration, n)
-	copy(window, r.lats[:n])
 	s := ServeSnapshot{
-		Queries:            r.queries,
-		Predicted:          r.predicted,
-		Fallbacks:          r.fallbacks,
-		Deduped:            r.deduped,
-		CacheHits:          r.cacheHits,
-		Rejected:           r.rejected,
-		Errors:             r.errors,
-		IngestBatches:      r.ingestBatches,
-		IngestRows:         r.ingestRows,
-		DriftInvalidations: r.driftInval,
-		Rebuilds:           r.rebuilds,
+		Queries:            r.queries.Load(),
+		Predicted:          r.predicted.Load(),
+		Fallbacks:          r.fallbacks.Load(),
+		Deduped:            r.deduped.Load(),
+		CacheHits:          r.cacheHits.Load(),
+		Rejected:           r.rejected.Load(),
+		Errors:             r.errors.Load(),
+		IngestBatches:      r.ingestBatches.Load(),
+		IngestRows:         r.ingestRows.Load(),
+		DriftInvalidations: r.driftInval.Load(),
+		Rebuilds:           r.rebuilds.Load(),
 		Uptime:             time.Since(r.start),
 	}
-	r.mu.Unlock()
-
 	if s.Uptime > 0 {
 		s.QPS = float64(s.Queries) / s.Uptime.Seconds()
 	}
 	if s.Queries > 0 {
 		s.FallbackRate = float64(s.Fallbacks) / float64(s.Queries)
 	}
-	if len(window) > 0 {
-		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
-		s.P50 = percentileDur(window, 0.50)
-		s.P90 = percentileDur(window, 0.90)
-		s.P99 = percentileDur(window, 0.99)
-		s.Max = window[len(window)-1]
+
+	var all HistSnapshot
+	paths := make(map[string]PathStats, NumPaths)
+	for p := Path(0); p < NumPaths; p++ {
+		hs := r.paths[p].Snapshot()
+		if hs.Count > 0 {
+			paths[p.String()] = PathStats{
+				Count: hs.Count,
+				P50:   time.Duration(hs.Quantile(0.50)),
+				P99:   time.Duration(hs.Quantile(0.99)),
+				Max:   time.Duration(hs.Max),
+			}
+		}
+		all.Merge(hs)
 	}
+	if len(paths) > 0 {
+		s.Paths = paths
+	}
+	if all.Count > 0 {
+		s.P50 = time.Duration(all.Quantile(0.50))
+		s.P90 = time.Duration(all.Quantile(0.90))
+		s.P99 = time.Duration(all.Quantile(0.99))
+		s.Max = time.Duration(all.Max)
+	}
+	s.Tenants = r.tenantSnapshot()
+	s.Audit = r.audit.Snapshot()
 	return s
 }
 
-// percentileDur returns the p-th percentile of a sorted sample.
-func percentileDur(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
+// AuditKey identifies one accuracy-audit error histogram: which pooled
+// agent, which aggregate, and which sampling source filled it.
+type AuditKey struct {
+	Agent  int
+	Agg    string
+	Source string // "fallback" (free, truth already computed) or "shadow" (forced exact probe)
+}
+
+// AuditSnap is one audit histogram's summary.
+type AuditSnap struct {
+	Agent  int     `json:"agent"`
+	Agg    string  `json:"agg"`
+	Source string  `json:"source"`
+	Count  int64   `json:"count"`
+	MAPE   float64 `json:"mape"`
+	P99    float64 `json:"p99"`
+}
+
+// AuditRecorder accumulates predicted-vs-truth relative errors into
+// per-(agent, aggregate, source) histograms: the paper's accuracy
+// claim as a continuously monitored production signal.
+type AuditRecorder struct {
+	mu      sync.RWMutex
+	m       map[AuditKey]*Histogram
+	samples atomic.Int64
+}
+
+// Record adds one relative-error observation.
+func (a *AuditRecorder) Record(agent int, agg, source string, rel float64) {
+	key := AuditKey{Agent: agent, Agg: agg, Source: source}
+	a.mu.RLock()
+	h := a.m[key]
+	a.mu.RUnlock()
+	if h == nil {
+		a.mu.Lock()
+		if a.m == nil {
+			a.m = make(map[AuditKey]*Histogram)
+		}
+		if h = a.m[key]; h == nil {
+			h = &Histogram{}
+			a.m[key] = h
+		}
+		a.mu.Unlock()
 	}
-	idx := int(p * float64(len(sorted)-1))
-	return sorted[idx]
+	h.RecordErr(rel)
+	a.samples.Add(1)
+}
+
+// Samples returns the lifetime number of audited answers.
+func (a *AuditRecorder) Samples() int64 { return a.samples.Load() }
+
+// MAPE returns the mean relative error and sample count across every
+// histogram whose source matches (""=all).
+func (a *AuditRecorder) MAPE(source string) (float64, int64) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var sum float64
+	var n int64
+	for k, h := range a.m {
+		if source != "" && k.Source != source {
+			continue
+		}
+		hs := h.Snapshot()
+		sum += float64(hs.Sum) / ErrScale
+		n += hs.Count
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), n
+}
+
+// Snapshot summarises every audit histogram, sorted for stable output.
+func (a *AuditRecorder) Snapshot() []AuditSnap {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]AuditSnap, 0, len(a.m))
+	for k, h := range a.m {
+		hs := h.Snapshot()
+		if hs.Count == 0 {
+			continue
+		}
+		out = append(out, AuditSnap{
+			Agent:  k.Agent,
+			Agg:    k.Agg,
+			Source: k.Source,
+			Count:  hs.Count,
+			MAPE:   hs.Mean() / ErrScale,
+			P99:    float64(hs.Quantile(0.99)) / ErrScale,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Agent != out[j].Agent {
+			return out[i].Agent < out[j].Agent
+		}
+		if out[i].Agg != out[j].Agg {
+			return out[i].Agg < out[j].Agg
+		}
+		return out[i].Source < out[j].Source
+	})
+	return out
+}
+
+// Hists exposes the audit histograms for Prometheus exposition,
+// invoking fn per (key, histogram) in sorted key order.
+func (a *AuditRecorder) Hists(fn func(AuditKey, *Histogram)) {
+	a.mu.RLock()
+	keys := make([]AuditKey, 0, len(a.m))
+	for k := range a.m {
+		keys = append(keys, k)
+	}
+	hists := make([]*Histogram, len(keys))
+	sort.Slice(keys, func(i, j int) bool {
+		ki, kj := keys[i], keys[j]
+		if ki.Agent != kj.Agent {
+			return ki.Agent < kj.Agent
+		}
+		if ki.Agg != kj.Agg {
+			return ki.Agg < kj.Agg
+		}
+		return ki.Source < kj.Source
+	})
+	for i, k := range keys {
+		hists[i] = a.m[k]
+	}
+	a.mu.RUnlock()
+	for i, k := range keys {
+		fn(k, hists[i])
+	}
 }

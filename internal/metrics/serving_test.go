@@ -43,10 +43,10 @@ func TestServeRecorderCountersAndPercentiles(t *testing.T) {
 	}
 }
 
-func TestServeRecorderWindowWraps(t *testing.T) {
+func TestServeRecorderLifetimeHistogram(t *testing.T) {
 	r := NewServeRecorder(8)
-	// 20 observations through an 8-slot ring: only the last 8 remain in
-	// the percentile window, but lifetime counters keep everything.
+	// The recorder keeps lifetime histograms (not a sliding window): all
+	// 20 observations shape the percentiles, and the max stays exact.
 	for i := 1; i <= 20; i++ {
 		r.Observe(time.Duration(i)*time.Second, true)
 	}
@@ -57,8 +57,89 @@ func TestServeRecorderWindowWraps(t *testing.T) {
 	if s.Max != 20*time.Second {
 		t.Errorf("max = %v, want 20s", s.Max)
 	}
-	if s.P50 < 13*time.Second {
-		t.Errorf("p50 = %v, want within the recent window (13..20s)", s.P50)
+	if s.P50 < 9*time.Second || s.P50 > 11*time.Second {
+		t.Errorf("p50 = %v, want ~10s over the full history", s.P50)
+	}
+	if s.P99 < 18*time.Second || s.P99 > 20*time.Second {
+		t.Errorf("p99 = %v, want near the 20s tail", s.P99)
+	}
+}
+
+func TestServeRecorderPerPath(t *testing.T) {
+	r := NewServeRecorder(0)
+	r.ObservePath(1*time.Millisecond, PathCache)
+	r.ObservePath(2*time.Millisecond, PathModel)
+	r.ObservePath(40*time.Millisecond, PathExactLocal)
+	r.ObservePath(80*time.Millisecond, PathExactScatter)
+	r.ObservePath(90*time.Millisecond, PathExactScatter)
+
+	s := r.Snapshot()
+	if s.Queries != 5 || s.CacheHits != 1 || s.Predicted != 1 || s.Fallbacks != 3 {
+		t.Fatalf("path-derived counters: %+v", s)
+	}
+	ps, ok := s.Paths[PathExactScatter.String()]
+	if !ok {
+		t.Fatalf("snapshot missing exact_scatter path stats: %v", s.Paths)
+	}
+	if ps.Count != 2 || ps.Max != 90*time.Millisecond {
+		t.Fatalf("exact_scatter stats = %+v", ps)
+	}
+	if got := s.Paths[PathCache.String()]; got.Count != 1 {
+		t.Fatalf("cache path stats = %+v", got)
+	}
+	// Unused paths stay out of the snapshot map.
+	if _, ok := s.Paths[PathAQP.String()]; ok {
+		t.Fatalf("snapshot has stats for the unused aqp path")
+	}
+}
+
+func TestTenantClassStats(t *testing.T) {
+	if got := ClassOf("client-17"); got != "client" {
+		t.Fatalf("ClassOf(client-17) = %q", got)
+	}
+	if got := ClassOf(""); got != "default" {
+		t.Fatalf("ClassOf(\"\") = %q", got)
+	}
+	r := NewServeRecorder(0)
+	for i := 0; i < 3; i++ {
+		ts := r.Tenant("client")
+		ts.Queries.Add(1)
+		ts.Lat.RecordDur(time.Duration(i+1) * time.Millisecond)
+	}
+	r.TenantReject("batch")
+	s := r.Snapshot()
+	if s.Tenants["client"].Queries != 3 {
+		t.Fatalf("tenant snapshot = %+v", s.Tenants)
+	}
+	if s.Tenants["batch"].Rejected != 1 {
+		t.Fatalf("tenant reject not recorded: %+v", s.Tenants)
+	}
+}
+
+func TestAuditRecorder(t *testing.T) {
+	r := NewServeRecorder(0)
+	a := r.Audit()
+	a.Record(0, "avg", "fallback", 0.10)
+	a.Record(0, "avg", "fallback", 0.30)
+	a.Record(1, "sum", "shadow", 0.05)
+	if n := a.Samples(); n != 3 {
+		t.Fatalf("samples = %d, want 3", n)
+	}
+	mape, fn := a.MAPE("fallback")
+	if fn != 2 {
+		t.Fatalf("fallback sample count = %d, want 2", fn)
+	}
+	if mape < 0.19 || mape > 0.21 {
+		t.Fatalf("fallback MAPE = %v, want ~0.20", mape)
+	}
+	snaps := r.Snapshot().Audit
+	if len(snaps) != 2 {
+		t.Fatalf("audit snapshot rows = %d, want 2 (one per key)", len(snaps))
+	}
+	for _, as := range snaps {
+		if as.Source == "shadow" && (as.MAPE < 0.049 || as.MAPE > 0.051) {
+			t.Fatalf("shadow MAPE = %v, want ~0.05", as.MAPE)
+		}
 	}
 }
 
@@ -127,5 +208,56 @@ func TestWritePrometheus(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("prometheus output missing %q:\n%s", want, out)
 		}
+	}
+	// Every series WritePrometheus emits must carry HELP and TYPE.
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := strings.FieldsFunc(line, func(r rune) bool { return r == '{' || r == ' ' })[0]
+		if !strings.Contains(out, "# HELP "+name+" ") {
+			t.Fatalf("series %s has no HELP:\n%s", name, out)
+		}
+		if !strings.Contains(out, "# TYPE "+name+" ") {
+			t.Fatalf("series %s has no TYPE:\n%s", name, out)
+		}
+	}
+}
+
+func TestWriteRecorderHistograms(t *testing.T) {
+	r := NewServeRecorder(0)
+	r.ObservePath(2*time.Millisecond, PathModel)
+	r.ObservePath(40*time.Millisecond, PathExactScatter)
+	ts := r.Tenant("client")
+	ts.Queries.Add(1)
+	ts.Lat.RecordDur(3 * time.Millisecond)
+	r.TenantReject("client")
+	r.Audit().Record(0, "avg", "shadow", 0.02)
+	r.RegisterGauge("sea_wal_segments", "WAL segment files.", func() float64 { return 4 })
+
+	var buf strings.Builder
+	if err := r.WriteRecorder(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE sea_path_latency_seconds histogram",
+		`sea_path_latency_seconds_bucket{path="model",le="+Inf"} 1`,
+		`sea_path_latency_seconds_count{path="exact_scatter"} 1`,
+		`sea_tenant_queries_total{class="client"} 1`,
+		`sea_tenant_rejected_total{class="client"} 1`,
+		"# TYPE sea_tenant_latency_seconds histogram",
+		"# TYPE sea_audit_error histogram",
+		`sea_audit_error_count{agent="0",agg="avg",source="shadow"} 1`,
+		"sea_audit_samples_total 1",
+		"sea_wal_segments 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("recorder exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Histogram buckets must be cumulative and end at the count.
+	if !strings.Contains(out, `sea_path_latency_seconds_sum{path="model"} 0.002`) {
+		t.Fatalf("model path _sum wrong:\n%s", out)
 	}
 }

@@ -3,9 +3,12 @@ package serve
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/query"
+	"repro/internal/trace"
 )
 
 // Admission-control errors. Callers (and the HTTP layer) treat these as
@@ -80,6 +83,9 @@ func NewScheduler(pool *Pool, cfg SchedulerConfig) *Scheduler {
 		jobs:   make(chan *job, cfg.QueueDepth),
 		tenant: make(map[string]int),
 	}
+	pool.rec.RegisterGauge("sea_sched_queue_depth",
+		"Jobs waiting in the shared scheduler queue.",
+		func() float64 { return float64(len(s.jobs)) })
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -108,10 +114,14 @@ func (s *Scheduler) Answer(tenant string, q query.Query) (core.Answer, error) {
 
 // Do runs fn on the worker pool under the same admission control as
 // Answer: the tenant's in-flight cap and the bounded queue apply, and
-// rejections are recorded. The serving front-end routes every
-// non-trivial operation (queries, explanations) through here so no
-// endpoint can bypass overload protection.
+// rejections are recorded — globally and per tenant class, so one
+// noisy tenant's throttling is visible in the metrics as its own
+// series. The serving front-end routes every non-trivial operation
+// (queries, explanations) through here so no endpoint can bypass
+// overload protection.
 func (s *Scheduler) Do(tenant string, fn func() (any, error)) (any, error) {
+	start := time.Now()
+	class := metrics.ClassOf(tenant)
 	j := &job{run: fn, done: make(chan jobResult, 1)}
 
 	s.mu.Lock()
@@ -122,6 +132,7 @@ func (s *Scheduler) Do(tenant string, fn func() (any, error)) (any, error) {
 	if s.cfg.TenantInflight > 0 && s.tenant[tenant] >= s.cfg.TenantInflight {
 		s.mu.Unlock()
 		s.pool.rec.Reject()
+		s.pool.rec.TenantReject(class)
 		return nil, ErrTenantThrottled
 	}
 	// The non-blocking enqueue happens under mu so Close cannot close
@@ -131,19 +142,43 @@ func (s *Scheduler) Do(tenant string, fn func() (any, error)) (any, error) {
 	default:
 		s.mu.Unlock()
 		s.pool.rec.Reject()
+		s.pool.rec.TenantReject(class)
 		return nil, ErrQueueFull
 	}
 	s.tenant[tenant]++
 	s.mu.Unlock()
+	ts := s.pool.rec.Tenant(class)
+	ts.Inflight.Add(1)
 
 	r := <-j.done
 
+	ts.Inflight.Add(-1)
+	ts.Queries.Add(1)
+	ts.Lat.RecordDur(time.Since(start))
 	s.mu.Lock()
 	if s.tenant[tenant]--; s.tenant[tenant] <= 0 {
 		delete(s.tenant, tenant)
 	}
 	s.mu.Unlock()
 	return r.v, r.err
+}
+
+// AnswerTraced submits q under a caller-provided (possibly nil) trace:
+// the queue wait gets its own span, measured from submission to the
+// moment a worker picks the job up, and the pool threads the rest of
+// the tree. ?trace=1 front-ends use this with a forced trace.
+func (s *Scheduler) AnswerTraced(tenant string, q query.Query, tr *trace.Trace) (core.Answer, error) {
+	enq := time.Now()
+	v, err := s.Do(tenant, func() (any, error) {
+		if tr != nil {
+			tr.Root().ChildAt("sched_wait", enq).End()
+		}
+		return s.pool.AnswerTraced(q, tr)
+	})
+	if err != nil {
+		return core.Answer{}, err
+	}
+	return v.(core.Answer), nil
 }
 
 // TenantInflight reports tenant's current queued+running count.

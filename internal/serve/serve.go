@@ -32,11 +32,13 @@ import (
 	"math"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/query"
+	"repro/internal/trace"
 )
 
 // ErrNoAgents is returned when a Pool is built without agents.
@@ -127,6 +129,20 @@ type Pool struct {
 	// keys pools the canonical-key scratch buffers so the steady-state
 	// cache-hit and prediction paths build keys without allocating.
 	keys sync.Pool
+
+	// tracer, when attached, samples query traces and keeps the
+	// slow-query log. Nil (and disabled) cost the hot path only nil
+	// checks and one atomic load.
+	tracer *trace.Tracer
+
+	// Shadow-audit sampler: one in auditEvery model-served answers is
+	// re-evaluated exactly in the background and its realised error
+	// recorded. auditSem bounds concurrent probes (overflow samples are
+	// dropped, not queued — the audit must never add serving pressure).
+	auditEvery atomic.Int64
+	auditCtr   atomic.Int64
+	auditSem   chan struct{}
+	auditWG    sync.WaitGroup
 }
 
 // keyBuf is the pooled canonical-key scratch buffer.
@@ -148,11 +164,94 @@ func NewPool(agents []*core.Agent, rec *metrics.ServeRecorder) (*Pool, error) {
 	if rec == nil {
 		rec = metrics.NewServeRecorder(0)
 	}
-	return &Pool{agents: agents, rec: rec}, nil
+	p := &Pool{agents: agents, rec: rec}
+	// Continuous accuracy audit, free half: every exact fallback whose
+	// model had enough support to answer records predicted-vs-truth
+	// error (the truth is already computed, so this costs nothing
+	// extra). Keyed by pooled agent index and aggregate.
+	for i, ag := range agents {
+		idx := i
+		ag.SetAuditor(func(agg query.Agg, pred, truth float64) {
+			rec.Audit().Record(idx, agg.String(), "fallback", core.NormError(agg, pred, truth))
+		})
+	}
+	return p, nil
 }
 
 // Recorder returns the pool's serving-metrics recorder.
 func (p *Pool) Recorder() *metrics.ServeRecorder { return p.rec }
+
+// EnableTracing attaches a tracer: the pool samples per its rate,
+// callers may force traces (?trace=1), and queries over the tracer's
+// slow threshold land in its slow-query log. Attach at wiring time.
+func (p *Pool) EnableTracing(t *trace.Tracer) { p.tracer = t }
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (p *Pool) Tracer() *trace.Tracer { return p.tracer }
+
+// EnableShadowAudit turns on the shadow-audit sampler: one in every
+// model-served answers is re-evaluated on the exact oracle in the
+// background (bounded by maxInflight concurrent probes; excess samples
+// are dropped) and its realised relative error recorded under source
+// "shadow". every <= 0 disables.
+func (p *Pool) EnableShadowAudit(every int64, maxInflight int) {
+	if every <= 0 {
+		p.auditEvery.Store(0)
+		return
+	}
+	if maxInflight <= 0 {
+		maxInflight = 4
+	}
+	if p.auditSem == nil {
+		p.auditSem = make(chan struct{}, maxInflight)
+	}
+	p.auditEvery.Store(every)
+}
+
+// DrainAudits blocks until every in-flight shadow probe has finished
+// (experiments use it before reading the audit histograms).
+func (p *Pool) DrainAudits() { p.auditWG.Wait() }
+
+// maybeShadowAudit samples the model-served answer stream: when the
+// counter fires, ground truth for q is computed on a background
+// goroutine via the routed agent's ExactProbe and the realised error
+// recorded. Disabled cost: one atomic load per model answer.
+func (p *Pool) maybeShadowAudit(agIdx int, q query.Query, ans core.Answer) {
+	every := p.auditEvery.Load()
+	if every <= 0 {
+		return
+	}
+	if p.auditCtr.Add(1)%every != 0 {
+		return
+	}
+	select {
+	case p.auditSem <- struct{}{}:
+	default:
+		return
+	}
+	p.auditWG.Add(1)
+	go func() {
+		defer func() { <-p.auditSem; p.auditWG.Done() }()
+		truth, err := p.agents[agIdx].ExactProbe(q)
+		if err != nil {
+			return
+		}
+		p.rec.Audit().Record(agIdx, q.Aggregate.String(), "shadow",
+			core.NormError(q.Aggregate, ans.Value, truth))
+	}()
+}
+
+// pathOf classifies which tier produced ans (the cache tier is
+// classified by its caller — a hit never reaches the agent).
+func pathOf(ans core.Answer) metrics.Path {
+	if ans.Predicted {
+		return metrics.PathModel
+	}
+	if ans.Cost.NodesTouched > 1 {
+		return metrics.PathExactScatter
+	}
+	return metrics.PathExactLocal
+}
 
 // EnableCache attaches a bounded, sharded LRU answer cache of roughly
 // capacity entries to the pool (capacity <= 0 detaches it). Wire it up
@@ -219,24 +318,43 @@ func (p *Pool) routeHash(h uint32) int {
 // cache hit (cheapest — no agent touched), then the read-locked model
 // fast path, then a single-flight deduplicated oracle fallback. The
 // cache-hit and steady-state prediction tiers run without heap
-// allocations.
+// allocations. When a tracer is attached, Answer also makes the
+// per-query sampling decision.
 func (p *Pool) Answer(q query.Query) (core.Answer, error) {
+	return p.AnswerTraced(q, p.tracer.Sample("query"))
+}
+
+// AnswerTraced is Answer under a caller-provided trace (nil = untraced;
+// ?trace=1 front-ends pass a forced trace). The trace is finished —
+// root span ended, published in the tracer's ring — before returning,
+// but stays readable for inline serialisation.
+func (p *Pool) AnswerTraced(q query.Query, tr *trace.Trace) (core.Answer, error) {
 	start := time.Now()
+	sp := tr.Root()
 	kb := p.getKeyBuf()
 	kb.b = AppendKey(kb.b[:0], q)
 	h := fnv32Bytes(kb.b)
-	ag := p.agents[p.routeHash(h)]
+	agIdx := p.routeHash(h)
+	ag := p.agents[agIdx]
+	sp.SetAttrInt("agent", int64(agIdx))
 	// ver is read before the answer is computed, and stamps whatever
 	// gets cached below: a write racing the computation can only make
 	// the entry expire early, never serve past its data version.
 	var ver int64
 	if p.cache != nil {
 		ver = p.cacheVersion(ag)
-		if ans, ok := p.cache.lookup(kb.b, h, ver); ok {
-			p.rec.CacheHit(time.Since(start))
+		csp := sp.Child("cache_lookup")
+		ans, ok := p.cache.lookup(kb.b, h, ver)
+		csp.End()
+		if ok {
+			csp.SetAttr("hit", "true")
 			p.keys.Put(kb)
+			lat := time.Since(start)
+			p.rec.ObservePath(lat, metrics.PathCache)
+			p.finishQuery(tr, q, metrics.PathCache, lat)
 			return ans, nil
 		}
+		csp.SetAttr("hit", "false")
 	}
 	// An identical fallback already in flight? Park behind it without
 	// touching the agent at all — its write lock is held for the
@@ -244,42 +362,79 @@ func (p *Pool) Answer(q query.Query) (core.Answer, error) {
 	// serialise behind the expensive path instead of sharing it.
 	if c := p.sf.joinBytes(kb.b); c != nil {
 		p.keys.Put(kb)
+		ssp := sp.Child("singleflight_wait")
 		c.wg.Wait()
+		ssp.End()
 		if c.err != nil {
 			p.rec.Error()
+			p.finishQuery(tr, q, metrics.PathExactLocal, time.Since(start))
 			return core.Answer{}, c.err
 		}
-		p.rec.Dedup(time.Since(start))
+		lat := time.Since(start)
+		path := pathOf(c.ans)
+		p.rec.DedupPath(lat, path)
+		sp.SetAttr("deduped", "true")
+		p.finishQuery(tr, q, path, lat)
 		return c.ans, nil
 	}
-	if ans, ok := ag.TryPredict(q); ok {
+	psp := sp.Child("try_predict")
+	ans, ok := ag.TryPredict(q)
+	psp.End()
+	if ok {
 		if p.cache != nil {
 			p.cache.put(string(kb.b), h, ver, ans)
 		}
 		p.keys.Put(kb)
-		p.rec.Observe(time.Since(start), true)
+		lat := time.Since(start)
+		p.rec.ObservePath(lat, metrics.PathModel)
+		p.finishQuery(tr, q, metrics.PathModel, lat)
+		p.maybeShadowAudit(agIdx, q, ans)
 		return ans, nil
 	}
 	// Expensive path: identical in-flight fallbacks collapse to one
 	// oracle execution whose result every waiter shares.
 	key := string(kb.b)
 	p.keys.Put(kb)
+	fsp := sp.Child("agent_answer")
 	ans, shared, err := p.sf.do(key, func() (core.Answer, error) {
-		return ag.Answer(q)
+		return ag.AnswerSpan(q, fsp)
 	})
+	fsp.End()
 	if err != nil {
 		p.rec.Error()
+		p.finishQuery(tr, q, metrics.PathExactLocal, time.Since(start))
 		return core.Answer{}, err
 	}
+	lat := time.Since(start)
+	path := pathOf(ans)
 	if shared {
-		p.rec.Dedup(time.Since(start))
+		p.rec.DedupPath(lat, path)
+		sp.SetAttr("deduped", "true")
 	} else {
 		if p.cache != nil {
 			p.cache.put(key, h, ver, ans)
 		}
-		p.rec.Observe(time.Since(start), ans.Predicted)
+		p.rec.ObservePath(lat, path)
+		if path == metrics.PathModel {
+			p.maybeShadowAudit(agIdx, q, ans)
+		}
 	}
+	p.finishQuery(tr, q, path, lat)
 	return ans, nil
+}
+
+// finishQuery closes out per-query observability: the trace (path
+// attribute, root-span end, ring publication) and the slow-query log.
+// Untraced fast-path cost: one nil check plus one atomic threshold
+// load.
+func (p *Pool) finishQuery(tr *trace.Trace, q query.Query, path metrics.Path, lat time.Duration) {
+	if tr != nil {
+		tr.Root().SetAttr("path", path.String())
+		p.tracer.Finish(tr)
+	}
+	if p.tracer.Slow(lat) {
+		p.tracer.NoteSlow(tr.ID(), Key(q), path.String(), lat)
+	}
 }
 
 // Stats sums the lifetime counters across the pooled agents.

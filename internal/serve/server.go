@@ -14,6 +14,7 @@ import (
 	"repro/internal/explain"
 	"repro/internal/metrics"
 	"repro/internal/query"
+	"repro/internal/trace"
 )
 
 // QueryRequest is the wire form of one analytical query. Exactly one
@@ -71,6 +72,11 @@ type QueryResponse struct {
 	// last refreshed (0 = fully fresh, and always 0 for exact answers).
 	StaleRows int      `json:"stale_rows,omitempty"`
 	Cost      CostJSON `json:"cost"`
+	// TraceID/Trace carry the inline span tree when the query was
+	// forced-traced with ?trace=1. The same tree is retrievable later
+	// via GET /v1/debug/trace/<trace_id> while it stays in the ring.
+	TraceID string          `json:"trace_id,omitempty"`
+	Trace   *trace.WireSpan `json:"trace,omitempty"`
 }
 
 // StatsResponse combines agent lifetime counters with serving-layer
@@ -124,10 +130,15 @@ func (r QueryRequest) Query() (query.Query, error) {
 
 // Server is the HTTP/JSON front-end over a Scheduler. Routes:
 //
-//	POST /v1/query    {tenant?, agg, los/his | center/radius, col?, col2?}
-//	POST /v1/explain  same body; piecewise-linear answer explanation
-//	GET  /v1/stats    agent + serving counters
-//	GET  /healthz     liveness
+//	POST /v1/query             {tenant?, agg, los/his | center/radius, col?, col2?}
+//	                           ?trace=1 forces a trace, inlined in the answer
+//	POST /v1/explain           same body; piecewise-linear answer explanation
+//	GET  /v1/stats             agent + serving counters
+//	GET  /v1/metrics           Prometheus exposition (histograms included)
+//	GET  /v1/debug/traces      recent trace ids
+//	GET  /v1/debug/trace/{id}  one span tree from the ring
+//	GET  /v1/debug/slow        the slow-query log
+//	GET  /healthz              liveness
 //
 // Overload maps to 429, malformed queries to 400, oracle failures
 // to 502.
@@ -144,11 +155,49 @@ func NewServer(sched *Scheduler, exp *explain.Engine) *Server {
 	s.mux.HandleFunc("POST /v1/explain", s.handleExplain)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	RegisterDebug(s.mux, func() *trace.Tracer { return s.sched.pool.Tracer() })
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok\n"))
 	})
 	return s
+}
+
+// RegisterDebug mounts the trace-debug routes on mux: the recent-trace
+// list, single-trace retrieval and the slow-query log. Shared with the
+// distributed node API so every serving front-end exposes the same
+// debug surface. tracerFn is consulted per request (it may return nil
+// while tracing is unconfigured — routes then return 404).
+func RegisterDebug(mux *http.ServeMux, tracerFn func() *trace.Tracer) {
+	mux.HandleFunc("GET /v1/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
+		t := tracerFn()
+		if t == nil {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: "tracing not configured"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"traces": t.RecentIDs()})
+	})
+	mux.HandleFunc("GET /v1/debug/trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+		t := tracerFn()
+		if t == nil {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: "tracing not configured"})
+			return
+		}
+		ws, ok := t.Get(r.PathValue("id"))
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: "trace not in ring"})
+			return
+		}
+		writeJSON(w, http.StatusOK, ws)
+	})
+	mux.HandleFunc("GET /v1/debug/slow", func(w http.ResponseWriter, _ *http.Request) {
+		t := tracerFn()
+		if t == nil {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: "tracing not configured"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"slow": t.SlowLog()})
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -215,19 +264,37 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	ans, err := s.sched.Answer(tenant, q)
+	var tr *trace.Trace
+	var ans core.Answer
+	if TraceRequested(r) {
+		tr = s.sched.pool.Tracer().Force("query")
+		ans, err = s.sched.AnswerTraced(tenant, q, tr)
+	} else {
+		ans, err = s.sched.Answer(tenant, q)
+	}
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, QueryResponse{
+	resp := QueryResponse{
 		Value:     ans.Value,
 		Predicted: ans.Predicted,
 		EstError:  ans.EstError,
 		Quantum:   ans.Quantum,
 		StaleRows: ans.FreshRows,
 		Cost:      costJSON(ans.Cost),
-	})
+	}
+	if tr != nil {
+		resp.TraceID = tr.ID()
+		resp.Trace = tr.Wire()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// TraceRequested reports whether the request asked for a forced inline
+// trace (?trace=1).
+func TraceRequested(r *http.Request) bool {
+	return r.URL.Query().Get("trace") == "1"
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
@@ -269,16 +336,17 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	WriteMetrics(w, s.sched.pool.rec.Snapshot())
+	WriteMetrics(w, s.sched.pool.rec)
 }
 
-// WriteMetrics renders a serving snapshot in the Prometheus text
-// format; the distributed node API mounts the same exposition on its
-// own GET /v1/metrics route.
-func WriteMetrics(w http.ResponseWriter, snap metrics.ServeSnapshot) {
+// WriteMetrics renders the recorder's full Prometheus exposition —
+// counters, gauges, per-path and per-tenant-class latency histograms,
+// audit error histograms and registered gauges; the distributed node
+// API mounts the same exposition on its own GET /v1/metrics route.
+func WriteMetrics(w http.ResponseWriter, rec *metrics.ServeRecorder) {
 	w.Header().Set("Content-Type", metrics.PrometheusContentType)
 	w.WriteHeader(http.StatusOK)
-	_ = metrics.WritePrometheus(w, snap)
+	_ = rec.WriteRecorder(w)
 }
 
 // ListenAndServe runs the front-end on addr until the listener fails.

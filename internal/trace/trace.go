@@ -1,0 +1,499 @@
+// Package trace is the request-scoped query tracer for the answer
+// path: every sampled (or ?trace=1-forced) query carries a span tree —
+// route, cache lookup, model prediction, single-flight wait, vectorized
+// scan, per-holder partial RPC, merge — across node boundaries. Remote
+// nodes return their own span subtrees in the RPC response and the
+// caller stitches them under the issuing RPC span, so one tree shows
+// where a cross-shard query spent its time on every member it touched.
+//
+// The design constraint is the serving hot path: tracing must be free
+// when off. Tracer and Span methods are nil-receiver safe, the
+// per-query sampling decision is a single atomic load (plus one atomic
+// add only when sampling is enabled), and an untraced query allocates
+// nothing. All the bookkeeping — IDs, span nodes, the bounded ring of
+// recent traces, the slow-query log — happens only on the sampled
+// fraction.
+package trace
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed region of a traced request. Children may be added
+// concurrently (scatter-gather fans out RPC spans from worker
+// goroutines), so the child list is mutex-guarded. All methods are safe
+// on a nil receiver and do nothing, which is how the untraced hot path
+// stays branch-cheap: callers thread a possibly-nil *Span and never
+// test it.
+type Span struct {
+	name  string
+	node  string
+	start time.Time
+	durNs int64
+
+	mu       sync.Mutex
+	attrs    []attr
+	children []*Span
+}
+
+type attr struct{ k, v string }
+
+// NewSpan starts a detached root span (no Tracer, no ring): remote
+// handlers use it to build the subtree they return over the wire.
+func NewSpan(name, node string) *Span {
+	return &Span{name: name, node: node, start: time.Now()}
+}
+
+// Child starts a sub-span. Nil-safe: returns nil when s is nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, node: s.node, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// ChildAt is Child with an explicit start time — for regions whose
+// beginning predates the span's creation (e.g. scheduler queue wait,
+// measured from enqueue but materialised when the worker picks the job
+// up).
+func (s *Span) ChildAt(name string, start time.Time) *Span {
+	c := s.Child(name)
+	if c != nil {
+		c.start = start
+	}
+	return c
+}
+
+// End stamps the span's duration. Idempotent enough for tracing: the
+// last call wins.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	atomic.StoreInt64(&s.durNs, int64(time.Since(s.start)))
+}
+
+// SetAttr attaches a key/value annotation.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attr{k, v})
+	s.mu.Unlock()
+}
+
+// SetAttrInt attaches an integer annotation.
+func (s *Span) SetAttrInt(k string, v int64) {
+	s.SetAttr(k, strconv.FormatInt(v, 10))
+}
+
+// SetAttrFloat attaches a float annotation.
+func (s *Span) SetAttrFloat(k string, v float64) {
+	s.SetAttr(k, strconv.FormatFloat(v, 'g', 6, 64))
+}
+
+// Duration returns the recorded duration (0 until End).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(atomic.LoadInt64(&s.durNs))
+}
+
+// Name returns the span name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// AttachWire grafts wire-format spans (a remote node's subtree,
+// returned in an RPC response) under s as children. Nil-safe.
+func (s *Span) AttachWire(ws []WireSpan) {
+	if s == nil || len(ws) == 0 {
+		return
+	}
+	kids := make([]*Span, 0, len(ws))
+	for i := range ws {
+		kids = append(kids, fromWire(&ws[i]))
+	}
+	s.mu.Lock()
+	s.children = append(s.children, kids...)
+	s.mu.Unlock()
+}
+
+// WireSpan is the JSON form of a span tree: what RPC responses carry
+// back for stitching and what ?trace=1 inlines in the answer.
+type WireSpan struct {
+	Name     string            `json:"name"`
+	Node     string            `json:"node,omitempty"`
+	StartNs  int64             `json:"start_unix_ns,omitempty"`
+	DurNs    int64             `json:"dur_ns"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []WireSpan        `json:"children,omitempty"`
+}
+
+// Wire converts the span tree to its wire form. Safe to call after the
+// request finished; concurrent child additions during conversion are
+// tolerated (the snapshot simply cuts there).
+func (s *Span) Wire() WireSpan {
+	if s == nil {
+		return WireSpan{}
+	}
+	w := WireSpan{
+		Name:    s.name,
+		Node:    s.node,
+		StartNs: s.start.UnixNano(),
+		DurNs:   atomic.LoadInt64(&s.durNs),
+	}
+	s.mu.Lock()
+	attrs := append([]attr(nil), s.attrs...)
+	kids := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	if len(attrs) > 0 {
+		w.Attrs = make(map[string]string, len(attrs))
+		for _, a := range attrs {
+			w.Attrs[a.k] = a.v
+		}
+	}
+	for _, c := range kids {
+		w.Children = append(w.Children, c.Wire())
+	}
+	return w
+}
+
+func fromWire(w *WireSpan) *Span {
+	s := &Span{
+		name:  w.Name,
+		node:  w.Node,
+		start: time.Unix(0, w.StartNs),
+		durNs: w.DurNs,
+	}
+	for k, v := range w.Attrs {
+		s.attrs = append(s.attrs, attr{k, v})
+	}
+	for i := range w.Children {
+		s.children = append(s.children, fromWire(&w.Children[i]))
+	}
+	return s
+}
+
+// SpanCount returns the number of spans in the tree rooted at w.
+func (w *WireSpan) SpanCount() int {
+	n := 1
+	for i := range w.Children {
+		n += w.Children[i].SpanCount()
+	}
+	return n
+}
+
+// Nodes returns the set of distinct node ids appearing in the tree.
+func (w *WireSpan) Nodes() map[string]bool {
+	out := make(map[string]bool)
+	var walk func(*WireSpan)
+	walk = func(s *WireSpan) {
+		if s.Node != "" {
+			out[s.Node] = true
+		}
+		for i := range s.Children {
+			walk(&s.Children[i])
+		}
+	}
+	walk(w)
+	return out
+}
+
+// CountNamed returns how many spans in the tree have the given name.
+func (w *WireSpan) CountNamed(name string) int {
+	n := 0
+	if w.Name == name {
+		n++
+	}
+	for i := range w.Children {
+		n += w.Children[i].CountNamed(name)
+	}
+	return n
+}
+
+// Trace is one sampled request: an id plus the root span.
+type Trace struct {
+	id     string
+	root   *Span
+	forced bool
+}
+
+// ID returns the trace id ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Root returns the root span (nil on nil trace) — the handle request
+// code threads through the answer path.
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Wire converts the whole trace for JSON transport.
+func (t *Trace) Wire() *WireSpan {
+	if t == nil {
+		return nil
+	}
+	w := t.root.Wire()
+	return &w
+}
+
+// SlowEntry is one slow-query log record.
+type SlowEntry struct {
+	TraceID string        `json:"trace_id,omitempty"`
+	Key     string        `json:"key"`
+	Path    string        `json:"path"`
+	Dur     time.Duration `json:"dur_ns"`
+	At      time.Time     `json:"at"`
+}
+
+// Tracer owns the sampling decision, the bounded ring of recent traces
+// and the slow-query log. The zero value (and a nil *Tracer) never
+// samples; all methods are nil-safe.
+type Tracer struct {
+	node string
+
+	// sampleEvery: 0 = disabled, N>0 = trace one query in N. The
+	// disabled check is a single atomic load.
+	sampleEvery atomic.Int64
+	ctr         atomic.Int64
+	idCtr       atomic.Uint64
+	slowNs      atomic.Int64
+	sampled     atomic.Int64
+	slowCount   atomic.Int64
+
+	mu      sync.Mutex
+	ring    []*Trace
+	ringPos int
+
+	slowMu   sync.Mutex
+	slowRing []SlowEntry
+	slowPos  int
+}
+
+// DefaultRing is the recent-trace ring capacity when none is given.
+const DefaultRing = 256
+
+// NewTracer builds a tracer for one node/process. node labels every
+// locally created span (useful once trees span members); ring bounds
+// the recent-trace buffer (<=0 takes DefaultRing).
+func NewTracer(node string, ring int) *Tracer {
+	if ring <= 0 {
+		ring = DefaultRing
+	}
+	return &Tracer{node: node, ring: make([]*Trace, 0, ring)}
+}
+
+// SetSampleRate configures the sampled fraction: rate <= 0 disables,
+// otherwise one query in round(1/rate) is traced (rate >= 1 traces
+// everything).
+func (t *Tracer) SetSampleRate(rate float64) {
+	if t == nil {
+		return
+	}
+	switch {
+	case rate <= 0:
+		t.sampleEvery.Store(0)
+	case rate >= 1:
+		t.sampleEvery.Store(1)
+	default:
+		t.sampleEvery.Store(int64(1/rate + 0.5))
+	}
+}
+
+// SetSampleEvery is SetSampleRate in 1-in-N form (0 disables).
+func (t *Tracer) SetSampleEvery(n int64) {
+	if t == nil {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	t.sampleEvery.Store(n)
+}
+
+// SetSlowThreshold configures the slow-query log: queries slower than d
+// are recorded (and counted) even when untraced. d <= 0 disables.
+func (t *Tracer) SetSlowThreshold(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.slowNs.Store(int64(d))
+}
+
+// Node returns the tracer's node label.
+func (t *Tracer) Node() string {
+	if t == nil {
+		return ""
+	}
+	return t.node
+}
+
+// Sample makes the per-query sampling decision. It returns nil —
+// having touched exactly one atomic — for the untraced majority, or a
+// live Trace rooted at a span named name.
+func (t *Tracer) Sample(name string) *Trace {
+	if t == nil {
+		return nil
+	}
+	n := t.sampleEvery.Load()
+	if n == 0 {
+		return nil
+	}
+	if n > 1 && t.ctr.Add(1)%n != 0 {
+		return nil
+	}
+	return t.start(name, false)
+}
+
+// Force starts a trace unconditionally (?trace=1).
+func (t *Tracer) Force(name string) *Trace {
+	if t == nil {
+		return nil
+	}
+	return t.start(name, true)
+}
+
+func (t *Tracer) start(name string, forced bool) *Trace {
+	t.sampled.Add(1)
+	id := t.node + "-" + strconv.FormatUint(t.idCtr.Add(1), 16)
+	return &Trace{id: id, root: NewSpan(name, t.node), forced: forced}
+}
+
+// Finish ends the trace's root span and publishes it in the
+// recent-trace ring. Nil-safe; the trace stays readable afterwards
+// (?trace=1 serialises it after Finish).
+func (t *Tracer) Finish(tr *Trace) {
+	if t == nil || tr == nil {
+		return
+	}
+	tr.root.End()
+	t.mu.Lock()
+	if cap(t.ring) == 0 {
+		t.mu.Unlock()
+		return
+	}
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, tr)
+	} else {
+		t.ring[t.ringPos] = tr
+		t.ringPos = (t.ringPos + 1) % cap(t.ring)
+	}
+	t.mu.Unlock()
+}
+
+// Get returns the wire form of a ringed trace by id.
+func (t *Tracer) Get(id string) (*WireSpan, bool) {
+	if t == nil {
+		return nil, false
+	}
+	t.mu.Lock()
+	var found *Trace
+	for _, tr := range t.ring {
+		if tr.id == id {
+			found = tr
+			break
+		}
+	}
+	t.mu.Unlock()
+	if found == nil {
+		return nil, false
+	}
+	return found.Wire(), true
+}
+
+// RecentIDs lists the ids currently in the ring, newest last.
+func (t *Tracer) RecentIDs() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.ring))
+	// Ring order: ringPos..end are oldest when full.
+	for i := 0; i < len(t.ring); i++ {
+		idx := i
+		if len(t.ring) == cap(t.ring) {
+			idx = (t.ringPos + i) % len(t.ring)
+		}
+		out = append(out, t.ring[idx].id)
+	}
+	return out
+}
+
+// Slow reports whether d crosses the slow-query threshold — one atomic
+// load, so the hot path can ask on every query.
+func (t *Tracer) Slow(d time.Duration) bool {
+	if t == nil {
+		return false
+	}
+	th := t.slowNs.Load()
+	return th > 0 && int64(d) >= th
+}
+
+// NoteSlow records one slow query (key is the canonical query key,
+// path the answer path it took, id the trace id when it was also
+// traced). Callers gate on Slow first; this path allocates.
+func (t *Tracer) NoteSlow(id, key, path string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.slowCount.Add(1)
+	e := SlowEntry{TraceID: id, Key: key, Path: path, Dur: d, At: time.Now()}
+	t.slowMu.Lock()
+	if cap(t.slowRing) == 0 {
+		t.slowRing = make([]SlowEntry, 0, 64)
+	}
+	if len(t.slowRing) < cap(t.slowRing) {
+		t.slowRing = append(t.slowRing, e)
+	} else {
+		t.slowRing[t.slowPos] = e
+		t.slowPos = (t.slowPos + 1) % cap(t.slowRing)
+	}
+	t.slowMu.Unlock()
+}
+
+// SlowLog returns the buffered slow-query entries, oldest first.
+func (t *Tracer) SlowLog() []SlowEntry {
+	if t == nil {
+		return nil
+	}
+	t.slowMu.Lock()
+	defer t.slowMu.Unlock()
+	out := make([]SlowEntry, 0, len(t.slowRing))
+	for i := 0; i < len(t.slowRing); i++ {
+		idx := i
+		if len(t.slowRing) == cap(t.slowRing) {
+			idx = (t.slowPos + i) % len(t.slowRing)
+		}
+		out = append(out, t.slowRing[idx])
+	}
+	return out
+}
+
+// Counters reports lifetime sampled-trace and slow-query counts.
+func (t *Tracer) Counters() (sampled, slow int64) {
+	if t == nil {
+		return 0, 0
+	}
+	return t.sampled.Load(), t.slowCount.Load()
+}

@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeAndWire(t *testing.T) {
+	tr := NewTracer("n0", 8)
+	tr.SetSampleEvery(1)
+	trace := tr.Sample("query")
+	if trace == nil {
+		t.Fatal("1-in-1 sampling returned no trace")
+	}
+	root := trace.Root()
+	root.SetAttrInt("agent", 3)
+	c1 := root.Child("cache_lookup")
+	c1.End()
+	c2 := root.Child("fallback")
+	c2.Child("oracle").End()
+	c2.End()
+	tr.Finish(trace)
+
+	w := trace.Wire()
+	if w == nil || w.Name != "query" || w.Node != "n0" {
+		t.Fatalf("wire root = %+v", w)
+	}
+	if got := w.SpanCount(); got != 4 {
+		t.Fatalf("span count = %d, want 4", got)
+	}
+	if got := w.CountNamed("oracle"); got != 1 {
+		t.Fatalf("oracle spans = %d, want 1", got)
+	}
+	if w.Attrs["agent"] != "3" {
+		t.Fatalf("root attrs = %v", w.Attrs)
+	}
+	// The wire form must survive a JSON round trip (it crosses node
+	// boundaries in /v1/partials responses).
+	b, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back WireSpan
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.SpanCount() != 4 || back.CountNamed("cache_lookup") != 1 {
+		t.Fatalf("round-tripped tree = %+v", back)
+	}
+}
+
+func TestAttachWireStitching(t *testing.T) {
+	remote := NewSpan("partials", "n1")
+	remote.Child("local_scan").End()
+	remote.End()
+
+	local := NewSpan("partial_rpc", "n0")
+	local.AttachWire([]WireSpan{remote.Wire()})
+	local.End()
+	w := local.Wire()
+	nodes := w.Nodes()
+	if !nodes["n0"] || !nodes["n1"] {
+		t.Fatalf("stitched tree nodes = %v, want both n0 and n1", nodes)
+	}
+	if w.CountNamed("local_scan") != 1 {
+		t.Fatalf("remote child lost in stitching: %+v", w)
+	}
+}
+
+func TestSamplingRateAndRing(t *testing.T) {
+	tr := NewTracer("n0", 4)
+	tr.SetSampleEvery(10)
+	var sampled int
+	for i := 0; i < 100; i++ {
+		if trace := tr.Sample("query"); trace != nil {
+			sampled++
+			tr.Finish(trace)
+		}
+	}
+	if sampled != 10 {
+		t.Fatalf("sampled %d of 100 at 1-in-10", sampled)
+	}
+	// The ring keeps only the most recent 4.
+	ids := tr.RecentIDs()
+	if len(ids) != 4 {
+		t.Fatalf("ring holds %d traces, want 4", len(ids))
+	}
+	for _, id := range ids {
+		if _, ok := tr.Get(id); !ok {
+			t.Fatalf("ring id %s not retrievable", id)
+		}
+	}
+	if _, ok := tr.Get("no-such-id"); ok {
+		t.Fatal("Get returned a trace for an unknown id")
+	}
+	// Rate 0 turns sampling off; Force still traces.
+	tr.SetSampleRate(0)
+	if tr.Sample("query") != nil {
+		t.Fatal("sampling off still sampled")
+	}
+	if tr.Force("query") == nil {
+		t.Fatal("Force returned no trace with sampling off")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	// Every method must no-op on nil receivers: the untraced hot path
+	// threads nil spans/traces through the whole stack.
+	var tr *Tracer
+	if tr.Sample("q") != nil || tr.Force("q") != nil {
+		t.Fatal("nil tracer produced a trace")
+	}
+	tr.Finish(nil)
+	tr.NoteSlow("", "", "", time.Second)
+	if tr.Slow(time.Hour) {
+		t.Fatal("nil tracer claims slow")
+	}
+	var trace *Trace
+	if trace.ID() != "" || trace.Root() != nil || trace.Wire() != nil {
+		t.Fatal("nil trace not inert")
+	}
+	var sp *Span
+	sp.End()
+	sp.SetAttr("k", "v")
+	sp.SetAttrInt("k", 1)
+	sp.AttachWire([]WireSpan{{Name: "x"}})
+	if c := sp.Child("c"); c != nil {
+		t.Fatal("nil span produced a child")
+	}
+}
+
+func TestSlowLog(t *testing.T) {
+	tr := NewTracer("n0", 4)
+	tr.SetSlowThreshold(10 * time.Millisecond)
+	if tr.Slow(5 * time.Millisecond) {
+		t.Fatal("5ms flagged slow at a 10ms threshold")
+	}
+	if !tr.Slow(20 * time.Millisecond) {
+		t.Fatal("20ms not flagged slow")
+	}
+	tr.NoteSlow("id-1", "key-1", "exact_local", 20*time.Millisecond)
+	log := tr.SlowLog()
+	if len(log) != 1 || log[0].Key != "key-1" || log[0].Path != "exact_local" {
+		t.Fatalf("slow log = %+v", log)
+	}
+}
+
+func TestConcurrentChildrenAndRing(t *testing.T) {
+	tr := NewTracer("n0", 16)
+	var wg sync.WaitGroup
+	const workers = 8
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				trace := tr.Force("query")
+				sp := trace.Root()
+				// Scatter workers append children concurrently in the
+				// real path; hammer the same shape here.
+				var inner sync.WaitGroup
+				inner.Add(4)
+				for k := 0; k < 4; k++ {
+					go func(k int) {
+						defer inner.Done()
+						c := sp.Child("partial_rpc")
+						c.SetAttrInt("k", int64(k))
+						c.End()
+					}(k)
+				}
+				inner.Wait()
+				tr.Finish(trace)
+				_, _ = tr.Get(trace.ID())
+				_ = tr.RecentIDs()
+			}
+		}()
+	}
+	wg.Wait()
+	if ids := tr.RecentIDs(); len(ids) != 16 {
+		t.Fatalf("ring holds %d, want 16", len(ids))
+	}
+}

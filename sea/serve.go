@@ -13,10 +13,13 @@ package sea
 
 import (
 	"fmt"
+	"math"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/serve"
+	"repro/internal/trace"
 )
 
 // Server is the HTTP/JSON serving front-end (see serve.Server).
@@ -53,6 +56,22 @@ type ServeOptions struct {
 	// without touching the agents, and any data-version advance
 	// invalidates affected entries.
 	AnswerCache int
+	// TraceSample is the background trace-sampling fraction: roughly
+	// this share of queries records a full span tree into the trace
+	// ring (GET /v1/debug/trace/<id>). 0 disables background sampling;
+	// ?trace=1 requests are always traced regardless.
+	TraceSample float64
+	// TraceRing bounds the retained finished traces (0 takes
+	// trace.DefaultRing).
+	TraceRing int
+	// SlowQuery, when positive, logs every query slower than this into
+	// the slow-query ring (GET /v1/debug/slow).
+	SlowQuery time.Duration
+	// AuditSample is the shadow-audit fraction: roughly this share of
+	// model-served answers is re-evaluated exactly in the background,
+	// recording predicted-vs-truth relative error into the accuracy
+	// audit histograms on /v1/metrics. 0 disables shadow auditing.
+	AuditSample float64
 }
 
 // TryPredict attempts the read-mostly fast path: answer q from a
@@ -76,6 +95,21 @@ func NewScheduler(agents []*Agent, opt ServeOptions) (*Scheduler, error) {
 	}
 	if opt.AnswerCache > 0 {
 		pool.EnableCache(opt.AnswerCache)
+	}
+	// A tracer is always attached (even at sampling rate 0) so forced
+	// ?trace=1 traces and the debug endpoints work out of the box.
+	tracer := trace.NewTracer("local", opt.TraceRing)
+	tracer.SetSampleRate(opt.TraceSample)
+	if opt.SlowQuery > 0 {
+		tracer.SetSlowThreshold(opt.SlowQuery)
+	}
+	pool.EnableTracing(tracer)
+	if opt.AuditSample > 0 {
+		every := int64(1)
+		if opt.AuditSample < 1 {
+			every = int64(math.Round(1 / opt.AuditSample))
+		}
+		pool.EnableShadowAudit(every, 0)
 	}
 	return serve.NewScheduler(pool, serve.SchedulerConfig{
 		Workers:        opt.Workers,
