@@ -7,9 +7,12 @@
 package repro
 
 import (
+	"io"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/trace"
 )
@@ -479,6 +482,82 @@ func BenchmarkE18TraceOverhead(b *testing.B) {
 		b.ReportMetric(row.TruthMAPE, "truth_mape")
 		b.ReportMetric(float64(row.SlowLogged), "slow_logged")
 	})
+}
+
+// BenchmarkE19ObsOverhead proves the logging + runtime-telemetry cost
+// contract. Disabled: with no logger attached the cache-hit serving
+// path must still report 0 allocs/op — the logging hook may cost one
+// nil check, nothing more (CI greps this line). Logged bounds the
+// worst case: slow-query logging firing on every query through a
+// rate-limited logger with the runtime sampler live. The E19
+// sub-benchmark reports the full experiment row: the replication-lag
+// narrative plus baseline vs instrumented QPS, which CI gates at a
+// <=2% drop.
+func BenchmarkE19ObsOverhead(b *testing.B) {
+	fix, err := experiments.NewE17Fixture(20_000, 300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tracer := trace.NewTracer("bench", 0)
+	fix.Pool.EnableTracing(tracer)
+	if _, err := fix.Pool.Answer(fix.Query); err != nil { // prime the cache
+		b.Fatal(err)
+	}
+	b.Run("Disabled", func(b *testing.B) {
+		fix.Pool.SetLogger(nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := fix.Pool.Answer(fix.Query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Logged", func(b *testing.B) {
+		logger := obs.New(io.Discard, obs.LevelInfo)
+		logger.SetRateLimit(10_000, 1000)
+		fix.Pool.SetLogger(logger)
+		tracer.SetSlowThreshold(time.Nanosecond) // every query logs (up to the limiter)
+		sampler := obs.NewRuntimeSampler(5 * time.Millisecond)
+		sampler.Start()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := fix.Pool.Answer(fix.Query); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		sampler.Stop()
+		tracer.SetSlowThreshold(0)
+		fix.Pool.SetLogger(nil)
+	})
+	b.Run("E19", func(b *testing.B) {
+		var row experiments.E19Row
+		var err error
+		for i := 0; i < b.N; i++ {
+			row, err = experiments.E19Introspection(20_000, 300, 16, 4000)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(row.BaselineQPS, "baseline_qps")
+		b.ReportMetric(row.ObsQPS, "obs_qps")
+		b.ReportMetric(row.OverheadPct, "overhead_pct")
+		b.ReportMetric(float64(row.DownCritical), "down_critical")
+		b.ReportMetric(float64(row.LagParts), "lag_parts")
+		b.ReportMetric(float64(row.LagPeak), "lag_peak")
+		b.ReportMetric(boolMetric(row.CaughtUp), "caught_up")
+		b.ReportMetric(float64(row.LogLines), "log_lines")
+		b.ReportMetric(float64(row.LogDropped), "log_dropped")
+	})
+}
+
+func boolMetric(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
 }
 
 func sizeName(n int) string {

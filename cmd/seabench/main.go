@@ -1,10 +1,11 @@
-// Command seabench runs the full experiment suite (E1-E18 and ablations
+// Command seabench runs the full experiment suite (E1-E19 and ablations
 // A1-A5 from DESIGN.md) at configurable scale and prints one table per
 // experiment — the rows EXPERIMENTS.md records. Metrics are virtual
 // simulator units (see internal/metrics), except E13 (concurrent
 // serving), E14 (distributed cluster), E15 (live data plane), E16
-// (vectorized execution), E17 (serving hot path) and E18 (tracing
-// overhead + accuracy audit) which measure real wall-clock behaviour.
+// (vectorized execution), E17 (serving hot path), E18 (tracing
+// overhead + accuracy audit) and E19 (cluster introspection) which
+// measure real wall-clock behaviour.
 //
 // With -json every experiment emits machine-readable rows instead of
 // tables, one JSON object per line:
@@ -440,6 +441,27 @@ func run(scale, only string, jsonOut bool) error {
 				r.BaselineQPS, r.TracedQPS, r.OverheadPct, r.SampledTraces,
 				r.TraceSpans, r.TraceNodes, r.PartialRPCSpans,
 				r.AuditSamples, r.AuditMAPE, r.TruthMAPE, r.SlowLogged)
+		}
+	}
+
+	if want("E19") {
+		// Cluster introspection: a replica killed mid-ingest must show a
+		// critical finding, then nonzero replication lag after a cold
+		// revive, then a clean report after catch-up; plus what logging
+		// and runtime sampling cost at serving speed.
+		// perWorker stays high even at smoke scale: the overhead gate
+		// compares two QPS readings of the same row, and sub-20ms
+		// phases drown a ≤2% signal in scheduler noise.
+		r, err := experiments.E19Introspection(pick(10_000, 20_000), 300,
+			pick(4, 16), pick(20_000, 4_000))
+		if err != nil {
+			return err
+		}
+		if !em.emit("E19", r) {
+			fmt.Println("== E19: cluster introspection plane (replication lag, findings, obs overhead) ==")
+			fmt.Printf("victim=%s down_critical=%d lag: parts=%d peak=%d caught_up=%v  overhead: baseline_qps=%.0f obs_qps=%.0f drop=%.2f%% log_lines=%d dropped=%d\n\n",
+				r.Victim, r.DownCritical, r.LagParts, r.LagPeak, r.CaughtUp,
+				r.BaselineQPS, r.ObsQPS, r.OverheadPct, r.LogLines, r.LogDropped)
 		}
 	}
 

@@ -36,16 +36,33 @@
 // shadow-audits model answers against exact ground truth (error
 // histograms land in /v1/metrics).
 //
+// The introspection plane (both modes): -log-level selects the leveled
+// JSON-line logging on stderr (debug|info|warn|error|off) and -log-rate
+// caps its lines/sec (token bucket; suppressed lines are counted, the
+// hot path pays one atomic load). -slo-latency arms the per-tenant-class
+// SLO engine: multi-window burn rates against that p99 objective export
+// as sea_slo_burn_rate / sea_slo_state in /v1/metrics. -runtime-sample
+// sets the background runtime-telemetry period (heap, GC pauses,
+// goroutines; sea_go_* gauges). -pprof mounts Go's net/http/pprof
+// handlers under /debug/pprof/ — off by default, enable only on
+// trusted networks. Cluster mode adds GET /v1/status (this member's
+// introspection snapshot: ring, per-partition replication lag, cache,
+// scheduler, SLO, runtime) and GET /v1/debug/cluster (fan-out to every
+// peer with cross-checked health findings; -lag-threshold tunes when a
+// lagging replica turns critical). cmd/seatop renders that aggregator
+// as a live dashboard.
+//
 // Endpoints (both modes):
 //
 //	POST /v1/query    {"agg":"count","los":[20,20],"his":[30,30]}
 //	GET  /v1/metrics  Prometheus text (QPS, per-path latency histograms,
-//	                  ingest/drift gauges, audit error histograms)
+//	                  ingest/drift gauges, audit error histograms,
+//	                  SLO burn rates, runtime telemetry)
 //	GET  /healthz     liveness (also used by failover probing)
 //
 // Single-node adds POST /v1/explain and GET /v1/stats; cluster mode adds
 // POST /v1/ingest, /v1/replicate, /v1/walfetch, /v1/partial,
-// GET /v1/snapshot and GET /v1/cluster.
+// GET /v1/snapshot, /v1/cluster, /v1/status and /v1/debug/cluster.
 //
 // Flag combinations are validated at startup (replication factor vs
 // cluster size, quorum vs replicas, cluster-only flags in single-node
@@ -60,7 +77,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+
 	"os"
 	"os/signal"
 	"sort"
@@ -70,6 +87,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/serve"
 	"repro/internal/workload"
@@ -102,6 +121,12 @@ type options struct {
 	traceRing      int
 	slowQuery      time.Duration
 	auditSample    float64
+	logLevel       string
+	logRate        float64
+	sloLatency     time.Duration
+	runtimeSample  time.Duration
+	lagThreshold   uint64
+	pprof          bool
 	// set records which flags were given explicitly (flag.Visit):
 	// cluster-only flags with non-zero defaults (-replicas,
 	// -requant-check) can only be rejected in single-node mode when we
@@ -135,6 +160,12 @@ func main() {
 	flag.IntVar(&o.traceRing, "trace-ring", 0, "finished traces kept for /v1/debug/trace (0 = default ring)")
 	flag.DurationVar(&o.slowQuery, "slow-query", 0, "log queries slower than this to /v1/debug/slow (0 disables)")
 	flag.Float64Var(&o.auditSample, "audit-sample", 0, "fraction of model-served answers to shadow-audit against exact truth (0 disables)")
+	flag.StringVar(&o.logLevel, "log-level", "info", "structured JSON log level: debug|info|warn|error|off")
+	flag.Float64Var(&o.logRate, "log-rate", 0, "max structured log lines/sec (token bucket; 0 = unlimited)")
+	flag.DurationVar(&o.sloLatency, "slo-latency", 0, "per-tenant-class p99 latency objective; arms SLO burn-rate tracking (0 disables)")
+	flag.DurationVar(&o.runtimeSample, "runtime-sample", 10*time.Second, "runtime telemetry sampling period (0 = on-demand only)")
+	flag.Uint64Var(&o.lagThreshold, "lag-threshold", 0, "replication lag in batches before a /v1/debug/cluster finding turns critical (cluster mode; 0 = default 1)")
+	flag.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default; trusted networks only)")
 	flag.Parse()
 	o.set = make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { o.set[f.Name] = true })
@@ -196,6 +227,15 @@ func (o *options) validate() error {
 	if o.slowQuery < 0 {
 		return fmt.Errorf("-slow-query must be >= 0, got %v", o.slowQuery)
 	}
+	if o.logRate < 0 {
+		return fmt.Errorf("-log-rate must be >= 0, got %g", o.logRate)
+	}
+	if o.sloLatency < 0 {
+		return fmt.Errorf("-slo-latency must be >= 0, got %v", o.sloLatency)
+	}
+	if o.runtimeSample < 0 {
+		return fmt.Errorf("-runtime-sample must be >= 0, got %v", o.runtimeSample)
+	}
 
 	cluster := o.nodeID != ""
 	if !cluster {
@@ -209,6 +249,7 @@ func (o *options) validate() error {
 			"-write-quorum":  o.writeQuorum != 0,
 			"-replicas":      o.set["replicas"],
 			"-requant-check": o.set["requant-check"],
+			"-lag-threshold": o.lagThreshold != 0,
 		} {
 			if set {
 				return fmt.Errorf("%s requires cluster mode (set -node-id)", flagName)
@@ -255,7 +296,22 @@ func peerIDs(peers map[string]string) []string {
 	return ids
 }
 
+// newLogger builds the process logger from the -log-level / -log-rate
+// flags (JSON lines on stderr).
+func newLogger(o options) *obs.Logger {
+	lg := obs.New(os.Stderr, obs.ParseLevel(o.logLevel))
+	if o.logRate > 0 {
+		burst := int(o.logRate)
+		if burst < 1 {
+			burst = 1
+		}
+		lg.SetRateLimit(o.logRate, burst)
+	}
+	return lg
+}
+
 func runSingle(ctx context.Context, o options) error {
+	lg := newLogger(o)
 	sys, err := sea.NewSystem(sea.SystemConfig{Nodes: o.nodes, Columns: []string{"x", "y", "z"}})
 	if err != nil {
 		return err
@@ -263,7 +319,7 @@ func runSingle(ctx context.Context, o options) error {
 	if err := sys.Load(workload.StandardRows(o.rows, o.seed)); err != nil {
 		return err
 	}
-	log.Printf("loaded %d rows over %d nodes", sys.Rows(), o.nodes)
+	lg.Info("loaded", "rows", sys.Rows(), "nodes", o.nodes)
 
 	pool := make([]*sea.Agent, o.agents)
 	for i := range pool {
@@ -278,7 +334,7 @@ func runSingle(ctx context.Context, o options) error {
 			return err
 		}
 		st := ag.Stats()
-		log.Printf("agent %d trained: %d queries, %d quanta", i, st.Queries, st.Quanta)
+		lg.Info("agent trained", "agent", i, "queries", st.Queries, "quanta", st.Quanta)
 		pool[i] = ag
 	}
 
@@ -295,15 +351,41 @@ func runSingle(ctx context.Context, o options) error {
 	if err != nil {
 		return err
 	}
-	log.Printf("serving on %s (%d agents, %d workers, queue %d, tenant-inflight %d)",
-		o.addr, o.agents, o.workers, o.queue, o.tenantInflight)
+	// Introspection plane: slow-query logging on the serving pool, SLO
+	// burn-rate tracking, runtime telemetry, optional pprof.
+	servePool := srv.Scheduler().Pool()
+	servePool.SetLogger(lg)
+	rec := servePool.Recorder()
+	if o.sloLatency > 0 {
+		slo := metrics.NewSLOEngine(rec, metrics.SLOConfig{LatencyObjective: o.sloLatency})
+		slo.Start()
+		defer slo.Stop()
+		rec.SetSLO(slo)
+	}
+	sampler := obs.NewRuntimeSampler(o.runtimeSample)
+	sampler.Register(rec)
+	if o.runtimeSample > 0 {
+		sampler.Start()
+		defer sampler.Stop()
+	}
+	if o.pprof {
+		srv.EnablePprof()
+		lg.Warn("pprof endpoints mounted under /debug/pprof/ — do not expose publicly")
+	}
+	lg.Info("serving", "addr", o.addr, "agents", o.agents, "workers", o.workers,
+		"queue", o.queue, "tenant_inflight", o.tenantInflight)
 	return srv.Run(ctx, o.addr, o.drain)
 }
 
 func runCluster(ctx context.Context, o options) error {
+	lg := newLogger(o)
 	agentCfg := core.DefaultConfig(2)
 	agentCfg.TrainingQueries = o.training
 	agentCfg.DriftRowBudget = o.driftBudget
+	var sloCfg *metrics.SLOConfig
+	if o.sloLatency > 0 {
+		sloCfg = &metrics.SLOConfig{LatencyObjective: o.sloLatency}
+	}
 	node, err := dist.NewNode(dist.Config{
 		ID:             o.nodeID,
 		Peers:          o.peers,
@@ -321,6 +403,11 @@ func runCluster(ctx context.Context, o options) error {
 		TraceRing:      o.traceRing,
 		SlowQuery:      o.slowQuery,
 		AuditSample:    o.auditSample,
+		Logger:         lg,
+		SLO:            sloCfg,
+		RuntimeSample:  o.runtimeSample,
+		LagThreshold:   o.lagThreshold,
+		Pprof:          o.pprof,
 	})
 	if err != nil {
 		return err
@@ -329,29 +416,34 @@ func runCluster(ctx context.Context, o options) error {
 		return err
 	}
 	st := node.Status()
-	log.Printf("cluster member %s: %d/%d partitions, %d rows held, %d members, replicas=%d, data version %d",
-		o.nodeID, len(st.PartitionsHeld), st.PartitionsTotal, st.RowsHeld, len(st.Members), st.Replicas,
-		node.DataVersion())
+	lg.Info("cluster member up",
+		"node", o.nodeID, "partitions_held", len(st.PartitionsHeld),
+		"partitions_total", st.PartitionsTotal, "rows", st.RowsHeld,
+		"members", len(st.Members), "replicas", st.Replicas,
+		"data_version", node.DataVersion())
 	if o.dataDir != "" && len(o.peers) > 1 {
 		// Log-tail catch-up: close the gap this member missed while it
 		// was down (best effort — a cold cluster has no tail to fetch).
 		if fetched, err := node.CatchUp(); err != nil {
-			log.Printf("log-tail catch-up incomplete: %v", err)
+			lg.Warn("log-tail catch-up incomplete", "err", err)
 		} else if fetched > 0 {
-			log.Printf("caught up %d missed ingest batches from peers", fetched)
+			lg.Info("caught up missed ingest batches", "batches", fetched)
 		}
 	}
 	if o.warmFrom != "" {
 		shipped, err := node.WarmFrom(o.warmFrom)
 		if err != nil {
-			log.Printf("warm-up from %s failed (serving cold): %v", o.warmFrom, err)
+			lg.Warn("warm-up failed, serving cold", "donor", o.warmFrom, "err", err)
 		} else {
-			log.Printf("warmed up from %s: %d snapshot bytes", o.warmFrom, shipped)
+			lg.Info("warmed up", "donor", o.warmFrom, "snapshot_bytes", shipped)
 		}
 	}
+	if o.pprof {
+		lg.Warn("pprof endpoints mounted under /debug/pprof/ — do not expose publicly")
+	}
 
-	log.Printf("cluster member %s serving on %s", o.nodeID, o.addr)
-	context.AfterFunc(ctx, func() { log.Printf("shutting down (draining up to %v)", o.drain) })
+	lg.Info("serving", "node", o.nodeID, "addr", o.addr)
+	context.AfterFunc(ctx, func() { lg.Info("shutting down", "drain", o.drain) })
 	return serve.RunHTTP(ctx, o.addr, node.Handler(), o.drain, node.Close)
 }
 

@@ -1,0 +1,210 @@
+// Seatop is the cluster operator dashboard: it polls a node's
+// GET /v1/debug/cluster aggregator and renders a refreshing terminal
+// view of every member — reachability, partitions and replication lag,
+// cache hit rate, runtime telemetry, SLO burn — plus the aggregator's
+// cross-check findings.
+//
+// Modes:
+//
+//	seatop -url http://host:8080            watch a running cluster
+//	seatop -url http://host:8080 -once      one shot; exit 0 iff healthy
+//	seatop -local 3 -once                   boot an in-process 3-node
+//	                                        cluster and report on it
+//	                                        (self-contained CI smoke)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8080", "base URL of any cluster node")
+		interval = flag.Duration("interval", 2*time.Second, "refresh period in watch mode")
+		once     = flag.Bool("once", false, "render one report and exit (0 healthy, 1 findings, 2 fetch error)")
+		local    = flag.Int("local", 0, "boot an in-process local cluster with N nodes and report on it")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-poll HTTP timeout")
+	)
+	flag.Parse()
+
+	if *local > 0 {
+		lc, err := startLocal(*local)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "seatop: local cluster:", err)
+			os.Exit(2)
+		}
+		defer lc.Close()
+		*url = lc.URL(lc.IDs()[0])
+	}
+
+	hc := &http.Client{Timeout: *timeout}
+	for {
+		rep, err := fetch(hc, *url)
+		if err != nil {
+			if *once {
+				fmt.Fprintln(os.Stderr, "seatop:", err)
+				os.Exit(2)
+			}
+			fmt.Printf("\033[H\033[2Jseatop: %v (retrying in %v)\n", err, *interval)
+			time.Sleep(*interval)
+			continue
+		}
+		if *once {
+			fmt.Print(render(rep, *url))
+			if !rep.Healthy {
+				os.Exit(1)
+			}
+			return
+		}
+		fmt.Print("\033[H\033[2J" + render(rep, *url))
+		time.Sleep(*interval)
+	}
+}
+
+// startLocal boots a small in-process cluster with live ingest so the
+// dashboard has something to show.
+func startLocal(n int) (*dist.LocalCluster, error) {
+	rows := workload.StandardRows(5_000, 1)
+	cfg := core.DefaultConfig(2)
+	cfg.TrainingQueries = 64
+	return dist.StartLocal(n, dist.Config{Agent: cfg, Replicas: 2}, rows)
+}
+
+func fetch(hc *http.Client, url string) (dist.ClusterReport, error) {
+	var rep dist.ClusterReport
+	resp, err := hc.Get(url + "/v1/debug/cluster")
+	if err != nil {
+		return rep, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return rep, fmt.Errorf("GET %s/v1/debug/cluster: HTTP %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return rep, fmt.Errorf("decode cluster report: %w", err)
+	}
+	return rep, nil
+}
+
+func render(rep dist.ClusterReport, url string) string {
+	var b strings.Builder
+	health := "HEALTHY"
+	if !rep.Healthy {
+		health = "UNHEALTHY"
+	}
+	fmt.Fprintf(&b, "seatop — %s  coordinator=%s  %s  (%d nodes, %d findings, %dms)\n\n",
+		url, rep.Coordinator, health, len(rep.Nodes), len(rep.Findings), rep.TookMS)
+
+	fmt.Fprintf(&b, "%-6s %-9s %8s %6s %9s %7s %6s %8s %7s %9s %s\n",
+		"NODE", "STATE", "UPTIME", "PARTS", "ROWS", "VER", "CACHE", "GOROUT", "HEAP", "GCP99", "SLO")
+	for _, nr := range rep.Nodes {
+		if nr.Status == nil {
+			fmt.Fprintf(&b, "%-6s %-9s %s\n", nr.ID, "DOWN", nr.Error)
+			continue
+		}
+		st := nr.Status
+		fmt.Fprintf(&b, "%-6s %-9s %8s %6d %9d %7d %6s %8d %7s %9s %s\n",
+			nr.ID, "up",
+			fmtDur(time.Duration(st.UptimeMS)*time.Millisecond),
+			len(st.Partitions), st.RowsHeld, st.DataVersion,
+			fmtPct(st.Cache.HitRate),
+			st.Runtime.Goroutines,
+			fmtBytes(st.Runtime.HeapAlloc),
+			fmtDur(time.Duration(st.Runtime.GCPauseP99)),
+			sloSummary(st))
+	}
+
+	// Per-partition replication lag, shown only when something lags.
+	lags := map[string]uint64{}
+	for _, f := range rep.Findings {
+		if f.Kind == "replication_lag" {
+			lags[fmt.Sprintf("%s/part %d", f.Node, f.Part)] = f.Lag
+		}
+	}
+	if len(lags) > 0 {
+		keys := make([]string, 0, len(lags))
+		for k := range lags {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("\nreplication lag:\n")
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %-18s %d batches behind\n", k, lags[k])
+		}
+	}
+
+	if len(rep.Findings) > 0 {
+		b.WriteString("\nfindings:\n")
+		for _, f := range rep.Findings {
+			fmt.Fprintf(&b, "  [%-8s] %-16s %s\n", f.Severity, f.Kind, f.Detail)
+		}
+	} else {
+		b.WriteString("\nno findings — all checks pass\n")
+	}
+	return b.String()
+}
+
+// sloSummary compresses a node's per-class SLO states to the worst one.
+func sloSummary(st *dist.NodeStatus) string {
+	if len(st.SLO) == 0 {
+		return "-"
+	}
+	worst, classes := "ok", 0
+	for _, s := range st.SLO {
+		classes++
+		if s.State == "critical" || (s.State == "warn" && worst == "ok") {
+			worst = s.State
+		}
+	}
+	return fmt.Sprintf("%s(%d)", worst, classes)
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d <= 0:
+		return "0"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%dus", d.Microseconds())
+	case d < time.Second:
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	case d < time.Minute:
+		return fmt.Sprintf("%.0fs", d.Seconds())
+	case d < time.Hour:
+		return fmt.Sprintf("%dm%02ds", int(d.Minutes()), int(d.Seconds())%60)
+	default:
+		return fmt.Sprintf("%dh%02dm", int(d.Hours()), int(d.Minutes())%60)
+	}
+}
+
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fG", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fM", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fK", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+func fmtPct(f float64) string {
+	return fmt.Sprintf("%.0f%%", f*100)
+}

@@ -39,6 +39,11 @@
 //	POST /v1/partial   per-partition aggregate state for scatter-gather
 //	GET  /v1/snapshot  agent snapshots for model shipping
 //	GET  /v1/cluster   membership, partitions held, serving health
+//	GET  /v1/status    versioned introspection snapshot: ring view,
+//	                   per-partition replication lag, drift, cache,
+//	                   scheduler, audit and SLO state
+//	GET  /v1/debug/cluster  fans out /v1/status to every member and
+//	                   cross-checks the snapshots into health findings
 //	GET  /v1/metrics   Prometheus text exposition
 //	GET  /healthz      liveness (failover probing)
 //
@@ -57,6 +62,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/serve"
 	"repro/internal/storage"
@@ -178,6 +184,27 @@ type Config struct {
 	// audit histograms. 0 disables shadow auditing (exact-fallback
 	// audits are always on — they are free).
 	AuditSample float64
+	// Logger, when set, receives the node's structured JSON log lines
+	// (replication healing, catch-up, forward failovers, slow queries).
+	// Nil keeps the node silent — every logging site is nil-safe and
+	// costs one pointer compare.
+	Logger *obs.Logger
+	// SLO, when set, runs a per-tenant-class burn-rate engine over the
+	// node's latency/admission histograms; states are exported on
+	// /v1/metrics and surfaced in /v1/status. Nil disables.
+	SLO *metrics.SLOConfig
+	// RuntimeSample, when positive, runs the background runtime
+	// telemetry sampler at this period. Zero still registers the
+	// runtime gauges but samples only on demand (status requests).
+	RuntimeSample time.Duration
+	// LagThreshold is the replication shortfall (in ingest sequences)
+	// at which the cluster aggregator escalates a lagging replica from
+	// warn to critical (default 1: any lag is critical).
+	LagThreshold uint64
+	// Pprof mounts net/http/pprof profiling handlers on the node's mux
+	// under /debug/pprof/ (off by default: profiling endpoints on a
+	// data port are an operator opt-in).
+	Pprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -216,6 +243,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.GatherFanout <= 0 {
 		c.GatherFanout = DefaultGatherFanout
+	}
+	if c.LagThreshold == 0 {
+		c.LagThreshold = 1
 	}
 	return c
 }

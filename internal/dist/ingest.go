@@ -230,15 +230,21 @@ func (n *Node) primaryIngest(p int, owners []string, rows []storage.Row, sp *tra
 		}
 		if err := n.replicateTo(url, p, seq, rows); err != nil {
 			n.health.markDownOn(url, err)
+			n.logger.Warn("replicate failed", "part", p, "seq", seq, "peer", o, "err", err)
 			continue
 		}
 		acks++
 	}
 	rsp.End()
 	rsp.SetAttrInt("acks", int64(acks))
+	acked := acks >= n.writeQuorum(len(owners))
+	if !acked {
+		n.logger.Warn("ingest batch under quorum",
+			"part", p, "seq", seq, "acks", acks, "quorum", n.writeQuorum(len(owners)))
+	}
 	return PartIngestResult{
 		Part: p, Rows: len(rows), Seq: seq,
-		Acked: acks >= n.writeQuorum(len(owners)),
+		Acked: acked,
 	}
 }
 
@@ -290,6 +296,7 @@ func (n *Node) forwardIngest(owners []string, p int, rows []storage.Row, sp *tra
 	resp, err := n.hc.Do(hreq)
 	if err != nil {
 		n.health.markDownOn(url, err)
+		n.logger.Warn("ingest forward failed", "part", p, "primary", owners[0], "err", err)
 		return fail(fmt.Sprintf("dist: primary %s of partition %d: %v", owners[0], p, err))
 	}
 	defer resp.Body.Close()
@@ -329,6 +336,8 @@ func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		// already has every earlier batch — including this one — in its
 		// WAL), then re-check. Refusing to buffer out-of-order batches
 		// keeps every holder's partition a prefix of one log.
+		n.logger.Warn("replication gap, healing inline",
+			"part", req.Part, "applied", last, "incoming", req.Seq)
 		mu.Unlock()
 		_, _ = n.catchUpPartition(req.Part)
 		mu.Lock()
@@ -407,6 +416,10 @@ func (n *Node) CatchUp() (int, error) {
 		if err != nil {
 			lastErr = err
 		}
+	}
+	if fetched > 0 || lastErr != nil {
+		n.logger.Info("catch-up finished",
+			"batches", fetched, "partitions", len(owned), "err", lastErr)
 	}
 	return fetched, lastErr
 }

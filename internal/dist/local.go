@@ -195,6 +195,30 @@ func (lc *LocalCluster) Revive(id, warmFrom string) (int64, error) {
 	return lc.Node(id).WarmFrom(donor)
 }
 
+// ReviveCold restarts a killed member like Revive but WITHOUT the
+// log-tail catch-up or model warm-up: the node replays only its own
+// surviving WAL segments, so batches ingested while it was down stay
+// missing until an explicit CatchUp. The introspection experiments use
+// this to observe nonzero replication lag in the status plane before
+// demonstrating that catch-up drains it.
+func (lc *LocalCluster) ReviveCold(id string) error {
+	lc.mu.Lock()
+	addr, ok := lc.addrs[id]
+	_, alive := lc.servers[id]
+	lc.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("dist: unknown member %q", id)
+	}
+	if alive {
+		return fmt.Errorf("dist: member %q is still running", id)
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dist: revive %s: %w", id, err)
+	}
+	return lc.startNode(id, l)
+}
+
 // Close stops every member and drains their schedulers.
 func (lc *LocalCluster) Close() {
 	lc.mu.Lock()

@@ -15,6 +15,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ingest"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/serve"
 	"repro/internal/storage"
@@ -31,15 +33,27 @@ const forwardHeader = "X-Sea-Forwarded"
 // scatter-gather across the partition holders), and the node-to-node
 // HTTP API. Construct with NewNode, Load the data, then serve Handler().
 type Node struct {
-	cfg    Config
-	id     string
-	ring   *Ring
-	health *health
-	hc     *http.Client
-	mux    *http.ServeMux
+	cfg     Config
+	id      string
+	ring    *Ring
+	health  *health
+	hc      *http.Client
+	mux     *http.ServeMux
+	started time.Time
 
 	pool  *serve.Pool
 	sched *serve.Scheduler
+
+	// logger is the node's structured logger (cfg.Logger bound to this
+	// node's id); nil when unwired — every call site is nil-safe.
+	logger *obs.Logger
+	// slo evaluates per-tenant-class burn rates (nil when disabled).
+	slo *metrics.SLOEngine
+	// sampler caches runtime telemetry; samplerBG records whether its
+	// background loop runs (otherwise status requests sample on
+	// demand).
+	sampler   *obs.RuntimeSampler
+	samplerBG bool
 
 	// tracer owns the node's span trees: the background sampler, the
 	// bounded ring behind GET /v1/debug/trace/<id>, and the slow-query
@@ -110,6 +124,8 @@ func NewNode(cfg Config) (*Node, error) {
 		ring:    NewRing(cfg.VNodes, ids...),
 		health:  newHealth(cfg.Cooldown, cfg.Timeout),
 		hc:      newHTTPClient(cfg.Timeout),
+		started: time.Now(),
+		logger:  cfg.Logger.With("node", cfg.ID),
 		parts:   make(map[int][]storage.Row),
 		cols:    make(map[int]*storage.ColStore),
 		version: 1, // bulk-loaded base data is version 1; ingest advances it
@@ -177,6 +193,18 @@ func NewNode(cfg Config) (*Node, error) {
 			}
 			return float64(total)
 		})
+	pool.SetLogger(n.logger)
+	if cfg.SLO != nil {
+		n.slo = metrics.NewSLOEngine(rec, *cfg.SLO)
+		n.slo.Start()
+		rec.SetSLO(n.slo)
+	}
+	n.sampler = obs.NewRuntimeSampler(cfg.RuntimeSample)
+	n.sampler.Register(rec)
+	if cfg.RuntimeSample > 0 {
+		n.sampler.Start()
+		n.samplerBG = true
+	}
 	n.sched = serve.NewScheduler(pool, serve.SchedulerConfig{
 		Workers:        cfg.Workers,
 		QueueDepth:     cfg.QueueDepth,
@@ -187,12 +215,15 @@ func NewNode(cfg Config) (*Node, error) {
 			m := ingest.NewMaintainer(ag, ingest.MaintainerConfig{
 				Interval: cfg.RequantCheck,
 				OnRebuild: func(err error) {
-					if err == nil {
-						rec.Rebuild()
-						// The swapped-in models predict differently at
-						// the same data version: drop cached answers.
-						pool.FlushCache()
+					if err != nil {
+						n.logger.Warn("model rebuild failed", "err", err)
+						return
 					}
+					rec.Rebuild()
+					// The swapped-in models predict differently at
+					// the same data version: drop cached answers.
+					pool.FlushCache()
+					n.logger.Debug("model rebuilt, cache flushed")
 				},
 			})
 			m.Start()
@@ -208,8 +239,13 @@ func NewNode(cfg Config) (*Node, error) {
 	n.mux.HandleFunc("POST /v1/walfetch", n.handleWALFetch)
 	n.mux.HandleFunc("GET /v1/snapshot", n.handleSnapshot)
 	n.mux.HandleFunc("GET /v1/cluster", n.handleCluster)
+	n.mux.HandleFunc("GET /v1/status", n.handleStatus)
+	n.mux.HandleFunc("GET /v1/debug/cluster", n.handleDebugCluster)
 	n.mux.HandleFunc("GET /v1/metrics", n.handleMetrics)
 	serve.RegisterDebug(n.mux, func() *trace.Tracer { return n.tracer })
+	if cfg.Pprof {
+		serve.RegisterPprof(n.mux)
+	}
 	n.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok\n"))
@@ -232,12 +268,15 @@ func (n *Node) Tracer() *trace.Tracer { return n.tracer }
 // Handler returns the node's HTTP API.
 func (n *Node) Handler() http.Handler { return n.mux }
 
-// Close drains the node's scheduler, stops the drift maintainers and
-// closes the partition WALs. In-flight queries complete.
+// Close drains the node's scheduler, stops the drift maintainers, SLO
+// engine and runtime sampler, and closes the partition WALs. In-flight
+// queries complete.
 func (n *Node) Close() {
 	for _, m := range n.maints {
 		m.Stop()
 	}
+	n.slo.Stop()
+	n.sampler.Stop()
 	n.sched.Close()
 	n.pool.DrainAudits()
 	n.mu.Lock()
@@ -310,6 +349,10 @@ func (n *Node) Load(rows []storage.Row) error {
 			return fmt.Errorf("dist: node %s: replay partition %d: %w", n.id, p, replayErr)
 		}
 	}
+	n.mu.RLock()
+	held, rowsHeld := len(n.parts), n.rowsHeld
+	n.mu.RUnlock()
+	n.logger.Info("loaded", "partitions", held, "rows", rowsHeld, "wal", n.cfg.DataDir != "")
 	return nil
 }
 
@@ -511,6 +554,7 @@ func (n *Node) forward(w http.ResponseWriter, owners []string, req serve.QueryRe
 		resp, err := n.hc.Do(hreq)
 		if err != nil {
 			n.health.markDownOn(url, err)
+			n.logger.Warn("query forward failed, trying next owner", "peer", o, "err", err)
 			continue
 		}
 		if resp.StatusCode >= 500 {

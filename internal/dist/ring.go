@@ -92,6 +92,30 @@ func (r *Ring) Nodes() []string {
 // Len returns the number of member nodes.
 func (r *Ring) Len() int { return len(r.nodes) }
 
+// VNodes returns the per-member virtual-node count.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Digest returns a stable fingerprint of the ring's layout. Vnode
+// placement is a pure function of the member set and vnode count, so
+// hashing those is enough: two nodes agree on key placement iff their
+// digests match, which is what the cluster introspection plane
+// cross-checks to flag divergent ring views.
+func (r *Ring) Digest() string {
+	h := uint64(14695981039346656037)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	mix(strconv.Itoa(r.vnodes))
+	for _, n := range r.nodes {
+		mix("|")
+		mix(n)
+	}
+	return strconv.FormatUint(h, 16)
+}
+
 // Owners returns the n distinct nodes responsible for key, in ring
 // order: the primary first, then the failover replicas. n is clamped to
 // the member count. Every member sharing one ring computes the same

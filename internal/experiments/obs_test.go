@@ -1,0 +1,26 @@
+package experiments
+
+import "testing"
+
+func TestE19Introspection(t *testing.T) {
+	row, err := E19Introspection(4_000, 120, 4, 100)
+	if err != nil {
+		t.Fatalf("E19 failed: %v (row %+v)", err, row)
+	}
+	if row.DownCritical == 0 {
+		t.Error("E19: no critical finding while the victim was down")
+	}
+	if row.LagParts == 0 || row.LagPeak == 0 {
+		t.Errorf("E19: cold revive surfaced no replication lag: parts=%d peak=%d",
+			row.LagParts, row.LagPeak)
+	}
+	if !row.CaughtUp {
+		t.Error("E19: catch-up did not drain the lag")
+	}
+	if row.BaselineQPS <= 0 || row.ObsQPS <= 0 {
+		t.Errorf("E19: served nothing: baseline=%.0f obs=%.0f", row.BaselineQPS, row.ObsQPS)
+	}
+	if row.LogLines == 0 {
+		t.Error("E19: instrumented phase emitted no log lines")
+	}
+}

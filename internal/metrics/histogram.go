@@ -179,6 +179,32 @@ func (s HistSnapshot) Quantile(p float64) int64 {
 	return s.Max
 }
 
+// CountAbove estimates how many observations exceeded v, interpolating
+// linearly inside the bucket v lands in (consistent with Quantile).
+// This is the SLO engine's bad-event counter: observations above the
+// latency objective are budget burn.
+func (s HistSnapshot) CountAbove(v int64) int64 {
+	if s.Count == 0 || v < 0 {
+		return s.Count
+	}
+	if s.Max > 0 && v >= s.Max {
+		return 0
+	}
+	idx := bucketOf(v)
+	var above int64
+	for i := idx + 1; i < len(s.Counts); i++ {
+		above += s.Counts[i]
+	}
+	if c := s.Counts[idx]; c > 0 {
+		lo, hi := bucketBounds(idx)
+		frac := float64(hi-1-v) / float64(hi-lo)
+		if frac > 0 {
+			above += int64(frac * float64(c))
+		}
+	}
+	return above
+}
+
 // Mean returns the arithmetic mean (0 when empty).
 func (s HistSnapshot) Mean() float64 {
 	if s.Count == 0 {

@@ -97,7 +97,7 @@ func (r *ServeRecorder) WriteRecorder(w io.Writer) error {
 			continue
 		}
 		if err := writeHist(w, "sea_path_latency_seconds",
-			fmt.Sprintf("path=%q", p.String()), hs, latMinOctave, latMaxOctave, 1e-9); err != nil {
+			Label("path", p.String()), hs, latMinOctave, latMaxOctave, 1e-9); err != nil {
 			return err
 		}
 	}
@@ -121,7 +121,7 @@ func (r *ServeRecorder) WriteRecorder(w io.Writer) error {
 			return err
 		}
 		for i, class := range classes {
-			if _, err := fmt.Fprintf(w, "sea_tenant_queries_total{class=%q} %d\n", class, stats[i].Queries.Load()); err != nil {
+			if _, err := fmt.Fprintf(w, "sea_tenant_queries_total{%s} %d\n", Label("class", class), stats[i].Queries.Load()); err != nil {
 				return err
 			}
 		}
@@ -131,7 +131,7 @@ func (r *ServeRecorder) WriteRecorder(w io.Writer) error {
 			return err
 		}
 		for i, class := range classes {
-			if _, err := fmt.Fprintf(w, "sea_tenant_rejected_total{class=%q} %d\n", class, stats[i].Rejected.Load()); err != nil {
+			if _, err := fmt.Fprintf(w, "sea_tenant_rejected_total{%s} %d\n", Label("class", class), stats[i].Rejected.Load()); err != nil {
 				return err
 			}
 		}
@@ -141,7 +141,7 @@ func (r *ServeRecorder) WriteRecorder(w io.Writer) error {
 			return err
 		}
 		for i, class := range classes {
-			if _, err := fmt.Fprintf(w, "sea_tenant_inflight{class=%q} %d\n", class, stats[i].Inflight.Load()); err != nil {
+			if _, err := fmt.Fprintf(w, "sea_tenant_inflight{%s} %d\n", Label("class", class), stats[i].Inflight.Load()); err != nil {
 				return err
 			}
 		}
@@ -156,7 +156,7 @@ func (r *ServeRecorder) WriteRecorder(w io.Writer) error {
 				continue
 			}
 			if err := writeHist(w, "sea_tenant_latency_seconds",
-				fmt.Sprintf("class=%q", class), hs, latMinOctave, latMaxOctave, 1e-9); err != nil {
+				Label("class", class), hs, latMinOctave, latMaxOctave, 1e-9); err != nil {
 				return err
 			}
 		}
@@ -177,7 +177,8 @@ func (r *ServeRecorder) WriteRecorder(w io.Writer) error {
 		if hs.Count == 0 {
 			return
 		}
-		labels := fmt.Sprintf("agent=%q,agg=%q,source=%q", fmt.Sprint(k.Agent), k.Agg, k.Source)
+		labels := Label("agent", fmt.Sprint(k.Agent)) + "," +
+			Label("agg", k.Agg) + "," + Label("source", k.Source)
 		histErr = writeHist(w, "sea_audit_error", labels, hs, errMinOctave, errMaxOctave, 1/ErrScale)
 	})
 	if histErr != nil {
@@ -186,6 +187,12 @@ func (r *ServeRecorder) WriteRecorder(w io.Writer) error {
 	if err := writeSeries(w, "sea_audit_samples_total",
 		"Model answers audited against an exact evaluation.", "counter",
 		float64(r.audit.Samples())); err != nil {
+		return err
+	}
+
+	// SLO burn rates, when an engine is attached (nil-safe no-op
+	// otherwise).
+	if err := r.slo.Load().WritePrometheus(w); err != nil {
 		return err
 	}
 

@@ -1,0 +1,53 @@
+package metrics
+
+import "strings"
+
+// LabelValue sanitizes a string for use as a Prometheus label value in
+// the text exposition format. The format permits exactly three escape
+// sequences inside a quoted label value — `\\`, `\"` and `\n` — so the
+// previous `%q` formatting was doubly wrong: Go emits `\t`, `\xNN` and
+// `\uNNNN` escapes that Prometheus parsers reject, and a tenant id
+// containing a quote could break out of the value position entirely and
+// inject fabricated series ("label injection"). Control characters are
+// replaced with '_' (only newline has an escape; the rest would corrupt
+// the line-oriented format), and an empty value becomes "empty" so the
+// series stays identifiable.
+func LabelValue(v string) string {
+	if v == "" {
+		return "empty"
+	}
+	// Fast path: no byte needs escaping (the overwhelmingly common
+	// case for tenant classes and path names).
+	clean := true
+	for i := 0; i < len(v); i++ {
+		if c := v[i]; c == '\\' || c == '"' || c < 0x20 {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; {
+		case c == '\\':
+			b.WriteString(`\\`)
+		case c == '"':
+			b.WriteString(`\"`)
+		case c == '\n':
+			b.WriteString(`\n`)
+		case c < 0x20:
+			b.WriteByte('_')
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// Label renders one `name="value"` pair with the value sanitized.
+func Label(name, value string) string {
+	return name + `="` + LabelValue(value) + `"`
+}

@@ -190,6 +190,8 @@ type ServeRecorder struct {
 
 	audit AuditRecorder
 
+	slo atomic.Pointer[SLOEngine]
+
 	gaugeMu sync.RWMutex
 	gauges  []GaugeDef
 }
@@ -328,6 +330,13 @@ func (r *ServeRecorder) TenantObserve(class string, lat time.Duration) {
 
 // Audit returns the accuracy-audit recorder.
 func (r *ServeRecorder) Audit() *AuditRecorder { return &r.audit }
+
+// SetSLO attaches an SLO engine whose burn-rate series WriteRecorder
+// exports alongside the recorder's own metrics.
+func (r *ServeRecorder) SetSLO(e *SLOEngine) { r.slo.Store(e) }
+
+// SLO returns the attached engine (nil when none is wired).
+func (r *ServeRecorder) SLO() *SLOEngine { return r.slo.Load() }
 
 // PathHist returns the latency histogram for one answer path (the
 // Prometheus writer reads bucket data straight from it).

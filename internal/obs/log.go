@@ -1,0 +1,333 @@
+// Package obs is the operator-facing observability layer: a structured
+// JSON-line logger with trace correlation and token-bucket rate
+// limiting, and a background runtime-telemetry sampler. Everything is
+// nil-receiver-safe so subsystems thread a *Logger unconditionally —
+// an unwired (nil) logger costs one pointer compare on the hot path
+// and allocates nothing.
+package obs
+
+import (
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+	// levelOff disables everything (used for "off"/"none").
+	levelOff
+)
+
+// String returns the level's wire name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return "off"
+}
+
+// ParseLevel maps a flag string to a Level ("debug", "info", "warn",
+// "error", "off"). Unknown strings parse as info.
+func ParseLevel(s string) Level {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug
+	case "warn", "warning":
+		return LevelWarn
+	case "error":
+		return LevelError
+	case "off", "none":
+		return levelOff
+	case "info", "":
+		return LevelInfo
+	}
+	return LevelInfo
+}
+
+// Logger emits one JSON object per line: {"ts":...,"level":...,
+// "msg":..., key:value...}. Writes are serialized on an internal
+// mutex; level checks and the rate limiter are lock-free so a
+// suppressed line never contends. A nil *Logger is valid and silent.
+type Logger struct {
+	level atomic.Int32
+
+	mu sync.Mutex
+	w  io.Writer
+
+	// base is a pre-rendered `,"k":"v",...` fragment appended to every
+	// line (fields bound via With).
+	base string
+
+	lim     *atomic.Pointer[tokenBucket]
+	dropped *atomic.Int64
+}
+
+// New builds a logger writing to w at the given level. A nil w means
+// os.Stderr.
+func New(w io.Writer, level Level) *Logger {
+	if w == nil {
+		w = os.Stderr
+	}
+	l := &Logger{w: w, lim: new(atomic.Pointer[tokenBucket]), dropped: new(atomic.Int64)}
+	l.level.Store(int32(level))
+	return l
+}
+
+// SetLevel changes the minimum emitted level.
+func (l *Logger) SetLevel(level Level) {
+	if l == nil {
+		return
+	}
+	l.level.Store(int32(level))
+}
+
+// SetRateLimit installs a token-bucket limiter: at most burst lines
+// instantly and perSec lines per second sustained. Suppressed lines
+// are counted and reported as a "dropped" field on the next line that
+// gets through. Zero/negative perSec removes the limit.
+func (l *Logger) SetRateLimit(perSec float64, burst int) {
+	if l == nil {
+		return
+	}
+	if perSec <= 0 {
+		l.lim.Store(nil)
+		return
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	l.lim.Store(newTokenBucket(perSec, burst))
+}
+
+// Dropped returns how many lines the rate limiter has suppressed.
+func (l *Logger) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped.Load()
+}
+
+// Enabled reports whether level would be emitted: one atomic load, the
+// hot path's entire cost when logging is off or the receiver nil.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && int32(level) >= l.level.Load()
+}
+
+// Allow reports whether a line at level would pass both the level
+// check and the rate limiter right now, WITHOUT consuming a token —
+// the matching Debug/Info/Warn/Error call consumes it. Hot paths guard
+// their log calls with Allow so a rate-limited storm skips argument
+// evaluation and boxing entirely: the suppressed cost is one atomic
+// load of the limiter clock.
+func (l *Logger) Allow(level Level) bool {
+	if !l.Enabled(level) {
+		return false
+	}
+	lim := l.lim.Load()
+	if lim == nil {
+		return true
+	}
+	if !lim.peek(time.Now()) {
+		l.dropped.Add(1)
+		return false
+	}
+	return true
+}
+
+// With returns a derived logger that appends the given key/value pairs
+// to every line. The derived logger shares the writer, level, limiter
+// and dropped counter with its parent.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil || len(kv) == 0 {
+		return l
+	}
+	buf := make([]byte, 0, 64)
+	buf = appendKVs(buf, kv)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d := &Logger{w: l.w, base: l.base + string(buf), lim: l.lim, dropped: l.dropped}
+	d.level.Store(l.level.Load())
+	return d
+}
+
+// Debug/Info/Warn/Error emit one line at their level. kv is a flat
+// list of alternating keys (string) and values; pass "trace_id", tid
+// to correlate a line with a query trace.
+func (l *Logger) Debug(msg string, kv ...any) { l.emit(LevelDebug, msg, kv) }
+func (l *Logger) Info(msg string, kv ...any)  { l.emit(LevelInfo, msg, kv) }
+func (l *Logger) Warn(msg string, kv ...any)  { l.emit(LevelWarn, msg, kv) }
+func (l *Logger) Error(msg string, kv ...any) { l.emit(LevelError, msg, kv) }
+
+func (l *Logger) emit(level Level, msg string, kv []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	if lim := l.lim.Load(); lim != nil && !lim.take(time.Now()) {
+		l.dropped.Add(1)
+		return
+	}
+	buf := make([]byte, 0, 160)
+	buf = append(buf, `{"ts":"`...)
+	buf = time.Now().UTC().AppendFormat(buf, time.RFC3339Nano)
+	buf = append(buf, `","level":"`...)
+	buf = append(buf, level.String()...)
+	buf = append(buf, `","msg":`...)
+	buf = appendJSONString(buf, msg)
+	buf = append(buf, l.base...)
+	buf = appendKVs(buf, kv)
+	if d := l.dropped.Swap(0); d > 0 {
+		buf = append(buf, `,"dropped":`...)
+		buf = strconv.AppendInt(buf, d, 10)
+	}
+	buf = append(buf, '}', '\n')
+	l.mu.Lock()
+	_, _ = l.w.Write(buf)
+	l.mu.Unlock()
+}
+
+// appendKVs renders `,"key":value` fragments for a flat key/value
+// list. A trailing odd key gets a null value; non-string keys are
+// stringified.
+func appendKVs(buf []byte, kv []any) []byte {
+	for i := 0; i < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			key = stringify(kv[i])
+		}
+		buf = append(buf, ',')
+		buf = appendJSONString(buf, key)
+		buf = append(buf, ':')
+		if i+1 < len(kv) {
+			buf = appendJSONValue(buf, kv[i+1])
+		} else {
+			buf = append(buf, "null"...)
+		}
+	}
+	return buf
+}
+
+func appendJSONValue(buf []byte, v any) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(buf, "null"...)
+	case string:
+		return appendJSONString(buf, x)
+	case bool:
+		return strconv.AppendBool(buf, x)
+	case int:
+		return strconv.AppendInt(buf, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(buf, x, 10)
+	case uint64:
+		return strconv.AppendUint(buf, x, 10)
+	case float64:
+		return strconv.AppendFloat(buf, x, 'g', -1, 64)
+	case time.Duration:
+		return appendJSONString(buf, x.String())
+	case error:
+		return appendJSONString(buf, x.Error())
+	default:
+		return appendJSONString(buf, stringify(v))
+	}
+}
+
+func stringify(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case interface{ String() string }:
+		return x.String()
+	case int:
+		return strconv.Itoa(x)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	default:
+		return "?"
+	}
+}
+
+// appendJSONString appends a quoted, escaped JSON string. Multi-byte
+// UTF-8 passes through untouched; control bytes become \u00XX.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '"':
+			buf = append(buf, '\\', '"')
+		case c == '\\':
+			buf = append(buf, '\\', '\\')
+		case c == '\n':
+			buf = append(buf, '\\', 'n')
+		case c == '\r':
+			buf = append(buf, '\\', 'r')
+		case c == '\t':
+			buf = append(buf, '\\', 't')
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			buf = append(buf, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		default:
+			buf = append(buf, c)
+		}
+	}
+	return append(buf, '"')
+}
+
+// tokenBucket is a lock-free GCRA rate limiter: one token per interval
+// sustained, burst tokens instantly. The deny path — the one a log
+// storm hits millions of times — is a single atomic load with no
+// write, so suppressed lines never contend on a shared cache line.
+type tokenBucket struct {
+	interval int64 // nanoseconds earned per token
+	burst    int64 // bucket capacity in tokens
+
+	// tat is the theoretical arrival time (GCRA): the virtual clock,
+	// in unix nanos, at which the bucket would be exactly full again.
+	tat atomic.Int64
+}
+
+func newTokenBucket(perSec float64, burst int) *tokenBucket {
+	iv := int64(float64(time.Second) / perSec)
+	if iv < 1 {
+		iv = 1
+	}
+	return &tokenBucket{interval: iv, burst: int64(burst)}
+}
+
+func (b *tokenBucket) take(now time.Time) bool {
+	n := now.UnixNano()
+	for {
+		tat := b.tat.Load()
+		if tat-n > (b.burst-1)*b.interval {
+			return false // exhausted: pure read, no CAS
+		}
+		next := tat
+		if n > next {
+			next = n
+		}
+		if b.tat.CompareAndSwap(tat, next+b.interval) {
+			return true
+		}
+	}
+}
+
+// peek reports whether take would succeed, without consuming.
+func (b *tokenBucket) peek(now time.Time) bool {
+	return b.tat.Load()-now.UnixNano() <= (b.burst-1)*b.interval
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// RuntimeSnap is one point-in-time view of process runtime health.
+type RuntimeSnap struct {
+	Goroutines int    `json:"goroutines"`
+	HeapAlloc  uint64 `json:"heap_alloc_bytes"`
+	HeapSys    uint64 `json:"heap_sys_bytes"`
+	GCCycles   uint32 `json:"gc_cycles"`
+	// GCPauseP50/P99/Max summarise the sampled stop-the-world pause
+	// distribution, in nanoseconds.
+	GCPauseP50 int64 `json:"gc_pause_p50_ns"`
+	GCPauseP99 int64 `json:"gc_pause_p99_ns"`
+	GCPauseMax int64 `json:"gc_pause_max_ns"`
+}
+
+// RuntimeSampler periodically reads runtime memory/GC statistics into
+// atomics and folds new GC pauses into a histogram, so scrapes and
+// status snapshots read cached values instead of stopping the world.
+// Nil-receiver-safe throughout.
+type RuntimeSampler struct {
+	interval time.Duration
+
+	goroutines atomic.Int64
+	heapAlloc  atomic.Uint64
+	heapSys    atomic.Uint64
+	gcCycles   atomic.Uint32
+
+	pauses metrics.Histogram
+
+	mu     sync.Mutex
+	lastGC uint32 // NumGC already folded into pauses
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewRuntimeSampler builds a sampler. interval <= 0 defaults to 10s.
+// Call Start to begin background sampling; Sample works standalone.
+func NewRuntimeSampler(interval time.Duration) *RuntimeSampler {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	s := &RuntimeSampler{interval: interval}
+	s.Sample()
+	return s
+}
+
+// Sample takes one reading now.
+func (s *RuntimeSampler) Sample() {
+	if s == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.goroutines.Store(int64(runtime.NumGoroutine()))
+	s.heapAlloc.Store(ms.HeapAlloc)
+	s.heapSys.Store(ms.HeapSys)
+	s.gcCycles.Store(ms.NumGC)
+
+	// Fold pauses from GC cycles we have not seen yet: PauseNs is a
+	// ring of the last 256 pause durations indexed by cycle number.
+	s.mu.Lock()
+	from := s.lastGC
+	if ms.NumGC > from+uint32(len(ms.PauseNs)) {
+		from = ms.NumGC - uint32(len(ms.PauseNs))
+	}
+	for c := from; c < ms.NumGC; c++ {
+		s.pauses.Record(int64(ms.PauseNs[c%uint32(len(ms.PauseNs))]))
+	}
+	s.lastGC = ms.NumGC
+	s.mu.Unlock()
+}
+
+// Start launches the background sampling loop.
+func (s *RuntimeSampler) Start() {
+	if s == nil || s.stop != nil {
+		return
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go func() {
+		defer close(s.done)
+		tick := time.NewTicker(s.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				s.Sample()
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop terminates the background loop (idempotent, nil-safe).
+func (s *RuntimeSampler) Stop() {
+	if s == nil || s.stop == nil {
+		return
+	}
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	<-s.done
+}
+
+// Snapshot returns the latest cached reading.
+func (s *RuntimeSampler) Snapshot() RuntimeSnap {
+	if s == nil {
+		return RuntimeSnap{}
+	}
+	hs := s.pauses.Snapshot()
+	return RuntimeSnap{
+		Goroutines: int(s.goroutines.Load()),
+		HeapAlloc:  s.heapAlloc.Load(),
+		HeapSys:    s.heapSys.Load(),
+		GCCycles:   s.gcCycles.Load(),
+		GCPauseP50: hs.Quantile(0.50),
+		GCPauseP99: hs.Quantile(0.99),
+		GCPauseMax: hs.Max,
+	}
+}
+
+// Register exports the sampler's readings as gauges on a serving
+// recorder's Prometheus endpoint.
+func (s *RuntimeSampler) Register(rec *metrics.ServeRecorder) {
+	if s == nil || rec == nil {
+		return
+	}
+	rec.RegisterGauge("sea_go_goroutines",
+		"Live goroutines (sampled).",
+		func() float64 { return float64(s.goroutines.Load()) })
+	rec.RegisterGauge("sea_go_heap_alloc_bytes",
+		"Heap bytes in use (sampled).",
+		func() float64 { return float64(s.heapAlloc.Load()) })
+	rec.RegisterGauge("sea_go_heap_sys_bytes",
+		"Heap bytes obtained from the OS (sampled).",
+		func() float64 { return float64(s.heapSys.Load()) })
+	rec.RegisterGauge("sea_go_gc_cycles_total",
+		"Completed GC cycles (sampled).",
+		func() float64 { return float64(s.gcCycles.Load()) })
+	rec.RegisterGauge("sea_go_gc_pause_p99_seconds",
+		"p99 GC stop-the-world pause (sampled).",
+		func() float64 { return float64(s.pauses.Snapshot().Quantile(0.99)) / 1e9 })
+}

@@ -191,6 +191,10 @@ func (s *Scheduler) TenantInflight(tenant string) int {
 // Pool returns the underlying agent pool.
 func (s *Scheduler) Pool() *Pool { return s.pool }
 
+// QueueDepth returns the number of jobs currently queued (admitted but
+// not yet picked up by a worker).
+func (s *Scheduler) QueueDepth() int { return len(s.jobs) }
+
 // Close drains the queue and stops the workers. In-flight queries
 // complete; subsequent Answer calls return ErrClosed.
 func (s *Scheduler) Close() {

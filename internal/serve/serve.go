@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/trace"
 )
@@ -135,6 +136,12 @@ type Pool struct {
 	// checks and one atomic load.
 	tracer *trace.Tracer
 
+	// log, when attached, receives trace-correlated structured lines
+	// for slow queries. Nil is silent; the hot path only consults it
+	// behind the slow-query threshold check, so normal-speed queries
+	// never touch it.
+	log *obs.Logger
+
 	// Shadow-audit sampler: one in auditEvery model-served answers is
 	// re-evaluated exactly in the background and its realised error
 	// recorded. auditSem bounds concurrent probes (overflow samples are
@@ -185,6 +192,10 @@ func (p *Pool) Recorder() *metrics.ServeRecorder { return p.rec }
 // callers may force traces (?trace=1), and queries over the tracer's
 // slow threshold land in its slow-query log. Attach at wiring time.
 func (p *Pool) EnableTracing(t *trace.Tracer) { p.tracer = t }
+
+// SetLogger attaches a structured logger for slow-query lines (nil
+// detaches). Attach at wiring time.
+func (p *Pool) SetLogger(l *obs.Logger) { p.log = l }
 
 // Tracer returns the attached tracer (nil when tracing is off).
 func (p *Pool) Tracer() *trace.Tracer { return p.tracer }
@@ -434,6 +445,13 @@ func (p *Pool) finishQuery(tr *trace.Trace, q query.Query, path metrics.Path, la
 	}
 	if p.tracer.Slow(lat) {
 		p.tracer.NoteSlow(tr.ID(), Key(q), path.String(), lat)
+		// Allow gates BEFORE the arguments are evaluated: a rate-limited
+		// slow-query storm costs one atomic load per query, not key
+		// formatting and boxing for a line that would be dropped anyway.
+		if p.log.Allow(obs.LevelWarn) {
+			p.log.Warn("slow query",
+				"trace_id", tr.ID(), "key", Key(q), "path", path.String(), "lat", lat)
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 
@@ -199,6 +200,21 @@ func RegisterDebug(mux *http.ServeMux, tracerFn func() *trace.Tracer) {
 		writeJSON(w, http.StatusOK, map[string]any{"slow": t.SlowLog()})
 	})
 }
+
+// RegisterPprof mounts the standard net/http/pprof profiling handlers
+// under /debug/pprof/ on mux. Off by default everywhere — profiling
+// endpoints on a data port are an explicit operator opt-in (seaserve
+// -pprof), since heap and CPU profiles leak operational detail.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// EnablePprof mounts the profiling handlers on the server's mux.
+func (s *Server) EnablePprof() { RegisterPprof(s.mux) }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
