@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/flight"
+	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/trace"
@@ -550,6 +552,61 @@ func BenchmarkE19ObsOverhead(b *testing.B) {
 		b.ReportMetric(boolMetric(row.CaughtUp), "caught_up")
 		b.ReportMetric(float64(row.LogLines), "log_lines")
 		b.ReportMetric(float64(row.LogDropped), "log_dropped")
+	})
+}
+
+// BenchmarkE20FlightSample proves the flight-recorder cost contract.
+// Steady: one full recorder tick — every counter, gauge, and histogram
+// quantile sampled into its ring, anomaly detectors fed — must report
+// 0 allocs/op at steady state (CI greps this line). The E20
+// sub-benchmark reports the full experiment row: paired baseline vs
+// recorder-on QPS (CI gates the drop at <=2%) plus the overload
+// narrative — anomaly fired, SLO critical, bundle captured, history
+// rings queryable.
+func BenchmarkE20FlightSample(b *testing.B) {
+	b.Run("Steady", func(b *testing.B) {
+		rec := metrics.NewServeRecorder(1024)
+		for i := 0; i < 512; i++ {
+			rec.ObservePath(time.Duration(50+i%100)*time.Microsecond, metrics.PathCache)
+			rec.ObservePath(time.Duration(200+i%400)*time.Microsecond, metrics.PathExactScatter)
+		}
+		fr := flight.New(flight.Config{Node: "bench", Anomaly: true})
+		fr.Instrument(rec)
+		fr.Watch("lat_p99_all", "queries")
+		base := time.Unix(1_700_000_000, 0)
+		// Spin the rings past one full wrap so the benchmark measures
+		// steady state, not first-fill.
+		for i := 0; i < 1024; i++ {
+			fr.Tick(base.Add(time.Duration(i) * time.Second))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fr.Tick(base.Add(time.Duration(1024+i) * time.Second))
+		}
+	})
+	b.Run("E20", func(b *testing.B) {
+		var row experiments.E20Row
+		var err error
+		for i := 0; i < b.N; i++ {
+			row, err = experiments.E20FlightRecorder(20_000, 300, 16, 4000)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(row.BaselineQPS, "baseline_qps")
+		b.ReportMetric(row.FlightQPS, "flight_qps")
+		b.ReportMetric(row.OverheadPct, "overhead_pct")
+		b.ReportMetric(float64(row.Series), "series")
+		b.ReportMetric(float64(row.Anomalies), "anomalies")
+		b.ReportMetric(row.AnomalyZ, "anomaly_z")
+		b.ReportMetric(float64(row.SLOState), "slo_state")
+		b.ReportMetric(float64(row.Triggers), "triggers")
+		b.ReportMetric(float64(row.BundleFiles), "bundle_files")
+		b.ReportMetric(boolMetric(row.BundleComplete), "bundle_complete")
+		b.ReportMetric(float64(row.HiPoints), "hi_points")
+		b.ReportMetric(float64(row.LoPoints), "lo_points")
+		b.ReportMetric(row.RampRatio, "ramp_ratio")
 	})
 }
 

@@ -1,11 +1,11 @@
-// Command seabench runs the full experiment suite (E1-E19 and ablations
+// Command seabench runs the full experiment suite (E1-E20 and ablations
 // A1-A5 from DESIGN.md) at configurable scale and prints one table per
 // experiment — the rows EXPERIMENTS.md records. Metrics are virtual
 // simulator units (see internal/metrics), except E13 (concurrent
 // serving), E14 (distributed cluster), E15 (live data plane), E16
 // (vectorized execution), E17 (serving hot path), E18 (tracing
-// overhead + accuracy audit) and E19 (cluster introspection) which
-// measure real wall-clock behaviour.
+// overhead + accuracy audit), E19 (cluster introspection) and E20
+// (flight recorder) which measure real wall-clock behaviour.
 //
 // With -json every experiment emits machine-readable rows instead of
 // tables, one JSON object per line:
@@ -462,6 +462,30 @@ func run(scale, only string, jsonOut bool) error {
 			fmt.Printf("victim=%s down_critical=%d lag: parts=%d peak=%d caught_up=%v  overhead: baseline_qps=%.0f obs_qps=%.0f drop=%.2f%% log_lines=%d dropped=%d\n\n",
 				r.Victim, r.DownCritical, r.LagParts, r.LagPeak, r.CaughtUp,
 				r.BaselineQPS, r.ObsQPS, r.OverheadPct, r.LogLines, r.LogDropped)
+		}
+	}
+
+	if want("E20") {
+		// Flight recorder: sampling overhead at an aggressive 100ms
+		// period, then the induced-overload narrative — anomaly fired,
+		// SLO critical, exactly one bundle per cooldown window, latency
+		// ramp queryable at both history resolutions.
+		// perWorker stays high even at smoke scale: the overhead gate
+		// compares two QPS readings of the same row, and sub-20ms
+		// phases drown a ≤2% signal in scheduler noise.
+		r, err := experiments.E20FlightRecorder(pick(10_000, 20_000), 300,
+			pick(4, 16), pick(20_000, 4_000))
+		if err != nil {
+			return err
+		}
+		if !em.emit("E20", r) {
+			fmt.Println("== E20: flight recorder (history rings, anomaly detection, triggered bundles) ==")
+			fmt.Printf("overhead: baseline_qps=%.0f flight_qps=%.0f drop=%.2f%% series=%d\n",
+				r.BaselineQPS, r.FlightQPS, r.OverheadPct, r.Series)
+			fmt.Printf("narrative: anomaly=%s z=%.1f slo_state=%d triggers=%d/%d suppressed=%d bundle_files=%d ramp=%.1fx hi=%d lo=%d exemplar=%s\n\n",
+				r.AnomalyMetric, r.AnomalyZ, r.SLOState,
+				r.TriggersFirstWindow, r.Triggers, r.Suppressed,
+				r.BundleFiles, r.RampRatio, r.HiPoints, r.LoPoints, r.ExemplarTraceID)
 		}
 	}
 

@@ -52,6 +52,15 @@
 // lagging replica turns critical). cmd/seatop renders that aggregator
 // as a live dashboard.
 //
+// The flight recorder (both modes): -flight samples every registered
+// counter, gauge and key histogram quantile into in-memory ring
+// buffers at two resolutions (~10 min at 1 s, ~6 h at 30 s) behind
+// GET /v1/history?metric=&window=, and captures diagnostic bundles
+// (goroutine dump, short CPU + heap profiles, trace rings, status
+// snapshot) into a bounded spool (-flight-spool) when the SLO engine
+// turns critical or -anomaly's robust z-score detector fires; browse
+// them via GET /v1/debug/bundles and /v1/debug/bundle/<id>/<file>.
+//
 // Endpoints (both modes):
 //
 //	POST /v1/query    {"agg":"count","los":[20,20],"his":[30,30]}
@@ -80,6 +89,7 @@ import (
 
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"syscall"
@@ -87,6 +97,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/flight"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/query"
@@ -127,6 +138,9 @@ type options struct {
 	runtimeSample  time.Duration
 	lagThreshold   uint64
 	pprof          bool
+	flight         bool
+	flightSpool    string
+	anomaly        bool
 	// set records which flags were given explicitly (flag.Visit):
 	// cluster-only flags with non-zero defaults (-replicas,
 	// -requant-check) can only be rejected in single-node mode when we
@@ -166,6 +180,9 @@ func main() {
 	flag.DurationVar(&o.runtimeSample, "runtime-sample", 10*time.Second, "runtime telemetry sampling period (0 = on-demand only)")
 	flag.Uint64Var(&o.lagThreshold, "lag-threshold", 0, "replication lag in batches before a /v1/debug/cluster finding turns critical (cluster mode; 0 = default 1)")
 	flag.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default; trusted networks only)")
+	flag.BoolVar(&o.flight, "flight", false, "arm the flight recorder: in-memory metric history behind GET /v1/history plus triggered diagnostic bundles")
+	flag.StringVar(&o.flightSpool, "flight-spool", "", "diagnostic-bundle spool directory (default: under the OS temp dir; requires -flight)")
+	flag.BoolVar(&o.anomaly, "anomaly", false, "arm robust z-score anomaly detection over watched flight series (requires -flight)")
 	flag.Parse()
 	o.set = make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { o.set[f.Name] = true })
@@ -235,6 +252,14 @@ func (o *options) validate() error {
 	}
 	if o.runtimeSample < 0 {
 		return fmt.Errorf("-runtime-sample must be >= 0, got %v", o.runtimeSample)
+	}
+	if !o.flight {
+		if o.flightSpool != "" {
+			return fmt.Errorf("-flight-spool requires -flight")
+		}
+		if o.anomaly {
+			return fmt.Errorf("-anomaly requires -flight")
+		}
 	}
 
 	cluster := o.nodeID != ""
@@ -372,6 +397,25 @@ func runSingle(ctx context.Context, o options) error {
 		srv.EnablePprof()
 		lg.Warn("pprof endpoints mounted under /debug/pprof/ — do not expose publicly")
 	}
+	if o.flight {
+		spool := o.flightSpool
+		if spool == "" {
+			spool = filepath.Join(os.TempDir(), "sea-flight", "local")
+		}
+		fr := flight.New(flight.Config{
+			Node: "local", SpoolDir: spool, Anomaly: o.anomaly, Logger: lg,
+			TracerFn: servePool.Tracer,
+			StatusFn: func() any { return servePool.Stats() },
+		})
+		fr.Instrument(rec)
+		fr.AddGauge("sched_queue_depth", func() float64 { return float64(srv.Scheduler().QueueDepth()) })
+		fr.Watch("lat_p99_all", "queries", "errors", "rejected",
+			"sea_go_goroutines", "sea_go_heap_alloc_bytes")
+		srv.EnableFlight(fr)
+		fr.Start()
+		defer fr.Stop()
+		lg.Info("flight recorder armed", "spool", spool, "anomaly", o.anomaly)
+	}
 	lg.Info("serving", "addr", o.addr, "agents", o.agents, "workers", o.workers,
 		"queue", o.queue, "tenant_inflight", o.tenantInflight)
 	return srv.Run(ctx, o.addr, o.drain)
@@ -408,6 +452,9 @@ func runCluster(ctx context.Context, o options) error {
 		RuntimeSample:  o.runtimeSample,
 		LagThreshold:   o.lagThreshold,
 		Pprof:          o.pprof,
+		Flight:         o.flight,
+		FlightSpool:    o.flightSpool,
+		Anomaly:        o.anomaly,
 	})
 	if err != nil {
 		return err

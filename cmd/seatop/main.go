@@ -2,7 +2,9 @@
 // GET /v1/debug/cluster aggregator and renders a refreshing terminal
 // view of every member — reachability, partitions and replication lag,
 // cache hit rate, runtime telemetry, SLO burn — plus the aggregator's
-// cross-check findings.
+// cross-check findings. When members run the flight recorder, seatop
+// also polls each node's GET /v1/history and renders a per-node
+// sparkline of -metric over -window.
 //
 // Modes:
 //
@@ -18,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"sort"
@@ -26,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/flight"
 	"repro/internal/workload"
 )
 
@@ -36,6 +40,8 @@ func main() {
 		once     = flag.Bool("once", false, "render one report and exit (0 healthy, 1 findings, 2 fetch error)")
 		local    = flag.Int("local", 0, "boot an in-process local cluster with N nodes and report on it")
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-poll HTTP timeout")
+		metric   = flag.String("metric", "lat_p99_all", "flight-recorder series to sparkline per node")
+		window   = flag.Duration("window", 2*time.Minute, "history window behind the sparkline")
 	)
 	flag.Parse()
 
@@ -61,14 +67,15 @@ func main() {
 			time.Sleep(*interval)
 			continue
 		}
+		hist := fetchHistories(hc, rep, *metric, *window)
 		if *once {
-			fmt.Print(render(rep, *url))
+			fmt.Print(render(rep, *url, hist, *metric, *window))
 			if !rep.Healthy {
 				os.Exit(1)
 			}
 			return
 		}
-		fmt.Print("\033[H\033[2J" + render(rep, *url))
+		fmt.Print("\033[H\033[2J" + render(rep, *url, hist, *metric, *window))
 		time.Sleep(*interval)
 	}
 }
@@ -79,7 +86,12 @@ func startLocal(n int) (*dist.LocalCluster, error) {
 	rows := workload.StandardRows(5_000, 1)
 	cfg := core.DefaultConfig(2)
 	cfg.TrainingQueries = 64
-	return dist.StartLocal(n, dist.Config{Agent: cfg, Replicas: 2}, rows)
+	// The flight recorder takes an immediate first sample at Start, so
+	// even -once has at least one history point per node.
+	return dist.StartLocal(n, dist.Config{
+		Agent: cfg, Replicas: 2,
+		Flight: true, FlightSample: 250 * time.Millisecond,
+	}, rows)
 }
 
 func fetch(hc *http.Client, url string) (dist.ClusterReport, error) {
@@ -102,7 +114,66 @@ func fetch(hc *http.Client, url string) (dist.ClusterReport, error) {
 	return rep, nil
 }
 
-func render(rep dist.ClusterReport, url string) string {
+// nodeHistory is one member's sparkline material.
+type nodeHistory struct {
+	hist   flight.History
+	series int // registered series on that node
+}
+
+// fetchHistories polls each reachable member's flight recorder for the
+// sparkline series. Members without the recorder (404) simply drop out
+// of the map — history is an optional plane.
+func fetchHistories(hc *http.Client, rep dist.ClusterReport, metric string, window time.Duration) map[string]nodeHistory {
+	out := make(map[string]nodeHistory)
+	for _, nr := range rep.Nodes {
+		if !nr.Reachable || nr.URL == "" {
+			continue
+		}
+		resp, err := hc.Get(fmt.Sprintf("%s/v1/history?metric=%s&window=%s", nr.URL, metric, window))
+		if err != nil || resp.StatusCode != http.StatusOK {
+			if resp != nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			continue
+		}
+		var nh nodeHistory
+		err = json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&nh.hist)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		if nr.Status != nil && nr.Status.Flight != nil {
+			nh.series = nr.Status.Flight.Series
+		}
+		out[nr.ID] = nh
+	}
+	return out
+}
+
+// sparkline renders points as a block-character strip, newest right,
+// scaled to the window's own min..max.
+func sparkline(points []flight.Point, width int) string {
+	if len(points) > width {
+		points = points[len(points)-width:]
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range points {
+		lo, hi = math.Min(lo, p.V), math.Max(hi, p.V)
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for _, p := range points {
+		i := 0
+		if hi > lo {
+			i = int((p.V - lo) / (hi - lo) * float64(len(levels)-1))
+		}
+		b.WriteRune(levels[i])
+	}
+	return b.String()
+}
+
+func render(rep dist.ClusterReport, url string, hist map[string]nodeHistory, metric string, window time.Duration) string {
 	var b strings.Builder
 	health := "HEALTHY"
 	if !rep.Healthy {
@@ -147,6 +218,38 @@ func render(rep dist.ClusterReport, url string) string {
 		for _, k := range keys {
 			fmt.Fprintf(&b, "  %-18s %d batches behind\n", k, lags[k])
 		}
+	}
+
+	// Flight-recorder sparklines: one strip per member that serves
+	// /v1/history, scaled per node to its own window.
+	if len(hist) > 0 {
+		fmt.Fprintf(&b, "\nhistory (%s, window %s):\n", metric, window)
+		series := 0
+		ids := make([]string, 0, len(hist))
+		for id := range hist {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			nh := hist[id]
+			if nh.series > series {
+				series = nh.series
+			}
+			last := "-"
+			if n := len(nh.hist.Points); n > 0 {
+				v := nh.hist.Points[n-1].V
+				if strings.HasPrefix(metric, "lat_") {
+					last = fmtDur(time.Duration(v)) // latency series sample ns
+				} else {
+					last = fmt.Sprintf("%g", v)
+				}
+			}
+			fmt.Fprintf(&b, "  %-6s %-32s last=%s (%d pts @ %s)\n",
+				id, sparkline(nh.hist.Points, 30), last, len(nh.hist.Points), nh.hist.Resolution)
+		}
+		fmt.Fprintf(&b, "history: %d/%d nodes, %d series\n", len(hist), len(rep.Nodes), series)
+	} else {
+		fmt.Fprintf(&b, "\nhistory: 0/%d nodes (flight recorder off)\n", len(rep.Nodes))
 	}
 
 	if len(rep.Findings) > 0 {

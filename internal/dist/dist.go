@@ -44,6 +44,9 @@
 //	                   scheduler, audit and SLO state
 //	GET  /v1/debug/cluster  fans out /v1/status to every member and
 //	                   cross-checks the snapshots into health findings
+//	GET  /v1/history   flight-recorder metric replay (?metric=&window=)
+//	GET  /v1/debug/bundles  triggered diagnostic-bundle spool listing;
+//	                   /v1/debug/bundle/{id}/{file} fetches one member
 //	GET  /v1/metrics   Prometheus text exposition
 //	GET  /healthz      liveness (failover probing)
 //
@@ -205,6 +208,20 @@ type Config struct {
 	// under /debug/pprof/ (off by default: profiling endpoints on a
 	// data port are an operator opt-in).
 	Pprof bool
+	// Flight enables the flight recorder: per-series metric history
+	// rings (GET /v1/history), anomaly detection over watched series,
+	// and triggered diagnostic bundles (GET /v1/debug/bundles).
+	Flight bool
+	// FlightSample is the hi-res sampling period (0 defaults to 1s).
+	// Negative leaves the background sampler unstarted so tests and
+	// experiments drive flight ticks from a synthetic clock.
+	FlightSample time.Duration
+	// FlightSpool overrides the diagnostic-bundle spool root (default:
+	// DataDir/flight, or the OS temp dir without a DataDir). Each
+	// member spools under its own node-id subdirectory.
+	FlightSpool string
+	// Anomaly arms the flight recorder's robust z-score detector.
+	Anomaly bool
 }
 
 func (c Config) withDefaults() Config {

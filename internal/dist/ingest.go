@@ -220,6 +220,7 @@ func (n *Node) primaryIngest(p int, owners []string, rows []storage.Row, sp *tra
 	}
 	rsp := sp.Child("replicate")
 	acks := 1
+	var batchLag uint64
 	for _, o := range owners[1:] {
 		if o == n.id {
 			continue
@@ -228,13 +229,26 @@ func (n *Node) primaryIngest(p int, owners []string, rows []storage.Row, sp *tra
 		if !ok || !n.health.available(url) {
 			continue
 		}
-		if err := n.replicateTo(url, p, seq, rows); err != nil {
+		lastSeq, err := n.replicateTo(url, p, seq, rows)
+		if err != nil {
 			n.health.markDownOn(url, err)
 			n.logger.Warn("replicate failed", "part", p, "seq", seq, "peer", o, "err", err)
 			continue
 		}
+		if lastSeq < seq {
+			// The replica responded but sits behind this batch (a gap
+			// its inline heal could not drain): primary-observed lag.
+			if gap := seq - lastSeq; gap > batchLag {
+				batchLag = gap
+			}
+			continue
+		}
 		acks++
 	}
+	// Publish the worst responding-replica gap of the latest fan-out as
+	// this node's replication-lag gauge (the flight recorder samples it
+	// every second; healthy batches reset it to zero).
+	n.repLag.Store(int64(batchLag))
 	rsp.End()
 	rsp.SetAttrInt("acks", int64(acks))
 	acked := acks >= n.writeQuorum(len(owners))
@@ -248,21 +262,29 @@ func (n *Node) primaryIngest(p int, owners []string, rows []storage.Row, sp *tra
 	}
 }
 
-// replicateTo ships one sequenced batch to a replica owner.
-func (n *Node) replicateTo(url string, p int, seq uint64, rows []storage.Row) error {
+// replicateTo ships one sequenced batch to a replica owner and returns
+// the replica's last applied sequence. HTTP 200 means the batch (or a
+// later one) is applied; 409 means the replica is still gapped after
+// its inline heal — the caller reads the shortfall off LastSeq instead
+// of treating the responsive peer as down.
+func (n *Node) replicateTo(url string, p int, seq uint64, rows []storage.Row) (uint64, error) {
 	body, err := json.Marshal(ReplicateRequest{Part: p, Seq: seq, Rows: rowsToWire(rows)})
 	if err != nil {
-		return err
+		return 0, err
 	}
 	resp, err := n.hc.Post(url+"/v1/replicate", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("replicate to %s: HTTP %d: %w", url, resp.StatusCode, errPeerResponded)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
+		return 0, fmt.Errorf("replicate to %s: HTTP %d: %w", url, resp.StatusCode, errPeerResponded)
 	}
-	return nil
+	var rr ReplicateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return 0, fmt.Errorf("replicate to %s: %w", url, err)
+	}
+	return rr.LastSeq, nil
 }
 
 // forwardIngest proxies one partition batch to its primary and adapts

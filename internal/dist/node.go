@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"os"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/ingest"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -64,6 +66,13 @@ type Node struct {
 	// maints are the per-agent background drift maintainers (nil when
 	// RequantCheck is disabled).
 	maints []*ingest.Maintainer
+
+	// flight is the node's flight recorder (nil when cfg.Flight is
+	// off); repLag is the primary-observed replication lag it samples:
+	// the worst sequence gap among responding replicas of the latest
+	// replicated batch.
+	flight *flight.Recorder
+	repLag atomic.Int64
 
 	// mu guards the partition map and the live-ingest bookkeeping.
 	// Base rows are laid down once by Load; the ingest path appends
@@ -230,6 +239,40 @@ func NewNode(cfg Config) (*Node, error) {
 			n.maints = append(n.maints, m)
 		}
 	}
+	if cfg.Flight {
+		spool := cfg.FlightSpool
+		if spool == "" {
+			if cfg.DataDir != "" {
+				spool = filepath.Join(cfg.DataDir, "flight")
+			} else {
+				spool = filepath.Join(os.TempDir(), "sea-flight")
+			}
+		}
+		fr := flight.New(flight.Config{
+			Node:   cfg.ID,
+			Period: cfg.FlightSample,
+			// Per-node spool subdirectory: a LocalCluster shares one
+			// config root across members.
+			SpoolDir: filepath.Join(spool, cfg.ID),
+			Anomaly:  cfg.Anomaly,
+			Logger:   n.logger,
+			TracerFn: func() *trace.Tracer { return n.tracer },
+			StatusFn: func() any { return n.NodeStatus() },
+		})
+		fr.Instrument(rec)
+		fr.AddGauge("sched_queue_depth",
+			func() float64 { return float64(n.sched.QueueDepth()) })
+		fr.AddGauge("replication_lag",
+			func() float64 { return float64(n.repLag.Load()) })
+		fr.Watch("lat_p99_all", "queries", "errors", "rejected",
+			"sea_go_goroutines", "sea_go_heap_alloc_bytes", "replication_lag")
+		n.flight = fr
+		// FlightSample < 0 leaves the sampler unstarted: tests and
+		// experiments drive Tick from a synthetic clock.
+		if cfg.FlightSample >= 0 {
+			fr.Start()
+		}
+	}
 	n.mux = http.NewServeMux()
 	n.mux.HandleFunc("POST /v1/query", n.handleQuery)
 	n.mux.HandleFunc("POST /v1/partial", n.handlePartial)
@@ -243,6 +286,8 @@ func NewNode(cfg Config) (*Node, error) {
 	n.mux.HandleFunc("GET /v1/debug/cluster", n.handleDebugCluster)
 	n.mux.HandleFunc("GET /v1/metrics", n.handleMetrics)
 	serve.RegisterDebug(n.mux, func() *trace.Tracer { return n.tracer })
+	serve.RegisterFlight(n.mux, func() *flight.Recorder { return n.flight })
+	n.pool.EnableFlight(n.flight)
 	if cfg.Pprof {
 		serve.RegisterPprof(n.mux)
 	}
@@ -265,6 +310,13 @@ func (n *Node) Pool() *serve.Pool { return n.pool }
 // Tracer returns the node's tracer (debug endpoints, tests).
 func (n *Node) Tracer() *trace.Tracer { return n.tracer }
 
+// Flight returns the node's flight recorder (nil when disabled).
+func (n *Node) Flight() *flight.Recorder { return n.flight }
+
+// SLO returns the node's SLO engine (nil when disabled). Exported so
+// experiments can drive Tick from a synthetic clock.
+func (n *Node) SLO() *metrics.SLOEngine { return n.slo }
+
 // Handler returns the node's HTTP API.
 func (n *Node) Handler() http.Handler { return n.mux }
 
@@ -275,6 +327,7 @@ func (n *Node) Close() {
 	for _, m := range n.maints {
 		m.Stop()
 	}
+	n.flight.Stop()
 	n.slo.Stop()
 	n.sampler.Stop()
 	n.sched.Close()

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/serve"
@@ -18,7 +19,7 @@ import (
 // JSON shapes. Bump it when a field is removed or renamed — additions
 // are backward compatible — and keep the golden-keys schema test in
 // sync, so dashboards break loudly in CI instead of silently in prod.
-const StatusSchemaVersion = 1
+const StatusSchemaVersion = 2
 
 // PartitionStatus is one held partition's replication view.
 type PartitionStatus struct {
@@ -93,6 +94,7 @@ type NodeStatus struct {
 	Audit           AuditStatus             `json:"audit"`
 	SLO             []metrics.SLOClassState `json:"slo,omitempty"`
 	Runtime         obs.RuntimeSnap         `json:"runtime"`
+	Flight          *flight.Status          `json:"flight,omitempty"`
 }
 
 // NodeStatus builds the node's introspection snapshot.
@@ -174,6 +176,11 @@ func (n *Node) NodeStatus() NodeStatus {
 		n.sampler.Sample()
 	}
 	st.Runtime = n.sampler.Snapshot()
+
+	if n.flight != nil {
+		fs := n.flight.Status()
+		st.Flight = &fs
+	}
 	return st
 }
 

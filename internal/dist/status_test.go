@@ -10,6 +10,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/flight"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/query"
@@ -189,6 +190,11 @@ func TestStatusGoldenKeys(t *testing.T) {
 			Goroutines: 1, HeapAlloc: 1, HeapSys: 1, GCCycles: 1,
 			GCPauseP50: 1, GCPauseP99: 1, GCPauseMax: 1,
 		},
+		Flight: &flight.Status{
+			Series: 1, Ticks: 1, DroppedSamples: 1, Anomalies: 1,
+			Triggers: 1, SuppressedTrigger: 1, SpoolBundles: 1, SpoolBytes: 1,
+			LastTrigger: "anomaly: spike", LastTriggerUnixMs: 1,
+		},
 	}
 	assertGoldenKeys(t, "NodeStatus", st, []string{
 		"absorbed_version",
@@ -196,6 +202,10 @@ func TestStatusGoldenKeys(t *testing.T) {
 		"cache", "cache.enabled", "cache.hit_rate", "cache.hits", "cache.size",
 		"data_version",
 		"drift", "drift.invalidations", "drift.probation_quanta", "drift.rebuilds",
+		"flight", "flight.anomalies", "flight.dropped_samples",
+		"flight.last_trigger", "flight.last_trigger_unix_ms",
+		"flight.series", "flight.spool_bundles", "flight.spool_bytes",
+		"flight.suppressed_triggers", "flight.ticks", "flight.triggers",
 		"ingest_epoch",
 		"node",
 		"partitions",

@@ -1,0 +1,235 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TriggerInfo describes the most recent bundle capture.
+type TriggerInfo struct {
+	Kind     string `json:"kind"`
+	Detail   string `json:"detail"`
+	AtUnixMs int64  `json:"at_unix_ms"`
+	Bundle   string `json:"bundle"`
+}
+
+// trigger raises one trigger on the tick clock. A single cooldown
+// spans all trigger kinds — when an overload fires both the SLO gate
+// and the anomaly detector, the operator wants one bundle of the
+// incident, not one per signal — and doubles as the single-flight
+// guard (captures run far shorter than any sane cooldown). Suppressed
+// firings are counted, not lost silently.
+func (r *Recorder) trigger(kind, detail string, now time.Time) {
+	if r.cfg.SpoolDir == "" {
+		return
+	}
+	last := r.lastCapture.Load()
+	if last != 0 && now.UnixNano()-last < int64(r.cfg.Cooldown) {
+		r.suppressed.Add(1)
+		return
+	}
+	if !r.lastCapture.CompareAndSwap(last, now.UnixNano()) {
+		r.suppressed.Add(1)
+		return
+	}
+	r.capWG.Add(1)
+	go func() {
+		defer r.capWG.Done()
+		r.capture(kind, detail, now)
+	}()
+}
+
+// capture writes one diagnostic bundle into the spool and evicts the
+// oldest bundles beyond SpoolMax. Runs off the sample path; the tick
+// clock keeps sampling while the CPU profile records.
+func (r *Recorder) capture(kind, detail string, now time.Time) {
+	name := fmt.Sprintf("bundle-%013d-%s", now.UnixMilli(), kind)
+	dir := filepath.Join(r.cfg.SpoolDir, name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		r.cfg.Logger.Warn("flight bundle mkdir failed", "dir", dir, "err", err)
+		return
+	}
+
+	writeJSON := func(file string, v any) {
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			data = []byte(fmt.Sprintf("{\"error\":%q}", err.Error()))
+		}
+		if err := os.WriteFile(filepath.Join(dir, file), data, 0o644); err != nil {
+			r.cfg.Logger.Warn("flight bundle write failed", "file", file, "err", err)
+		}
+	}
+
+	writeJSON("meta.json", map[string]any{
+		"schema":      1,
+		"node":        r.cfg.Node,
+		"kind":        kind,
+		"detail":      detail,
+		"at_unix_ms":  now.UnixMilli(),
+		"cooldown_ms": r.cfg.Cooldown.Milliseconds(),
+	})
+
+	// Goroutine dump: debug=2 prints full stacks with states — the
+	// first thing anyone reads when a node wedges.
+	if f, err := os.Create(filepath.Join(dir, "goroutines.txt")); err == nil {
+		_ = pprof.Lookup("goroutine").WriteTo(f, 2)
+		_ = f.Close()
+	}
+
+	// Short CPU profile. StartCPUProfile fails when another profile is
+	// already running (e.g. the operator got there first); keep the
+	// bundle complete by recording why instead of an empty file.
+	if f, err := os.Create(filepath.Join(dir, "cpu.pprof")); err == nil {
+		if perr := pprof.StartCPUProfile(f); perr != nil {
+			_, _ = fmt.Fprintf(f, "cpu profile unavailable: %v\n", perr)
+		} else {
+			time.Sleep(r.cfg.CPUProfile)
+			pprof.StopCPUProfile()
+		}
+		_ = f.Close()
+	}
+
+	if f, err := os.Create(filepath.Join(dir, "heap.pprof")); err == nil {
+		_ = pprof.WriteHeapProfile(f)
+		_ = f.Close()
+	}
+
+	// Trace rings: the recent-trace ring plus the slow-query log, the
+	// evidence trail behind the latency series.
+	type traceDump struct {
+		Recent []any             `json:"recent"`
+		Slow   []trace.SlowEntry `json:"slow"`
+	}
+	td := traceDump{Recent: []any{}, Slow: []trace.SlowEntry{}}
+	if r.cfg.TracerFn != nil {
+		if t := r.cfg.TracerFn(); t != nil {
+			ids := t.RecentIDs()
+			if len(ids) > 16 {
+				ids = ids[len(ids)-16:]
+			}
+			for _, id := range ids {
+				if ws, ok := t.Get(id); ok {
+					td.Recent = append(td.Recent, map[string]any{"trace_id": id, "root": ws})
+				}
+			}
+			td.Slow = t.SlowLog()
+			if td.Slow == nil {
+				td.Slow = []trace.SlowEntry{}
+			}
+		}
+	}
+	writeJSON("traces.json", td)
+
+	status := any(map[string]string{"status": "unavailable"})
+	if r.cfg.StatusFn != nil {
+		if v := r.cfg.StatusFn(); v != nil {
+			status = v
+		}
+	}
+	writeJSON("status.json", status)
+
+	ti := TriggerInfo{Kind: kind, Detail: detail, AtUnixMs: now.UnixMilli(), Bundle: name}
+	r.lastTrigger.Store(&ti)
+	r.triggers.Add(1)
+	r.cfg.Logger.Info("flight bundle captured",
+		"bundle", name, "kind", kind, "detail", detail)
+	r.evict()
+}
+
+// evict removes the oldest bundles beyond SpoolMax. Bundle names embed
+// a fixed-width capture timestamp, so lexicographic order is age order.
+func (r *Recorder) evict() {
+	names := r.bundleNames()
+	for len(names) > r.cfg.SpoolMax {
+		victim := names[0]
+		names = names[1:]
+		if err := os.RemoveAll(filepath.Join(r.cfg.SpoolDir, victim)); err != nil {
+			r.cfg.Logger.Warn("flight spool evict failed", "bundle", victim, "err", err)
+			return
+		}
+		r.cfg.Logger.Info("flight spool evicted", "bundle", victim)
+	}
+}
+
+func (r *Recorder) bundleNames() []string {
+	entries, err := os.ReadDir(r.cfg.SpoolDir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "bundle-") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BundleInfo describes one spooled bundle.
+type BundleInfo struct {
+	ID       string   `json:"id"`
+	Kind     string   `json:"kind"`
+	AtUnixMs int64    `json:"at_unix_ms"`
+	Bytes    int64    `json:"bytes"`
+	Files    []string `json:"files"`
+}
+
+// Bundles lists the spool, oldest first.
+func (r *Recorder) Bundles() []BundleInfo {
+	if r == nil || r.cfg.SpoolDir == "" {
+		return nil
+	}
+	var out []BundleInfo
+	for _, name := range r.bundleNames() {
+		info := BundleInfo{ID: name}
+		// bundle-<ms13>-<kind>
+		if rest, ok := strings.CutPrefix(name, "bundle-"); ok {
+			if ms, kind, ok := strings.Cut(rest, "-"); ok {
+				info.Kind = kind
+				info.AtUnixMs, _ = strconv.ParseInt(ms, 10, 64)
+			}
+		}
+		files, err := os.ReadDir(filepath.Join(r.cfg.SpoolDir, name))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if f.IsDir() {
+				continue
+			}
+			info.Files = append(info.Files, f.Name())
+			if fi, err := f.Info(); err == nil {
+				info.Bytes += fi.Size()
+			}
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// BundleFile resolves one bundle member to its on-disk path,
+// rejecting ids and names that could escape the spool.
+func (r *Recorder) BundleFile(id, file string) (string, error) {
+	if r == nil || r.cfg.SpoolDir == "" {
+		return "", fmt.Errorf("flight: no spool configured")
+	}
+	if !strings.HasPrefix(id, "bundle-") || strings.ContainsAny(id, "/\\") ||
+		file == "" || strings.ContainsAny(file, "/\\") || strings.Contains(file, "..") {
+		return "", fmt.Errorf("flight: invalid bundle path %q/%q", id, file)
+	}
+	p := filepath.Join(r.cfg.SpoolDir, id, file)
+	if _, err := os.Stat(p); err != nil {
+		return "", fmt.Errorf("flight: bundle file not found: %w", err)
+	}
+	return p, nil
+}

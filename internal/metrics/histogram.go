@@ -120,7 +120,24 @@ type HistSnapshot struct {
 // may or may not be included; the view is internally consistent enough
 // for monitoring (sum/count/buckets each read atomically).
 func (h *Histogram) Snapshot() HistSnapshot {
-	s := HistSnapshot{Counts: make([]int64, numBuckets), Max: h.maxV.Load()}
+	var s HistSnapshot
+	h.SnapshotInto(&s)
+	return s
+}
+
+// SnapshotInto merges the shards into s, reusing its Counts buffer —
+// the allocation-free form of Snapshot for periodic samplers (the
+// flight recorder calls it every second and must stay 0 allocs/op at
+// steady state). s is fully overwritten.
+func (h *Histogram) SnapshotInto(s *HistSnapshot) {
+	if cap(s.Counts) < numBuckets {
+		s.Counts = make([]int64, numBuckets)
+	}
+	s.Counts = s.Counts[:numBuckets]
+	for i := range s.Counts {
+		s.Counts[i] = 0
+	}
+	s.Sum, s.Count, s.Max = 0, 0, h.maxV.Load()
 	for i := range h.shards {
 		sh := &h.shards[i]
 		s.Sum += sh.sum.Load()
@@ -131,7 +148,15 @@ func (h *Histogram) Snapshot() HistSnapshot {
 			}
 		}
 	}
-	return s
+}
+
+// Reset zeroes a snapshot in place (keeping its Counts buffer) so it
+// can be rebuilt by Merge calls without reallocating.
+func (s *HistSnapshot) Reset() {
+	for i := range s.Counts {
+		s.Counts[i] = 0
+	}
+	s.Sum, s.Count, s.Max = 0, 0, 0
 }
 
 // Merge folds other into s (for all-paths aggregate views).

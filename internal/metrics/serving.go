@@ -358,6 +358,42 @@ func (r *ServeRecorder) Gauges() []GaugeDef {
 	return append([]GaugeDef(nil), r.gauges...)
 }
 
+// CounterDef is one lifetime counter exposed for time-series sampling:
+// a name and a lock-free load of the current cumulative value.
+type CounterDef struct {
+	Name string
+	Fn   func() int64
+}
+
+// Counters enumerates the recorder's cumulative counters as sampling
+// closures. Each Fn is a single atomic load — the flight recorder
+// calls every one once per second and must stay allocation-free.
+func (r *ServeRecorder) Counters() []CounterDef {
+	return []CounterDef{
+		{"queries", r.queries.Load},
+		{"predicted", r.predicted.Load},
+		{"fallbacks", r.fallbacks.Load},
+		{"deduped", r.deduped.Load},
+		{"cache_hits", r.cacheHits.Load},
+		{"rejected", r.rejected.Load},
+		{"errors", r.errors.Load},
+		{"ingest_batches", r.ingestBatches.Load},
+		{"ingest_rows", r.ingestRows.Load},
+		{"drift_invalidations", r.driftInval.Load},
+		{"rebuilds", r.rebuilds.Load},
+	}
+}
+
+// CacheHitRate returns the lifetime cache-hit fraction of answered
+// queries (0 when none have completed). Two atomic loads, no locks.
+func (r *ServeRecorder) CacheHitRate() float64 {
+	q := r.queries.Load()
+	if q == 0 {
+		return 0
+	}
+	return float64(r.cacheHits.Load()) / float64(q)
+}
+
 // tenantSnapshot copies the per-class table.
 func (r *ServeRecorder) tenantSnapshot() map[string]TenantSnap {
 	r.tenantMu.RLock()

@@ -3,8 +3,10 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -99,6 +101,13 @@ type SLOEngine struct {
 	mu      sync.Mutex
 	samples []sloSample
 
+	// Worst-class burn rates and state from the latest Tick, cached in
+	// atomics so the flight recorder can sample them every second
+	// without taking mu or allocating the States slice.
+	worstFast  atomic.Uint64 // math.Float64bits
+	worstSlow  atomic.Uint64 // math.Float64bits
+	worstState atomic.Int64  // 0=ok 1=warn 2=critical
+
 	stop chan struct{}
 	done chan struct{}
 }
@@ -148,6 +157,44 @@ func (e *SLOEngine) Tick(now time.Time) {
 		e.samples = append(e.samples[:0], e.samples[drop:]...)
 	}
 	e.mu.Unlock()
+
+	// Refresh the cached worst-class view (States takes mu itself).
+	var fast, slow float64
+	var worst int64
+	for _, st := range e.States() {
+		if st.FastBurn > fast {
+			fast = st.FastBurn
+		}
+		if st.SlowBurn > slow {
+			slow = st.SlowBurn
+		}
+		if v := int64(sloStateValue(st.State)); v > worst {
+			worst = v
+		}
+	}
+	e.worstFast.Store(math.Float64bits(fast))
+	e.worstSlow.Store(math.Float64bits(slow))
+	e.worstState.Store(worst)
+}
+
+// WorstBurn returns the highest per-class fast- and slow-window burn
+// rates as of the latest Tick. Lock-free and allocation-free: safe to
+// sample every second.
+func (e *SLOEngine) WorstBurn() (fast, slow float64) {
+	if e == nil {
+		return 0, 0
+	}
+	return math.Float64frombits(e.worstFast.Load()),
+		math.Float64frombits(e.worstSlow.Load())
+}
+
+// WorstState returns the worst per-class objective state as of the
+// latest Tick (0=ok 1=warn 2=critical), without locks or allocation.
+func (e *SLOEngine) WorstState() int {
+	if e == nil {
+		return 0
+	}
+	return int(e.worstState.Load())
 }
 
 // Start launches the background sampler. Stop terminates it.

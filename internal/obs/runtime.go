@@ -35,9 +35,16 @@ type RuntimeSampler struct {
 	gcCycles   atomic.Uint32
 
 	pauses metrics.Histogram
+	// Cached pause quantiles, refreshed by Sample: gauge reads (the
+	// flight recorder samples them every second) must not pay a
+	// histogram snapshot per read.
+	pauseP50 atomic.Int64
+	pauseP99 atomic.Int64
+	pauseMax atomic.Int64
 
-	mu     sync.Mutex
-	lastGC uint32 // NumGC already folded into pauses
+	mu      sync.Mutex
+	lastGC  uint32 // NumGC already folded into pauses
+	scratch metrics.HistSnapshot
 
 	stop chan struct{}
 	done chan struct{}
@@ -77,6 +84,10 @@ func (s *RuntimeSampler) Sample() {
 		s.pauses.Record(int64(ms.PauseNs[c%uint32(len(ms.PauseNs))]))
 	}
 	s.lastGC = ms.NumGC
+	s.pauses.SnapshotInto(&s.scratch)
+	s.pauseP50.Store(s.scratch.Quantile(0.50))
+	s.pauseP99.Store(s.scratch.Quantile(0.99))
+	s.pauseMax.Store(s.scratch.Max)
 	s.mu.Unlock()
 }
 
@@ -120,15 +131,14 @@ func (s *RuntimeSampler) Snapshot() RuntimeSnap {
 	if s == nil {
 		return RuntimeSnap{}
 	}
-	hs := s.pauses.Snapshot()
 	return RuntimeSnap{
 		Goroutines: int(s.goroutines.Load()),
 		HeapAlloc:  s.heapAlloc.Load(),
 		HeapSys:    s.heapSys.Load(),
 		GCCycles:   s.gcCycles.Load(),
-		GCPauseP50: hs.Quantile(0.50),
-		GCPauseP99: hs.Quantile(0.99),
-		GCPauseMax: hs.Max,
+		GCPauseP50: s.pauseP50.Load(),
+		GCPauseP99: s.pauseP99.Load(),
+		GCPauseMax: s.pauseMax.Load(),
 	}
 }
 
@@ -152,5 +162,5 @@ func (s *RuntimeSampler) Register(rec *metrics.ServeRecorder) {
 		func() float64 { return float64(s.gcCycles.Load()) })
 	rec.RegisterGauge("sea_go_gc_pause_p99_seconds",
 		"p99 GC stop-the-world pause (sampled).",
-		func() float64 { return float64(s.pauses.Snapshot().Quantile(0.99)) / 1e9 })
+		func() float64 { return float64(s.pauseP99.Load()) / 1e9 })
 }

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/query"
@@ -142,6 +143,11 @@ type Pool struct {
 	// never touch it.
 	log *obs.Logger
 
+	// flight, when attached, receives per-path exemplars (the slowest
+	// traced query per sampling window) from finishQuery. Consulted
+	// only on the traced path, so untraced queries never touch it.
+	flight *flight.Recorder
+
 	// Shadow-audit sampler: one in auditEvery model-served answers is
 	// re-evaluated exactly in the background and its realised error
 	// recorded. auditSem bounds concurrent probes (overflow samples are
@@ -196,6 +202,11 @@ func (p *Pool) EnableTracing(t *trace.Tracer) { p.tracer = t }
 // SetLogger attaches a structured logger for slow-query lines (nil
 // detaches). Attach at wiring time.
 func (p *Pool) SetLogger(l *obs.Logger) { p.log = l }
+
+// EnableFlight attaches (or with nil detaches) a flight recorder to
+// the per-query exemplar hook. Wire before serving traffic, like
+// EnableTracing.
+func (p *Pool) EnableFlight(fr *flight.Recorder) { p.flight = fr }
 
 // Tracer returns the attached tracer (nil when tracing is off).
 func (p *Pool) Tracer() *trace.Tracer { return p.tracer }
@@ -442,6 +453,10 @@ func (p *Pool) finishQuery(tr *trace.Trace, q query.Query, path metrics.Path, la
 	if tr != nil {
 		tr.Root().SetAttr("path", path.String())
 		p.tracer.Finish(tr)
+		// Exemplar linkage: the flight recorder keeps the slowest traced
+		// query per path per sampling window, so a latency spike in
+		// /v1/history points straight at /v1/debug/trace/<id>.
+		p.flight.NoteTraced(path, lat, tr.ID())
 	}
 	if p.tracer.Slow(lat) {
 		p.tracer.NoteSlow(tr.ID(), Key(q), path.String(), lat)

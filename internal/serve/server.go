@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/explain"
+	"repro/internal/flight"
 	"repro/internal/metrics"
 	"repro/internal/query"
 	"repro/internal/trace"
@@ -199,6 +200,79 @@ func RegisterDebug(mux *http.ServeMux, tracerFn func() *trace.Tracer) {
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"slow": t.SlowLog()})
 	})
+}
+
+// RegisterFlight mounts the flight-recorder routes on mux: metric
+// history replay and the diagnostic-bundle spool. Shared with the
+// distributed node API like RegisterDebug. fn is consulted per request
+// (it may return nil while the recorder is unconfigured — routes then
+// return 404).
+func RegisterFlight(mux *http.ServeMux, fn func() *flight.Recorder) {
+	unavailable := func(w http.ResponseWriter) *flight.Recorder {
+		fr := fn()
+		if fr == nil {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: "flight recorder not enabled"})
+		}
+		return fr
+	}
+	mux.HandleFunc("GET /v1/history", func(w http.ResponseWriter, r *http.Request) {
+		fr := unavailable(w)
+		if fr == nil {
+			return
+		}
+		metric := r.URL.Query().Get("metric")
+		if metric == "" {
+			writeJSON(w, http.StatusOK, map[string]any{"metrics": fr.Metrics()})
+			return
+		}
+		window := time.Duration(0)
+		if ws := r.URL.Query().Get("window"); ws != "" {
+			d, err := time.ParseDuration(ws)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest,
+					errorResponse{Error: "bad window: " + err.Error()})
+				return
+			}
+			window = d
+		}
+		h, ok := fr.History(metric, window)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown metric " + metric})
+			return
+		}
+		writeJSON(w, http.StatusOK, h)
+	})
+	mux.HandleFunc("GET /v1/debug/bundles", func(w http.ResponseWriter, _ *http.Request) {
+		fr := unavailable(w)
+		if fr == nil {
+			return
+		}
+		bundles := fr.Bundles()
+		if bundles == nil {
+			bundles = []flight.BundleInfo{}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"bundles": bundles})
+	})
+	mux.HandleFunc("GET /v1/debug/bundle/{id}/{file}", func(w http.ResponseWriter, r *http.Request) {
+		fr := unavailable(w)
+		if fr == nil {
+			return
+		}
+		path, err := fr.BundleFile(r.PathValue("id"), r.PathValue("file"))
+		if err != nil {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		http.ServeFile(w, r, path)
+	})
+}
+
+// EnableFlight mounts the flight routes on the server's mux and
+// attaches the recorder to the pool's per-query exemplar hook.
+func (s *Server) EnableFlight(fr *flight.Recorder) {
+	s.sched.pool.EnableFlight(fr)
+	RegisterFlight(s.mux, func() *flight.Recorder { return fr })
 }
 
 // RegisterPprof mounts the standard net/http/pprof profiling handlers
