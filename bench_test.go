@@ -8,9 +8,11 @@ package repro
 
 import (
 	"io"
+	"net/http"
 	"testing"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/experiments"
 	"repro/internal/flight"
 	"repro/internal/metrics"
@@ -609,6 +611,65 @@ func BenchmarkE20FlightSample(b *testing.B) {
 		b.ReportMetric(row.RampRatio, "ramp_ratio")
 	})
 }
+
+// BenchmarkE21Resilience proves the chaos-hardening cost contract.
+//
+// Disabled gates the fault interceptor's disarmed hot path: a
+// chaos.Transport with no rules armed must add one atomic load and
+// ZERO heap allocations per request over its base transport — CI greps
+// its allocs/op, so a regression that makes every inter-node RPC in a
+// production cluster allocate fails the build. E21 regenerates the
+// full chaos-resilience scenario and reports its row: the overhead
+// halves (paired stripped-vs-hardened QPS, the ≤2% benchcheck gate)
+// and the armed-chaos narrative (zero client errors, honest degraded
+// coverage, breakers opening and re-closing).
+func BenchmarkE21Resilience(b *testing.B) {
+	b.Run("Disabled", func(b *testing.B) {
+		resp := &http.Response{StatusCode: http.StatusOK, Body: http.NoBody}
+		tr := &chaos.Transport{F: chaos.New(), Base: nopTransport{resp: resp}}
+		req, err := http.NewRequest(http.MethodPost, "http://peer:9999/v1/partials", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := tr.RoundTrip(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("E21", func(b *testing.B) {
+		var row experiments.E21Row
+		var err error
+		for i := 0; i < b.N; i++ {
+			row, err = experiments.E21ChaosResilience(20_000, 8, 600)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(row.BaselineQPS, "baseline_qps")
+		b.ReportMetric(row.ChaosQPS, "chaos_qps")
+		b.ReportMetric(row.OverheadPct, "overhead_pct")
+		b.ReportMetric(float64(row.Hedges), "hedges")
+		b.ReportMetric(float64(row.ClientErrors), "client_errors")
+		b.ReportMetric(float64(row.Degraded), "degraded")
+		b.ReportMetric(row.MinCoverage, "min_coverage")
+		b.ReportMetric(row.MaxCoverage, "max_coverage")
+		b.ReportMetric(row.HonestyErrPct, "honesty_err_pct")
+		b.ReportMetric(row.ChaosP99MS, "chaos_p99_ms")
+		b.ReportMetric(float64(row.RPCRetries), "rpc_retries")
+		b.ReportMetric(boolMetric(row.BreakerOpened), "breaker_opened")
+		b.ReportMetric(boolMetric(row.BreakerReclosed), "breaker_reclosed")
+		b.ReportMetric(float64(row.RecoverMS), "recover_ms")
+	})
+}
+
+// nopTransport returns a canned response: the Disabled sub-bench
+// measures the chaos wrapper's own cost, not a real round trip's.
+type nopTransport struct{ resp *http.Response }
+
+func (t nopTransport) RoundTrip(*http.Request) (*http.Response, error) { return t.resp, nil }
 
 func boolMetric(v bool) float64 {
 	if v {

@@ -1,11 +1,12 @@
-// Command seabench runs the full experiment suite (E1-E20 and ablations
+// Command seabench runs the full experiment suite (E1-E21 and ablations
 // A1-A5 from DESIGN.md) at configurable scale and prints one table per
 // experiment — the rows EXPERIMENTS.md records. Metrics are virtual
 // simulator units (see internal/metrics), except E13 (concurrent
 // serving), E14 (distributed cluster), E15 (live data plane), E16
 // (vectorized execution), E17 (serving hot path), E18 (tracing
-// overhead + accuracy audit), E19 (cluster introspection) and E20
-// (flight recorder) which measure real wall-clock behaviour.
+// overhead + accuracy audit), E19 (cluster introspection), E20
+// (flight recorder) and E21 (chaos resilience) which measure real
+// wall-clock behaviour.
 //
 // With -json every experiment emits machine-readable rows instead of
 // tables, one JSON object per line:
@@ -486,6 +487,29 @@ func run(scale, only string, jsonOut bool) error {
 				r.AnomalyMetric, r.AnomalyZ, r.SLOState,
 				r.TriggersFirstWindow, r.Triggers, r.Suppressed,
 				r.BundleFiles, r.RampRatio, r.HiPoints, r.LoPoints, r.ExemplarTraceID)
+		}
+	}
+
+	if want("E21") {
+		// Chaos resilience: the hardened RPC plane's overhead with chaos
+		// disarmed (per-query paired A/B latency ratio, CI-gated at
+		// <=2%), then the armed narrative — blackholed + slow/flaky
+		// peers, zero client-visible errors, honest degraded coverage,
+		// breaker opens and re-closes after the rules clear.
+		r, err := experiments.E21ChaosResilience(pick(8_000, 20_000),
+			pick(4, 8), pick(600, 900))
+		if err != nil {
+			return err
+		}
+		if !em.emit("E21", r) {
+			fmt.Println("== E21: chaos resilience (deadlines, retries, breakers, hedges, degradation) ==")
+			fmt.Printf("overhead: baseline_qps=%.0f chaos_qps=%.0f drop=%.2f%% hedges=%d\n",
+				r.BaselineQPS, r.ChaosQPS, r.OverheadPct, r.Hedges)
+			fmt.Printf("narrative: queries=%d errors=%d degraded=%d coverage=[%.2f,%.2f] honesty_err=%.2f%% p99=%.0f->%.0fms retries=%d delayed=%d errored=%d blackholed=%d breaker_opened=%v reclosed=%v recover=%dms\n\n",
+				r.Queries, r.ClientErrors, r.Degraded, r.MinCoverage, r.MaxCoverage,
+				r.HonestyErrPct, r.BaseP99MS, r.ChaosP99MS, r.RPCRetries,
+				r.Delayed, r.Errored, r.Blackholed,
+				r.BreakerOpened, r.BreakerReclosed, r.RecoverMS)
 		}
 	}
 

@@ -1,0 +1,273 @@
+// Package chaos injects controlled faults into inter-node HTTP
+// traffic so the resilience layer can be exercised deterministically:
+// added latency with jitter, injected error responses, connection
+// resets, full partitions (blackholes) and slow-drip response bodies.
+//
+// A Fault holds a rule set and plugs into an http.Client as a
+// Transport wrapper. Disabled cost is one atomic load per request —
+// the production path pays nothing until an operator (or a test)
+// installs rules, typically via POST /v1/debug/chaos.
+//
+// Rule grammar: each rule targets a peer (host substring, "" = every
+// peer) and an endpoint (URL path prefix, "" = every path). The first
+// matching rule applies; later rules are not consulted. Within a rule
+// the effects compose in a fixed order: blackhole (request never
+// arrives — the caller blocks until its own deadline), then latency ±
+// jitter, then connection reset, then injected HTTP 500, then the
+// slow-drip body wrapper on an otherwise-real response.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Rule is one fault-injection directive.
+type Rule struct {
+	// Peer selects target peers by substring match on the request's
+	// host:port (empty = every peer). Scheme prefixes are ignored, so
+	// a node URL like "http://127.0.0.1:4071" works verbatim.
+	Peer string `json:"peer,omitempty"`
+	// Endpoint selects target endpoints by URL path prefix (empty =
+	// every endpoint), e.g. "/v1/partials".
+	Endpoint string `json:"endpoint,omitempty"`
+	// LatencyMS delays matching requests; JitterMS adds a uniform
+	// random extra in [0, JitterMS).
+	LatencyMS int `json:"latency_ms,omitempty"`
+	JitterMS  int `json:"jitter_ms,omitempty"`
+	// ErrorRate is the fraction [0,1] of matching requests answered
+	// with an injected HTTP 500 instead of reaching the peer.
+	ErrorRate float64 `json:"error_rate,omitempty"`
+	// ResetRate is the fraction [0,1] of matching requests that fail
+	// with a transport-level connection reset.
+	ResetRate float64 `json:"reset_rate,omitempty"`
+	// Blackhole drops matching requests entirely: the caller blocks
+	// until its own context deadline, exactly like a network partition.
+	Blackhole bool `json:"blackhole,omitempty"`
+	// DripMS slows the response body to a drip: every Read of the body
+	// sleeps this many milliseconds first.
+	DripMS int `json:"drip_ms,omitempty"`
+}
+
+// matches reports whether the rule applies to host/path.
+func (r Rule) matches(host, path string) bool {
+	if r.Peer != "" {
+		p := strings.TrimPrefix(strings.TrimPrefix(r.Peer, "http://"), "https://")
+		p = strings.TrimSuffix(p, "/")
+		if !strings.Contains(host, p) {
+			return false
+		}
+	}
+	return r.Endpoint == "" || strings.HasPrefix(path, r.Endpoint)
+}
+
+// Stats counts the faults a Fault has injected since creation.
+type Stats struct {
+	Delayed     int64 `json:"delayed"`
+	Errored     int64 `json:"errored"`
+	Reset       int64 `json:"reset"`
+	Blackholed  int64 `json:"blackholed"`
+	Dripped     int64 `json:"dripped"`
+	Passthrough int64 `json:"passthrough"`
+}
+
+// Fault is a togglable rule set. The zero value is ready to use and
+// disabled; Set arms it, Clear disarms it.
+type Fault struct {
+	enabled atomic.Bool
+	mu      sync.RWMutex
+	rules   []Rule
+
+	delayed     atomic.Int64
+	errored     atomic.Int64
+	reset       atomic.Int64
+	blackholed  atomic.Int64
+	dripped     atomic.Int64
+	passthrough atomic.Int64
+}
+
+// New returns a disabled Fault.
+func New() *Fault { return &Fault{} }
+
+// Set installs rules and arms the fault (an empty set disarms it).
+func (f *Fault) Set(rules []Rule) {
+	f.mu.Lock()
+	f.rules = append([]Rule(nil), rules...)
+	f.mu.Unlock()
+	f.enabled.Store(len(rules) > 0)
+}
+
+// Clear removes every rule and disarms the fault.
+func (f *Fault) Clear() { f.Set(nil) }
+
+// Enabled reports whether any rules are armed.
+func (f *Fault) Enabled() bool { return f.enabled.Load() }
+
+// Rules returns a copy of the armed rule set.
+func (f *Fault) Rules() []Rule {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return append([]Rule(nil), f.rules...)
+}
+
+// Stats returns the injected-fault counters.
+func (f *Fault) Stats() Stats {
+	return Stats{
+		Delayed:     f.delayed.Load(),
+		Errored:     f.errored.Load(),
+		Reset:       f.reset.Load(),
+		Blackholed:  f.blackholed.Load(),
+		Dripped:     f.dripped.Load(),
+		Passthrough: f.passthrough.Load(),
+	}
+}
+
+// match returns the first armed rule applying to host/path.
+func (f *Fault) match(host, path string) (Rule, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for _, r := range f.rules {
+		if r.matches(host, path) {
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+// ErrReset is the transport-level error an injected connection reset
+// surfaces (mirrors a peer's RST mid-exchange).
+type errReset struct{ host string }
+
+func (e errReset) Error() string { return "chaos: connection reset by " + e.host }
+
+// Transport wraps a base RoundTripper with fault injection. Base may
+// be nil (http.DefaultTransport). With a nil or disabled Fault the
+// wrapper costs one nil check plus one atomic load per request.
+type Transport struct {
+	Base http.RoundTripper
+	F    *Fault
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if t.F == nil || !t.F.enabled.Load() {
+		return base.RoundTrip(req)
+	}
+	rule, ok := t.F.match(req.URL.Host, req.URL.Path)
+	if !ok {
+		t.F.passthrough.Add(1)
+		return base.RoundTrip(req)
+	}
+	ctx := req.Context()
+	if rule.Blackhole {
+		t.F.blackholed.Add(1)
+		// A partitioned peer never answers: burn the caller's whole
+		// budget, exactly like dropped packets would.
+		closeReq(req)
+		<-ctx.Done()
+		return nil, fmt.Errorf("chaos: blackhole to %s: %w", req.URL.Host, ctx.Err())
+	}
+	if d := ruleDelay(rule); d > 0 {
+		t.F.delayed.Add(1)
+		if err := sleepCtx(ctx, d); err != nil {
+			closeReq(req)
+			return nil, fmt.Errorf("chaos: delayed to death: %w", err)
+		}
+	}
+	if rule.ResetRate > 0 && rand.Float64() < rule.ResetRate {
+		t.F.reset.Add(1)
+		closeReq(req)
+		return nil, errReset{host: req.URL.Host}
+	}
+	if rule.ErrorRate > 0 && rand.Float64() < rule.ErrorRate {
+		t.F.errored.Add(1)
+		closeReq(req)
+		return injectedError(req), nil
+	}
+	resp, err := base.RoundTrip(req)
+	if err == nil && rule.DripMS > 0 {
+		t.F.dripped.Add(1)
+		resp.Body = &dripBody{rc: resp.Body, delay: time.Duration(rule.DripMS) * time.Millisecond, ctx: ctx}
+	}
+	return resp, err
+}
+
+// ruleDelay computes latency ± jitter for one request.
+func ruleDelay(r Rule) time.Duration {
+	d := time.Duration(r.LatencyMS) * time.Millisecond
+	if r.JitterMS > 0 {
+		d += time.Duration(rand.Int64N(int64(r.JitterMS))) * time.Millisecond
+	}
+	return d
+}
+
+// sleepCtx sleeps d or returns the context's error, whichever first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	tm := time.NewTimer(d)
+	defer tm.Stop()
+	select {
+	case <-tm.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// closeReq honours the RoundTripper contract: the request body must be
+// closed even when the request never reaches a real transport.
+func closeReq(req *http.Request) {
+	if req.Body != nil {
+		_ = req.Body.Close()
+	}
+}
+
+// injectedError fabricates the HTTP 500 a misbehaving-but-reachable
+// peer would return.
+func injectedError(req *http.Request) *http.Response {
+	const body = `{"error":"chaos: injected error"}` + "\n"
+	h := make(http.Header, 1)
+	h.Set("Content-Type", "application/json")
+	return &http.Response{
+		Status:        "500 chaos injected",
+		StatusCode:    http.StatusInternalServerError,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// dripBody delivers an underlying body one delayed Read at a time.
+type dripBody struct {
+	rc    io.ReadCloser
+	delay time.Duration
+	ctx   context.Context
+}
+
+func (d *dripBody) Read(p []byte) (int, error) {
+	if err := sleepCtx(d.ctx, d.delay); err != nil {
+		return 0, err
+	}
+	// Cap the chunk so large bodies take many delayed reads — that is
+	// the point of a drip.
+	if len(p) > 512 {
+		p = p[:512]
+	}
+	return d.rc.Read(p)
+}
+
+func (d *dripBody) Close() error { return d.rc.Close() }

@@ -1,0 +1,223 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// get issues one GET through a chaos Transport against the test server.
+func get(t *testing.T, hc *http.Client, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hc.Do(req)
+}
+
+func TestRuleMatchingFirstWins(t *testing.T) {
+	f := New()
+	f.Set([]Rule{
+		{Peer: "127.0.0.1", Endpoint: "/v1/partials", ErrorRate: 1},
+		{Endpoint: "/v1/partials", LatencyMS: 1}, // shadowed by the first rule
+	})
+	r, ok := f.match("127.0.0.1:4071", "/v1/partials")
+	if !ok || r.ErrorRate != 1 {
+		t.Fatalf("first rule should win: got %+v ok=%v", r, ok)
+	}
+	// Scheme-prefixed peer selectors (node base URLs pasted verbatim)
+	// must match the bare host:port the request carries.
+	f.Set([]Rule{{Peer: "http://127.0.0.1:4071/", ErrorRate: 1}})
+	if _, ok := f.match("127.0.0.1:4071", "/healthz"); !ok {
+		t.Fatal("URL-shaped peer selector did not match its host")
+	}
+	if _, ok := f.match("10.0.0.9:4071", "/healthz"); ok {
+		t.Fatal("peer selector matched a different host")
+	}
+	// Endpoint is a path prefix, not a substring.
+	f.Set([]Rule{{Endpoint: "/v1/partials"}})
+	if _, ok := f.match("h", "/v2/v1/partials"); ok {
+		t.Fatal("endpoint prefix matched mid-path")
+	}
+}
+
+func TestInjectedErrorAndStats(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "real")
+	}))
+	defer srv.Close()
+	f := New()
+	hc := &http.Client{Transport: &Transport{F: f}}
+
+	// Disabled: everything passes through untouched, nothing counted.
+	resp, err := get(t, hc, srv.URL+"/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "real" {
+		t.Fatalf("disabled fault altered the response: %q", body)
+	}
+	if st := f.Stats(); st != (Stats{}) {
+		t.Fatalf("disabled fault counted something: %+v", st)
+	}
+
+	// ErrorRate 1: every request answers with the injected 500.
+	f.Set([]Rule{{ErrorRate: 1}})
+	resp, err = get(t, hc, srv.URL+"/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("injected status = %d, want 500", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "chaos") {
+		t.Fatalf("injected body %q does not name chaos", body)
+	}
+	if st := f.Stats(); st.Errored != 1 {
+		t.Fatalf("errored count = %d, want 1", st.Errored)
+	}
+
+	// Clear disarms: back to the real response.
+	f.Clear()
+	if f.Enabled() {
+		t.Fatal("Clear left the fault enabled")
+	}
+	resp, err = get(t, hc, srv.URL+"/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cleared fault still injecting: %d", resp.StatusCode)
+	}
+}
+
+func TestLatencyDelaysRequest(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	f := New()
+	f.Set([]Rule{{LatencyMS: 30}})
+	hc := &http.Client{Transport: &Transport{F: f}}
+	start := time.Now()
+	resp, err := get(t, hc, srv.URL+"/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("request returned in %v, want >= 30ms injected latency", d)
+	}
+	if st := f.Stats(); st.Delayed != 1 {
+		t.Fatalf("delayed count = %d, want 1", st.Delayed)
+	}
+}
+
+func TestBlackholeBlocksUntilCallerDeadline(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("blackholed request reached the server")
+	}))
+	defer srv.Close()
+	f := New()
+	f.Set([]Rule{{Blackhole: true}})
+	hc := &http.Client{Transport: &Transport{F: f}}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := hc.Do(req); err == nil {
+		t.Fatal("blackholed request succeeded")
+	} else if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blackhole error = %v, want the caller's deadline", err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("blackhole returned in %v, before the caller's deadline", d)
+	}
+	if st := f.Stats(); st.Blackholed != 1 {
+		t.Fatalf("blackholed count = %d, want 1", st.Blackholed)
+	}
+}
+
+func TestDripBodySlowsReads(t *testing.T) {
+	payload := strings.Repeat("x", 2048) // > 4 drip chunks of 512 bytes
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer srv.Close()
+	f := New()
+	f.Set([]Rule{{DripMS: 5}})
+	hc := &http.Client{Transport: &Transport{F: f}}
+	resp, err := get(t, hc, srv.URL+"/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	start := time.Now()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != payload {
+		t.Fatalf("dripped body corrupted: %d bytes", len(body))
+	}
+	// 2048 bytes at <=512/read is at least 4 reads of >=5ms each.
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("dripped 2048 bytes in %v, want >= 20ms", d)
+	}
+	if st := f.Stats(); st.Dripped != 1 {
+		t.Fatalf("dripped count = %d, want 1", st.Dripped)
+	}
+}
+
+// TestConcurrentToggleAndTraffic races runtime rule toggles (the
+// POST /v1/debug/chaos path) against in-flight requests — the -race
+// contract of the interceptor.
+func TestConcurrentToggleAndTraffic(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	f := New()
+	hc := &http.Client{Transport: &Transport{F: f}}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(100 * time.Microsecond):
+			}
+			if i%2 == 0 {
+				f.Set([]Rule{{Endpoint: "/v1/partials", ErrorRate: 0.5}})
+			} else {
+				f.Clear()
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		resp, err := get(t, hc, srv.URL+"/v1/query")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("untargeted endpoint got injected fault: %d", resp.StatusCode)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

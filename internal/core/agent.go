@@ -46,6 +46,8 @@ var ErrNoOracle = errors.New("core: no oracle configured")
 
 // Oracle answers queries exactly (at full BDAS cost). internal/exec
 // provides implementations over both execution paradigms.
+// Implementations must be safe for concurrent calls: the agent invokes
+// Answer outside its own lock so concurrent fallbacks overlap.
 type Oracle interface {
 	// Answer returns the exact result and the cost of computing it.
 	Answer(q query.Query) (query.Result, metrics.Cost, error)
@@ -228,6 +230,12 @@ type Answer struct {
 	// Cost is the full cost charged for this answer: base-data work for
 	// exact answers, a model inference for predictions.
 	Cost metrics.Cost
+	// Degraded marks an exact answer whose scatter covered only part of
+	// the partition space (some holders unreachable); Coverage is the
+	// contributing fraction. Degraded answers are never learned from,
+	// cached, or audited — they are best-effort estimates, not truth.
+	Degraded bool
+	Coverage float64
 }
 
 // Stats aggregates the agent's lifetime behaviour.
@@ -257,10 +265,13 @@ func (s Stats) PredictionRate() float64 {
 // Agent is the SEA intelligent agent. It is safe for concurrent use: the
 // model-prediction path (the common case once trained) runs under a
 // shared read lock so many goroutines predict in parallel, while
-// oracle fallbacks, training and maintenance serialise under the write
-// lock. The exact oracle is therefore only ever called by one goroutine
-// at a time, so oracle implementations need not be thread-safe — but
-// Oracle.DataVersion must tolerate concurrent read-only calls.
+// training folds and maintenance serialise under the write lock. The
+// exact oracle is called WITHOUT the lock held — a slow scan (a
+// distributed oracle with stalled or partitioned peers can take the
+// full RPC timeout plus retries) must not serialise the rest of the
+// query plane — so Oracle implementations must be safe for concurrent
+// Answer and DataVersion calls. Every oracle in this repo is: they are
+// stateless adapters over copy-on-write storage reads.
 type Agent struct {
 	// mu orders structural access: prediction paths hold it for reading,
 	// anything that trains, spawns quanta or invalidates models holds it
@@ -509,8 +520,6 @@ func (a *Agent) AnswerSpan(q query.Query, sp *trace.Span) (Answer, error) {
 	}
 	fsp := sp.Child("fallback")
 	defer fsp.End()
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	return a.answerSlow(q, fsp)
 }
 
@@ -576,11 +585,17 @@ func (a *Agent) TryPredict(q query.Query) (Answer, bool) {
 	return ans, true
 }
 
-// answerSlow is the full Fig. 2 pipeline under the write lock. It
-// re-runs the prediction checks (conditions may have shifted between a
-// failed TryPredict and lock acquisition) and otherwise takes the exact
-// path: oracle, then fold the fresh (query, answer) pair into the model.
+// answerSlow is the full Fig. 2 pipeline. The decision phase (change
+// detection, quantiser update, model lookup, re-running the prediction
+// checks — conditions may have shifted between a failed TryPredict and
+// lock acquisition) runs under the write lock, but the lock is RELEASED
+// around the oracle call itself: an exact scan — seconds of I/O on a
+// distributed oracle whose peers are slow or partitioned — must not
+// serialise the node's whole query plane behind it. The learning fold
+// re-acquires the lock afterwards and is skipped if the base data moved
+// during the unlocked scan (the pair would be stale).
 func (a *Agent) answerSlow(q query.Query, sp *trace.Span) (Answer, error) {
+	a.mu.Lock()
 	a.maybeDetectDataChange()
 	feat := a.features(q)
 	qfeat := a.quantFeatures(q)
@@ -621,6 +636,7 @@ func (a *Agent) answerSlow(q query.Query, sp *trace.Span) (Answer, error) {
 			FreshRows: a.freshRows[quantum],
 			Cost:      metrics.Cost{Time: a.cfg.PredictCPU, CPUTime: a.cfg.PredictCPU},
 		}
+		a.mu.Unlock()
 		a.statsMu.Lock()
 		a.stats.Queries++
 		a.stats.Predicted++
@@ -634,15 +650,21 @@ func (a *Agent) answerSlow(q query.Query, sp *trace.Span) (Answer, error) {
 	// keep training the quantiser too, so shifted interest regions grow
 	// their own quanta over time (RT1.4(i) drift adaptation).
 	if a.oracle == nil {
+		a.mu.Unlock()
 		return Answer{}, ErrNoOracle
 	}
 	if !inTraining {
 		newQuantum := a.quantizer.Observe(qfeat)
 		if newQuantum != quantum {
 			quantum = newQuantum
-			m = a.model(k, quantum)
 		}
 	}
+	verBefore := a.oracle.DataVersion()
+	// Len() reads quantizer state, so snapshot it before releasing the
+	// lock: the stats blocks below run unlocked.
+	quanta := a.quantizer.Len()
+	a.mu.Unlock()
+
 	osp := sp.Child("oracle")
 	var res query.Result
 	var cost metrics.Cost
@@ -658,28 +680,64 @@ func (a *Agent) answerSlow(q query.Query, sp *trace.Span) (Answer, error) {
 	}
 	osp.SetAttrInt("rows_read", cost.RowsRead)
 	osp.SetAttrInt("nodes", int64(cost.NodesTouched))
-	pred := m.correct(q.Aggregate, invTransform(q.Aggregate, m.rls.Predict(feat)))
-	if m.n > 0 {
-		m.observeResidual(normError(q.Aggregate, pred, res.Value))
-		// Continuous accuracy audit, free half: the truth is already in
-		// hand, so record predicted-vs-truth for every fallback whose
-		// model had support ("could have been predicted").
-		if a.audit != nil {
-			a.audit(q.Aggregate, pred, res.Value)
+	if res.Degraded {
+		// A degraded merge is an extrapolation, not ground truth:
+		// training the model, auditing, or re-anchoring growth against
+		// it would bake a partial-coverage estimate into everything the
+		// agent later predicts. Serve it and learn nothing.
+		ans := Answer{
+			Value:    res.Value,
+			Quantum:  quantum,
+			Cost:     cost,
+			Degraded: true,
+			Coverage: res.Coverage,
 		}
+		a.statsMu.Lock()
+		a.stats.Queries++
+		a.stats.Exact++
+		a.stats.TotalCost = a.stats.TotalCost.Add(cost)
+		a.stats.OracleCost = a.stats.OracleCost.Add(cost)
+		a.stats.Quanta = quanta
+		a.statsMu.Unlock()
+		return ans, nil
 	}
-	m.rls.Observe(feat, transformTarget(q.Aggregate, res.Value))
-	m.n++
-	m.storeRecent(a.cfg.RecentQueries, feat, q.Select)
-	if additive(q.Aggregate) && m.growth != 0 {
-		// Exact answer in hand: re-anchor the incremental growth
-		// correction against the freshly updated raw model.
-		raw := invTransform(q.Aggregate, m.rls.Predict(feat))
-		m.reanchorGrowth(raw, res.Value)
+
+	a.mu.Lock()
+	// Fold the (query, answer) pair in only if the base data sat still
+	// for the unlocked scan (incremental maintenance absorbs mid-scan
+	// movement instead of invalidating, so it keeps learning): a pair
+	// scanned across a version bump would train the model on an answer
+	// no current version produces. The answer itself is still served —
+	// it was exact for the data as of the scan.
+	if a.oracle.DataVersion() == verBefore || a.incremental() {
+		// Re-fetch the model: an invalidation or spawn during the scan
+		// may have replaced the slot this quantum maps to.
+		m = a.model(k, quantum)
+		pred := m.correct(q.Aggregate, invTransform(q.Aggregate, m.rls.Predict(feat)))
+		if m.n > 0 {
+			m.observeResidual(normError(q.Aggregate, pred, res.Value))
+			// Continuous accuracy audit, free half: the truth is already
+			// in hand, so record predicted-vs-truth for every fallback
+			// whose model had support ("could have been predicted").
+			if a.audit != nil {
+				a.audit(q.Aggregate, pred, res.Value)
+			}
+		}
+		m.rls.Observe(feat, transformTarget(q.Aggregate, res.Value))
+		m.n++
+		m.storeRecent(a.cfg.RecentQueries, feat, q.Select)
+		if additive(q.Aggregate) && m.growth != 0 {
+			// Exact answer in hand: re-anchor the incremental growth
+			// correction against the freshly updated raw model.
+			raw := invTransform(q.Aggregate, m.rls.Predict(feat))
+			m.reanchorGrowth(raw, res.Value)
+		}
+		// The quantum just saw ground truth: its staleness clock restarts
+		// (freshRows feeds Answer.FreshRows / the wire's stale_rows).
+		delete(a.freshRows, quantum)
 	}
-	// The quantum just saw ground truth: its staleness clock restarts
-	// (freshRows feeds Answer.FreshRows / the wire's stale_rows).
-	delete(a.freshRows, quantum)
+	quanta = a.quantizer.Len()
+	a.mu.Unlock()
 
 	ans := Answer{
 		Value:   res.Value,
@@ -691,7 +749,7 @@ func (a *Agent) answerSlow(q query.Query, sp *trace.Span) (Answer, error) {
 	a.stats.Exact++
 	a.stats.TotalCost = a.stats.TotalCost.Add(cost)
 	a.stats.OracleCost = a.stats.OracleCost.Add(cost)
-	a.stats.Quanta = a.quantizer.Len()
+	a.stats.Quanta = quanta
 	a.statsMu.Unlock()
 	return ans, nil
 }
@@ -896,6 +954,12 @@ func (a *Agent) ExactProbe(q query.Query) (float64, error) {
 	res, _, err := a.oracle.Answer(q)
 	if err != nil {
 		return 0, fmt.Errorf("core: probe oracle: %w", err)
+	}
+	if res.Degraded {
+		// A partial-coverage merge is not ground truth; auditing a
+		// model against it would charge the model with the scatter
+		// layer's missing partitions.
+		return 0, fmt.Errorf("core: probe oracle: degraded answer (coverage %.2f)", res.Coverage)
 	}
 	return res.Value, nil
 }

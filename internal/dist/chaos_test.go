@@ -1,0 +1,395 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/serve"
+)
+
+// postJSON posts v to url and returns the status code and decoded body.
+func postJSON(t *testing.T, url string, v any, out any) int {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		_ = json.NewDecoder(resp.Body).Decode(out)
+	}
+	return resp.StatusCode
+}
+
+// TestBreakerLifecycle walks one breaker through closed -> open ->
+// half-open -> closed, including the probe-failure re-open and the
+// single-probe admission rule.
+func TestBreakerLifecycle(t *testing.T) {
+	cfg := breakerConfig{minVolume: 4, failureRate: 0.5, openFor: time.Second}
+	b := newBreaker(cfg)
+	now := time.Now()
+
+	for i := 0; i < 4; i++ {
+		if !b.allow(now) {
+			t.Fatalf("closed breaker rejected call %d", i)
+		}
+		b.failure(now)
+	}
+	if got := b.snapshot(); got != breakerOpen {
+		t.Fatalf("after %d failures state = %s, want open", 4, breakerStateName(got))
+	}
+	if b.allow(now) {
+		t.Fatal("open breaker admitted a call before openFor elapsed")
+	}
+
+	probeAt := now.Add(cfg.openFor + time.Millisecond)
+	if !b.allow(probeAt) {
+		t.Fatal("breaker did not admit the half-open probe after openFor")
+	}
+	if got := b.snapshot(); got != breakerHalfOpen {
+		t.Fatalf("state = %s, want half-open", breakerStateName(got))
+	}
+	if b.allow(probeAt) {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.failure(probeAt)
+	if got := b.snapshot(); got != breakerOpen {
+		t.Fatalf("probe failure left state %s, want open", breakerStateName(got))
+	}
+
+	probe2 := probeAt.Add(cfg.openFor + time.Millisecond)
+	if !b.allow(probe2) {
+		t.Fatal("re-opened breaker did not admit a second probe")
+	}
+	b.success(probe2)
+	if got := b.snapshot(); got != breakerClosed {
+		t.Fatalf("probe success left state %s, want closed", breakerStateName(got))
+	}
+	if !b.allow(probe2) {
+		t.Fatal("closed breaker rejected a call after recovery")
+	}
+}
+
+// fakeTimeout satisfies net.Error with Timeout() == true: the shape of
+// a blackholed or wedged peer's failure as seen through http.Client.
+type fakeTimeout struct{}
+
+func (fakeTimeout) Error() string   { return "fake: i/o timeout" }
+func (fakeTimeout) Timeout() bool   { return true }
+func (fakeTimeout) Temporary() bool { return true }
+
+// TestBreakerVetoesAlivePeer: the breaker trips on unreachability —
+// timeouts, where every attempt costs the full RPC timeout — and vetoes
+// the peer in health.available. HTTP error statuses feed neither the
+// quarantine (the peer answered, it is alive) nor the breaker (the
+// retry layer masks them at per-request cost), so a 500-bursting peer
+// stays admitted.
+func TestBreakerVetoesAlivePeer(t *testing.T) {
+	h := newHealth(time.Hour, time.Second,
+		breakerConfig{minVolume: 4, failureRate: 0.5, openFor: time.Hour})
+	url := "http://127.0.0.1:1"
+	for i := 0; i < 8; i++ {
+		h.observe(url, fmt.Errorf("%w: HTTP 500", errPeerResponded))
+	}
+	if !h.available(url) {
+		t.Fatal("peer answering with error statuses was vetoed: 500s must not trip the breaker")
+	}
+	for i := 0; i < 4; i++ {
+		h.observe(url, fakeTimeout{})
+	}
+	if h.available(url) {
+		t.Fatal("peer timing out 100% of calls still admitted by available()")
+	}
+	if got := h.worstBreaker(); got != breakerOpen {
+		t.Fatalf("worstBreaker = %d, want open", got)
+	}
+	states := h.breakerStates()
+	if states[url] != "open" {
+		t.Fatalf("breakerStates[%s] = %q, want open", url, states[url])
+	}
+}
+
+// TestScatterDegradesWhenHoldersGone: with replication 1, killing a
+// member makes its partitions unreachable; the exact path must then
+// return an honest degraded answer over the covered partitions instead
+// of failing — and must fail when NoDegrade opts out.
+func TestScatterDegradesWhenHoldersGone(t *testing.T) {
+	agentCfg := core.DefaultConfig(2)
+	agentCfg.TrainingQueries = 1 << 30 // never predict: every answer is exact
+	rows := testRows(2_000, 11)
+	lc, err := StartLocal(2, Config{
+		Agent:       agentCfg,
+		Replicas:    1,
+		RetryBudget: -1, // no retries: a gone holder is gone, fail over fast
+		AnswerCache: -1, // the post-kill query must recompute, not hit cache
+		Timeout:     500 * time.Millisecond,
+	}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lc.Close)
+
+	n0 := lc.Node("n0")
+	q := aggStreams(7)[0].Next() // COUNT
+
+	// Healthy cluster: full coverage, not degraded.
+	ans, err := n0.Answer("", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Degraded || ans.Coverage != 0 {
+		t.Fatalf("healthy answer flagged degraded (coverage %v)", ans.Coverage)
+	}
+
+	lc.Kill("n1")
+	ans, err = n0.Answer("", q)
+	if err != nil {
+		t.Fatalf("scatter with dead holders should degrade, got error: %v", err)
+	}
+	if !ans.Degraded {
+		t.Fatal("answer with unreachable partitions not flagged degraded")
+	}
+	if ans.Coverage <= 0 || ans.Coverage >= 1 {
+		t.Fatalf("degraded coverage = %v, want in (0,1)", ans.Coverage)
+	}
+	if got := n0.Pool().Recorder().Snapshot().DegradedAnswers; got == 0 {
+		t.Fatal("degraded_answers counter not incremented")
+	}
+	st := n0.NodeStatus()
+	if st.Resilience.DegradedAnswers == 0 {
+		t.Fatal("resilience status missing degraded answers")
+	}
+}
+
+// TestScatterNoDegradeFailsHard: the NoDegrade opt-out restores the old
+// fail-the-query behaviour.
+func TestScatterNoDegradeFailsHard(t *testing.T) {
+	agentCfg := core.DefaultConfig(2)
+	agentCfg.TrainingQueries = 1 << 30
+	rows := testRows(2_000, 11)
+	lc, err := StartLocal(2, Config{
+		Agent:       agentCfg,
+		Replicas:    1,
+		RetryBudget: -1,
+		NoDegrade:   true,
+		Timeout:     500 * time.Millisecond,
+	}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lc.Close)
+	lc.Kill("n1")
+	if _, err := lc.Node("n0").Answer("", aggStreams(7)[0].Next()); err == nil {
+		t.Fatal("NoDegrade cluster answered despite unreachable partitions")
+	}
+}
+
+// TestDeadlineRefusedServerSide: every RPC handler refuses a
+// dead-on-arrival propagated deadline with HTTP 504 before doing work.
+func TestDeadlineRefusedServerSide(t *testing.T) {
+	agentCfg := core.DefaultConfig(2)
+	agentCfg.TrainingQueries = 1 << 30
+	lc, err := StartLocal(1, Config{Agent: agentCfg}, testRows(500, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lc.Close)
+	base := lc.URL("n0")
+	dead := time.Now().Add(-time.Second).UnixMilli()
+
+	wq := queryToWire(aggStreams(7)[0].Next(), "")
+	wq.DeadlineMS = dead
+	if code := postJSON(t, base+"/v1/query", wq, nil); code != http.StatusGatewayTimeout {
+		t.Fatalf("/v1/query DOA deadline: HTTP %d, want 504", code)
+	}
+	if code := postJSON(t, base+"/v1/partials", PartialsRequest{
+		Parts: []int{0}, Query: queryToWire(aggStreams(7)[0].Next(), ""), DeadlineMS: dead,
+	}, nil); code != http.StatusGatewayTimeout {
+		t.Fatalf("/v1/partials DOA deadline: HTTP %d, want 504", code)
+	}
+	if code := postJSON(t, base+"/v1/ingest", IngestRequest{
+		Rows: []WireRow{{Key: 1, Vec: []float64{1, 2, 3}}}, DeadlineMS: dead,
+	}, nil); code != http.StatusGatewayTimeout {
+		t.Fatalf("/v1/ingest DOA deadline: HTTP %d, want 504", code)
+	}
+
+	// A live deadline sails through.
+	wq.DeadlineMS = time.Now().Add(10 * time.Second).UnixMilli()
+	if code := postJSON(t, base+"/v1/query", wq, nil); code != http.StatusOK {
+		t.Fatalf("/v1/query live deadline: HTTP %d, want 200", code)
+	}
+}
+
+// TestHedgeFiresOnceAndCancelsLoser pins the hedging contract: a slow
+// primary triggers exactly one hedge RPC, the hedge's answer wins, the
+// primary's in-flight request is cancelled, and the hedge never counts
+// toward the message-minimal partials-sent counter.
+func TestHedgeFiresOnceAndCancelsLoser(t *testing.T) {
+	agentCfg := core.DefaultConfig(2)
+	agentCfg.TrainingQueries = 1 << 30
+	lc, err := StartLocal(1, Config{Agent: agentCfg}, testRows(200, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lc.Close)
+	n0 := lc.Node("n0")
+
+	partials := PartialsResponse{Node: "remote", Partials: []PartPartial{
+		{Part: 0, Partial: query.ZeroPartial(), Rows: 1},
+	}}
+	slowCanceled := make(chan struct{}, 1)
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body first: the server only notices a client
+		// disconnect (and fires r.Context) once the request body has
+		// been consumed — which every real handler does by decoding.
+		_, _ = io.ReadAll(r.Body)
+		select {
+		case <-r.Context().Done():
+			slowCanceled <- struct{}{}
+			return
+		case <-time.After(5 * time.Second):
+		}
+		serve.WriteJSON(w, http.StatusOK, partials)
+	}))
+	defer slow.Close()
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		serve.WriteJSON(w, http.StatusOK, partials)
+	}))
+	defer fast.Close()
+
+	n0.hedgeNs.Store(int64(5 * time.Millisecond))
+	sentBefore := n0.PartialRPCsSent()
+	resp, _, err := n0.fetchPartialsHedged(
+		slow.URL, fast.URL, []int{0}, queryToWire(aggStreams(7)[0].Next(), ""),
+		0, time.Time{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) != 1 || resp[0].Part != 0 {
+		t.Fatalf("unexpected hedged response: %+v", resp)
+	}
+	if got := n0.Pool().Recorder().Snapshot().Hedges; got != 1 {
+		t.Fatalf("hedges counter = %d, want exactly 1", got)
+	}
+	if got := n0.PartialRPCsSent(); got != sentBefore {
+		t.Fatalf("hedge RPC incremented partials-sent (%d -> %d)", sentBefore, got)
+	}
+	select {
+	case <-slowCanceled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("losing primary request was not cancelled")
+	}
+}
+
+// TestIngestIdempotentReplay: re-delivering a batch under the same
+// idempotency key replays the stored outcome instead of re-applying the
+// rows — the client-retry double-ingest guard.
+func TestIngestIdempotentReplay(t *testing.T) {
+	agentCfg := core.DefaultConfig(2)
+	agentCfg.TrainingQueries = 1 << 30
+	lc, err := StartLocal(1, Config{Agent: agentCfg}, testRows(100, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lc.Close)
+	n0 := lc.Node("n0")
+	base := lc.URL("n0")
+
+	req := IngestRequest{
+		Rows:    []WireRow{{Key: 42, Vec: []float64{1, 2, 3}}, {Key: 43, Vec: []float64{4, 5, 6}}},
+		IdemKey: "batch-1",
+	}
+	var first IngestResponse
+	if code := postJSON(t, base+"/v1/ingest", req, &first); code != http.StatusOK {
+		t.Fatalf("first ingest: HTTP %d", code)
+	}
+	if first.AckedRows != 2 {
+		t.Fatalf("first ingest acked %d rows, want 2", first.AckedRows)
+	}
+	rowsAfterFirst := n0.NodeStatus().RowsHeld
+
+	var second IngestResponse
+	if code := postJSON(t, base+"/v1/ingest", req, &second); code != http.StatusOK {
+		t.Fatalf("retried ingest: HTTP %d", code)
+	}
+	if second.AckedRows != 2 {
+		t.Fatalf("replayed ingest acked %d rows, want 2", second.AckedRows)
+	}
+	if got := n0.NodeStatus().RowsHeld; got != rowsAfterFirst {
+		t.Fatalf("idempotent retry re-applied rows: %d -> %d", rowsAfterFirst, got)
+	}
+	for i := range first.Parts {
+		if first.Parts[i].Seq != second.Parts[i].Seq {
+			t.Fatalf("replayed outcome differs: seq %d vs %d",
+				first.Parts[i].Seq, second.Parts[i].Seq)
+		}
+	}
+
+	// A distinct key is a distinct batch.
+	req.IdemKey = "batch-2"
+	if code := postJSON(t, base+"/v1/ingest", req, nil); code != http.StatusOK {
+		t.Fatal("third ingest failed")
+	}
+	if got := n0.NodeStatus().RowsHeld; got != rowsAfterFirst+2 {
+		t.Fatalf("new key did not apply: rows %d, want %d", got, rowsAfterFirst+2)
+	}
+}
+
+// TestChaosEndpointAndMaskedErrors arms injected faults through the
+// debug endpoint and asserts the resilience layer masks them: every
+// client query under a 30% injected error rate still succeeds with a
+// full-coverage answer, and the status plane reports the armed chaos.
+func TestChaosEndpointAndMaskedErrors(t *testing.T) {
+	lc, _ := exactCluster(t, 3)
+	rules := []chaos.Rule{{Endpoint: "/v1/partials", ErrorRate: 0.3}}
+	for _, id := range lc.IDs() {
+		var st chaosState
+		code := postJSON(t, lc.URL(id)+"/v1/debug/chaos",
+			chaosState{Enabled: true, Rules: rules}, &st)
+		if code != http.StatusOK || !st.Enabled {
+			t.Fatalf("arming chaos on %s: HTTP %d enabled=%v", id, code, st.Enabled)
+		}
+	}
+	client := lc.Client()
+	qs := aggStreams(900)[0]
+	for i := 0; i < 25; i++ {
+		ans, err := client.Answer(qs.Next())
+		if err != nil {
+			t.Fatalf("query %d under 30%% injected errors failed: %v", i, err)
+		}
+		if ans.Degraded {
+			t.Fatalf("query %d degraded despite live replicas", i)
+		}
+	}
+	// The faults really fired (otherwise this test proves nothing).
+	var injected int64
+	for _, id := range lc.IDs() {
+		injected += lc.Chaos(id).Stats().Errored
+	}
+	if injected == 0 {
+		t.Fatal("no faults injected at 30% error rate over 25 scattered queries")
+	}
+	st := lc.Node("n0").NodeStatus()
+	if !st.Resilience.ChaosEnabled {
+		t.Fatal("status plane does not report armed chaos")
+	}
+	// Disarm and verify.
+	var cleared chaosState
+	if code := postJSON(t, lc.URL("n0")+"/v1/debug/chaos",
+		chaosState{Enabled: false}, &cleared); code != http.StatusOK || cleared.Enabled {
+		t.Fatal("clearing chaos failed")
+	}
+}

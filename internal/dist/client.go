@@ -2,8 +2,11 @@ package dist
 
 import (
 	"bytes"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"time"
 
@@ -18,13 +21,20 @@ import (
 // query region) and fails over to the next replica — and then to any
 // other member — when a node is unreachable. One node dying mid-stream
 // is therefore invisible to callers: the request is retried elsewhere,
-// not surfaced as an error.
+// not surfaced as an error. Once every candidate has been tried, the
+// client re-walks the list under a bounded retry budget with
+// exponential backoff + jitter (transient storms heal in milliseconds;
+// a hard outage still fails fast once the budget is spent). Per-peer
+// circuit breakers shed calls to members failing at a sustained rate
+// even when they still answer /healthz.
 type Client struct {
 	ring     *Ring
 	urls     map[string]string
 	replicas int
 	hc       *http.Client
 	health   *health
+	budget   int
+	backoff  time.Duration
 	// Tenant is sent with every query for the nodes' admission control
 	// (empty = shared default tenant).
 	Tenant string
@@ -55,8 +65,10 @@ func NewClientVNodes(members map[string]string, replicas int, timeout time.Durat
 		ring:     NewRing(vnodes, ids...),
 		urls:     urls,
 		replicas: replicas,
-		hc:       newHTTPClient(timeout),
-		health:   newHealth(DefaultCooldown, timeout),
+		hc:       newHTTPClient(timeout, nil),
+		health:   newHealth(DefaultCooldown, timeout, breakerConfig{}),
+		budget:   DefaultRetryBudget,
+		backoff:  DefaultRetryBackoff,
 	}
 }
 
@@ -78,6 +90,34 @@ func (c *Client) AnswerNode(q query.Query) (core.Answer, string, error) {
 	return resp.Answer(), resp.Node, nil
 }
 
+// retryLoop drives walk — one full pass over the candidate list —
+// until it reports done, or the retry budget is exhausted, or the
+// deadline passes. Between passes the loop backs off exponentially
+// with up to +100% uniform jitter, clamped to the remaining deadline.
+func (c *Client) retryLoop(deadline time.Time, walk func() bool) {
+	backoff := c.backoff
+	for retries := 0; ; retries++ {
+		if walk() {
+			return
+		}
+		if retries >= c.budget {
+			return
+		}
+		d := backoff + time.Duration(rand.Int64N(int64(backoff)))
+		if !deadline.IsZero() {
+			left := time.Until(deadline)
+			if left <= 0 {
+				return
+			}
+			if d > left {
+				d = left
+			}
+		}
+		time.Sleep(d)
+		backoff *= 2
+	}
+}
+
 func (c *Client) answer(q query.Query) (QueryResponse, error) {
 	if err := q.Validate(); err != nil {
 		return QueryResponse{}, err
@@ -87,28 +127,48 @@ func (c *Client) answer(q query.Query) (QueryResponse, error) {
 		return QueryResponse{}, err
 	}
 	key := serve.Key(q)
-	var lastErr error
-	for _, id := range c.candidates(key) {
-		url := c.urls[id]
-		if !c.health.available(url) {
-			continue
-		}
-		resp, err := c.hc.Post(url+"/v1/query", "application/json", bytes.NewReader(body))
-		if err != nil {
+	var out QueryResponse
+	var lastErr, terminalErr error
+	ok := false
+	c.retryLoop(q.Deadline, func() bool {
+		for _, id := range c.candidates(key) {
+			url := c.urls[id]
+			if !c.health.available(url) {
+				continue
+			}
+			resp, err := c.hc.Post(url+"/v1/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				lastErr = err
+				c.health.observe(url, err)
+				continue
+			}
+			r, retryable, err := decodeAnswer(resp)
+			if err == nil {
+				c.health.observe(url, nil)
+				out, ok = r, true
+				return true
+			}
+			// The node responded, so it is alive — retry elsewhere for
+			// retryable failures but do not quarantine it. Server-side
+			// failures still count toward its breaker.
 			lastErr = err
-			c.health.markDownOn(url, err)
-			continue
+			if resp.StatusCode >= 500 {
+				c.health.observe(url, fmt.Errorf("%w: %v", errPeerResponded, err))
+			} else {
+				c.health.observe(url, nil)
+			}
+			if !retryable {
+				terminalErr = err
+				return true
+			}
 		}
-		out, retryable, err := decodeAnswer(resp)
-		if err == nil {
-			return out, nil
-		}
-		// The node responded, so it is alive — retry elsewhere for
-		// retryable failures but do not quarantine it.
-		lastErr = err
-		if !retryable {
-			return QueryResponse{}, err
-		}
+		return false
+	})
+	if ok {
+		return out, nil
+	}
+	if terminalErr != nil {
+		return QueryResponse{}, terminalErr
 	}
 	return QueryResponse{}, errAllReplicas("query "+key, lastErr)
 }
@@ -133,9 +193,11 @@ func (c *Client) candidates(key string) []string {
 
 // decodeAnswer parses one node response. retryable reports whether the
 // failure is worth trying on another replica (overload and server-side
-// failures are; malformed-query rejections are not).
+// failures are; malformed-query rejections and dead-on-arrival 504s
+// are not — a retried dead request arrives even deader). The body is
+// always drained so the keep-alive connection is reusable.
 func decodeAnswer(resp *http.Response) (QueryResponse, bool, error) {
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	if resp.StatusCode == http.StatusOK {
 		var out QueryResponse
 		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
@@ -148,54 +210,83 @@ func decodeAnswer(resp *http.Response) (QueryResponse, bool, error) {
 	}
 	_ = json.NewDecoder(resp.Body).Decode(&e)
 	err := fmt.Errorf("dist: HTTP %d: %s", resp.StatusCode, e.Error)
-	retryable := resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
+	retryable := (resp.StatusCode >= 500 && resp.StatusCode != http.StatusGatewayTimeout) ||
+		resp.StatusCode == http.StatusTooManyRequests
 	return QueryResponse{}, retryable, err
+}
+
+// newIdemKey mints a batch idempotency key: 16 random bytes, hex.
+func newIdemKey() string {
+	var b [16]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// Fall back to a time-derived key: uniqueness only has to hold
+		// across this client's recent batches.
+		return fmt.Sprintf("t-%d", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // Ingest appends a batch of rows through the cluster's replicated write
 // path (POST /v1/ingest). The entry node routes each row's partition
 // batch to its primary, which sequences it, replicates it to the ring
 // owners and acks at the write quorum; the response reports per-
-// partition outcomes. A transport error fails over to the next member —
-// but because the failed attempt may have partially applied before the
-// connection broke, callers that retry must tolerate duplicate rows.
-// Per-partition quorum failures are NOT retried here: they come back in
-// the response as unacked parts for the caller to decide about.
+// partition outcomes. A transport error fails over to the next member;
+// every attempt of one batch carries the same idempotency key, so a
+// primary that already applied the batch replays its stored outcome
+// instead of double-applying the rows. Per-partition quorum failures
+// are NOT retried here: they come back in the response as unacked
+// parts for the caller to decide about.
 func (c *Client) Ingest(rows []storage.Row) (IngestResponse, error) {
 	if len(rows) == 0 {
 		return IngestResponse{}, fmt.Errorf("dist: ingest needs rows")
 	}
-	body, err := json.Marshal(IngestRequest{Rows: rowsToWire(rows)})
+	body, err := json.Marshal(IngestRequest{Rows: rowsToWire(rows), IdemKey: newIdemKey()})
 	if err != nil {
 		return IngestResponse{}, err
 	}
+	var out IngestResponse
 	var lastErr error
-	for _, id := range c.ring.Nodes() {
-		url := c.urls[id]
-		if !c.health.available(url) {
-			continue
-		}
-		resp, err := c.hc.Post(url+"/v1/ingest", "application/json", bytes.NewReader(body))
-		if err != nil {
-			lastErr = err
-			c.health.markDownOn(url, err)
-			continue
-		}
-		var out IngestResponse
-		derr := json.NewDecoder(resp.Body).Decode(&out)
-		code := resp.StatusCode
-		resp.Body.Close()
-		if code != http.StatusOK {
-			lastErr = fmt.Errorf("dist: ingest via %s: HTTP %d", id, code)
-			if code == http.StatusBadRequest {
-				return IngestResponse{}, lastErr
+	ok := false
+	c.retryLoop(time.Time{}, func() bool {
+		for _, id := range c.ring.Nodes() {
+			url := c.urls[id]
+			if !c.health.available(url) {
+				continue
 			}
-			continue
+			resp, err := c.hc.Post(url+"/v1/ingest", "application/json", bytes.NewReader(body))
+			if err != nil {
+				lastErr = err
+				c.health.observe(url, err)
+				continue
+			}
+			var r IngestResponse
+			derr := json.NewDecoder(resp.Body).Decode(&r)
+			code := resp.StatusCode
+			drainClose(resp.Body)
+			if code != http.StatusOK {
+				lastErr = fmt.Errorf("dist: ingest via %s: HTTP %d", id, code)
+				if code >= 500 {
+					c.health.observe(url, fmt.Errorf("%w: %v", errPeerResponded, lastErr))
+				} else {
+					c.health.observe(url, nil)
+				}
+				if code == http.StatusBadRequest {
+					return true
+				}
+				continue
+			}
+			if derr != nil {
+				lastErr = derr
+				c.health.observe(url, nil)
+				continue
+			}
+			c.health.observe(url, nil)
+			out, ok = r, true
+			return true
 		}
-		if derr != nil {
-			lastErr = derr
-			continue
-		}
+		return false
+	})
+	if ok {
 		return out, nil
 	}
 	return IngestResponse{}, errAllReplicas("ingest", lastErr)
@@ -213,21 +304,24 @@ func (c *Client) Status() (ClusterStatus, error) {
 		resp, err := c.hc.Get(url + "/v1/cluster")
 		if err != nil {
 			lastErr = err
-			c.health.markDownOn(url, err)
+			c.health.observe(url, err)
 			continue
 		}
 		if resp.StatusCode != http.StatusOK {
-			resp.Body.Close()
+			drainClose(resp.Body)
 			lastErr = fmt.Errorf("dist: cluster status from %s: HTTP %d", url, resp.StatusCode)
+			c.health.observe(url, fmt.Errorf("%w: %v", errPeerResponded, lastErr))
 			continue
 		}
 		var st ClusterStatus
 		err = json.NewDecoder(resp.Body).Decode(&st)
-		resp.Body.Close()
+		drainClose(resp.Body)
 		if err != nil {
 			lastErr = err
+			c.health.observe(url, nil)
 			continue
 		}
+		c.health.observe(url, nil)
 		return st, nil
 	}
 	return ClusterStatus{}, errAllReplicas("cluster status", lastErr)

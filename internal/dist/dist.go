@@ -58,11 +58,13 @@ package dist
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strconv"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -86,6 +88,13 @@ const (
 	DefaultAnswerCacheTTL = 500 * time.Millisecond
 	// DefaultGatherFanout bounds the scatter-gather worker pool.
 	DefaultGatherFanout = 8
+	// DefaultRetryBudget is the per-query RPC retry allowance.
+	DefaultRetryBudget = 3
+	// DefaultRetryBackoff is the base delay before the first retry.
+	DefaultRetryBackoff = 10 * time.Millisecond
+	// DefaultHedgeQuantile is the partials-latency quantile after which
+	// a scatter RPC is hedged to a second holder.
+	DefaultHedgeQuantile = 0.95
 )
 
 // ErrAllReplicasFailed is returned when every ring owner of a key (or
@@ -222,6 +231,32 @@ type Config struct {
 	FlightSpool string
 	// Anomaly arms the flight recorder's robust z-score detector.
 	Anomaly bool
+	// RetryBudget is how many retry attempts (beyond the first try of
+	// each candidate) one query's RPC layer may spend across all of its
+	// scatter/failover calls, with exponential backoff + jitter between
+	// attempts. 0 takes DefaultRetryBudget; negative disables retries.
+	RetryBudget int
+	// RetryBackoff is the base backoff before the first retry; each
+	// subsequent retry doubles it (jittered, clamped to the remaining
+	// deadline). 0 takes DefaultRetryBackoff.
+	RetryBackoff time.Duration
+	// HedgeQuantile picks the scatter hedging delay: when a batched
+	// /v1/partials RPC is still unanswered after this quantile of the
+	// node's observed partials latency, a second copy is fired at the
+	// next replica holder and the first answer wins. 0 takes
+	// DefaultHedgeQuantile; negative disables hedging.
+	HedgeQuantile float64
+	// BreakerMinVolume / BreakerFailureRate / BreakerOpenFor tune the
+	// per-peer circuit breakers (defaults: 8 calls, 0.5, Cooldown).
+	// BreakerFailureRate < 0 keeps breakers permanently closed.
+	BreakerMinVolume   int64
+	BreakerFailureRate float64
+	BreakerOpenFor     time.Duration
+	// NoDegrade disables graceful degradation: with it set, a query
+	// whose partition holders are all unreachable fails with
+	// ErrAllReplicasFailed instead of returning a degraded partial-
+	// coverage answer.
+	NoDegrade bool
 }
 
 func (c Config) withDefaults() Config {
@@ -264,7 +299,37 @@ func (c Config) withDefaults() Config {
 	if c.LagThreshold == 0 {
 		c.LagThreshold = 1
 	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = DefaultRetryBudget
+	}
+	if c.RetryBudget < 0 {
+		c.RetryBudget = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = DefaultRetryBackoff
+	}
+	if c.HedgeQuantile == 0 {
+		c.HedgeQuantile = DefaultHedgeQuantile
+	}
+	if c.BreakerOpenFor <= 0 {
+		c.BreakerOpenFor = c.Cooldown
+	}
 	return c
+}
+
+// breakerCfg maps the Config knobs onto the breaker tunables. A
+// negative BreakerFailureRate yields a rate above 1 — unreachable, so
+// breakers never open.
+func (c Config) breakerCfg() breakerConfig {
+	rate := c.BreakerFailureRate
+	if rate < 0 {
+		rate = 2
+	}
+	return breakerConfig{
+		minVolume:   c.BreakerMinVolume,
+		failureRate: rate,
+		openFor:     c.BreakerOpenFor,
+	}
 }
 
 // newHTTPClient builds the node-to-node/client HTTP client: generous
@@ -274,22 +339,57 @@ func (c Config) withDefaults() Config {
 // TCP keep-alives, and explicit dial/response-header deadlines so a
 // wedged peer costs at most the configured timeout instead of hanging a
 // scatter worker.
-func newHTTPClient(timeout time.Duration) *http.Client {
+// The transport is wrapped with the node's chaos fault interceptor:
+// with no rules armed the wrapper costs one atomic load per request.
+func newHTTPClient(timeout time.Duration, fault *chaos.Fault) *http.Client {
 	dialer := &net.Dialer{
 		Timeout:   timeout,
 		KeepAlive: 30 * time.Second,
 	}
-	return &http.Client{
-		Timeout: timeout,
-		Transport: &http.Transport{
-			DialContext:           dialer.DialContext,
-			MaxIdleConns:          256,
-			MaxIdleConnsPerHost:   64,
-			IdleConnTimeout:       90 * time.Second,
-			ResponseHeaderTimeout: timeout,
-			ExpectContinueTimeout: time.Second,
-		},
+	var rt http.RoundTripper = &http.Transport{
+		DialContext:           dialer.DialContext,
+		MaxIdleConns:          256,
+		MaxIdleConnsPerHost:   64,
+		IdleConnTimeout:       90 * time.Second,
+		ResponseHeaderTimeout: timeout,
+		ExpectContinueTimeout: time.Second,
 	}
+	if fault != nil {
+		rt = &chaos.Transport{Base: rt, F: fault}
+	}
+	return &http.Client{Timeout: timeout, Transport: rt}
+}
+
+// drainClose drains (bounded) and closes an HTTP response body. On
+// error and retry paths the body must be read to EOF before Close or
+// the keep-alive connection is torn down instead of reused — under an
+// error storm that converts every retry into a fresh TCP handshake.
+func drainClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, 256<<10))
+	body.Close()
+}
+
+// deadlineMS converts a query deadline to its wire form (absolute Unix
+// milliseconds; 0 = none).
+func deadlineMS(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixMilli()
+}
+
+// checkDeadline maps a wire deadline back to a query deadline and
+// reports dead-on-arrival requests: callers refuse those with
+// serve.ErrDeadline instead of computing answers nobody reads.
+func checkDeadline(ms int64) (time.Time, error) {
+	if ms <= 0 {
+		return time.Time{}, nil
+	}
+	dl := time.UnixMilli(ms)
+	if !time.Now().Before(dl) {
+		return dl, serve.ErrDeadline
+	}
+	return dl, nil
 }
 
 // partKey is the ring key for data partition p.
@@ -309,6 +409,7 @@ func queryToWire(q query.Query, tenant string) serve.QueryRequest {
 	} else {
 		req.Los, req.His = q.Select.Los, q.Select.His
 	}
+	req.DeadlineMS = deadlineMS(q.Deadline)
 	return req
 }
 
@@ -340,6 +441,8 @@ func (r QueryResponse) Answer() core.Answer {
 		Quantum:   r.Quantum,
 		FreshRows: r.StaleRows,
 		Cost:      costFromJSON(r.Cost),
+		Degraded:  r.Degraded,
+		Coverage:  r.Coverage,
 	}
 }
 
@@ -377,6 +480,10 @@ type PartialsRequest struct {
 	// Trace asks the holder to record a span tree for its side of the
 	// batch and return it in PartialsResponse.Spans.
 	Trace bool `json:"trace,omitempty"`
+	// DeadlineMS propagates the coordinator's absolute deadline (Unix
+	// milliseconds; 0 = none): holders refuse dead-on-arrival batches
+	// with HTTP 504 instead of scanning partitions nobody waits for.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // PartPartial is one partition's outcome within a batched partials
@@ -449,6 +556,15 @@ type IngestRequest struct {
 	// Trace asks the ingest path to record a span tree (wal_append,
 	// absorb, replicate fan-out) and return it in IngestResponse.Spans.
 	Trace bool `json:"trace,omitempty"`
+	// IdemKey is a client-chosen idempotency key for the batch: a
+	// primary remembers recently applied (key, partition) outcomes and
+	// replays the stored result instead of re-applying the rows, so a
+	// client retrying a broken connection cannot double-ingest. Empty
+	// disables deduplication.
+	IdemKey string `json:"idem_key,omitempty"`
+	// DeadlineMS propagates the client's absolute deadline (Unix
+	// milliseconds; 0 = none).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // PartIngestResult is one partition's outcome within an ingest batch.

@@ -107,6 +107,44 @@ func (n *Node) applyBatch(p int, seq uint64, rows []storage.Row, writeWAL bool, 
 	return nil
 }
 
+// idemCacheCap bounds the primary-side ingest idempotency cache: FIFO
+// over (idem key, partition) outcomes. 4096 entries comfortably covers
+// a client's retry window; anything older has long been acked or given
+// up on.
+const idemCacheCap = 4096
+
+// idemGet returns the stored outcome of (key, part) when this primary
+// already applied that batch under the same idempotency key.
+func (n *Node) idemGet(key string, p int) (PartIngestResult, bool) {
+	if key == "" {
+		return PartIngestResult{}, false
+	}
+	k := fmt.Sprintf("%s/%d", key, p)
+	n.idemMu.Lock()
+	defer n.idemMu.Unlock()
+	pr, ok := n.idem[k]
+	return pr, ok
+}
+
+// idemPut remembers an applied batch's outcome for replay (bounded
+// FIFO eviction).
+func (n *Node) idemPut(key string, p int, pr PartIngestResult) {
+	if key == "" {
+		return
+	}
+	k := fmt.Sprintf("%s/%d", key, p)
+	n.idemMu.Lock()
+	defer n.idemMu.Unlock()
+	if _, dup := n.idem[k]; !dup {
+		n.idemOrder = append(n.idemOrder, k)
+		if len(n.idemOrder) > idemCacheCap {
+			delete(n.idem, n.idemOrder[0])
+			n.idemOrder = n.idemOrder[1:]
+		}
+	}
+	n.idem[k] = pr
+}
+
 // writeQuorum returns the ack threshold for a partition with the given
 // owner count.
 func (n *Node) writeQuorum(owners int) int {
@@ -130,6 +168,12 @@ func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(req.Rows) == 0 {
 		serve.WriteError(w, fmt.Errorf("%w: ingest batch needs rows", query.ErrBadQuery))
+		return
+	}
+	// Refuse dead-on-arrival batches: the client stopped waiting, and an
+	// applied-but-unacked write is worse than a refused one.
+	if _, err := checkDeadline(req.DeadlineMS); err != nil {
+		serve.WriteError(w, err)
 		return
 	}
 	for i, row := range req.Rows {
@@ -166,7 +210,7 @@ func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 		psp := root.Child("part")
 		switch {
 		case len(owners) > 0 && owners[0] == n.id:
-			pr = n.primaryIngest(p, owners, rows, psp)
+			pr = n.primaryIngest(p, owners, rows, req.IdemKey, psp)
 		case forwarded:
 			// Anti-bounce: a forwarded ingest is terminal. A ring
 			// disagreement must surface as an error, not hop again —
@@ -175,7 +219,7 @@ func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 			pr = PartIngestResult{Part: p, Rows: len(rows),
 				Error: fmt.Sprintf("dist: node %s is not the primary of partition %d", n.id, p)}
 		default:
-			pr = n.forwardIngest(owners, p, rows, psp)
+			pr = n.forwardIngest(owners, p, rows, req.IdemKey, psp)
 			// The batch changed data this node holds no replica of, so
 			// its own version counter stays put — advance the ingest
 			// epoch instead so cached cluster-wide answers expire.
@@ -203,8 +247,11 @@ func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 // replicates it to the other ring owners, acking at the write quorum.
 // The local apply happens first: an unacked batch may therefore still
 // be present on a minority of owners (standard quorum semantics — the
-// caller must treat unacked as lost-or-present).
-func (n *Node) primaryIngest(p int, owners []string, rows []storage.Row, sp *trace.Span) PartIngestResult {
+// caller must treat unacked as lost-or-present). A batch whose
+// idempotency key this primary already applied replays the stored
+// outcome instead of re-applying the rows, so a client retrying a
+// broken connection cannot double-ingest.
+func (n *Node) primaryIngest(p int, owners []string, rows []storage.Row, idemKey string, sp *trace.Span) PartIngestResult {
 	mu := n.partLock(p)
 	if mu == nil {
 		return PartIngestResult{Part: p, Rows: len(rows),
@@ -212,6 +259,12 @@ func (n *Node) primaryIngest(p int, owners []string, rows []storage.Row, sp *tra
 	}
 	mu.Lock()
 	defer mu.Unlock()
+	// Under the partition lock, so a concurrent retry of the same batch
+	// serialises behind the original apply and sees its outcome.
+	if pr, ok := n.idemGet(idemKey, p); ok {
+		n.logger.Debug("idempotent ingest replay", "part", p, "seq", pr.Seq, "key", idemKey)
+		return pr
+	}
 	n.mu.RLock()
 	seq := n.lastSeq[p] + 1
 	n.mu.RUnlock()
@@ -230,8 +283,8 @@ func (n *Node) primaryIngest(p int, owners []string, rows []storage.Row, sp *tra
 			continue
 		}
 		lastSeq, err := n.replicateTo(url, p, seq, rows)
+		n.health.observe(url, err)
 		if err != nil {
-			n.health.markDownOn(url, err)
 			n.logger.Warn("replicate failed", "part", p, "seq", seq, "peer", o, "err", err)
 			continue
 		}
@@ -256,10 +309,14 @@ func (n *Node) primaryIngest(p int, owners []string, rows []storage.Row, sp *tra
 		n.logger.Warn("ingest batch under quorum",
 			"part", p, "seq", seq, "acks", acks, "quorum", n.writeQuorum(len(owners)))
 	}
-	return PartIngestResult{
+	pr := PartIngestResult{
 		Part: p, Rows: len(rows), Seq: seq,
 		Acked: acked,
 	}
+	// The batch is applied (whatever the quorum verdict): remember its
+	// outcome so a retried delivery replays instead of re-applying.
+	n.idemPut(idemKey, p, pr)
+	return pr
 }
 
 // replicateTo ships one sequenced batch to a replica owner and returns
@@ -276,7 +333,7 @@ func (n *Node) replicateTo(url string, p int, seq uint64, rows []storage.Row) (u
 	if err != nil {
 		return 0, err
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
 		return 0, fmt.Errorf("replicate to %s: HTTP %d: %w", url, resp.StatusCode, errPeerResponded)
 	}
@@ -291,7 +348,7 @@ func (n *Node) replicateTo(url string, p int, seq uint64, rows []storage.Row) (u
 // the primary's response. Only the primary may sequence the batch, so
 // unlike query forwarding there is no local fallback: an unreachable
 // primary fails the batch (unacked, nothing applied).
-func (n *Node) forwardIngest(owners []string, p int, rows []storage.Row, sp *trace.Span) PartIngestResult {
+func (n *Node) forwardIngest(owners []string, p int, rows []storage.Row, idemKey string, sp *trace.Span) PartIngestResult {
 	fail := func(msg string) PartIngestResult {
 		return PartIngestResult{Part: p, Rows: len(rows), Error: msg}
 	}
@@ -302,7 +359,9 @@ func (n *Node) forwardIngest(owners []string, p int, rows []storage.Row, sp *tra
 	if !ok || !n.health.available(url) {
 		return fail(fmt.Sprintf("dist: primary %s of partition %d is unreachable", owners[0], p))
 	}
-	body, err := json.Marshal(IngestRequest{Rows: rowsToWire(rows), Trace: sp != nil})
+	// The idempotency key rides along: a client retry entering through a
+	// different member still dedups at the same primary.
+	body, err := json.Marshal(IngestRequest{Rows: rowsToWire(rows), Trace: sp != nil, IdemKey: idemKey})
 	if err != nil {
 		return fail(err.Error())
 	}
@@ -317,15 +376,21 @@ func (n *Node) forwardIngest(owners []string, p int, rows []storage.Row, sp *tra
 	hreq.Header.Set(forwardHeader, n.id)
 	resp, err := n.hc.Do(hreq)
 	if err != nil {
-		n.health.markDownOn(url, err)
+		n.health.observe(url, err)
 		n.logger.Warn("ingest forward failed", "part", p, "primary", owners[0], "err", err)
 		return fail(fmt.Sprintf("dist: primary %s of partition %d: %v", owners[0], p, err))
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	var out IngestResponse
 	if derr := json.NewDecoder(resp.Body).Decode(&out); derr != nil || resp.StatusCode != http.StatusOK {
+		if resp.StatusCode >= 500 {
+			n.health.observe(url, fmt.Errorf("%w: ingest forward HTTP %d", errPeerResponded, resp.StatusCode))
+		} else {
+			n.health.observe(url, nil)
+		}
 		return fail(fmt.Sprintf("dist: primary %s of partition %d: HTTP %d", owners[0], p, resp.StatusCode))
 	}
+	n.health.observe(url, nil)
 	// Graft the primary's span tree under this node's forward span.
 	fsp.AttachWire(out.Spans)
 	for _, pr := range out.Parts {
@@ -502,7 +567,7 @@ func (n *Node) fetchTail(url string, p int, after uint64) ([]WALFetchEntry, erro
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	if resp.StatusCode == http.StatusNotFound {
 		return nil, nil // holder keeps no WAL; nothing to fetch
 	}

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"sync"
 
+	"repro/internal/chaos"
 	"repro/internal/storage"
 )
 
@@ -122,6 +123,16 @@ func (lc *LocalCluster) Node(id string) *Node {
 	lc.mu.Lock()
 	defer lc.mu.Unlock()
 	return lc.nodes[id]
+}
+
+// Chaos returns a member's chaos fault set (nil after Kill): tests and
+// experiments arm fault-injection rules on a member's outbound RPC
+// plane directly instead of going through POST /v1/debug/chaos.
+func (lc *LocalCluster) Chaos(id string) *chaos.Fault {
+	if n := lc.Node(id); n != nil {
+		return n.Fault()
+	}
+	return nil
 }
 
 // URL returns a member's base URL.

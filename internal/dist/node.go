@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/flight"
 	"repro/internal/ingest"
@@ -42,6 +43,25 @@ type Node struct {
 	hc      *http.Client
 	mux     *http.ServeMux
 	started time.Time
+
+	// fault is the node's chaos-injection rule set: it wraps the
+	// node-to-node HTTP transport and is driven by POST /v1/debug/chaos.
+	// Disabled (the default) it costs one atomic load per request.
+	fault *chaos.Fault
+
+	// partialLat observes successful primary /v1/partials round-trip
+	// latencies; hedgeNs caches the configured quantile of it (the
+	// scatter hedging delay, recomputed every hedgeRecalcEvery samples).
+	partialLat  metrics.Histogram
+	partialLatN atomic.Int64
+	hedgeNs     atomic.Int64
+
+	// idemMu guards the primary-side ingest idempotency cache: recently
+	// applied (idem key, partition) outcomes, replayed on client retry
+	// so a broken-connection retry cannot double-ingest. Bounded FIFO.
+	idemMu    sync.Mutex
+	idem      map[string]PartIngestResult
+	idemOrder []string
 
 	pool  *serve.Pool
 	sched *serve.Scheduler
@@ -127,12 +147,14 @@ func NewNode(cfg Config) (*Node, error) {
 	if len(ids) == 0 {
 		ids = []string{cfg.ID}
 	}
+	fault := chaos.New()
 	n := &Node{
 		cfg:     cfg,
 		id:      cfg.ID,
 		ring:    NewRing(cfg.VNodes, ids...),
-		health:  newHealth(cfg.Cooldown, cfg.Timeout),
-		hc:      newHTTPClient(cfg.Timeout),
+		health:  newHealth(cfg.Cooldown, cfg.Timeout, cfg.breakerCfg()),
+		hc:      newHTTPClient(cfg.Timeout, fault),
+		fault:   fault,
 		started: time.Now(),
 		logger:  cfg.Logger.With("node", cfg.ID),
 		parts:   make(map[int][]storage.Row),
@@ -141,6 +163,7 @@ func NewNode(cfg Config) (*Node, error) {
 		lastSeq: make(map[int]uint64),
 		wals:    make(map[int]*ingest.Log),
 		partMu:  make(map[int]*sync.Mutex),
+		idem:    make(map[string]PartIngestResult),
 	}
 	agents := make([]*core.Agent, cfg.Agents)
 	for i := range agents {
@@ -193,6 +216,9 @@ func NewNode(cfg Config) (*Node, error) {
 	rec.RegisterGauge("sea_ingest_epoch",
 		"Ingest batches this node forwarded to other primaries.",
 		func() float64 { return float64(n.ingestEpoch.Load()) })
+	rec.RegisterGauge("sea_breaker_state",
+		"Worst per-peer circuit-breaker state (0 closed, 1 half-open, 2 open).",
+		func() float64 { return float64(n.health.worstBreaker()) })
 	rec.RegisterGauge("sea_probation_quanta",
 		"Quanta serving under post-invalidation probation across the node's agents.",
 		func() float64 {
@@ -264,8 +290,11 @@ func NewNode(cfg Config) (*Node, error) {
 			func() float64 { return float64(n.sched.QueueDepth()) })
 		fr.AddGauge("replication_lag",
 			func() float64 { return float64(n.repLag.Load()) })
+		fr.AddGauge("breaker_state",
+			func() float64 { return float64(n.health.worstBreaker()) })
 		fr.Watch("lat_p99_all", "queries", "errors", "rejected",
-			"sea_go_goroutines", "sea_go_heap_alloc_bytes", "replication_lag")
+			"sea_go_goroutines", "sea_go_heap_alloc_bytes", "replication_lag",
+			"rpc_retries", "hedges", "degraded_answers", "breaker_state")
 		n.flight = fr
 		// FlightSample < 0 leaves the sampler unstarted: tests and
 		// experiments drive Tick from a synthetic clock.
@@ -284,6 +313,8 @@ func NewNode(cfg Config) (*Node, error) {
 	n.mux.HandleFunc("GET /v1/cluster", n.handleCluster)
 	n.mux.HandleFunc("GET /v1/status", n.handleStatus)
 	n.mux.HandleFunc("GET /v1/debug/cluster", n.handleDebugCluster)
+	n.mux.HandleFunc("POST /v1/debug/chaos", n.handleChaosSet)
+	n.mux.HandleFunc("GET /v1/debug/chaos", n.handleChaosGet)
 	n.mux.HandleFunc("GET /v1/metrics", n.handleMetrics)
 	serve.RegisterDebug(n.mux, func() *trace.Tracer { return n.tracer })
 	serve.RegisterFlight(n.mux, func() *flight.Recorder { return n.flight })
@@ -319,6 +350,50 @@ func (n *Node) SLO() *metrics.SLOEngine { return n.slo }
 
 // Handler returns the node's HTTP API.
 func (n *Node) Handler() http.Handler { return n.mux }
+
+// Fault returns the node's chaos fault set — the programmatic face of
+// POST /v1/debug/chaos (tests and LocalCluster arm it directly).
+func (n *Node) Fault() *chaos.Fault { return n.fault }
+
+// rec returns the node's serving recorder (the resilience counters:
+// RPC retries, hedges, degraded answers).
+func (n *Node) rec() *metrics.ServeRecorder { return n.pool.Recorder() }
+
+// chaosState is the GET/POST /v1/debug/chaos wire form: POST installs
+// (enabled + rules) or clears (enabled false) the node's fault set; both
+// verbs return the state plus injected-fault counters.
+type chaosState struct {
+	Enabled bool         `json:"enabled"`
+	Rules   []chaos.Rule `json:"rules,omitempty"`
+	Stats   *chaos.Stats `json:"stats,omitempty"`
+}
+
+func (n *Node) handleChaosSet(w http.ResponseWriter, r *http.Request) {
+	var req chaosState
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		serve.WriteError(w, fmt.Errorf("%w: %v", query.ErrBadQuery, err))
+		return
+	}
+	if !req.Enabled {
+		n.fault.Clear()
+	} else {
+		n.fault.Set(req.Rules)
+	}
+	n.logger.Warn("chaos rules updated",
+		"enabled", n.fault.Enabled(), "rules", len(req.Rules))
+	n.handleChaosGet(w, r)
+}
+
+func (n *Node) handleChaosGet(w http.ResponseWriter, _ *http.Request) {
+	st := n.fault.Stats()
+	serve.WriteJSON(w, http.StatusOK, chaosState{
+		Enabled: n.fault.Enabled(),
+		Rules:   n.fault.Rules(),
+		Stats:   &st,
+	})
+}
 
 // Close drains the node's scheduler, stops the drift maintainers, SLO
 // engine and runtime sampler, and closes the partition WALs. In-flight
@@ -519,6 +594,13 @@ func (n *Node) handleQuery(w http.ResponseWriter, r *http.Request) {
 		serve.WriteError(w, err)
 		return
 	}
+	// Refuse dead-on-arrival requests before any work (including the
+	// forward hop): the client stopped waiting, and a retried dead
+	// request arrives even deader. serve.WriteError maps this to 504.
+	if !q.Deadline.IsZero() && !time.Now().Before(q.Deadline) {
+		serve.WriteError(w, serve.ErrDeadline)
+		return
+	}
 	tenant := req.Tenant
 	if h := r.Header.Get("X-Tenant"); h != "" {
 		tenant = h
@@ -568,6 +650,8 @@ func (n *Node) answerLocal(w http.ResponseWriter, r *http.Request, tenant string
 			Quantum:   ans.Quantum,
 			StaleRows: ans.FreshRows,
 			Cost:      serve.ToCostJSON(ans.Cost),
+			Degraded:  ans.Degraded,
+			Coverage:  ans.Coverage,
 		},
 		Node: n.id,
 	}
@@ -606,16 +690,19 @@ func (n *Node) forward(w http.ResponseWriter, owners []string, req serve.QueryRe
 		hreq.Header.Set(forwardHeader, n.id)
 		resp, err := n.hc.Do(hreq)
 		if err != nil {
-			n.health.markDownOn(url, err)
+			n.health.observe(url, err)
 			n.logger.Warn("query forward failed, trying next owner", "peer", o, "err", err)
 			continue
 		}
-		if resp.StatusCode >= 500 {
+		if resp.StatusCode >= 500 && resp.StatusCode != http.StatusGatewayTimeout {
 			// The owner responded (alive, don't quarantine) but failed;
-			// try the next replica.
-			resp.Body.Close()
+			// count it toward the breaker, drain the body so the
+			// keep-alive connection is reused, and try the next replica.
+			n.health.observe(url, fmt.Errorf("%w: forward HTTP %d", errPeerResponded, resp.StatusCode))
+			drainClose(resp.Body)
 			continue
 		}
+		n.health.observe(url, nil)
 		defer resp.Body.Close()
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(resp.StatusCode)
@@ -672,6 +759,12 @@ func (n *Node) handlePartials(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err := dec.Decode(&req); err != nil {
 		serve.WriteError(w, fmt.Errorf("%w: %v", query.ErrBadQuery, err))
+		return
+	}
+	// The coordinator's deadline rode along: refuse dead-on-arrival
+	// batches instead of scanning partitions nobody waits for.
+	if _, err := checkDeadline(req.DeadlineMS); err != nil {
+		serve.WriteError(w, err)
 		return
 	}
 	q, err := req.Query.Query()

@@ -2,9 +2,12 @@ package dist
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"sort"
 	"sync"
@@ -71,6 +74,15 @@ var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 // accounting reflects the batched shape: Messages counts 2 per RPC
 // round trip, BytesLAN the actual request+response payload bytes, and
 // NodesTouched the distinct holders that contributed states.
+//
+// Resilience: a propagated deadline bounds every remote round trip and
+// refuses dead-on-arrival work; exhausted candidate lists are re-walked
+// under a per-query retry budget with exponential backoff + jitter;
+// slow holders are hedged to a second replica after a quantile-based
+// delay; and when a partition's holders are ALL gone, the merge
+// degrades to the covered partitions (query.Extrapolate) instead of
+// failing — unless Config.NoDegrade restores the old fail-hard
+// behaviour.
 func (n *Node) ScatterGather(q query.Query) (query.Result, metrics.Cost, error) {
 	return n.ScatterGatherSpan(q, nil)
 }
@@ -82,6 +94,9 @@ func (n *Node) ScatterGather(q query.Query) (query.Result, metrics.Cost, error) 
 // partial_rpc span — one stitched tree across node boundaries.
 func (n *Node) ScatterGatherSpan(q query.Query, sp *trace.Span) (query.Result, metrics.Cost, error) {
 	start := time.Now()
+	if !q.Deadline.IsZero() && !start.Before(q.Deadline) {
+		return query.Result{}, metrics.Cost{}, serve.ErrDeadline
+	}
 	// Validate aggregate columns against the local schema (adopted from
 	// the data) before fanning out: a malformed query fails loudly here
 	// instead of summing silent zeros across the cluster.
@@ -96,11 +111,10 @@ func (n *Node) ScatterGatherSpan(q query.Query, sp *trace.Span) (query.Result, m
 	lsp.End()
 	lsp.SetAttrInt("parts", int64(n.cfg.Partitions-len(missing)))
 	cost := metrics.Cost{}
+	var remoteErr error
 	if len(missing) > 0 {
 		rpcBytes, rpcs, err := n.gatherRemote(q, missing, results, sp)
-		if err != nil {
-			return query.Result{}, metrics.Cost{}, err
-		}
+		remoteErr = err
 		cost.Messages += 2 * int64(rpcs) // one request + one response per holder round trip
 		cost.BytesLAN += rpcBytes
 	}
@@ -108,16 +122,30 @@ func (n *Node) ScatterGatherSpan(q query.Query, sp *trace.Span) (query.Result, m
 	msp := sp.Child("merge")
 	partials := make([][]float64, 0, len(results))
 	holders := make(map[string]bool)
+	uncovered := 0
 	for p := range results {
 		r := &results[p]
 		if r.partial == nil {
-			return query.Result{}, metrics.Cost{}, fmt.Errorf("dist: partition %d unresolved", p)
+			if remoteErr == nil {
+				remoteErr = fmt.Errorf("dist: partition %d unresolved", p)
+			}
+			uncovered++
+			continue
 		}
 		partials = append(partials, r.partial)
 		cost.RowsRead += r.rows
 		holders[r.holder] = true
 	}
+	covered := n.cfg.Partitions - uncovered
+	if uncovered > 0 && (n.cfg.NoDegrade || covered == 0) {
+		msp.End()
+		return query.Result{}, metrics.Cost{}, remoteErr
+	}
 	res := query.MergeEval(q, partials)
+	if uncovered > 0 {
+		res = query.Extrapolate(q, res, float64(covered)/float64(n.cfg.Partitions))
+		msp.SetAttrFloat("coverage", res.Coverage)
+	}
 	msp.End()
 	elapsed := time.Since(start)
 	cost.Time = elapsed
@@ -159,12 +187,18 @@ func (n *Node) gatherLocal(q query.Query, results []partialResult) []int {
 // still-unresolved partitions by their next untried ring holder, issues
 // one batched /v1/partials RPC per holder on the bounded pool, and
 // re-batches whatever a holder failed to deliver (transport error, or a
-// per-partition "not held" entry) onto the next replicas. It returns
-// the total wire bytes moved and the RPC round trips issued. Under a
-// trace each holder round trip gets a partial_rpc child span carrying
-// the holder's returned span tree.
+// per-partition "not held" entry) onto the next replicas. A partition
+// whose candidates are all exhausted re-walks them under the per-query
+// retry budget (exponential backoff + jitter, deadline-clamped); once
+// the budget too is spent the partition is abandoned — left nil in
+// results for the caller to degrade over — rather than failing the
+// whole query. It returns the total wire bytes moved, the RPC round
+// trips issued, and the last error when any partition was abandoned.
+// Under a trace each holder round trip gets a partial_rpc child span
+// carrying the holder's returned span tree.
 func (n *Node) gatherRemote(q query.Query, missing []int, results []partialResult, sp *trace.Span) (int64, int, error) {
 	wire := queryToWire(q, "")
+	dlMS := deadlineMS(q.Deadline)
 	// Per-partition remote holder candidates in ring order, consumed by
 	// a cursor as failovers advance.
 	cand := make(map[int][]string, len(missing))
@@ -180,24 +214,45 @@ func (n *Node) gatherRemote(q query.Query, missing []int, results []partialResul
 	var bytesMoved int64
 	var rpcs int
 	var lastErr error
+	budget := n.cfg.RetryBudget
+	backoff := n.cfg.RetryBackoff
 	unresolved := append([]int(nil), missing...)
 	for len(unresolved) > 0 {
 		groups := make(map[string][]int)
+		var exhausted, abandoned []int
 		for _, p := range unresolved {
-			var holder string
-			for next[p] < len(cand[p]) {
-				h := cand[p][next[p]]
-				next[p]++
-				url, ok := n.cfg.Peers[h]
-				if ok && n.health.available(url) {
-					holder = h
-					break
+			if holder := n.nextHolder(cand[p], next, p); holder != "" {
+				groups[holder] = append(groups[holder], p)
+			} else {
+				exhausted = append(exhausted, p)
+			}
+		}
+		if len(exhausted) > 0 {
+			// Candidates exhausted: re-walk them if the retry budget and
+			// deadline allow, otherwise abandon the partitions (degraded
+			// merge) instead of failing the query. One budget unit buys
+			// one re-walk ROUND for every exhausted partition — a single
+			// failed batch RPC exhausts all its partitions at once, and
+			// charging each of them separately would burn the whole
+			// budget on one correlated failure.
+			if budget > 0 && (q.Deadline.IsZero() || time.Now().Before(q.Deadline)) {
+				budget--
+				n.rec().RPCRetry()
+				sleepBackoff(&backoff, q.Deadline)
+				for _, p := range exhausted {
+					next[p] = 0
+					if holder := n.nextHolder(cand[p], next, p); holder != "" {
+						groups[holder] = append(groups[holder], p)
+					} else {
+						abandoned = append(abandoned, p)
+					}
 				}
+			} else {
+				abandoned = exhausted
 			}
-			if holder == "" {
-				return bytesMoved, rpcs, errAllReplicas(fmt.Sprintf("partition %d", p), lastErr)
+			if len(abandoned) > 0 && lastErr == nil {
+				lastErr = errAllReplicas(fmt.Sprintf("partition %d", abandoned[0]), nil)
 			}
-			groups[holder] = append(groups[holder], p)
 		}
 
 		type rpcOut struct {
@@ -216,16 +271,19 @@ func (n *Node) gatherRemote(q query.Query, missing []int, results []partialResul
 		runBounded(n.cfg.GatherFanout, len(outs), func(i int) {
 			o := &outs[i]
 			url := n.cfg.Peers[o.holder]
+			// A hedge candidate: the first abandoned-free partition's
+			// next untried available holder (cursor not advanced — a
+			// hedge is speculative, not a failover).
+			hedgeURL := n.hedgeCandidate(o.parts, cand, next, o.holder)
 			// Span.Child is safe under concurrent workers; a nil sp
 			// keeps the whole branch free.
 			rsp := sp.Child("partial_rpc")
-			o.resp, o.bytes, o.err = n.fetchPartials(url, o.parts, wire, rsp)
+			o.resp, o.bytes, o.err = n.fetchPartialsHedged(url, hedgeURL, o.parts, wire, dlMS, q.Deadline, rsp)
 			rsp.End()
 			rsp.SetAttr("holder", o.holder)
 			rsp.SetAttrInt("parts", int64(len(o.parts)))
 			if o.err != nil {
 				rsp.SetAttr("error", o.err.Error())
-				n.health.markDownOn(url, o.err)
 			}
 		})
 
@@ -257,28 +315,204 @@ func (n *Node) gatherRemote(q query.Query, missing []int, results []partialResul
 				}
 			}
 		}
+		if len(abandoned) > 0 && len(unresolved) == 0 && len(groups) == 0 {
+			break // nothing left but abandoned partitions
+		}
 	}
-	return bytesMoved, rpcs, nil
+	return bytesMoved, rpcs, lastErr
 }
+
+// nextHolder advances partition p's candidate cursor to the next
+// available holder (health + breaker) and returns it ("" = exhausted).
+func (n *Node) nextHolder(cands []string, next map[int]int, p int) string {
+	for next[p] < len(cands) {
+		h := cands[next[p]]
+		next[p]++
+		url, ok := n.cfg.Peers[h]
+		if ok && n.health.available(url) {
+			return h
+		}
+	}
+	return ""
+}
+
+// hedgeCandidate picks a holder to hedge a batched RPC to: the first
+// still-untried available candidate of any partition in the batch that
+// is not the primary holder. Cursors are NOT advanced — if the primary
+// answers first the candidate stays fresh for real failovers.
+func (n *Node) hedgeCandidate(parts []int, cand map[int][]string, next map[int]int, primary string) string {
+	if n.hedgeDelay() <= 0 {
+		return ""
+	}
+	for _, p := range parts {
+		for i := next[p]; i < len(cand[p]); i++ {
+			h := cand[p][i]
+			if h == primary {
+				continue
+			}
+			if url, ok := n.cfg.Peers[h]; ok && n.health.available(url) {
+				return url
+			}
+		}
+	}
+	return ""
+}
+
+// sleepBackoff sleeps *backoff plus up to +100% jitter (clamped to the
+// deadline) and doubles the backoff for the next use.
+func sleepBackoff(backoff *time.Duration, deadline time.Time) {
+	d := *backoff + time.Duration(rand.Int64N(int64(*backoff)))
+	if !deadline.IsZero() {
+		if left := time.Until(deadline); left < d {
+			d = left
+		}
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+	*backoff *= 2
+}
+
+// fetchPartialsHedged runs one batched partials round trip, firing a
+// second copy at hedgeURL if the primary is still unanswered after the
+// node's quantile-based hedge delay. The first success wins and the
+// loser's context is cancelled; the hedge is counted in
+// sea_hedges_total but not in the partials-sent counter (it is
+// deliberate extra fan-out, not part of the message-minimal shape).
+//
+// The common case — the primary answers before the delay — must cost
+// nearly nothing beyond the RPC itself: the primary runs synchronously
+// on the caller's goroutine and the hedge is armed as a time.AfterFunc,
+// which spawns a goroutine only when the delay actually fires (for a
+// p95-quantile delay, 19 RPCs in 20 never do). The overhead gate in E21
+// rides on this: a goroutine+timer+select per RPC was measurable against
+// the stripped baseline, an armed-but-unfired AfterFunc is not.
+func (n *Node) fetchPartialsHedged(url, hedgeURL string, parts []int, wq serve.QueryRequest, dlMS int64, deadline time.Time, sp *trace.Span) ([]PartPartial, int64, error) {
+	delay := n.hedgeDelay()
+	if hedgeURL == "" || delay <= 0 {
+		ps, b, err := n.fetchPartials(context.Background(), url, parts, wq, dlMS, deadline, sp, false)
+		n.health.observe(url, err)
+		return ps, b, err
+	}
+	type out struct {
+		resp  []PartPartial
+		bytes int64
+		err   error
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel() // kills a still-in-flight hedge on every return path
+	priCtx, priCancel := context.WithCancel(ctx)
+	defer priCancel()
+	ch := make(chan out, 1)
+	tm := time.AfterFunc(delay, func() {
+		n.rec().Hedge()
+		ps, b, err := n.fetchPartials(ctx, hedgeURL, parts, wq, dlMS, deadline, sp, true)
+		if err == nil {
+			priCancel() // the hedge won: yank the still-blocked primary
+		}
+		ch <- out{resp: ps, bytes: b, err: err}
+	})
+	ps, b, err := n.fetchPartials(priCtx, url, parts, wq, dlMS, deadline, sp, false)
+	hedgeLaunched := !tm.Stop()
+	if err == nil {
+		// The primary won (or tied). A launched hedge dies with the
+		// deferred cancel; its outcome is dropped unobserved (a
+		// cancellation says nothing about the hedge peer's health).
+		n.health.observe(url, nil)
+		return ps, b, nil
+	}
+	if !hedgeLaunched {
+		// The primary failed before the delay: the caller's normal
+		// failover handles the next replica — a fast failure needs no
+		// hedge.
+		n.health.observe(url, err)
+		return nil, 0, err
+	}
+	// The primary's failure may be the winning hedge's own cancellation;
+	// only a failure of its own making says anything about its health.
+	if !errors.Is(err, context.Canceled) {
+		n.health.observe(url, err)
+	}
+	o := <-ch
+	n.health.observe(hedgeURL, o.err)
+	if o.err == nil {
+		return o.resp, o.bytes, nil
+	}
+	// The hedge failed, so it never cancelled the primary: err is the
+	// primary's own, and the first error wins as before.
+	return nil, 0, err
+}
+
+// hedgeDelay returns the current hedging delay (0 = hedging off or not
+// enough latency samples yet).
+func (n *Node) hedgeDelay() time.Duration {
+	return time.Duration(n.hedgeNs.Load())
+}
+
+// observePartialLat feeds one successful primary partials RPC latency
+// into the hedge-delay estimate: every hedgeRecalcEvery samples the
+// configured quantile is re-read from the histogram and cached in an
+// atomic (the per-RPC cost stays one histogram record + one load).
+func (n *Node) observePartialLat(d time.Duration) {
+	if n.cfg.HedgeQuantile < 0 {
+		return
+	}
+	n.partialLat.RecordDur(d)
+	if c := n.partialLatN.Add(1); c >= hedgeMinSamples && c%hedgeRecalcEvery == 0 {
+		q := n.partialLat.Snapshot().Quantile(n.cfg.HedgeQuantile)
+		if min := int64(hedgeMinDelay); q < min {
+			q = min
+		}
+		n.hedgeNs.Store(q)
+	}
+}
+
+const (
+	// hedgeMinSamples is how many primary RPC latencies must be
+	// observed before hedging arms (an empty histogram's quantile
+	// would hedge everything).
+	hedgeMinSamples = 32
+	// hedgeRecalcEvery bounds how often the quantile is recomputed.
+	hedgeRecalcEvery = 32
+	// hedgeMinDelay floors the hedge delay so loopback-fast clusters
+	// do not hedge the common case.
+	hedgeMinDelay = 2 * time.Millisecond
+)
 
 // fetchPartials runs one batched partials round trip against a holder,
 // returning its per-partition entries and the request+response payload
 // bytes. Both JSON buffers come from the shared pool. A non-nil span
-// asks the holder for its own span tree and grafts it underneath.
-func (n *Node) fetchPartials(url string, parts []int, wq serve.QueryRequest, sp *trace.Span) ([]PartPartial, int64, error) {
+// asks the holder for its own span tree and grafts it underneath. The
+// propagated deadline bounds the request context; error-status bodies
+// are drained so their keep-alive connections are reused.
+func (n *Node) fetchPartials(ctx context.Context, url string, parts []int, wq serve.QueryRequest, dlMS int64, deadline time.Time, sp *trace.Span, hedge bool) ([]PartPartial, int64, error) {
 	buf := jsonBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	defer jsonBufPool.Put(buf)
-	if err := json.NewEncoder(buf).Encode(PartialsRequest{Parts: parts, Query: wq, Trace: sp != nil}); err != nil {
+	if err := json.NewEncoder(buf).Encode(PartialsRequest{
+		Parts: parts, Query: wq, Trace: sp != nil, DeadlineMS: dlMS,
+	}); err != nil {
 		return nil, 0, err
 	}
 	reqBytes := int64(buf.Len())
-	resp, err := n.hc.Post(url+"/v1/partials", "application/json", bytes.NewReader(buf.Bytes()))
+	if !deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/partials", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	rpcStart := time.Now()
+	resp, err := n.hc.Do(req)
 	if err != nil {
 		return nil, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		drainClose(resp.Body)
 		return nil, 0, fmt.Errorf("partials from %s: HTTP %d: %w", url, resp.StatusCode, errPeerResponded)
 	}
 	rb := jsonBufPool.Get().(*bytes.Buffer)
@@ -292,7 +526,10 @@ func (n *Node) fetchPartials(url string, parts []int, wq serve.QueryRequest, sp 
 		return nil, 0, err
 	}
 	sp.AttachWire(pr.Spans)
-	n.partialsSent.Add(1)
+	if !hedge {
+		n.partialsSent.Add(1)
+		n.observePartialLat(time.Since(rpcStart))
+	}
 	return pr.Partials, reqBytes + int64(rb.Len()), nil
 }
 

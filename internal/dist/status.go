@@ -75,6 +75,24 @@ type AuditStatus struct {
 	MAPE    float64 `json:"mape"`
 }
 
+// ResilienceStatus summarises the node's RPC hardening layer: per-peer
+// circuit-breaker states, the retry/hedge/degradation counters, and
+// whether chaos fault injection is armed.
+type ResilienceStatus struct {
+	// Breakers maps peer base URL -> circuit state ("closed",
+	// "half-open", "open"); peers this node never called are absent.
+	Breakers map[string]string `json:"breakers,omitempty"`
+	// WorstBreaker is the worst state across peers (0 closed,
+	// 1 half-open, 2 open) — the sea_breaker_state gauge.
+	WorstBreaker    int   `json:"worst_breaker"`
+	RPCRetries      int64 `json:"rpc_retries"`
+	Hedges          int64 `json:"hedges"`
+	DegradedAnswers int64 `json:"degraded_answers"`
+	// ChaosEnabled reports whether fault-injection rules are armed
+	// (POST /v1/debug/chaos).
+	ChaosEnabled bool `json:"chaos_enabled"`
+}
+
 // NodeStatus is the versioned introspection snapshot behind
 // GET /v1/status: everything an operator (or the cluster aggregator)
 // needs to judge one member's health at a glance.
@@ -93,6 +111,7 @@ type NodeStatus struct {
 	Sched           SchedStatus             `json:"sched"`
 	Audit           AuditStatus             `json:"audit"`
 	SLO             []metrics.SLOClassState `json:"slo,omitempty"`
+	Resilience      ResilienceStatus        `json:"resilience"`
 	Runtime         obs.RuntimeSnap         `json:"runtime"`
 	Flight          *flight.Status          `json:"flight,omitempty"`
 }
@@ -169,6 +188,15 @@ func (n *Node) NodeStatus() NodeStatus {
 	st.Audit = AuditStatus{Samples: samples, MAPE: mape}
 
 	st.SLO = n.slo.States()
+
+	st.Resilience = ResilienceStatus{
+		Breakers:        n.health.breakerStates(),
+		WorstBreaker:    n.health.worstBreaker(),
+		RPCRetries:      snap.RPCRetries,
+		Hedges:          snap.Hedges,
+		DegradedAnswers: snap.DegradedAnswers,
+		ChaosEnabled:    n.fault.Enabled(),
+	}
 
 	if !n.samplerBG {
 		// No background loop: take the reading on demand so the
@@ -278,7 +306,7 @@ func (n *Node) fetchStatus(id string) NodeReport {
 		rep.Error = err.Error()
 		return rep
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		rep.Error = fmt.Sprintf("HTTP %d", resp.StatusCode)
 		return rep

@@ -211,6 +211,8 @@ func TestStatusGoldenKeys(t *testing.T) {
 		"partitions",
 		"partitions[].last_seq", "partitions[].owners", "partitions[].part",
 		"partitions[].role", "partitions[].rows", "partitions[].wal_segments",
+		"resilience", "resilience.chaos_enabled", "resilience.degraded_answers",
+		"resilience.hedges", "resilience.rpc_retries", "resilience.worst_breaker",
 		"ring", "ring.digest", "ring.members",
 		"ring.members[].alive", "ring.members[].id", "ring.members[].self", "ring.members[].url",
 		"ring.vnodes",

@@ -42,6 +42,9 @@ func WritePrometheus(w io.Writer, s ServeSnapshot) error {
 		{"sea_ingest_rows_total", "Rows applied through the live write path.", s.IngestRows},
 		{"sea_drift_invalidations_total", "Quanta invalidated by the ingest drift budget.", s.DriftInvalidations},
 		{"sea_rebuilds_total", "Completed background model re-quantisations.", s.Rebuilds},
+		{"sea_rpc_retries_total", "Retried inter-node RPC attempts.", s.RPCRetries},
+		{"sea_hedges_total", "Hedged scatter RPCs fired against a second holder.", s.Hedges},
+		{"sea_degraded_answers_total", "Queries answered with partial partition coverage.", s.DegradedAnswers},
 	}
 	for _, c := range counters {
 		if err := writeSeries(w, c.name, c.help, "counter", float64(c.v)); err != nil {

@@ -142,6 +142,12 @@ type ServeSnapshot struct {
 	DriftInvalidations int64 `json:"drift_invalidations"`
 	// Rebuilds counts completed background re-quantisations.
 	Rebuilds int64 `json:"rebuilds"`
+	// RPCRetries/Hedges/DegradedAnswers count the resilience layer's
+	// interventions: retried inter-node RPC attempts, hedged scatter
+	// sends, and queries answered with partial partition coverage.
+	RPCRetries      int64 `json:"rpc_retries"`
+	Hedges          int64 `json:"hedges"`
+	DegradedAnswers int64 `json:"degraded_answers"`
 	// QPS is Queries divided by the uptime.
 	QPS float64 `json:"qps"`
 	// FallbackRate is Fallbacks / Queries.
@@ -182,6 +188,10 @@ type ServeRecorder struct {
 	ingestRows    atomic.Int64
 	driftInval    atomic.Int64
 	rebuilds      atomic.Int64
+
+	rpcRetries atomic.Int64
+	hedges     atomic.Int64
+	degraded   atomic.Int64
 
 	paths [NumPaths]Histogram
 
@@ -288,6 +298,23 @@ func (r *ServeRecorder) Rebuild() {
 	r.rebuilds.Add(1)
 }
 
+// RPCRetry records one retried inter-node RPC attempt (the retry, not
+// the original send).
+func (r *ServeRecorder) RPCRetry() {
+	r.rpcRetries.Add(1)
+}
+
+// Hedge records one hedged scatter RPC fired against a second holder.
+func (r *ServeRecorder) Hedge() {
+	r.hedges.Add(1)
+}
+
+// DegradedAnswer records one query answered with partial partition
+// coverage instead of an error.
+func (r *ServeRecorder) DegradedAnswer() {
+	r.degraded.Add(1)
+}
+
 // Tenant returns (creating on first use) the stats cell for a tenant
 // class. The class table is bounded: past maxTenantClasses new classes
 // collapse into "other".
@@ -381,6 +408,9 @@ func (r *ServeRecorder) Counters() []CounterDef {
 		{"ingest_rows", r.ingestRows.Load},
 		{"drift_invalidations", r.driftInval.Load},
 		{"rebuilds", r.rebuilds.Load},
+		{"rpc_retries", r.rpcRetries.Load},
+		{"hedges", r.hedges.Load},
+		{"degraded_answers", r.degraded.Load},
 	}
 }
 
@@ -430,6 +460,9 @@ func (r *ServeRecorder) Snapshot() ServeSnapshot {
 		IngestRows:         r.ingestRows.Load(),
 		DriftInvalidations: r.driftInval.Load(),
 		Rebuilds:           r.rebuilds.Load(),
+		RPCRetries:         r.rpcRetries.Load(),
+		Hedges:             r.hedges.Load(),
+		DegradedAnswers:    r.degraded.Load(),
 		Uptime:             time.Since(r.start),
 	}
 	if s.Uptime > 0 {

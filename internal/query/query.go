@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/storage"
 )
@@ -210,6 +211,13 @@ type Query struct {
 	Col int
 	// Col2 is the second column for Corr/RegSlope.
 	Col2 int
+	// Deadline is the absolute wall-clock instant by which the
+	// coordinator's caller stops waiting; zero means none. It rides on
+	// the query so every execution layer (scheduler, agent, scatter)
+	// can clamp its own work without widening their interfaces. It is a
+	// request attribute, not query identity: serve.Key excludes it, and
+	// two queries differing only in Deadline are the same query.
+	Deadline time.Time
 }
 
 // Validate checks structural invariants.
@@ -290,6 +298,12 @@ type Result struct {
 	Value float64
 	// Support is the number of rows inside the subspace.
 	Support int64
+	// Degraded marks an answer merged from a strict subset of the
+	// partition space after every holder of the missing partitions
+	// failed; Coverage is then the fraction of partitions that did
+	// contribute (0 < Coverage < 1). Both are zero on a full answer.
+	Degraded bool
+	Coverage float64
 }
 
 // EvalRows computes the query's exact answer over the given rows (the
@@ -433,6 +447,26 @@ func finishAgg(q Query, st aggState) Result {
 		}
 	}
 	return res
+}
+
+// Extrapolate marks a partially-covered merge as degraded and
+// extrapolates it to the full partition space. Rows land in partitions
+// by key hash, so a missing partition is a uniform random sample of the
+// subspace: the additive aggregates (COUNT, SUM) scale by 1/coverage to
+// stay unbiased, while the ratio statistics (AVG, VAR, CORR, REGSLOPE)
+// are already unbiased on the covered rows and keep their merged value.
+// Support always reports the rows actually observed, not the estimate.
+func Extrapolate(q Query, r Result, coverage float64) Result {
+	if coverage <= 0 || coverage >= 1 {
+		return r
+	}
+	r.Degraded = true
+	r.Coverage = coverage
+	switch q.Aggregate {
+	case Count, Sum:
+		r.Value /= coverage
+	}
+	return r
 }
 
 // clampNonNeg floors a variance/covariance term at zero: catastrophic

@@ -379,9 +379,8 @@ func (p *Pool) AnswerTraced(q query.Query, tr *trace.Trace) (core.Answer, error)
 		csp.SetAttr("hit", "false")
 	}
 	// An identical fallback already in flight? Park behind it without
-	// touching the agent at all — its write lock is held for the
-	// duration of the oracle call, so probing the agent here would
-	// serialise behind the expensive path instead of sharing it.
+	// touching the agent at all: sharing the in-flight oracle execution
+	// beats re-running it, however cheap the probe would be.
 	if c := p.sf.joinBytes(kb.b); c != nil {
 		p.keys.Put(kb)
 		ssp := sp.Child("singleflight_wait")
@@ -429,11 +428,17 @@ func (p *Pool) AnswerTraced(q query.Query, tr *trace.Trace) (core.Answer, error)
 	}
 	lat := time.Since(start)
 	path := pathOf(ans)
+	if ans.Degraded {
+		// A degraded answer reflects which holders were reachable this
+		// instant, not the data: caching it would keep serving the
+		// outage after the cluster heals.
+		p.rec.DegradedAnswer()
+	}
 	if shared {
 		p.rec.DedupPath(lat, path)
 		sp.SetAttr("deduped", "true")
 	} else {
-		if p.cache != nil {
+		if p.cache != nil && !ans.Degraded {
 			p.cache.put(key, h, ver, ans)
 		}
 		p.rec.ObservePath(lat, path)

@@ -38,6 +38,11 @@ type QueryRequest struct {
 	// corr/slope.
 	Col  int `json:"col,omitempty"`
 	Col2 int `json:"col2,omitempty"`
+	// DeadlineMS is the absolute wall-clock deadline (Unix milliseconds)
+	// after which the caller stops waiting; 0 means none. Forwarding and
+	// scatter layers propagate it so downstream holders can refuse
+	// dead-on-arrival work instead of computing answers nobody reads.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // CostJSON summarises the virtual cost charged for an answer.
@@ -79,6 +84,12 @@ type QueryResponse struct {
 	// via GET /v1/debug/trace/<trace_id> while it stays in the ring.
 	TraceID string          `json:"trace_id,omitempty"`
 	Trace   *trace.WireSpan `json:"trace,omitempty"`
+	// Degraded marks a best-effort answer computed from a strict subset
+	// of the partition space (some holders were unreachable); Coverage
+	// is the contributing fraction (0 < coverage < 1). Absent on full
+	// answers.
+	Degraded bool    `json:"degraded,omitempty"`
+	Coverage float64 `json:"coverage,omitempty"`
 }
 
 // StatsResponse combines agent lifetime counters with serving-layer
@@ -126,6 +137,9 @@ func (r QueryRequest) Query() (query.Query, error) {
 	}
 	if err := q.Validate(); err != nil {
 		return query.Query{}, err
+	}
+	if r.DeadlineMS > 0 {
+		q.Deadline = time.UnixMilli(r.DeadlineMS)
 	}
 	return q, nil
 }
@@ -305,9 +319,15 @@ func WriteJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// ErrDeadline is returned when a request's propagated deadline has
+// already passed: the holder refuses dead-on-arrival work instead of
+// computing an answer whose caller stopped waiting. Mapped to HTTP 504
+// — terminal, never retried (a retry would arrive even deader).
+var ErrDeadline = errors.New("serve: deadline exceeded")
+
 // WriteError maps err onto the serving layer's status-code convention
-// (400 malformed, 429 overload, 503 closed, 502 oracle failure) and
-// writes it as a JSON error body.
+// (400 malformed, 429 overload, 503 closed, 502 oracle failure, 504
+// dead-on-arrival deadline) and writes it as a JSON error body.
 func WriteError(w http.ResponseWriter, err error) { writeError(w, err) }
 
 func writeJSON(w http.ResponseWriter, code int, v any) { WriteJSON(w, code, v) }
@@ -325,6 +345,8 @@ func writeError(w http.ResponseWriter, err error) {
 		code = http.StatusUnprocessableEntity
 	case errors.Is(err, core.ErrNoOracle):
 		code = http.StatusBadGateway
+	case errors.Is(err, ErrDeadline):
+		code = http.StatusGatewayTimeout
 	}
 	writeJSON(w, code, errorResponse{Error: err.Error()})
 }
@@ -373,6 +395,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Quantum:   ans.Quantum,
 		StaleRows: ans.FreshRows,
 		Cost:      costJSON(ans.Cost),
+		Degraded:  ans.Degraded,
+		Coverage:  ans.Coverage,
 	}
 	if tr != nil {
 		resp.TraceID = tr.ID()
