@@ -13,12 +13,15 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/flight"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 func BenchmarkE1DatalessVsBDAS(b *testing.B) {
@@ -662,6 +665,65 @@ func BenchmarkE21Resilience(b *testing.B) {
 		b.ReportMetric(boolMetric(row.BreakerOpened), "breaker_opened")
 		b.ReportMetric(boolMetric(row.BreakerReclosed), "breaker_reclosed")
 		b.ReportMetric(float64(row.RecoverMS), "recover_ms")
+	})
+}
+
+// BenchmarkE22Elastic proves the elastic-membership cost contract.
+//
+// Disarmed gates the anti-entropy loop's off path: with
+// Config.AntiEntropy zero a tick must be a single atomic load and ZERO
+// heap allocations — CI greps its allocs/op, so a regression that
+// makes every disarmed node's background tick allocate fails the
+// build. E22 regenerates the full elastic-membership scenario and
+// reports its row: the paired disarmed-vs-armed QPS halves (the ≤2%
+// benchcheck gate) plus the churn narrative — grow 3→5, retire a
+// founder, zero acked-row loss, and a corrupted replica healed back to
+// bit-identical by anti-entropy.
+func BenchmarkE22Elastic(b *testing.B) {
+	b.Run("Disarmed", func(b *testing.B) {
+		ccfg := core.DefaultConfig(2)
+		ccfg.TrainingQueries = 1 << 30
+		lc, err := dist.StartLocal(1, dist.Config{
+			Agent:    ccfg,
+			Replicas: 1, WriteQuorum: 1, Partitions: 2,
+		}, workload.StandardRows(500, 11))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer lc.Close()
+		n := lc.Node(lc.IDs()[0])
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if n.AntiEntropyTick() != 0 {
+				b.Fatal("disarmed tick repaired something")
+			}
+		}
+	})
+	b.Run("E22", func(b *testing.B) {
+		var row experiments.E22Row
+		var err error
+		for i := 0; i < b.N; i++ {
+			row, err = experiments.E22ElasticMembership(20_000, 8, 600)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(row.BaselineQPS, "baseline_qps")
+		b.ReportMetric(row.ElasticQPS, "elastic_qps")
+		b.ReportMetric(row.OverheadPct, "overhead_pct")
+		b.ReportMetric(float64(row.Queries), "queries")
+		b.ReportMetric(float64(row.ClientErrors), "client_errors")
+		b.ReportMetric(row.QueryP99MS, "query_p99_ms")
+		b.ReportMetric(float64(row.Joined), "joined")
+		b.ReportMetric(float64(row.Left), "left")
+		b.ReportMetric(float64(row.FinalEpoch), "final_epoch")
+		b.ReportMetric(float64(row.MovedParts), "moved_parts")
+		b.ReportMetric(float64(row.AckedRows), "acked_rows")
+		b.ReportMetric(float64(row.LossRows), "loss_rows")
+		b.ReportMetric(float64(row.Repairs), "repairs")
+		b.ReportMetric(float64(row.RepairMS), "repair_ms")
+		b.ReportMetric(boolMetric(row.RepairFinding), "repair_finding")
 	})
 }
 

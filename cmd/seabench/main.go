@@ -1,12 +1,12 @@
-// Command seabench runs the full experiment suite (E1-E21 and ablations
+// Command seabench runs the full experiment suite (E1-E22 and ablations
 // A1-A5 from DESIGN.md) at configurable scale and prints one table per
 // experiment — the rows EXPERIMENTS.md records. Metrics are virtual
 // simulator units (see internal/metrics), except E13 (concurrent
 // serving), E14 (distributed cluster), E15 (live data plane), E16
 // (vectorized execution), E17 (serving hot path), E18 (tracing
 // overhead + accuracy audit), E19 (cluster introspection), E20
-// (flight recorder) and E21 (chaos resilience) which measure real
-// wall-clock behaviour.
+// (flight recorder), E21 (chaos resilience) and E22 (elastic
+// membership) which measure real wall-clock behaviour.
 //
 // With -json every experiment emits machine-readable rows instead of
 // tables, one JSON object per line:
@@ -510,6 +510,30 @@ func run(scale, only string, jsonOut bool) error {
 				r.HonestyErrPct, r.BaseP99MS, r.ChaosP99MS, r.RPCRetries,
 				r.Delayed, r.Errored, r.Blackholed,
 				r.BreakerOpened, r.BreakerReclosed, r.RecoverMS)
+		}
+	}
+
+	if want("E22") {
+		// Elastic membership: the elastic plane's query-path overhead
+		// with anti-entropy disarmed vs armed (paired A/B, CI-gated at
+		// <=2%), then the narrative — a 3-node cluster grows to 5 and
+		// retires a founding member under sustained queries + ingest
+		// with zero errors and zero acked-row loss, and a deliberately
+		// corrupted replica is healed back to bit-identical by the
+		// background anti-entropy loop.
+		r, err := experiments.E22ElasticMembership(pick(8_000, 20_000),
+			pick(4, 8), pick(600, 900))
+		if err != nil {
+			return err
+		}
+		if !em.emit("E22", r) {
+			fmt.Println("== E22: elastic membership (join/leave, rebalance, anti-entropy) ==")
+			fmt.Printf("overhead: baseline_qps=%.0f elastic_qps=%.0f drop=%.2f%%\n",
+				r.BaselineQPS, r.ElasticQPS, r.OverheadPct)
+			fmt.Printf("narrative: queries=%d errors=%d p99=%.0fms joined=%d left=%d epoch=%d moved_parts=%d acked=%d loss=%d repairs=%d repair=%dms finding=%v\n\n",
+				r.Queries, r.ClientErrors, r.QueryP99MS, r.Joined, r.Left,
+				r.FinalEpoch, r.MovedParts, r.AckedRows, r.LossRows,
+				r.Repairs, r.RepairMS, r.RepairFinding)
 		}
 	}
 

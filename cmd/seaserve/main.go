@@ -22,6 +22,26 @@
 // Every member loads the same deterministic synthetic dataset (same
 // -rows/-seed) and keeps only the partitions the ring assigns it.
 //
+// Elastic membership: a new member can also join a RUNNING cluster
+// without restarting anybody — instead of -peers it names any live
+// member with -join and its own reachable URL with -advertise:
+//
+//	seaserve -addr :8080 -node-id n3 \
+//	         -join http://host0:8080 -advertise http://host3:8080
+//
+// The joiner boots from the seed's membership view (partition count,
+// replicas and vnodes all come from the cluster, so they cannot
+// disagree), starts serving, and asks the seed to orchestrate the
+// join: moving partitions are staged onto the newcomer, caught up
+// through the WAL tail, and the cluster cuts over atomically to a new
+// membership epoch that every wire body carries. A member retires
+// gracefully via POST /v1/leave on any live member; its partitions
+// migrate to the survivors before it drains. -anti-entropy arms the
+// background replica-repair loop at the given cadence: replica holders
+// compare Merkle-style content digests against each partition's
+// primary and heal silent divergence by snapshot ship (repairs export
+// as sea_antientropy_repairs_total and surface in /v1/debug/cluster).
+//
 // Cluster mode is also a live system: -data-dir enables the WAL-durable
 // write path (POST /v1/ingest appends replicated, quorum-acked row
 // batches; a restarted member replays its WAL and catches up the log
@@ -70,8 +90,9 @@
 //	GET  /healthz     liveness (also used by failover probing)
 //
 // Single-node adds POST /v1/explain and GET /v1/stats; cluster mode adds
-// POST /v1/ingest, /v1/replicate, /v1/walfetch, /v1/partial,
-// GET /v1/snapshot, /v1/cluster, /v1/status and /v1/debug/cluster.
+// POST /v1/ingest, /v1/replicate, /v1/walfetch, /v1/partial, /v1/join,
+// /v1/leave, /v1/digest, GET /v1/snapshot, /v1/cluster, /v1/membership,
+// /v1/status and /v1/debug/cluster.
 //
 // Flag combinations are validated at startup (replication factor vs
 // cluster size, quorum vs replicas, cluster-only flags in single-node
@@ -83,10 +104,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -124,6 +149,9 @@ type options struct {
 	peers          map[string]string
 	replicas       int
 	warmFrom       string
+	join           string
+	advertise      string
+	antiEntropy    time.Duration
 	dataDir        string
 	writeQuorum    int
 	driftBudget    int
@@ -166,6 +194,9 @@ func main() {
 	flag.StringVar(&o.peerList, "peers", "", "cluster members as id=url,id=url,... (cluster mode)")
 	flag.IntVar(&o.replicas, "replicas", dist.DefaultReplicas, "replication factor (cluster mode)")
 	flag.StringVar(&o.warmFrom, "warm-from", "", "peer URL to import agent snapshots from at start (cluster mode)")
+	flag.StringVar(&o.join, "join", "", "live member URL to join a running cluster through (cluster mode; replaces -peers)")
+	flag.StringVar(&o.advertise, "advertise", "", "this member's externally reachable URL (required with -join)")
+	flag.DurationVar(&o.antiEntropy, "anti-entropy", 0, "background replica-repair cadence (cluster mode; 0 disables)")
 	flag.StringVar(&o.dataDir, "data-dir", "", "WAL directory for the live write path (cluster mode; empty = no durability)")
 	flag.IntVar(&o.writeQuorum, "write-quorum", 0, "owners that must apply an ingest batch before ack (cluster mode; 0 = majority of -replicas)")
 	flag.IntVar(&o.driftBudget, "drift-budget", 200, "ingested rows a quantum absorbs before its models re-earn trust (0 = legacy wholesale invalidation)")
@@ -275,6 +306,9 @@ func (o *options) validate() error {
 			"-replicas":      o.set["replicas"],
 			"-requant-check": o.set["requant-check"],
 			"-lag-threshold": o.lagThreshold != 0,
+			"-join":          o.join != "",
+			"-advertise":     o.advertise != "",
+			"-anti-entropy":  o.antiEntropy != 0,
 		} {
 			if set {
 				return fmt.Errorf("%s requires cluster mode (set -node-id)", flagName)
@@ -283,6 +317,34 @@ func (o *options) validate() error {
 		return nil
 	}
 
+	if o.antiEntropy < 0 {
+		return fmt.Errorf("-anti-entropy must be >= 0, got %v", o.antiEntropy)
+	}
+	if o.join != "" {
+		// Elastic join: the cluster's shape (partition count, replicas,
+		// vnodes, membership) comes from the seed's view, so static
+		// cluster-shape flags are contradictions, not configuration.
+		if o.advertise == "" {
+			return fmt.Errorf("-join requires -advertise (this member's reachable URL)")
+		}
+		if o.peerList != "" {
+			return fmt.Errorf("-join and -peers are mutually exclusive: the membership view comes from the seed")
+		}
+		if o.set["replicas"] {
+			return fmt.Errorf("-replicas comes from the seed's view with -join")
+		}
+		if o.warmFrom != "" {
+			return fmt.Errorf("-warm-from is redundant with -join: the join migration ships state in")
+		}
+		if o.writeQuorum < 0 {
+			return fmt.Errorf("-write-quorum must be >= 0, got %d", o.writeQuorum)
+		}
+		o.peers = map[string]string{o.nodeID: o.advertise}
+		return nil
+	}
+	if o.advertise != "" {
+		return fmt.Errorf("-advertise requires -join")
+	}
 	peers, err := parsePeers(o.peerList)
 	if err != nil {
 		return err
@@ -430,7 +492,7 @@ func runCluster(ctx context.Context, o options) error {
 	if o.sloLatency > 0 {
 		sloCfg = &metrics.SLOConfig{LatencyObjective: o.sloLatency}
 	}
-	node, err := dist.NewNode(dist.Config{
+	cfg := dist.Config{
 		ID:             o.nodeID,
 		Peers:          o.peers,
 		Replicas:       o.replicas,
@@ -455,7 +517,26 @@ func runCluster(ctx context.Context, o options) error {
 		Flight:         o.flight,
 		FlightSpool:    o.flightSpool,
 		Anomaly:        o.anomaly,
-	})
+		AntiEntropy:    o.antiEntropy,
+	}
+	if o.join != "" {
+		// Boot from the seed's live view: partition count, replicas and
+		// vnodes come from the cluster, so the joiner cannot disagree
+		// with it. The joiner is not in that view yet — it holds nothing
+		// until the seed orchestrates the join below.
+		mr, err := dist.FetchMembership(o.join, 0)
+		if err != nil {
+			return fmt.Errorf("join: fetching membership from %s: %w", o.join, err)
+		}
+		cfg.InitialView = &mr.View
+		cfg.Partitions = mr.Partitions
+		cfg.Replicas = mr.Replicas
+		cfg.VNodes = mr.VNodes
+		lg.Info("booting from seed view", "seed", o.join, "epoch", mr.View.Epoch,
+			"members", len(mr.View.Members), "partitions", mr.Partitions,
+			"replicas", mr.Replicas)
+	}
+	node, err := dist.NewNode(cfg)
 	if err != nil {
 		return err
 	}
@@ -490,8 +571,75 @@ func runCluster(ctx context.Context, o options) error {
 	}
 
 	lg.Info("serving", "node", o.nodeID, "addr", o.addr)
-	context.AfterFunc(ctx, func() { lg.Info("shutting down", "drain", o.drain) })
-	return serve.RunHTTP(ctx, o.addr, node.Handler(), o.drain, node.Close)
+	runCtx := ctx
+	if o.join != "" {
+		// The seed stages partitions onto us over HTTP, so we must be
+		// listening BEFORE the join RPC: wait for our own /healthz to
+		// answer through the advertised URL, then ask the seed to
+		// orchestrate. A failed join cancels the serve loop — a member
+		// that never joined has nothing to serve.
+		var cancel context.CancelCauseFunc
+		runCtx, cancel = context.WithCancelCause(ctx)
+		go func() {
+			if err := joinCluster(o, lg); err != nil {
+				cancel(err)
+			}
+		}()
+	}
+	context.AfterFunc(runCtx, func() { lg.Info("shutting down", "drain", o.drain) })
+	err = serve.RunHTTP(runCtx, o.addr, node.Handler(), o.drain, node.Close)
+	if cause := context.Cause(runCtx); cause != nil && !errors.Is(cause, context.Canceled) {
+		return cause
+	}
+	return err
+}
+
+// joinCluster waits for this member's own /healthz to answer at the
+// advertised URL, then asks the seed to orchestrate the join. The
+// orchestration itself (snapshot ship + WAL catch-up + cutover) runs on
+// the seed, so the POST's deadline is generous.
+func joinCluster(o options, lg *obs.Logger) error {
+	probe := &http.Client{Timeout: 2 * time.Second}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := probe.Get(o.advertise + "/healthz")
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("join: own /healthz never answered at %s (is -advertise reachable from this host?)", o.advertise)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	body, err := json.Marshal(dist.JoinRequest{ID: o.nodeID, URL: o.advertise})
+	if err != nil {
+		return err
+	}
+	hc := &http.Client{Timeout: 2 * time.Minute}
+	resp, err := hc.Post(o.join+"/v1/join", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("join via %s: %w", o.join, err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("join via %s: HTTP %d: %s", o.join, resp.StatusCode, e.Error)
+	}
+	var out dist.JoinResponse
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	lg.Info("joined cluster", "seed", o.join, "epoch", out.View.Epoch,
+		"members", len(out.View.Members), "moved_parts", out.Moved)
+	return nil
 }
 
 // answerCacheConfig maps the flag's convention (0 = disabled) onto

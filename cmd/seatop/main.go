@@ -1,8 +1,11 @@
 // Seatop is the cluster operator dashboard: it polls a node's
 // GET /v1/debug/cluster aggregator and renders a refreshing terminal
-// view of every member — reachability, partitions and replication lag,
-// cache hit rate, runtime telemetry, SLO burn — plus the aggregator's
-// cross-check findings. When members run the flight recorder, seatop
+// view of every member — reachability, membership epoch, partitions and
+// replication lag, cache hit rate, runtime telemetry, anti-entropy
+// repairs, SLO burn — plus the aggregator's cross-check findings. When
+// members are churning (live join/leave) or the anti-entropy loop has
+// healed a divergent replica, a "membership churn & repair" section
+// breaks the per-node migration and repair counters out. When members run the flight recorder, seatop
 // also polls each node's GET /v1/history and renders a per-node
 // sparkline of -metric over -window.
 //
@@ -182,23 +185,47 @@ func render(rep dist.ClusterReport, url string, hist map[string]nodeHistory, met
 	fmt.Fprintf(&b, "seatop — %s  coordinator=%s  %s  (%d nodes, %d findings, %dms)\n\n",
 		url, rep.Coordinator, health, len(rep.Nodes), len(rep.Findings), rep.TookMS)
 
-	fmt.Fprintf(&b, "%-6s %-9s %8s %6s %9s %7s %6s %8s %7s %9s %s\n",
-		"NODE", "STATE", "UPTIME", "PARTS", "ROWS", "VER", "CACHE", "GOROUT", "HEAP", "GCP99", "SLO")
+	fmt.Fprintf(&b, "%-6s %-9s %8s %6s %6s %9s %7s %6s %8s %7s %9s %7s %s\n",
+		"NODE", "STATE", "UPTIME", "EPOCH", "PARTS", "ROWS", "VER", "CACHE", "GOROUT", "HEAP", "GCP99", "REPAIR", "SLO")
 	for _, nr := range rep.Nodes {
 		if nr.Status == nil {
 			fmt.Fprintf(&b, "%-6s %-9s %s\n", nr.ID, "DOWN", nr.Error)
 			continue
 		}
 		st := nr.Status
-		fmt.Fprintf(&b, "%-6s %-9s %8s %6d %9d %7d %6s %8d %7s %9s %s\n",
+		fmt.Fprintf(&b, "%-6s %-9s %8s %6d %6d %9d %7d %6s %8d %7s %9s %7s %s\n",
 			nr.ID, "up",
 			fmtDur(time.Duration(st.UptimeMS)*time.Millisecond),
+			st.Ring.Epoch,
 			len(st.Partitions), st.RowsHeld, st.DataVersion,
 			fmtPct(st.Cache.HitRate),
 			st.Runtime.Goroutines,
 			fmtBytes(st.Runtime.HeapAlloc),
 			fmtDur(time.Duration(st.Runtime.GCPauseP99)),
+			repairSummary(st),
 			sloSummary(st))
+	}
+
+	// Elastic-membership activity: shown only when a node has migration
+	// or anti-entropy history to report, so a static cluster stays quiet.
+	var elastic []string
+	for _, nr := range rep.Nodes {
+		if nr.Status == nil {
+			continue
+		}
+		rb, ae := nr.Status.Rebalance, nr.Status.AntiEntropy
+		if rb.MovedParts == 0 && rb.Staged == 0 && rb.Retired == 0 && ae.Divergent == 0 && ae.Repairs == 0 {
+			continue
+		}
+		elastic = append(elastic, fmt.Sprintf(
+			"  %-6s moved=%d staged=%d retired=%d divergent=%d repaired=%d",
+			nr.ID, rb.MovedParts, rb.Staged, rb.Retired, ae.Divergent, ae.Repairs))
+	}
+	if len(elastic) > 0 {
+		b.WriteString("\nmembership churn & repair:\n")
+		for _, line := range elastic {
+			b.WriteString(line + "\n")
+		}
 	}
 
 	// Per-partition replication lag, shown only when something lags.
@@ -261,6 +288,16 @@ func render(rep dist.ClusterReport, url string, hist map[string]nodeHistory, met
 		b.WriteString("\nno findings — all checks pass\n")
 	}
 	return b.String()
+}
+
+// repairSummary compresses a node's anti-entropy state: "-" when the
+// loop is disarmed, repaired/divergent counts when armed.
+func repairSummary(st *dist.NodeStatus) string {
+	ae := st.AntiEntropy
+	if !ae.Enabled {
+		return "-"
+	}
+	return fmt.Sprintf("%d/%d", ae.Repairs, ae.Divergent)
 }
 
 // sloSummary compresses a node's per-class SLO states to the worst one.

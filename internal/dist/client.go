@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -27,14 +28,29 @@ import (
 // a hard outage still fails fast once the budget is spent). Per-peer
 // circuit breakers shed calls to members failing at a sustained rate
 // even when they still answer /healthz.
+//
+// The client is membership-aware: every node response carries the
+// membership epoch it was served under, and a response from a NEWER
+// epoch than the client knows triggers a synchronous refresh (GET
+// /v1/membership) that rebuilds the ring and URL table — evicting
+// departed members so they stop receiving RPCs, and admitting joiners
+// so routing follows the new placement. The ring and URL map are
+// treated as immutable snapshots behind mu, so in-flight requests keep
+// a consistent view while a refresh swaps in the next one.
 type Client struct {
+	mu       sync.RWMutex // guards ring, urls, epoch
 	ring     *Ring
 	urls     map[string]string
+	epoch    int64
+	vnodes   int
 	replicas int
-	hc       *http.Client
-	health   *health
-	budget   int
-	backoff  time.Duration
+
+	refreshMu sync.Mutex // single-flight for refresh()
+
+	hc      *http.Client
+	health  *health
+	budget  int
+	backoff time.Duration
 	// Tenant is sent with every query for the nodes' admission control
 	// (empty = shared default tenant).
 	Tenant string
@@ -61,15 +77,105 @@ func NewClientVNodes(members map[string]string, replicas int, timeout time.Durat
 		ids = append(ids, id)
 		urls[id] = url
 	}
+	ring := NewRing(vnodes, ids...)
 	return &Client{
-		ring:     NewRing(vnodes, ids...),
-		urls:     urls,
+		ring: ring,
+		urls: urls,
+		// A freshly booted static cluster is at epoch 1 (viewFromPeers),
+		// so start there: the first response only triggers a refresh if
+		// the cluster has actually changed since construction.
+		epoch:    1,
+		vnodes:   ring.VNodes(),
 		replicas: replicas,
 		hc:       newHTTPClient(timeout, nil),
 		health:   newHealth(DefaultCooldown, timeout, breakerConfig{}),
 		budget:   DefaultRetryBudget,
 		backoff:  DefaultRetryBackoff,
 	}
+}
+
+// snapshot returns the current ring and URL table. Both are immutable
+// once published (refresh swaps whole values), so callers may read them
+// without further locking.
+func (c *Client) snapshot() (*Ring, map[string]string) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring, c.urls
+}
+
+// Epoch returns the newest membership epoch the client has adopted.
+func (c *Client) Epoch() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.epoch
+}
+
+// noteEpoch records a membership epoch observed in a node response and
+// refreshes the client's view if it is newer than what we route by.
+// The refresh is synchronous: by the time the caller's NEXT request
+// goes out, routing already reflects the new membership, so a departed
+// node receives no further RPCs from this client.
+func (c *Client) noteEpoch(e int64) {
+	if e <= 0 {
+		return
+	}
+	c.mu.RLock()
+	known := c.epoch
+	c.mu.RUnlock()
+	if e <= known {
+		return
+	}
+	c.refresh(e)
+}
+
+// refresh pulls /v1/membership from the members we currently know,
+// adopts the highest-epoch view seen, and rebuilds the ring + URL
+// table from it. Single-flight: concurrent observers of the same new
+// epoch collapse into one round of fetches.
+func (c *Client) refresh(target int64) {
+	c.refreshMu.Lock()
+	defer c.refreshMu.Unlock()
+	c.mu.RLock()
+	if c.epoch >= target {
+		c.mu.RUnlock()
+		return // another caller already got us there
+	}
+	urls := c.urls
+	c.mu.RUnlock()
+	var best MembershipResponse
+	for _, url := range urls {
+		if url == "" || !c.health.available(url) {
+			continue
+		}
+		mr, err := fetchMembership(c.hc, url)
+		if err != nil {
+			c.health.observe(url, err)
+			continue
+		}
+		c.health.observe(url, nil)
+		if mr.View.Epoch > best.View.Epoch {
+			best = mr
+		}
+		if best.View.Epoch >= target {
+			break // already as new as the epoch that triggered us
+		}
+	}
+	if best.View.Epoch == 0 {
+		return // nobody reachable; keep routing by the old view
+	}
+	ids := make([]string, 0, len(best.View.Members))
+	nurls := make(map[string]string, len(best.View.Members))
+	for _, m := range best.View.Members {
+		ids = append(ids, m.ID)
+		nurls[m.ID] = m.URL
+	}
+	c.mu.Lock()
+	if best.View.Epoch > c.epoch {
+		c.ring = NewRing(c.vnodes, ids...)
+		c.urls = nurls
+		c.epoch = best.View.Epoch
+	}
+	c.mu.Unlock()
 }
 
 // Answer routes q to its ring owners and returns the cluster's answer.
@@ -131,9 +237,12 @@ func (c *Client) answer(q query.Query) (QueryResponse, error) {
 	var lastErr, terminalErr error
 	ok := false
 	c.retryLoop(q.Deadline, func() bool {
-		for _, id := range c.candidates(key) {
-			url := c.urls[id]
-			if !c.health.available(url) {
+		// Re-snapshot each pass: a refresh between passes re-routes the
+		// retry to the current members.
+		ring, urls := c.snapshot()
+		for _, id := range c.candidates(ring, key) {
+			url := urls[id]
+			if url == "" || !c.health.available(url) {
 				continue
 			}
 			resp, err := c.hc.Post(url+"/v1/query", "application/json", bytes.NewReader(body))
@@ -145,6 +254,7 @@ func (c *Client) answer(q query.Query) (QueryResponse, error) {
 			r, retryable, err := decodeAnswer(resp)
 			if err == nil {
 				c.health.observe(url, nil)
+				c.noteEpoch(r.Epoch)
 				out, ok = r, true
 				return true
 			}
@@ -176,14 +286,14 @@ func (c *Client) answer(q query.Query) (QueryResponse, error) {
 // candidates lists the key's ring owners first, then every other member:
 // owners for model locality, the rest as degraded-mode fallbacks (any
 // node can answer by scatter-gathering).
-func (c *Client) candidates(key string) []string {
-	owners := c.ring.Owners(key, c.replicas)
+func (c *Client) candidates(ring *Ring, key string) []string {
+	owners := ring.Owners(key, c.replicas)
 	isOwner := make(map[string]bool, len(owners))
 	for _, o := range owners {
 		isOwner[o] = true
 	}
 	out := owners
-	for _, id := range c.ring.Nodes() {
+	for _, id := range ring.Nodes() {
 		if !isOwner[id] {
 			out = append(out, id)
 		}
@@ -248,9 +358,10 @@ func (c *Client) Ingest(rows []storage.Row) (IngestResponse, error) {
 	var lastErr error
 	ok := false
 	c.retryLoop(time.Time{}, func() bool {
-		for _, id := range c.ring.Nodes() {
-			url := c.urls[id]
-			if !c.health.available(url) {
+		ring, urls := c.snapshot()
+		for _, id := range ring.Nodes() {
+			url := urls[id]
+			if url == "" || !c.health.available(url) {
 				continue
 			}
 			resp, err := c.hc.Post(url+"/v1/ingest", "application/json", bytes.NewReader(body))
@@ -281,6 +392,7 @@ func (c *Client) Ingest(rows []storage.Row) (IngestResponse, error) {
 				continue
 			}
 			c.health.observe(url, nil)
+			c.noteEpoch(r.Epoch)
 			out, ok = r, true
 			return true
 		}
@@ -296,9 +408,10 @@ func (c *Client) Ingest(rows []storage.Row) (IngestResponse, error) {
 // member until one responds.
 func (c *Client) Status() (ClusterStatus, error) {
 	var lastErr error
-	for _, id := range c.ring.Nodes() {
-		url := c.urls[id]
-		if !c.health.available(url) {
+	ring, urls := c.snapshot()
+	for _, id := range ring.Nodes() {
+		url := urls[id]
+		if url == "" || !c.health.available(url) {
 			continue
 		}
 		resp, err := c.hc.Get(url + "/v1/cluster")
@@ -322,6 +435,7 @@ func (c *Client) Status() (ClusterStatus, error) {
 			continue
 		}
 		c.health.observe(url, nil)
+		c.noteEpoch(st.Epoch)
 		return st, nil
 	}
 	return ClusterStatus{}, errAllReplicas("cluster status", lastErr)

@@ -39,6 +39,18 @@
 //	POST /v1/partial   per-partition aggregate state for scatter-gather
 //	GET  /v1/snapshot  agent snapshots for model shipping
 //	GET  /v1/cluster   membership, partitions held, serving health
+//	GET  /v1/membership  the node's current membership view (epoch +
+//	                   members); POST installs a newer view (gossip)
+//	POST /v1/join      add a member: recompute placement, stage moving
+//	                   partitions on their gainers, cut the epoch over
+//	POST /v1/leave     retire a member gracefully (drain + rebalance)
+//	POST /v1/migrate   coordinator→gainer: stage listed partitions from
+//	                   donor holders (snapshot + WAL-tail catch-up)
+//	POST /v1/partsnap  one partition's full row snapshot for staging
+//	POST /v1/digest    per-partition Merkle-style content digest for
+//	                   anti-entropy comparison
+//	GET  /v1/rebalance rebalance/repair progress (epoch, staged parts,
+//	                   retired parts, anti-entropy counters)
 //	GET  /v1/status    versioned introspection snapshot: ring view,
 //	                   per-partition replication lag, drift, cache,
 //	                   scheduler, audit and SLO state
@@ -95,6 +107,10 @@ const (
 	// DefaultHedgeQuantile is the partials-latency quantile after which
 	// a scatter RPC is hedged to a second holder.
 	DefaultHedgeQuantile = 0.95
+	// walFetchMaxDefault caps how many WAL entries one /v1/walfetch
+	// response carries when the request does not bound the batch
+	// itself; callers loop on Truncated.
+	walFetchMaxDefault = 512
 )
 
 // ErrAllReplicasFailed is returned when every ring owner of a key (or
@@ -257,6 +273,21 @@ type Config struct {
 	// ErrAllReplicasFailed instead of returning a degraded partial-
 	// coverage answer.
 	NoDegrade bool
+	// InitialView, when set, is the membership view the node boots
+	// with instead of deriving an epoch-1 view from Peers. A joiner
+	// fetches a live member's view (FetchMembership) and passes it
+	// here, so it boots already knowing the pre-join cluster and the
+	// shared partition count.
+	InitialView *View
+	// AntiEntropy, when positive, runs the background replica-repair
+	// loop at this cadence: each tick the node digests the partitions
+	// it replicates, compares against the partition primary, and heals
+	// any divergence via snapshot ship + WAL-tail catch-up. Negative
+	// arms the machinery without the background loop (tests drive
+	// AntiEntropyTick manually). Zero disarms it entirely — a tick is
+	// then a single atomic load, which is the zero-allocation guarantee
+	// the CI bench grep pins.
+	AntiEntropy time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -430,6 +461,10 @@ type QueryResponse struct {
 	serve.QueryResponse
 	// Node is the member that produced the answer.
 	Node string `json:"node"`
+	// Epoch is the answering node's membership epoch: a client seeing
+	// an epoch newer than its own refetches the membership view and
+	// re-resolves owners instead of routing on a stale ring.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // Answer converts the wire response to the agent's answer type.
@@ -484,6 +519,8 @@ type PartialsRequest struct {
 	// milliseconds; 0 = none): holders refuse dead-on-arrival batches
 	// with HTTP 504 instead of scanning partitions nobody waits for.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Epoch is the caller's membership epoch (stale holders refetch).
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // PartPartial is one partition's outcome within a batched partials
@@ -506,6 +543,8 @@ type PartialsResponse struct {
 	// request asked for a trace); the gatherer grafts it under its
 	// partial_rpc span.
 	Spans []trace.WireSpan `json:"spans,omitempty"`
+	// Epoch is the holder's membership epoch.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // SnapshotResponse ships a node's agent states for replica warm-up.
@@ -525,6 +564,7 @@ type MemberStatus struct {
 // ClusterStatus is the GET /v1/cluster body.
 type ClusterStatus struct {
 	Node            string                `json:"node"`
+	Epoch           int64                 `json:"epoch"`
 	Replicas        int                   `json:"replicas"`
 	Members         []MemberStatus        `json:"members"`
 	PartitionsHeld  []int                 `json:"partitions_held"`
@@ -591,6 +631,8 @@ type IngestResponse struct {
 	// for a trace). Forwarding nodes stitch the primary's spans under
 	// their own forward span.
 	Spans []trace.WireSpan `json:"spans,omitempty"`
+	// Epoch is the answering node's membership epoch.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // ReplicateRequest is the primary-to-replica POST /v1/replicate body:
@@ -600,11 +642,15 @@ type ReplicateRequest struct {
 	Part int       `json:"part"`
 	Seq  uint64    `json:"seq"`
 	Rows []WireRow `json:"rows"`
+	// Epoch is the primary's membership epoch (stale replicas refetch).
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // ReplicateResponse reports the replica's last applied sequence.
 type ReplicateResponse struct {
 	LastSeq uint64 `json:"last_seq"`
+	// Epoch is the replica's membership epoch.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // WALFetchRequest is the POST /v1/walfetch body: a recovering replica
@@ -613,6 +659,11 @@ type ReplicateResponse struct {
 type WALFetchRequest struct {
 	Part  int    `json:"part"`
 	After uint64 `json:"after"`
+	// Max bounds the entry count of one response (0 takes the server's
+	// walFetchMaxDefault); callers loop while Truncated.
+	Max int `json:"max,omitempty"`
+	// Epoch is the caller's membership epoch.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // WALFetchEntry is one sequenced batch of a fetched log tail.
@@ -626,6 +677,22 @@ type WALFetchResponse struct {
 	Part    int             `json:"part"`
 	LastSeq uint64          `json:"last_seq"`
 	Entries []WALFetchEntry `json:"entries"`
+	// Truncated reports the tail hit the per-response entry cap; the
+	// caller fetches another round starting after the last entry.
+	Truncated bool `json:"truncated,omitempty"`
+	// Fenced reports the holder served the tail while holding the
+	// partition's write lock: LastSeq cannot advance behind the
+	// caller's back, so a gainer's final cutover sync is complete once
+	// a fenced response at the new epoch shows no missing entries.
+	// Unfenced responses (the lock was contended) are still correct
+	// tails — just not a cutover guarantee.
+	Fenced bool `json:"fenced,omitempty"`
+	// NoWAL reports the holder has the partition in memory only (no
+	// durability configured); LastSeq is still authoritative and the
+	// caller falls back to a snapshot fetch for missing rows.
+	NoWAL bool `json:"no_wal,omitempty"`
+	// Epoch is the holder's membership epoch.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // wireToRows converts wire rows to storage rows.

@@ -272,9 +272,10 @@ func TestQueryKeyRoutingIsStable(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		q := qs.Next()
 		key := serve.Key(q)
-		want := client.ring.Owners(key, 2)
+		cring, _ := client.snapshot()
+		want := cring.Owners(key, 2)
 		for _, id := range lc.IDs() {
-			if got := lc.Node(id).ring.Owners(key, 2); !equalStrings(got, want) {
+			if got := lc.Node(id).Ring().Owners(key, 2); !equalStrings(got, want) {
 				t.Fatalf("node %s owners %v != client owners %v", id, got, want)
 			}
 		}

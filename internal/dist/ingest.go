@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 
 	"repro/internal/ingest"
@@ -14,6 +15,21 @@ import (
 	"repro/internal/storage"
 	"repro/internal/trace"
 )
+
+// parseHops decodes the ingest forward-hop header. Empty means an
+// entry-point request (0 hops). A non-numeric value — e.g. a node id
+// set by a pre-elastic peer — maps to the terminal hop count, which
+// preserves the old "forwarded requests never hop again" behaviour.
+func parseHops(h string) int {
+	if h == "" {
+		return 0
+	}
+	v, err := strconv.Atoi(h)
+	if err != nil || v < 0 {
+		return maxIngestHops
+	}
+	return v
+}
 
 // This file is the cluster's replicated write path (the live data
 // plane):
@@ -159,6 +175,12 @@ func (n *Node) writeQuorum(owners int) int {
 }
 
 func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if !n.ingestGate() {
+		serve.WriteJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"error": errNodeClosing.Error()})
+		return
+	}
+	defer n.closeDone()
 	var req IngestRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	dec.DisallowUnknownFields()
@@ -193,7 +215,8 @@ func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	sort.Ints(parts)
 
-	forwarded := r.Header.Get(forwardHeader) != ""
+	hops := parseHops(r.Header.Get(forwardHeader))
+	ms := n.members()
 	// ?trace=1 (or a forwarded request's Trace flag) records the write
 	// path as a span tree: wal_append/absorb per applied partition,
 	// replicate fan-out, and the forwarded primaries' own trees
@@ -205,21 +228,22 @@ func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 	resp := IngestResponse{Node: n.id}
 	for _, p := range parts {
 		rows := groups[p]
-		owners := n.ring.Owners(partKey(p), n.cfg.Replicas)
+		owners := ms.ring.Owners(partKey(p), n.cfg.Replicas)
 		var pr PartIngestResult
 		psp := root.Child("part")
 		switch {
 		case len(owners) > 0 && owners[0] == n.id:
-			pr = n.primaryIngest(p, owners, rows, req.IdemKey, psp)
-		case forwarded:
-			// Anti-bounce: a forwarded ingest is terminal. A ring
-			// disagreement must surface as an error, not hop again —
+			pr = n.primaryIngest(p, rows, req.IdemKey, hops, psp)
+		case hops >= maxIngestHops:
+			// Anti-bounce: the hop budget is spent. A persisting ring
+			// disagreement must surface as an error, not bounce again —
 			// and never as a silent non-primary apply, which would fork
-			// the partition's sequence.
+			// the partition's sequence. (One re-forward hop IS allowed,
+			// so a request that raced a membership change still lands.)
 			pr = PartIngestResult{Part: p, Rows: len(rows),
 				Error: fmt.Sprintf("dist: node %s is not the primary of partition %d", n.id, p)}
 		default:
-			pr = n.forwardIngest(owners, p, rows, req.IdemKey, psp)
+			pr = n.forwardIngest(owners, p, rows, req.IdemKey, hops, psp)
 			// The batch changed data this node holds no replica of, so
 			// its own version counter stays put — advance the ingest
 			// epoch instead so cached cluster-wide answers expire.
@@ -236,6 +260,7 @@ func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 		resp.Parts = append(resp.Parts, pr)
 	}
 	resp.Version = n.DataVersion()
+	resp.Epoch = ms.view.Epoch
 	if root != nil {
 		root.End()
 		resp.Spans = []trace.WireSpan{root.Wire()}
@@ -251,13 +276,38 @@ func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 // idempotency key this primary already applied replays the stored
 // outcome instead of re-applying the rows, so a client retrying a
 // broken connection cannot double-ingest.
-func (n *Node) primaryIngest(p int, owners []string, rows []storage.Row, idemKey string, sp *trace.Span) PartIngestResult {
+//
+// Primaryship is re-resolved UNDER the partition lock: a view change
+// can move it while the request waits, and sequencing a batch on the
+// old primary after cutover would fork the partition's log. A batch
+// that lost the race re-forwards (with the lock RELEASED first — the
+// new primary's cutover sync may be fetching our WAL tail, which needs
+// this very lock).
+func (n *Node) primaryIngest(p int, rows []storage.Row, idemKey string, hops int, sp *trace.Span) PartIngestResult {
 	mu := n.partLock(p)
 	if mu == nil {
+		// Routed here as primary, but the partition is gone — a view
+		// change retired it between the routing decision and this call.
+		// Re-resolve under the current membership and forward to the
+		// node that owns it now instead of failing the batch.
+		owners := n.members().ring.Owners(partKey(p), n.cfg.Replicas)
+		if len(owners) > 0 && owners[0] != n.id && hops < maxIngestHops {
+			return n.forwardIngest(owners, p, rows, idemKey, hops, sp)
+		}
 		return PartIngestResult{Part: p, Rows: len(rows),
 			Error: fmt.Sprintf("dist: primary %s does not hold partition %d", n.id, p)}
 	}
 	mu.Lock()
+	ms := n.members()
+	owners := ms.ring.Owners(partKey(p), n.cfg.Replicas)
+	if len(owners) == 0 || owners[0] != n.id {
+		mu.Unlock()
+		if hops >= maxIngestHops {
+			return PartIngestResult{Part: p, Rows: len(rows),
+				Error: fmt.Sprintf("dist: node %s is no longer the primary of partition %d", n.id, p)}
+		}
+		return n.forwardIngest(owners, p, rows, idemKey, hops, sp)
+	}
 	defer mu.Unlock()
 	// Under the partition lock, so a concurrent retry of the same batch
 	// serialises behind the original apply and sees its outcome.
@@ -272,31 +322,52 @@ func (n *Node) primaryIngest(p int, owners []string, rows []storage.Row, idemKey
 		return PartIngestResult{Part: p, Rows: len(rows), Error: err.Error()}
 	}
 	rsp := sp.Child("replicate")
-	acks := 1
 	var batchLag uint64
-	for _, o := range owners[1:] {
-		if o == n.id {
-			continue
-		}
-		url, ok := n.cfg.Peers[o]
-		if !ok || !n.health.available(url) {
-			continue
-		}
-		lastSeq, err := n.replicateTo(url, p, seq, rows)
-		n.health.observe(url, err)
-		if err != nil {
-			n.logger.Warn("replicate failed", "part", p, "seq", seq, "peer", o, "err", err)
-			continue
-		}
-		if lastSeq < seq {
-			// The replica responded but sits behind this batch (a gap
-			// its inline heal could not drain): primary-observed lag.
-			if gap := seq - lastSeq; gap > batchLag {
-				batchLag = gap
+	fanout := func(ms *memberState, owners []string) int {
+		acks := 1
+		for _, o := range owners[1:] {
+			if o == n.id {
+				continue
 			}
-			continue
+			url, ok := ms.urls[o]
+			if !ok || url == "" || !n.health.available(url) {
+				continue
+			}
+			lastSeq, err := n.replicateTo(url, p, seq, rows)
+			n.health.observe(url, err)
+			if err != nil {
+				n.logger.Warn("replicate failed", "part", p, "seq", seq, "peer", o, "err", err)
+				continue
+			}
+			if lastSeq < seq {
+				// The replica responded but sits behind this batch (a gap
+				// its inline heal could not drain): primary-observed lag.
+				if gap := seq - lastSeq; gap > batchLag {
+					batchLag = gap
+				}
+				continue
+			}
+			acks++
 		}
-		acks++
+		return acks
+	}
+	acks := fanout(ms, owners)
+	if acks < n.writeQuorum(len(owners)) {
+		// Quorum miss under the owner set we started with. If the
+		// membership epoch advanced mid-batch — a replica left or the
+		// partition gained a new holder during the fan-out — re-resolve
+		// and replicate against the CURRENT owners before giving up:
+		// replicas dedup by sequence, so the retry is idempotent, and
+		// this closes the cutover window where a departing replica
+		// stops accepting connections between our owner snapshot and
+		// the replicate call.
+		if cur := n.members(); cur.view.Epoch > ms.view.Epoch {
+			nowners := cur.ring.Owners(partKey(p), n.cfg.Replicas)
+			if len(nowners) > 0 && nowners[0] == n.id {
+				ms, owners = cur, nowners
+				acks = fanout(cur, nowners)
+			}
+		}
 	}
 	// Publish the worst responding-replica gap of the latest fan-out as
 	// this node's replication-lag gauge (the flight recorder samples it
@@ -325,7 +396,7 @@ func (n *Node) primaryIngest(p int, owners []string, rows []storage.Row, idemKey
 // its inline heal — the caller reads the shortfall off LastSeq instead
 // of treating the responsive peer as down.
 func (n *Node) replicateTo(url string, p int, seq uint64, rows []storage.Row) (uint64, error) {
-	body, err := json.Marshal(ReplicateRequest{Part: p, Seq: seq, Rows: rowsToWire(rows)})
+	body, err := json.Marshal(ReplicateRequest{Part: p, Seq: seq, Rows: rowsToWire(rows), Epoch: n.epoch()})
 	if err != nil {
 		return 0, err
 	}
@@ -341,23 +412,22 @@ func (n *Node) replicateTo(url string, p int, seq uint64, rows []storage.Row) (u
 	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
 		return 0, fmt.Errorf("replicate to %s: %w", url, err)
 	}
+	n.noteEpoch(rr.Epoch)
 	return rr.LastSeq, nil
 }
 
 // forwardIngest proxies one partition batch to its primary and adapts
 // the primary's response. Only the primary may sequence the batch, so
-// unlike query forwarding there is no local fallback: an unreachable
-// primary fails the batch (unacked, nothing applied).
-func (n *Node) forwardIngest(owners []string, p int, rows []storage.Row, idemKey string, sp *trace.Span) PartIngestResult {
+// unlike query forwarding there is no local fallback. A TRANSPORT
+// failure, though, gets one retry after re-resolving the primary under
+// the current membership: the resolved primary may have just left the
+// cluster (its listener closes right after the cutover), and the batch
+// belongs to whichever node now owns the partition. A primary that
+// RESPONDS with an error is not retried — that is an application
+// outcome, not stale routing.
+func (n *Node) forwardIngest(owners []string, p int, rows []storage.Row, idemKey string, hops int, sp *trace.Span) PartIngestResult {
 	fail := func(msg string) PartIngestResult {
 		return PartIngestResult{Part: p, Rows: len(rows), Error: msg}
-	}
-	if len(owners) == 0 {
-		return fail("dist: partition has no ring owners")
-	}
-	url, ok := n.cfg.Peers[owners[0]]
-	if !ok || !n.health.available(url) {
-		return fail(fmt.Sprintf("dist: primary %s of partition %d is unreachable", owners[0], p))
 	}
 	// The idempotency key rides along: a client retry entering through a
 	// different member still dedups at the same primary.
@@ -365,88 +435,196 @@ func (n *Node) forwardIngest(owners []string, p int, rows []storage.Row, idemKey
 	if err != nil {
 		return fail(err.Error())
 	}
-	fsp := sp.Child("forward")
-	fsp.SetAttr("primary", owners[0])
-	defer fsp.End()
-	hreq, err := http.NewRequest(http.MethodPost, url+"/v1/ingest", bytes.NewReader(body))
-	if err != nil {
-		return fail(err.Error())
-	}
-	hreq.Header.Set("Content-Type", "application/json")
-	hreq.Header.Set(forwardHeader, n.id)
-	resp, err := n.hc.Do(hreq)
-	if err != nil {
-		n.health.observe(url, err)
-		n.logger.Warn("ingest forward failed", "part", p, "primary", owners[0], "err", err)
-		return fail(fmt.Sprintf("dist: primary %s of partition %d: %v", owners[0], p, err))
-	}
-	defer drainClose(resp.Body)
-	var out IngestResponse
-	if derr := json.NewDecoder(resp.Body).Decode(&out); derr != nil || resp.StatusCode != http.StatusOK {
-		if resp.StatusCode >= 500 {
-			n.health.observe(url, fmt.Errorf("%w: ingest forward HTTP %d", errPeerResponded, resp.StatusCode))
-		} else {
-			n.health.observe(url, nil)
+	lastMsg := "dist: partition has no ring owners"
+	tried := make(map[string]bool, 2)
+	for attempt := 0; attempt < 2; attempt++ {
+		if attempt > 0 {
+			owners = n.members().ring.Owners(partKey(p), n.cfg.Replicas)
+			if len(owners) == 0 {
+				break
+			}
+			if owners[0] == n.id {
+				// The refreshed view made US the primary: sequence the
+				// batch locally instead of bouncing it further.
+				return n.primaryIngest(p, rows, idemKey, hops+1, sp)
+			}
+			if tried[owners[0]] {
+				break // same primary as before; transport is just down
+			}
 		}
-		return fail(fmt.Sprintf("dist: primary %s of partition %d: HTTP %d", owners[0], p, resp.StatusCode))
-	}
-	n.health.observe(url, nil)
-	// Graft the primary's span tree under this node's forward span.
-	fsp.AttachWire(out.Spans)
-	for _, pr := range out.Parts {
-		if pr.Part == p {
-			return pr
+		if len(owners) == 0 {
+			break
 		}
+		primary := owners[0]
+		tried[primary] = true
+		url, ok := n.members().urls[primary]
+		if !ok || url == "" || !n.health.available(url) {
+			lastMsg = fmt.Sprintf("dist: primary %s of partition %d is unreachable", primary, p)
+			continue
+		}
+		fsp := sp.Child("forward")
+		fsp.SetAttr("primary", primary)
+		hreq, err := http.NewRequest(http.MethodPost, url+"/v1/ingest", bytes.NewReader(body))
+		if err != nil {
+			fsp.End()
+			return fail(err.Error())
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		hreq.Header.Set(forwardHeader, strconv.Itoa(hops+1))
+		resp, err := n.hc.Do(hreq)
+		if err != nil {
+			fsp.End()
+			n.health.observe(url, err)
+			n.logger.Warn("ingest forward failed", "part", p, "primary", primary, "err", err)
+			lastMsg = fmt.Sprintf("dist: primary %s of partition %d: %v", primary, p, err)
+			continue
+		}
+		var out IngestResponse
+		derr := json.NewDecoder(resp.Body).Decode(&out)
+		drainClose(resp.Body)
+		if derr != nil || resp.StatusCode != http.StatusOK {
+			fsp.End()
+			if resp.StatusCode >= 500 {
+				n.health.observe(url, fmt.Errorf("%w: ingest forward HTTP %d", errPeerResponded, resp.StatusCode))
+			} else {
+				n.health.observe(url, nil)
+			}
+			return fail(fmt.Sprintf("dist: primary %s of partition %d: HTTP %d", primary, p, resp.StatusCode))
+		}
+		n.health.observe(url, nil)
+		n.noteEpoch(out.Epoch)
+		// Graft the primary's span tree under this node's forward span.
+		fsp.AttachWire(out.Spans)
+		fsp.End()
+		for _, pr := range out.Parts {
+			if pr.Part == p {
+				return pr
+			}
+		}
+		return fail("dist: primary response missing the partition result")
 	}
-	return fail("dist: primary response missing the partition result")
+	return fail(lastMsg)
 }
 
 func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	if !n.ingestGate() {
+		serve.WriteJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"error": errNodeClosing.Error()})
+		return
+	}
+	defer n.closeDone()
 	var req ReplicateRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	if err := dec.Decode(&req); err != nil {
 		serve.WriteError(w, fmt.Errorf("%w: %v", query.ErrBadQuery, err))
 		return
 	}
-	mu := n.partLock(req.Part)
-	if mu == nil {
-		serve.WriteJSON(w, http.StatusNotFound, map[string]string{
-			"error": fmt.Sprintf("dist: node %s does not hold partition %d", n.id, req.Part),
-		})
-		return
+	n.noteEpoch(req.Epoch)
+	ok := func(last uint64) {
+		serve.WriteJSON(w, http.StatusOK, ReplicateResponse{LastSeq: last, Epoch: n.epoch()})
 	}
-	mu.Lock()
-	last := n.partSeqLocked(req.Part)
-	if req.Seq > last+1 {
-		// Sequence gap: this replica missed a batch. Heal inline by
-		// fetching the missing tail from the peer holders (the primary
-		// already has every earlier batch — including this one — in its
-		// WAL), then re-check. Refusing to buffer out-of-order batches
-		// keeps every holder's partition a prefix of one log.
-		n.logger.Warn("replication gap, healing inline",
-			"part", req.Part, "applied", last, "incoming", req.Seq)
-		mu.Unlock()
-		_, _ = n.catchUpPartition(req.Part)
+	conflict := func(last uint64) {
+		serve.WriteJSON(w, http.StatusConflict, ReplicateResponse{LastSeq: last, Epoch: n.epoch()})
+	}
+	if mu := n.partLock(req.Part); mu != nil {
 		mu.Lock()
-		last = n.partSeqLocked(req.Part)
+		// Re-check under the lock: a view change may have retired the
+		// partition while we waited; fall through to the staged/retired
+		// paths below if so.
+		if n.holdsPart(req.Part) {
+			last := n.partSeqLocked(req.Part)
+			if req.Seq > last+1 {
+				// Sequence gap: this replica missed a batch. Heal inline
+				// by fetching the missing tail from the peer holders (the
+				// primary already has every earlier batch — including
+				// this one — in its WAL), then re-check. Refusing to
+				// buffer out-of-order batches keeps every holder's
+				// partition a prefix of one log.
+				n.logger.Warn("replication gap, healing inline",
+					"part", req.Part, "applied", last, "incoming", req.Seq)
+				mu.Unlock()
+				_, _ = n.catchUpPartition(req.Part)
+				mu.Lock()
+				last = n.partSeqLocked(req.Part)
+			}
+			defer mu.Unlock()
+			if req.Seq <= last {
+				// Duplicate delivery (or healed by catch-up): idempotent
+				// ack.
+				ok(last)
+				return
+			}
+			if req.Seq != last+1 {
+				// Still gapped after the heal attempt: reject so the
+				// primary counts no ack.
+				conflict(last)
+				return
+			}
+			if err := n.applyBatch(req.Part, req.Seq, wireToRows(req.Rows), true, nil); err != nil {
+				serve.WriteError(w, err)
+				return
+			}
+			ok(req.Seq)
+			return
+		}
+		mu.Unlock()
 	}
-	defer mu.Unlock()
-	if req.Seq <= last {
-		// Duplicate delivery (or healed by catch-up): idempotent ack.
-		serve.WriteJSON(w, http.StatusOK, ReplicateResponse{LastSeq: last})
+	// Staged copy (this node gains the partition in a pending view):
+	// keep absorbing the primary's stream so the cutover delta stays
+	// small.
+	n.stageMu.Lock()
+	if st := n.staged[req.Part]; st != nil {
+		defer n.stageMu.Unlock()
+		switch {
+		case req.Seq <= st.lastSeq:
+			ok(st.lastSeq)
+		case req.Seq == st.lastSeq+1:
+			st.rows = append(st.rows, wireToRows(req.Rows)...)
+			st.lastSeq = req.Seq
+			ok(st.lastSeq)
+		default:
+			conflict(st.lastSeq)
+		}
 		return
 	}
-	if req.Seq != last+1 {
-		// Still gapped after the heal attempt: reject so the primary
-		// counts no ack.
-		serve.WriteJSON(w, http.StatusConflict, ReplicateResponse{LastSeq: last})
+	n.stageMu.Unlock()
+	// Retired copy (this node just lost the partition): the old primary
+	// may not have adopted the view yet, and failing its replicate
+	// would cost a client its ack in the cutover window. Keep applying
+	// in sequence — the retained WAL keeps the batch durable and the
+	// gainer's final sync can still fetch it from us.
+	if rp := n.retiredPartOf(req.Part); rp != nil {
+		rp.mu.Lock()
+		defer rp.mu.Unlock()
+		switch {
+		case req.Seq <= rp.lastSeq:
+			ok(rp.lastSeq)
+		case req.Seq == rp.lastSeq+1:
+			if rp.wal != nil {
+				if err := rp.wal.Append(req.Seq, wireToRows(req.Rows)); err != nil {
+					serve.WriteError(w, err)
+					return
+				}
+			}
+			rp.rows = append(rp.rows, wireToRows(req.Rows)...)
+			rp.lastSeq = req.Seq
+			ok(rp.lastSeq)
+		default:
+			conflict(rp.lastSeq)
+		}
 		return
 	}
-	if err := n.applyBatch(req.Part, req.Seq, wireToRows(req.Rows), true, nil); err != nil {
-		serve.WriteError(w, err)
-		return
-	}
-	serve.WriteJSON(w, http.StatusOK, ReplicateResponse{LastSeq: req.Seq})
+	serve.WriteJSON(w, http.StatusNotFound, map[string]string{
+		"error": fmt.Sprintf("dist: node %s does not hold partition %d", n.id, req.Part),
+	})
+}
+
+// holdsPart reports whether p is in the live partition map.
+func (n *Node) holdsPart(p int) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	_, ok := n.parts[p]
+	return ok
 }
 
 // partSeqLocked reads a partition's last applied sequence (callers hold
@@ -464,23 +642,79 @@ func (n *Node) handleWALFetch(w http.ResponseWriter, r *http.Request) {
 		serve.WriteError(w, fmt.Errorf("%w: %v", query.ErrBadQuery, err))
 		return
 	}
-	l := n.wal(req.Part)
-	if l == nil {
-		serve.WriteJSON(w, http.StatusNotFound, map[string]string{
-			"error": fmt.Sprintf("dist: node %s has no WAL for partition %d", n.id, req.Part),
-		})
+	n.noteEpoch(req.Epoch)
+	max := req.Max
+	if max <= 0 {
+		max = walFetchMaxDefault
+	}
+	if mu := n.partLock(req.Part); mu != nil {
+		// TryLock, never Lock: two replicas healing each other (or a
+		// gainer syncing from a donor that is itself mid-ingest) must
+		// not deadlock across the wire. An unfenced response is still
+		// useful — the tail is valid, LastSeq just may advance.
+		fenced := mu.TryLock()
+		n.mu.RLock()
+		_, held := n.parts[req.Part]
+		lastSeq := n.lastSeq[req.Part]
+		l := n.wals[req.Part]
+		n.mu.RUnlock()
+		if held {
+			resp := WALFetchResponse{Part: req.Part, LastSeq: lastSeq,
+				Fenced: fenced, Epoch: n.epoch()}
+			if l == nil {
+				resp.NoWAL = true
+			} else {
+				entries, truncated, err := l.EntriesAfterN(req.After, max)
+				if err != nil {
+					if fenced {
+						mu.Unlock()
+					}
+					serve.WriteError(w, err)
+					return
+				}
+				resp.Truncated = truncated
+				for _, e := range entries {
+					resp.Entries = append(resp.Entries, WALFetchEntry{Seq: e.Seq, Rows: rowsToWire(e.Rows)})
+				}
+			}
+			if fenced {
+				mu.Unlock()
+			}
+			serve.WriteJSON(w, http.StatusOK, resp)
+			return
+		}
+		if fenced {
+			mu.Unlock()
+		}
+	}
+	// Retired copy: always fenced — replicateRetired appends under
+	// rp.mu, which we hold for the whole read.
+	if rp := n.retiredPartOf(req.Part); rp != nil {
+		rp.mu.Lock()
+		resp := WALFetchResponse{Part: req.Part, LastSeq: rp.lastSeq,
+			Fenced: true, Epoch: n.epoch()}
+		if rp.wal == nil {
+			rp.mu.Unlock()
+			resp.NoWAL = true
+			serve.WriteJSON(w, http.StatusOK, resp)
+			return
+		}
+		entries, truncated, err := rp.wal.EntriesAfterN(req.After, max)
+		rp.mu.Unlock()
+		if err != nil {
+			serve.WriteError(w, err)
+			return
+		}
+		resp.Truncated = truncated
+		for _, e := range entries {
+			resp.Entries = append(resp.Entries, WALFetchEntry{Seq: e.Seq, Rows: rowsToWire(e.Rows)})
+		}
+		serve.WriteJSON(w, http.StatusOK, resp)
 		return
 	}
-	entries, err := l.EntriesAfter(req.After)
-	if err != nil {
-		serve.WriteError(w, err)
-		return
-	}
-	resp := WALFetchResponse{Part: req.Part, LastSeq: n.PartLastSeq(req.Part)}
-	for _, e := range entries {
-		resp.Entries = append(resp.Entries, WALFetchEntry{Seq: e.Seq, Rows: rowsToWire(e.Rows)})
-	}
-	serve.WriteJSON(w, http.StatusOK, resp)
+	serve.WriteJSON(w, http.StatusNotFound, map[string]string{
+		"error": fmt.Sprintf("dist: node %s has no WAL for partition %d", n.id, req.Part),
+	})
 }
 
 // CatchUp fetches every owned partition's missed log tail from peer
@@ -488,6 +722,10 @@ func (n *Node) handleWALFetch(w http.ResponseWriter, r *http.Request) {
 // recovery: Load replays the local WAL, CatchUp closes the gap the node
 // missed while it was down. It returns how many batches were fetched.
 func (n *Node) CatchUp() (int, error) {
+	if !n.ingestGate() {
+		return 0, errNodeClosing
+	}
+	defer n.closeDone()
 	n.mu.RLock()
 	owned := make([]int, 0, len(n.parts))
 	for p := range n.parts {
@@ -520,46 +758,65 @@ func (n *Node) catchUpPartition(p int) (int, error) {
 	defer mu.Unlock()
 	var applied int
 	var lastErr error
+	ms := n.members()
 	// Consult EVERY reachable holder, not just the first: a holder can
 	// itself be behind (it missed a replication too), so stopping at
 	// one donor could silently strand acked batches that another
 	// holder still has.
-	for _, holder := range n.ring.Owners(partKey(p), n.cfg.Replicas) {
+	for _, holder := range ms.ring.Owners(partKey(p), n.cfg.Replicas) {
 		if holder == n.id {
 			continue
 		}
-		url, ok := n.cfg.Peers[holder]
-		if !ok || !n.health.available(url) {
+		url, ok := ms.urls[holder]
+		if !ok || url == "" || !n.health.available(url) {
 			continue
 		}
-		// Fetch failures are NOT held against the peer: catch-up runs
-		// at boot, when the rest of the cluster may still be starting,
-		// and quarantining peers here would poison the first cooldown
-		// window of serving (ingest has no local fallback).
-		tail, err := n.fetchTail(url, p, n.partSeqLocked(p))
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		for _, e := range tail {
-			cur := n.partSeqLocked(p)
-			if e.Seq <= cur {
-				continue
+		// A bounded fetch may truncate a long tail: keep fetching from
+		// this donor while each round applies at least one batch (the
+		// progress check stops a donor that is itself behind from
+		// looping us forever).
+		for {
+			// Fetch failures are NOT held against the peer: catch-up
+			// runs at boot, when the rest of the cluster may still be
+			// starting, and quarantining peers here would poison the
+			// first cooldown window of serving (ingest has no local
+			// fallback).
+			resp, err := n.fetchTail(url, p, n.partSeqLocked(p), 0)
+			if err != nil {
+				lastErr = err
+				break
 			}
-			if e.Seq != cur+1 {
-				break // gap in this donor's tail; the next holder may fill it
+			if resp == nil || resp.NoWAL {
+				break // holder keeps no WAL; nothing to fetch
 			}
-			if err := n.applyBatch(p, e.Seq, wireToRows(e.Rows), true, nil); err != nil {
-				return applied, err
+			roundApplied := 0
+			for _, e := range resp.Entries {
+				cur := n.partSeqLocked(p)
+				if e.Seq <= cur {
+					continue
+				}
+				if e.Seq != cur+1 {
+					break // gap in this donor's tail; the next holder may fill it
+				}
+				if err := n.applyBatch(p, e.Seq, wireToRows(e.Rows), true, nil); err != nil {
+					return applied, err
+				}
+				roundApplied++
 			}
-			applied++
+			applied += roundApplied
+			if !resp.Truncated || roundApplied == 0 {
+				break
+			}
 		}
 	}
 	return applied, lastErr
 }
 
-func (n *Node) fetchTail(url string, p int, after uint64) ([]WALFetchEntry, error) {
-	body, err := json.Marshal(WALFetchRequest{Part: p, After: after})
+// fetchTail fetches partition p's WAL tail after the given sequence
+// from a peer. max <= 0 lets the donor apply its default bound. A 404
+// (holder keeps no WAL, pre-elastic peer) returns (nil, nil).
+func (n *Node) fetchTail(url string, p int, after uint64, max int) (*WALFetchResponse, error) {
+	body, err := json.Marshal(WALFetchRequest{Part: p, After: after, Max: max, Epoch: n.epoch()})
 	if err != nil {
 		return nil, err
 	}
@@ -578,6 +835,7 @@ func (n *Node) fetchTail(url string, p int, after uint64) ([]WALFetchEntry, erro
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return nil, err
 	}
+	n.noteEpoch(out.Epoch)
 	sort.Slice(out.Entries, func(i, j int) bool { return out.Entries[i].Seq < out.Entries[j].Seq })
-	return out.Entries, nil
+	return &out, nil
 }

@@ -379,7 +379,7 @@ func TestReplicateGapHealsInline(t *testing.T) {
 			batch = append(batch, storage.Row{Key: k, Vec: []float64{4, 5, 6}})
 		}
 	}
-	pr := node0.primaryIngest(part, node0.PartitionOwners(part), batch, "", nil)
+	pr := node0.primaryIngest(part, batch, "", 0, nil)
 	if !pr.Acked {
 		t.Fatalf("gapped replica did not heal: %+v", pr)
 	}

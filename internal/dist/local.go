@@ -1,12 +1,16 @@
 package dist
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"path/filepath"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/chaos"
 	"repro/internal/storage"
@@ -35,6 +39,12 @@ type LocalCluster struct {
 func StartLocal(n int, base Config, rows []storage.Row) (*LocalCluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("dist: local cluster needs >= 1 node, got %d", n)
+	}
+	if base.Partitions <= 0 {
+		// Pin the partition count now: the default derives from the peer
+		// count, and a later Join must NOT shift it (partition identity
+		// is what rebalancing moves around).
+		base.Partitions = 2 * n
 	}
 	lc := &LocalCluster{
 		base:    base,
@@ -146,6 +156,167 @@ func (lc *LocalCluster) URL(id string) string {
 func (lc *LocalCluster) Client() *Client {
 	cfg := lc.base.withDefaults()
 	return NewClientVNodes(lc.Members(), cfg.Replicas, cfg.Timeout, cfg.VNodes)
+}
+
+// Join boots a brand-new member on a fresh loopback listener and joins
+// it to the live cluster: it fetches a live member's membership view,
+// boots the newcomer from that view (so it agrees on partition count,
+// replicas and vnodes without any static config), starts its HTTP
+// server, and then asks the seed to orchestrate the join — stage
+// moving partitions on the newcomer, catch them up through the WAL,
+// and cut the cluster over to the new epoch. When Join returns, the
+// newcomer is a full member and every live node routes by the new
+// view.
+func (lc *LocalCluster) Join(id string) error {
+	lc.mu.Lock()
+	if _, exists := lc.urls[id]; exists {
+		lc.mu.Unlock()
+		return fmt.Errorf("dist: member %q already exists", id)
+	}
+	var seed string
+	for _, sid := range lc.ids {
+		if _, alive := lc.servers[sid]; alive {
+			seed = lc.urls[sid]
+			break
+		}
+	}
+	lc.mu.Unlock()
+	if seed == "" {
+		return fmt.Errorf("dist: no live member to join via")
+	}
+	mr, err := FetchMembership(seed, lc.base.Timeout)
+	if err != nil {
+		return fmt.Errorf("dist: join %s: %w", id, err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("dist: join %s: %w", id, err)
+	}
+	url := "http://" + l.Addr().String()
+
+	cfg := lc.base
+	cfg.ID = id
+	cfg.Peers = map[string]string{id: url}
+	cfg.InitialView = &mr.View
+	cfg.Partitions = mr.Partitions
+	cfg.Replicas = mr.Replicas
+	cfg.VNodes = mr.VNodes
+	if lc.base.DataDir != "" {
+		cfg.DataDir = filepath.Join(lc.base.DataDir, id)
+	}
+	node, err := NewNode(cfg)
+	if err != nil {
+		_ = l.Close()
+		return err
+	}
+	// Load with the full base set: the joiner is not in its boot view,
+	// so ownership filtering keeps nothing — its partitions arrive via
+	// the migration path below, exactly as they would on a real host.
+	if err := node.Load(lc.rows); err != nil {
+		node.Close()
+		_ = l.Close()
+		return err
+	}
+	srv := &http.Server{Handler: node.Handler()}
+	go func() { _ = srv.Serve(l) }()
+
+	teardown := func() {
+		_ = srv.Close()
+		node.Close()
+	}
+	body, err := json.Marshal(JoinRequest{ID: id, URL: url})
+	if err != nil {
+		teardown()
+		return err
+	}
+	resp, err := http.Post(seed+"/v1/join", "application/json", bytes.NewReader(body))
+	if err != nil {
+		teardown()
+		return fmt.Errorf("dist: join %s: %w", id, err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		teardown()
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("dist: join %s: HTTP %d: %s", id, resp.StatusCode, e.Error)
+	}
+	lc.mu.Lock()
+	lc.ids = append(lc.ids, id)
+	lc.addrs[id] = l.Addr().String()
+	lc.urls[id] = url
+	lc.nodes[id] = node
+	lc.servers[id] = srv
+	lc.mu.Unlock()
+	return nil
+}
+
+// Leave gracefully retires a member: another live member orchestrates
+// the leave (migrating the leaver's partitions to the survivors and
+// cutting over to a view without it), then the leaver's HTTP server
+// drains in-flight requests and the node shuts down — finishing queued
+// replication acks before it goes. The id is released for reuse.
+func (lc *LocalCluster) Leave(id string) error {
+	lc.mu.Lock()
+	node := lc.nodes[id]
+	srv := lc.servers[id]
+	var via string
+	for _, sid := range lc.ids {
+		if sid == id {
+			continue
+		}
+		if _, alive := lc.servers[sid]; alive {
+			via = lc.urls[sid]
+			break
+		}
+	}
+	lc.mu.Unlock()
+	if node == nil || srv == nil {
+		return fmt.Errorf("dist: member %q is not running", id)
+	}
+	if via == "" {
+		return fmt.Errorf("dist: no surviving member to orchestrate leave of %q", id)
+	}
+	body, err := json.Marshal(LeaveRequest{ID: id})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(via+"/v1/leave", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("dist: leave %s: %w", id, err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("dist: leave %s: HTTP %d: %s", id, resp.StatusCode, e.Error)
+	}
+	lc.mu.Lock()
+	delete(lc.servers, id)
+	delete(lc.nodes, id)
+	delete(lc.urls, id)
+	delete(lc.addrs, id)
+	for i, sid := range lc.ids {
+		if sid == id {
+			lc.ids = append(lc.ids[:i], lc.ids[i+1:]...)
+			break
+		}
+	}
+	lc.mu.Unlock()
+	// Drain in-flight HTTP before closing the node: the leaver keeps
+	// serving as a retired donor/ack sink until every started request
+	// completes, so no caller sees a dropped connection.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		_ = srv.Close()
+	}
+	node.Close()
+	return nil
 }
 
 // Kill abruptly stops a member: its HTTP server closes immediately,

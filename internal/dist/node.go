@@ -26,10 +26,21 @@ import (
 	"repro/internal/trace"
 )
 
-// forwardHeader marks a node-to-node forwarded query so ring
-// disagreements can never bounce a request between nodes: a forwarded
-// query is always answered locally.
+// forwardHeader marks a node-to-node forwarded request. On the query
+// path any non-empty value means "answer locally, never bounce". On
+// the ingest path it carries a hop COUNT: a membership change can
+// briefly leave two nodes disagreeing about a partition's primary, so
+// one extra re-forward hop is allowed before the request is pinned
+// where it is.
 const forwardHeader = "X-Sea-Forwarded"
+
+// maxIngestHops bounds ingest re-forwarding during membership
+// disagreement windows: at this hop count a node applies the batch as
+// primary itself rather than forwarding again.
+const maxIngestHops = 2
+
+// errNodeClosing rejects new mutating work once Close has begun.
+var errNodeClosing = fmt.Errorf("dist: node closing")
 
 // Node is one cluster member: the data partitions the ring assigns it,
 // an agent pool over them (predictions are node-local; exact fallbacks
@@ -38,11 +49,55 @@ const forwardHeader = "X-Sea-Forwarded"
 type Node struct {
 	cfg     Config
 	id      string
-	ring    *Ring
 	health  *health
 	hc      *http.Client
 	mux     *http.ServeMux
 	started time.Time
+
+	// member is the node's resolved membership (view + ring + URLs),
+	// swapped atomically on every view change: a reader resolves
+	// owners, forwards and replica URLs against ONE consistent state.
+	// viewMu serialises applyView; refreshing coalesces background
+	// membership refreshes; rebalanceMu serialises coordinated
+	// join/leave changes (a node can adopt another coordinator's view
+	// while orchestrating its own, hence two locks).
+	member      atomic.Pointer[memberState]
+	viewMu      sync.Mutex
+	refreshing  atomic.Bool
+	rebalanceMu sync.Mutex
+	movesTotal  atomic.Int64
+	lastChange  atomic.Int64 // unix ms of the last applied view
+
+	// closeMu gates mutating handlers against Close: handlers hold the
+	// read side from admission through their WAL append and response
+	// write; Close takes the write side after marking closed, so it
+	// cannot proceed until every admitted handler finished. closing
+	// makes Close idempotent.
+	closeMu sync.RWMutex
+	closed  bool
+	closing atomic.Bool
+
+	// staged holds partition snapshots shipped ahead of a view change
+	// (rebalance.go); retired holds partitions this node no longer owns
+	// but keeps serving as a donor/ack sink until Close.
+	stageMu  sync.Mutex
+	staged   map[int]*stagedPart
+	retireMu sync.Mutex
+	retired  map[int]*retiredPart
+
+	// Anti-entropy state: armed flag (one atomic load on the disarmed
+	// tick), stop channel for the background loop, lifetime counters.
+	aeArmed     atomic.Bool
+	aeStop      chan struct{}
+	aeTicks     atomic.Int64
+	aeChecked   atomic.Int64
+	aeDivergent atomic.Int64
+	aeRepairs   atomic.Int64
+
+	// dataRPCs counts data-plane requests served (query, partials,
+	// ingest, replicate, walfetch) — the client-staleness regression
+	// test asserts a removed member's count stays flat.
+	dataRPCs atomic.Int64
 
 	// fault is the node's chaos-injection rule set: it wraps the
 	// node-to-node HTTP transport and is driven by POST /v1/debug/chaos.
@@ -109,6 +164,12 @@ type Node struct {
 	lastSeq  map[int]uint64
 	wals     map[int]*ingest.Log
 	partMu   map[int]*sync.Mutex
+	// baseLen counts each partition's base (bulk-loaded) row prefix:
+	// rows[:baseLen] are re-laid deterministically by Load on restart
+	// and never belong in the WAL; rows[baseLen:] arrived via ingest.
+	// Migration snapshots ship it so a gainer re-seeds its WAL with
+	// only the ingested tail.
+	baseLen map[int]int
 
 	// partialsServed counts incoming partial-state RPCs (batched and
 	// legacy); partialsSent counts outgoing batched rounds. E17 and the
@@ -137,21 +198,24 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.ID == "" {
 		return nil, fmt.Errorf("dist: config needs a node ID")
 	}
-	if _, ok := cfg.Peers[cfg.ID]; !ok && len(cfg.Peers) > 0 {
-		return nil, fmt.Errorf("dist: node %q missing from its own peer map", cfg.ID)
+	// A joiner boots from a fetched view rather than a peer map, so the
+	// self-in-peers invariant only binds the static-config path.
+	if cfg.InitialView == nil {
+		if _, ok := cfg.Peers[cfg.ID]; !ok && len(cfg.Peers) > 0 {
+			return nil, fmt.Errorf("dist: node %q missing from its own peer map", cfg.ID)
+		}
 	}
-	ids := make([]string, 0, len(cfg.Peers))
-	for id := range cfg.Peers {
-		ids = append(ids, id)
-	}
-	if len(ids) == 0 {
-		ids = []string{cfg.ID}
+	var view View
+	if cfg.InitialView != nil {
+		view = cfg.InitialView.clone()
+		view.normalize()
+	} else {
+		view = viewFromPeers(cfg.ID, cfg.Peers)
 	}
 	fault := chaos.New()
 	n := &Node{
 		cfg:     cfg,
 		id:      cfg.ID,
-		ring:    NewRing(cfg.VNodes, ids...),
 		health:  newHealth(cfg.Cooldown, cfg.Timeout, cfg.breakerCfg()),
 		hc:      newHTTPClient(cfg.Timeout, fault),
 		fault:   fault,
@@ -163,7 +227,21 @@ func NewNode(cfg Config) (*Node, error) {
 		lastSeq: make(map[int]uint64),
 		wals:    make(map[int]*ingest.Log),
 		partMu:  make(map[int]*sync.Mutex),
+		baseLen: make(map[int]int),
+		staged:  make(map[int]*stagedPart),
+		retired: make(map[int]*retiredPart),
 		idem:    make(map[string]PartIngestResult),
+	}
+	n.member.Store(newMemberState(view, cfg.VNodes))
+	// AntiEntropy != 0 arms the tick; only > 0 runs the background
+	// loop (< 0 lets tests/experiments drive AntiEntropyTick manually;
+	// 0 disarms the tick entirely).
+	if cfg.AntiEntropy != 0 {
+		n.aeArmed.Store(true)
+	}
+	if cfg.AntiEntropy > 0 {
+		n.aeStop = make(chan struct{})
+		go n.antiEntropyLoop(cfg.AntiEntropy)
 	}
 	agents := make([]*core.Agent, cfg.Agents)
 	for i := range agents {
@@ -219,6 +297,15 @@ func NewNode(cfg Config) (*Node, error) {
 	rec.RegisterGauge("sea_breaker_state",
 		"Worst per-peer circuit-breaker state (0 closed, 1 half-open, 2 open).",
 		func() float64 { return float64(n.health.worstBreaker()) })
+	rec.RegisterGauge("sea_membership_epoch",
+		"Current membership view epoch (advances on every join/leave).",
+		func() float64 { return float64(n.epoch()) })
+	rec.RegisterGauge("sea_antientropy_repairs_total",
+		"Divergent replicas healed by the anti-entropy repair loop.",
+		func() float64 { return float64(n.aeRepairs.Load()) })
+	rec.RegisterGauge("sea_rebalance_moves_total",
+		"Partition replicas this node moved as a rebalance coordinator.",
+		func() float64 { return float64(n.movesTotal.Load()) })
 	rec.RegisterGauge("sea_probation_quanta",
 		"Quanta serving under post-invalidation probation across the node's agents.",
 		func() float64 {
@@ -309,6 +396,14 @@ func NewNode(cfg Config) (*Node, error) {
 	n.mux.HandleFunc("POST /v1/ingest", n.handleIngest)
 	n.mux.HandleFunc("POST /v1/replicate", n.handleReplicate)
 	n.mux.HandleFunc("POST /v1/walfetch", n.handleWALFetch)
+	n.mux.HandleFunc("GET /v1/membership", n.handleMembershipGet)
+	n.mux.HandleFunc("POST /v1/membership", n.handleMembershipPost)
+	n.mux.HandleFunc("POST /v1/join", n.handleJoin)
+	n.mux.HandleFunc("POST /v1/leave", n.handleLeave)
+	n.mux.HandleFunc("POST /v1/migrate", n.handleMigrate)
+	n.mux.HandleFunc("POST /v1/partsnap", n.handlePartSnap)
+	n.mux.HandleFunc("POST /v1/digest", n.handleDigest)
+	n.mux.HandleFunc("GET /v1/rebalance", n.handleRebalance)
 	n.mux.HandleFunc("GET /v1/snapshot", n.handleSnapshot)
 	n.mux.HandleFunc("GET /v1/cluster", n.handleCluster)
 	n.mux.HandleFunc("GET /v1/status", n.handleStatus)
@@ -332,8 +427,9 @@ func NewNode(cfg Config) (*Node, error) {
 // ID returns the node's member id.
 func (n *Node) ID() string { return n.id }
 
-// Ring returns the node's (read-only) placement ring.
-func (n *Node) Ring() *Ring { return n.ring }
+// Ring returns the node's current placement ring (immutable; a view
+// change swaps in a freshly built ring).
+func (n *Node) Ring() *Ring { return n.members().ring }
 
 // Pool returns the node's agent pool (for stats and warm-up).
 func (n *Node) Pool() *serve.Pool { return n.pool }
@@ -348,8 +444,24 @@ func (n *Node) Flight() *flight.Recorder { return n.flight }
 // experiments can drive Tick from a synthetic clock.
 func (n *Node) SLO() *metrics.SLOEngine { return n.slo }
 
-// Handler returns the node's HTTP API.
-func (n *Node) Handler() http.Handler { return n.mux }
+// Handler returns the node's HTTP API, with data-plane requests
+// counted (DataRPCs).
+func (n *Node) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/query", "/v1/partial", "/v1/partials",
+			"/v1/ingest", "/v1/replicate", "/v1/walfetch":
+			n.dataRPCs.Add(1)
+		}
+		n.mux.ServeHTTP(w, r)
+	})
+}
+
+// DataRPCs returns the number of data-plane requests (query, partials,
+// ingest, replicate, walfetch) this node has served over HTTP. The
+// client-staleness regression test asserts a departed member's count
+// stays flat after the view change.
+func (n *Node) DataRPCs() int64 { return n.dataRPCs.Load() }
 
 // Fault returns the node's chaos fault set — the programmatic face of
 // POST /v1/debug/chaos (tests and LocalCluster arm it directly).
@@ -396,17 +508,31 @@ func (n *Node) handleChaosGet(w http.ResponseWriter, _ *http.Request) {
 }
 
 // Close drains the node's scheduler, stops the drift maintainers, SLO
-// engine and runtime sampler, and closes the partition WALs. In-flight
-// queries complete.
+// engine, runtime sampler and anti-entropy loop, waits out every
+// admitted mutating handler (so a replicate ack never races a WAL
+// close), and closes the partition WALs — live and retired. In-flight
+// queries complete. Idempotent.
 func (n *Node) Close() {
+	if !n.closing.CompareAndSwap(false, true) {
+		return
+	}
 	for _, m := range n.maints {
 		m.Stop()
 	}
 	n.flight.Stop()
 	n.slo.Stop()
 	n.sampler.Stop()
+	if n.aeStop != nil {
+		close(n.aeStop)
+	}
 	n.sched.Close()
 	n.pool.DrainAudits()
+	// Flip closed under the write lock: every handler that passed
+	// ingestGate holds the read side until its response is written, so
+	// this acquisition IS the drain barrier.
+	n.closeMu.Lock()
+	n.closed = true
+	n.closeMu.Unlock()
 	n.mu.Lock()
 	wals := n.wals
 	n.wals = make(map[int]*ingest.Log)
@@ -414,7 +540,36 @@ func (n *Node) Close() {
 	for _, l := range wals {
 		_ = l.Close()
 	}
+	n.retireMu.Lock()
+	retired := n.retired
+	n.retired = make(map[int]*retiredPart)
+	n.retireMu.Unlock()
+	for _, rp := range retired {
+		rp.mu.Lock()
+		if rp.wal != nil {
+			_ = rp.wal.Close()
+			rp.wal = nil
+		}
+		rp.mu.Unlock()
+	}
 }
+
+// ingestGate admits one mutating handler against Close: true means the
+// caller may proceed and MUST call closeDone when finished (it holds
+// closeMu's read side through its WAL append and response write), so
+// Close cannot close a WAL out from under it. False means the node is
+// closing and the work must be rejected.
+func (n *Node) ingestGate() bool {
+	n.closeMu.RLock()
+	if n.closed {
+		n.closeMu.RUnlock()
+		return false
+	}
+	return true
+}
+
+// closeDone releases the admission taken by a successful ingestGate.
+func (n *Node) closeDone() { n.closeMu.RUnlock() }
 
 // Load partitions rows round-robin into cfg.Partitions data partitions
 // and keeps the ones whose ring owners include this node (each partition
@@ -430,9 +585,11 @@ func (n *Node) Load(rows []storage.Row) error {
 	n.rowsHeld = 0
 	n.lastSeq = make(map[int]uint64)
 	n.partMu = make(map[int]*sync.Mutex)
+	n.baseLen = make(map[int]int)
 	n.absorbedVer.Store(n.version) // bulk load needs no model absorb
+	ring := n.members().ring
 	for p := 0; p < n.cfg.Partitions; p++ {
-		owners := n.ring.Owners(partKey(p), n.cfg.Replicas)
+		owners := ring.Owners(partKey(p), n.cfg.Replicas)
 		for _, o := range owners {
 			if o == n.id {
 				n.parts[p] = nil
@@ -450,6 +607,9 @@ func (n *Node) Load(rows []storage.Row) error {
 			n.cols[p].Append(r)
 			n.rowsHeld++
 		}
+	}
+	for p, rs := range n.parts {
+		n.baseLen[p] = len(rs)
 	}
 	owned := make([]int, 0, len(n.parts))
 	for p := range n.parts {
@@ -578,7 +738,7 @@ func (n *Node) AnswerTraced(tenant string, q query.Query, tr *trace.Trace) (core
 
 // owners returns the ring owners for q's canonical key.
 func (n *Node) owners(q query.Query) []string {
-	return n.ring.Owners(serve.Key(q), n.cfg.Replicas)
+	return n.members().ring.Owners(serve.Key(q), n.cfg.Replicas)
 }
 
 func (n *Node) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -653,7 +813,8 @@ func (n *Node) answerLocal(w http.ResponseWriter, r *http.Request, tenant string
 			Degraded:  ans.Degraded,
 			Coverage:  ans.Coverage,
 		},
-		Node: n.id,
+		Node:  n.id,
+		Epoch: n.epoch(),
 	}
 	if tr != nil {
 		resp.TraceID = tr.ID()
@@ -677,9 +838,10 @@ func (n *Node) forward(w http.ResponseWriter, owners []string, req serve.QueryRe
 	if rawQuery != "" {
 		target += "?" + rawQuery
 	}
+	urls := n.members().urls
 	for _, o := range owners {
-		url, ok := n.cfg.Peers[o]
-		if !ok || o == n.id || !n.health.available(url) {
+		url, ok := urls[o]
+		if !ok || url == "" || o == n.id || !n.health.available(url) {
 			continue
 		}
 		hreq, err := http.NewRequest(http.MethodPost, url+target, bytes.NewReader(body))
@@ -761,6 +923,7 @@ func (n *Node) handlePartials(w http.ResponseWriter, r *http.Request) {
 		serve.WriteError(w, fmt.Errorf("%w: %v", query.ErrBadQuery, err))
 		return
 	}
+	n.noteEpoch(req.Epoch)
 	// The coordinator's deadline rode along: refuse dead-on-arrival
 	// batches instead of scanning partitions nobody waits for.
 	if _, err := checkDeadline(req.DeadlineMS); err != nil {
@@ -781,7 +944,8 @@ func (n *Node) handlePartials(w http.ResponseWriter, r *http.Request) {
 	}
 	scan := root.Child("local_scan")
 	var rowsScanned int64
-	resp := PartialsResponse{Node: n.id, Partials: make([]PartPartial, 0, len(req.Parts))}
+	resp := PartialsResponse{Node: n.id, Epoch: n.epoch(),
+		Partials: make([]PartPartial, 0, len(req.Parts))}
 	for _, p := range req.Parts {
 		e := PartPartial{Part: p}
 		if partial, rowsRead, ok := n.localPartial(p, q); ok {
@@ -860,9 +1024,10 @@ func (n *Node) publishAbsorbed(ver int64) {
 // Partitions returns the cluster's data-partition count.
 func (n *Node) Partitions() int { return n.cfg.Partitions }
 
-// PartitionOwners returns partition p's ring owners (primary first).
+// PartitionOwners returns partition p's ring owners (primary first)
+// under the current membership view.
 func (n *Node) PartitionOwners(p int) []string {
-	return n.ring.Owners(partKey(p), n.cfg.Replicas)
+	return n.members().ring.Owners(partKey(p), n.cfg.Replicas)
 }
 
 // PartLastSeq returns partition p's last applied ingest sequence (0 if
@@ -887,15 +1052,17 @@ func (n *Node) PartialState(p int, q query.Query) ([]float64, bool) {
 // Status reports the node's cluster view: membership with liveness,
 // partitions held, and serving health.
 func (n *Node) Status() ClusterStatus {
+	ms := n.members()
 	st := ClusterStatus{
 		Node:            n.id,
+		Epoch:           ms.view.Epoch,
 		Replicas:        n.cfg.Replicas,
 		PartitionsTotal: n.cfg.Partitions,
 		Agent:           n.pool.Stats(),
 		Serving:         n.pool.Recorder().Snapshot(),
 	}
-	for _, id := range n.ring.Nodes() {
-		url := n.cfg.Peers[id]
+	for _, id := range ms.ring.Nodes() {
+		url := ms.urls[id]
 		m := MemberStatus{ID: id, URL: url, Self: id == n.id, Alive: true}
 		if !m.Self {
 			m.Alive = n.health.available(url)

@@ -18,8 +18,11 @@ const DefaultVNodes = 64
 // adjacent to its vnodes — the standard scale-out partitioning scheme of
 // distributed data systems (Valduriez §4; semadb's cluster layer).
 //
-// Ring is not safe for concurrent mutation; cluster membership in this
-// repo is fixed at construction, so nodes share read-only rings.
+// Ring is not safe for concurrent mutation. The cluster treats rings
+// as immutable values: a membership change builds a NEW ring from the
+// new view and swaps it in atomically (memberState), so concurrent
+// readers always see a complete layout. Add/Remove exist for
+// construction and for tests that model churn directly.
 type Ring struct {
 	vnodes int
 	points []ringPoint // sorted by hash
@@ -65,9 +68,13 @@ func (r *Ring) Add(node string) {
 	})
 }
 
-// Remove deletes a node's vnodes from the ring.
+// Remove deletes a node's vnodes from the ring. The surviving points
+// move to a FRESH slice: filtering in place (points[:0]) would scribble
+// over the old backing array while a reader that grabbed the slice
+// header moments earlier is still walking it — exactly the stale-client
+// misrouting bug this used to cause.
 func (r *Ring) Remove(node string) {
-	kept := r.points[:0]
+	kept := make([]ringPoint, 0, len(r.points))
 	for _, p := range r.points {
 		if p.node != node {
 			kept = append(kept, p)

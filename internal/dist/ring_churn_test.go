@@ -1,0 +1,126 @@
+package dist
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestRingMinimalMovement: consistent hashing's whole point — adding one
+// node to an N-node ring must remap only about 1/(N+1) of the partition
+// keys. We allow 2x the ideal share plus a small absolute slack for
+// hash noise at small N; a modulo-style placement would move ~N/(N+1)
+// of the keys and fail this immediately.
+func TestRingMinimalMovement(t *testing.T) {
+	const parts = 128
+	for n := 3; n <= 8; n++ {
+		ids := make([]string, n)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("n%d", i)
+		}
+		before := NewRing(0, ids...)
+		after := NewRing(0, ids...)
+		after.Add(fmt.Sprintf("n%d", n))
+		moved := 0
+		for p := 0; p < parts; p++ {
+			if before.Primary(partKey(p)) != after.Primary(partKey(p)) {
+				moved++
+			}
+		}
+		limit := 2*parts/(n+1) + 8
+		if moved > limit {
+			t.Errorf("N=%d: adding one node moved %d/%d primaries, want <= %d", n, moved, parts, limit)
+		}
+		if moved == 0 {
+			t.Errorf("N=%d: adding one node moved nothing — the new node got no keys", n)
+		}
+	}
+}
+
+// TestRingChurnAddRemoveRestores: Remove must be the exact inverse of
+// Add — the ring layout is a pure function of the member set, so
+// add-then-remove has to restore every owner list bit-for-bit. This is
+// the regression test for the in-place filtering bug in Remove, which
+// corrupted the shared points array and broke exactly this property
+// for any ring snapshot taken before the removal.
+func TestRingChurnAddRemoveRestores(t *testing.T) {
+	const parts = 128
+	r := NewRing(0, "n0", "n1", "n2", "n3")
+	want := make([][]string, parts)
+	for p := 0; p < parts; p++ {
+		want[p] = r.Owners(partKey(p), 2)
+	}
+	r.Add("n4")
+	r.Remove("n4")
+	for p := 0; p < parts; p++ {
+		got := r.Owners(partKey(p), 2)
+		if !equalStrings(got, want[p]) {
+			t.Fatalf("partition %d: owners %v after add+remove, want %v", p, got, want[p])
+		}
+	}
+	if r.Digest() != NewRing(0, "n0", "n1", "n2", "n3").Digest() {
+		t.Fatal("digest differs after add+remove round trip")
+	}
+}
+
+// TestRingChurnInvariants drives 500 random add/remove operations and
+// checks the ownership invariants after every step: Owners never
+// returns duplicates, never returns a departed node, always returns
+// min(R, members) owners, and Primary is always Owners[0].
+func TestRingChurnInvariants(t *testing.T) {
+	const (
+		ops      = 500
+		parts    = 32
+		replicas = 2
+	)
+	rng := rand.New(rand.NewPCG(42, 7))
+	r := NewRing(0, "m0", "m1", "m2")
+	alive := map[string]bool{"m0": true, "m1": true, "m2": true}
+	next := 3
+	for op := 0; op < ops; op++ {
+		if len(alive) <= 1 || (len(alive) < 10 && rng.IntN(2) == 0) {
+			id := fmt.Sprintf("m%d", next)
+			next++
+			r.Add(id)
+			alive[id] = true
+		} else {
+			var victim string
+			k := rng.IntN(len(alive))
+			for id := range alive {
+				if k == 0 {
+					victim = id
+					break
+				}
+				k--
+			}
+			r.Remove(victim)
+			delete(alive, victim)
+		}
+		if r.Len() != len(alive) {
+			t.Fatalf("op %d: ring has %d members, model has %d", op, r.Len(), len(alive))
+		}
+		wantLen := replicas
+		if len(alive) < wantLen {
+			wantLen = len(alive)
+		}
+		for p := 0; p < parts; p++ {
+			owners := r.Owners(partKey(p), replicas)
+			if len(owners) != wantLen {
+				t.Fatalf("op %d part %d: %d owners, want %d", op, p, len(owners), wantLen)
+			}
+			seen := map[string]bool{}
+			for _, o := range owners {
+				if seen[o] {
+					t.Fatalf("op %d part %d: duplicate owner %s in %v", op, p, o, owners)
+				}
+				seen[o] = true
+				if !alive[o] {
+					t.Fatalf("op %d part %d: departed owner %s in %v", op, p, o, owners)
+				}
+			}
+			if primary := r.Primary(partKey(p)); primary != owners[0] {
+				t.Fatalf("op %d part %d: Primary %s != Owners[0] %s", op, p, primary, owners[0])
+			}
+		}
+	}
+}

@@ -203,8 +203,9 @@ func (n *Node) gatherRemote(q query.Query, missing []int, results []partialResul
 	// a cursor as failovers advance.
 	cand := make(map[int][]string, len(missing))
 	next := make(map[int]int, len(missing))
+	ms := n.members()
 	for _, p := range missing {
-		for _, h := range n.ring.Owners(partKey(p), n.cfg.Replicas) {
+		for _, h := range ms.ring.Owners(partKey(p), n.cfg.Replicas) {
 			if h != n.id {
 				cand[p] = append(cand[p], h)
 			}
@@ -270,7 +271,7 @@ func (n *Node) gatherRemote(q query.Query, missing []int, results []partialResul
 		sort.Slice(outs, func(i, j int) bool { return outs[i].holder < outs[j].holder })
 		runBounded(n.cfg.GatherFanout, len(outs), func(i int) {
 			o := &outs[i]
-			url := n.cfg.Peers[o.holder]
+			url := ms.urls[o.holder]
 			// A hedge candidate: the first abandoned-free partition's
 			// next untried available holder (cursor not advanced — a
 			// hedge is speculative, not a failover).
@@ -325,11 +326,12 @@ func (n *Node) gatherRemote(q query.Query, missing []int, results []partialResul
 // nextHolder advances partition p's candidate cursor to the next
 // available holder (health + breaker) and returns it ("" = exhausted).
 func (n *Node) nextHolder(cands []string, next map[int]int, p int) string {
+	urls := n.members().urls
 	for next[p] < len(cands) {
 		h := cands[next[p]]
 		next[p]++
-		url, ok := n.cfg.Peers[h]
-		if ok && n.health.available(url) {
+		url, ok := urls[h]
+		if ok && url != "" && n.health.available(url) {
 			return h
 		}
 	}
@@ -344,13 +346,14 @@ func (n *Node) hedgeCandidate(parts []int, cand map[int][]string, next map[int]i
 	if n.hedgeDelay() <= 0 {
 		return ""
 	}
+	urls := n.members().urls
 	for _, p := range parts {
 		for i := next[p]; i < len(cand[p]); i++ {
 			h := cand[p][i]
 			if h == primary {
 				continue
 			}
-			if url, ok := n.cfg.Peers[h]; ok && n.health.available(url) {
+			if url, ok := urls[h]; ok && url != "" && n.health.available(url) {
 				return url
 			}
 		}
@@ -491,6 +494,7 @@ func (n *Node) fetchPartials(ctx context.Context, url string, parts []int, wq se
 	defer jsonBufPool.Put(buf)
 	if err := json.NewEncoder(buf).Encode(PartialsRequest{
 		Parts: parts, Query: wq, Trace: sp != nil, DeadlineMS: dlMS,
+		Epoch: n.epoch(),
 	}); err != nil {
 		return nil, 0, err
 	}
@@ -525,6 +529,7 @@ func (n *Node) fetchPartials(ctx context.Context, url string, parts []int, wq se
 	if err := json.Unmarshal(rb.Bytes(), &pr); err != nil {
 		return nil, 0, err
 	}
+	n.noteEpoch(pr.Epoch)
 	sp.AttachWire(pr.Spans)
 	if !hedge {
 		n.partialsSent.Add(1)

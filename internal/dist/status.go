@@ -41,9 +41,21 @@ type PartitionStatus struct {
 type RingStatus struct {
 	// Digest fingerprints the membership + vnode layout; all members
 	// of a healthy cluster report the same digest.
-	Digest  string         `json:"digest"`
+	Digest string `json:"digest"`
+	// Epoch is the membership view version this ring was derived from;
+	// members of a converged cluster report the same epoch.
+	Epoch   int64          `json:"epoch"`
 	VNodes  int            `json:"vnodes"`
 	Members []MemberStatus `json:"members"`
+}
+
+// AntiEntropyStatus summarises the replica-repair loop.
+type AntiEntropyStatus struct {
+	Enabled   bool  `json:"enabled"`
+	Ticks     int64 `json:"ticks"`
+	Checked   int64 `json:"checked"`
+	Divergent int64 `json:"divergent"`
+	Repairs   int64 `json:"repairs"`
 }
 
 // CacheStatus summarises the versioned answer cache.
@@ -112,6 +124,8 @@ type NodeStatus struct {
 	Audit           AuditStatus             `json:"audit"`
 	SLO             []metrics.SLOClassState `json:"slo,omitempty"`
 	Resilience      ResilienceStatus        `json:"resilience"`
+	AntiEntropy     AntiEntropyStatus       `json:"antientropy"`
+	Rebalance       RebalanceStatus         `json:"rebalance"`
 	Runtime         obs.RuntimeSnap         `json:"runtime"`
 	Flight          *flight.Status          `json:"flight,omitempty"`
 }
@@ -129,9 +143,10 @@ func (n *Node) NodeStatus() NodeStatus {
 		IngestEpoch:     n.ingestEpoch.Load(),
 	}
 
-	st.Ring = RingStatus{Digest: n.ring.Digest(), VNodes: n.ring.VNodes()}
-	for _, id := range n.ring.Nodes() {
-		url := n.cfg.Peers[id]
+	ms := n.members()
+	st.Ring = RingStatus{Digest: ms.ring.Digest(), Epoch: ms.view.Epoch, VNodes: ms.ring.VNodes()}
+	for _, id := range ms.ring.Nodes() {
+		url := ms.urls[id]
 		m := MemberStatus{ID: id, URL: url, Self: id == n.id, Alive: true}
 		if !m.Self {
 			m.Alive = n.health.available(url)
@@ -147,7 +162,7 @@ func (n *Node) NodeStatus() NodeStatus {
 	}
 	sort.Ints(parts)
 	for _, p := range parts {
-		owners := n.ring.Owners(partKey(p), n.cfg.Replicas)
+		owners := ms.ring.Owners(partKey(p), n.cfg.Replicas)
 		ps := PartitionStatus{
 			Part:    p,
 			Role:    "replica",
@@ -198,6 +213,16 @@ func (n *Node) NodeStatus() NodeStatus {
 		ChaosEnabled:    n.fault.Enabled(),
 	}
 
+	ae := n.AntiEntropyCountersSnapshot()
+	st.AntiEntropy = AntiEntropyStatus{
+		Enabled:   n.aeArmed.Load(),
+		Ticks:     ae.Ticks,
+		Checked:   ae.Checked,
+		Divergent: ae.Divergent,
+		Repairs:   ae.Repairs,
+	}
+	st.Rebalance = n.RebalanceStatus()
+
 	if !n.samplerBG {
 		// No background loop: take the reading on demand so the
 		// snapshot is never stale.
@@ -230,7 +255,8 @@ type Finding struct {
 	// Severity is "warn" or "critical".
 	Severity string `json:"severity"`
 	// Kind classifies the check: "unreachable", "ring_divergence",
-	// "replication_lag" or "slo_burn".
+	// "epoch_divergence", "replication_lag", "slo_burn",
+	// "antientropy_repair" or "antientropy_divergence".
 	Kind string `json:"kind"`
 	Node string `json:"node,omitempty"`
 	Part int    `json:"part,omitempty"`
@@ -259,13 +285,14 @@ type ClusterReport struct {
 // configured threshold, unreachable members and burning SLOs.
 func (n *Node) ClusterReport() ClusterReport {
 	start := time.Now()
-	ids := n.ring.Nodes()
+	ms := n.members()
+	ids := ms.ring.Nodes()
 	reports := make([]NodeReport, len(ids))
 	var wg sync.WaitGroup
 	for i, id := range ids {
 		if id == n.id {
 			st := n.NodeStatus()
-			reports[i] = NodeReport{ID: id, URL: n.cfg.Peers[id], Reachable: true, Status: &st}
+			reports[i] = NodeReport{ID: id, URL: ms.urls[id], Reachable: true, Status: &st}
 			continue
 		}
 		wg.Add(1)
@@ -296,7 +323,7 @@ func (n *Node) ClusterReport() ClusterReport {
 
 // fetchStatus pulls one peer's /v1/status snapshot.
 func (n *Node) fetchStatus(id string) NodeReport {
-	url, ok := n.cfg.Peers[id]
+	url, ok := n.members().urls[id]
 	if !ok || url == "" {
 		return NodeReport{ID: id, Error: "no peer URL"}
 	}
@@ -347,15 +374,31 @@ func crossCheck(coord string, reports []NodeReport, lagThreshold uint64) []Findi
 	}
 
 	// Ring agreement: every reachable member must report the
-	// coordinator's digest, or key placement is diverging.
+	// coordinator's digest, or key placement is diverging. A member on
+	// an OLDER membership epoch is a softer signal — it gets the warn
+	// epoch_divergence (stragglers converge via epoch stamps) and the
+	// digest check is skipped for it, so a mid-propagation view change
+	// does not masquerade as placement corruption.
 	var coordDigest string
+	var coordEpoch int64
 	for _, r := range reports {
 		if r.ID == coord && r.Status != nil {
 			coordDigest = r.Status.Ring.Digest
+			coordEpoch = r.Status.Ring.Epoch
 		}
 	}
 	for _, r := range reports {
 		if r.Status == nil || r.ID == coord {
+			continue
+		}
+		if e := r.Status.Ring.Epoch; e != coordEpoch {
+			findings = append(findings, Finding{
+				Severity: "warn",
+				Kind:     "epoch_divergence",
+				Node:     r.ID,
+				Detail: fmt.Sprintf("node %s membership epoch %d != coordinator %s (%d)",
+					r.ID, e, coord, coordEpoch),
+			})
 			continue
 		}
 		if d := r.Status.Ring.Digest; coordDigest != "" && d != coordDigest {
@@ -365,6 +408,33 @@ func crossCheck(coord string, reports []NodeReport, lagThreshold uint64) []Findi
 				Node:     r.ID,
 				Detail: fmt.Sprintf("node %s ring digest %s != coordinator %s (%s)",
 					r.ID, d, coord, coordDigest),
+			})
+		}
+	}
+
+	// Anti-entropy: surface repaired divergence as a warn (the system
+	// healed itself, but silent corruption happened and deserves eyes);
+	// divergence the loop could NOT heal is critical.
+	for _, r := range reports {
+		if r.Status == nil {
+			continue
+		}
+		ae := r.Status.AntiEntropy
+		if ae.Divergent > ae.Repairs {
+			findings = append(findings, Finding{
+				Severity: "critical",
+				Kind:     "antientropy_divergence",
+				Node:     r.ID,
+				Detail: fmt.Sprintf("node %s: %d divergent replica(s) detected, only %d repaired",
+					r.ID, ae.Divergent, ae.Repairs),
+			})
+		} else if ae.Repairs > 0 {
+			findings = append(findings, Finding{
+				Severity: "warn",
+				Kind:     "antientropy_repair",
+				Node:     r.ID,
+				Detail: fmt.Sprintf("node %s: anti-entropy repaired %d divergent replica(s)",
+					r.ID, ae.Repairs),
 			})
 		}
 	}

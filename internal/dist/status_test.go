@@ -168,7 +168,7 @@ func TestStatusGoldenKeys(t *testing.T) {
 		Node:          "n0",
 		UptimeMS:      1,
 		Ring: RingStatus{
-			Digest: "d", VNodes: 64,
+			Digest: "d", Epoch: 1, VNodes: 64,
 			Members: []MemberStatus{{ID: "n0", URL: "http://x", Self: true, Alive: true}},
 		},
 		Partitions: []PartitionStatus{{
@@ -186,6 +186,12 @@ func TestStatusGoldenKeys(t *testing.T) {
 		},
 		Audit: AuditStatus{Samples: 1, MAPE: 0.1},
 		SLO:   []metrics.SLOClassState{{Class: "gold", FastBurn: 1, SlowBurn: 1, State: "ok"}},
+		AntiEntropy: AntiEntropyStatus{
+			Enabled: true, Ticks: 1, Checked: 1, Divergent: 1, Repairs: 1,
+		},
+		Rebalance: RebalanceStatus{
+			Epoch: 1, Staged: 1, Retired: 1, MovedParts: 1, LastChangeMS: 1,
+		},
 		Runtime: obs.RuntimeSnap{
 			Goroutines: 1, HeapAlloc: 1, HeapSys: 1, GCCycles: 1,
 			GCPauseP50: 1, GCPauseP99: 1, GCPauseMax: 1,
@@ -198,6 +204,8 @@ func TestStatusGoldenKeys(t *testing.T) {
 	}
 	assertGoldenKeys(t, "NodeStatus", st, []string{
 		"absorbed_version",
+		"antientropy", "antientropy.checked", "antientropy.divergent",
+		"antientropy.enabled", "antientropy.repairs", "antientropy.ticks",
 		"audit", "audit.mape", "audit.samples",
 		"cache", "cache.enabled", "cache.hit_rate", "cache.hits", "cache.size",
 		"data_version",
@@ -213,7 +221,9 @@ func TestStatusGoldenKeys(t *testing.T) {
 		"partitions[].role", "partitions[].rows", "partitions[].wal_segments",
 		"resilience", "resilience.chaos_enabled", "resilience.degraded_answers",
 		"resilience.hedges", "resilience.rpc_retries", "resilience.worst_breaker",
-		"ring", "ring.digest", "ring.members",
+		"rebalance", "rebalance.epoch", "rebalance.last_change_ms",
+		"rebalance.moved_parts", "rebalance.retired", "rebalance.staged",
+		"ring", "ring.digest", "ring.epoch", "ring.members",
 		"ring.members[].alive", "ring.members[].id", "ring.members[].self", "ring.members[].url",
 		"ring.vnodes",
 		"rows_held",

@@ -272,14 +272,65 @@ func (l *Log) Replay(fn func(Entry) error) error {
 // EntriesAfter returns every entry with Seq > after — the log tail a
 // lagging replica fetches to catch up after recovery.
 func (l *Log) EntriesAfter(after uint64) ([]Entry, error) {
+	out, _, err := l.EntriesAfterN(after, 0)
+	return out, err
+}
+
+// errStopReplay aborts a Replay early once a bounded tail fetch has
+// collected enough entries; it never escapes this package.
+var errStopReplay = errors.New("ingest: stop replay")
+
+// EntriesAfterN returns up to max entries with Seq > after (max <= 0
+// means unbounded) and reports whether the tail was truncated at the
+// cap — the caller then fetches another round starting after the last
+// returned sequence. Bounding the batch keeps one /v1/walfetch response
+// from ballooning with an arbitrarily long tail.
+func (l *Log) EntriesAfterN(after uint64, max int) ([]Entry, bool, error) {
 	var out []Entry
+	truncated := false
 	err := l.Replay(func(e Entry) error {
-		if e.Seq > after {
-			out = append(out, e)
+		if e.Seq <= after {
+			return nil
 		}
+		if max > 0 && len(out) >= max {
+			truncated = true
+			return errStopReplay
+		}
+		out = append(out, e)
 		return nil
 	})
-	return out, err
+	if errors.Is(err, errStopReplay) {
+		err = nil
+	}
+	return out, truncated, err
+}
+
+// Reset discards the log's entire contents: the active segment is
+// closed, every segment file is removed, and a fresh first segment is
+// opened with LastSeq back at 0. A replica re-seeding a partition from
+// a peer snapshot calls Reset and then appends the snapshot's ingested
+// tail as one entry, so a later restart replays exactly the rows the
+// base data does not already re-lay.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f != nil {
+		if err := l.f.Close(); err != nil {
+			return fmt.Errorf("ingest: reset WAL %s: %w", l.dir, err)
+		}
+		l.f = nil
+	}
+	segs, err := l.segments()
+	if err != nil {
+		return err
+	}
+	for _, seg := range segs {
+		if err := os.Remove(filepath.Join(l.dir, seg)); err != nil {
+			return fmt.Errorf("ingest: reset WAL %s: %w", l.dir, err)
+		}
+	}
+	l.lastSeq, l.unsynced = 0, 0
+	return l.rotateLocked(1)
 }
 
 // rotateLocked opens segment n as the active file.
